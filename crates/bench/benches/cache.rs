@@ -1,0 +1,76 @@
+//! Criterion microbenchmarks of the cache model: hit/miss paths, the
+//! write-evict policy, and set hashing — the structures every simulated
+//! kernel spends its time in.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gpu_sim::{Cache, CacheConfig, WritePolicy};
+
+fn fermi_l1() -> CacheConfig {
+    CacheConfig {
+        size_bytes: 48 * 1024,
+        line_bytes: 128,
+        associativity: 4,
+        mshr_entries: 32,
+        write_policy: WritePolicy::WriteEvict,
+    }
+}
+
+fn bench_hit_path(c: &mut Criterion) {
+    let mut cache = Cache::new(fermi_l1());
+    // Warm a small working set.
+    for i in 0..64u64 {
+        cache.read(i * 128, 0);
+        cache.fill(i * 128, 0);
+    }
+    c.bench_function("l1_hit", |b| {
+        let mut t = 1u64;
+        b.iter(|| {
+            t += 1;
+            cache.read(black_box((t % 64) * 128), t)
+        })
+    });
+}
+
+fn bench_miss_path(c: &mut Criterion) {
+    c.bench_function("l1_streaming_miss", |b| {
+        let mut cache = Cache::new(fermi_l1());
+        let mut addr = 0u64;
+        let mut t = 0u64;
+        b.iter(|| {
+            addr += 128;
+            t += 1;
+            let out = cache.read(black_box(addr), t);
+            cache.fill(addr, t + 400);
+            out
+        })
+    });
+}
+
+fn bench_write_evict(c: &mut Criterion) {
+    let mut cache = Cache::new(fermi_l1());
+    for i in 0..64u64 {
+        cache.read(i * 128, 0);
+        cache.fill(i * 128, 0);
+    }
+    c.bench_function("l1_write_evict", |b| {
+        let mut t = 1u64;
+        b.iter(|| {
+            t += 1;
+            cache.write(black_box((t % 64) * 128), t)
+        })
+    });
+}
+
+fn bench_set_hash(c: &mut Criterion) {
+    let cache = Cache::new(fermi_l1());
+    c.bench_function("set_index_hash", |b| {
+        let mut a = 0u64;
+        b.iter(|| {
+            a += 1024;
+            cache.set_index(black_box(a))
+        })
+    });
+}
+
+criterion_group!(benches, bench_hit_path, bench_miss_path, bench_write_evict, bench_set_hash);
+criterion_main!(benches);

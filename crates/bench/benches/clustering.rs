@@ -1,0 +1,59 @@
+//! Criterion ablations of the clustering transforms themselves:
+//! baseline vs redirection vs agents vs throttled agents on a fixed
+//! workload — the design-choice comparison DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cta_clustering::{AgentKernel, Partition, RedirectionKernel};
+use gpu_kernels::Syrk;
+use gpu_sim::{arch, KernelSpec, Simulation};
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering_ablation");
+    group.sample_size(10);
+    let cfg = arch::tesla_k40().prefer_l1(0);
+    let syk = Syrk::new(2, 16);
+    let partition = || Partition::x(syk.launch().grid, cfg.num_sms as u64).unwrap();
+
+    group.bench_function(BenchmarkId::from_parameter("baseline"), |b| {
+        b.iter(|| Simulation::new(cfg.clone(), &syk).run().unwrap())
+    });
+    let rd = RedirectionKernel::new(syk.clone(), partition());
+    group.bench_function(BenchmarkId::from_parameter("redirection"), |b| {
+        b.iter(|| Simulation::new(cfg.clone(), &rd).run().unwrap())
+    });
+    let clu = AgentKernel::with_partition(syk.clone(), &cfg, partition()).unwrap();
+    group.bench_function(BenchmarkId::from_parameter("agents"), |b| {
+        b.iter(|| Simulation::new(cfg.clone(), &clu).run().unwrap())
+    });
+    let tot = AgentKernel::with_partition(syk.clone(), &cfg, partition())
+        .unwrap()
+        .with_active_agents(2)
+        .unwrap();
+    group.bench_function(BenchmarkId::from_parameter("agents_throttled_2"), |b| {
+        b.iter(|| Simulation::new(cfg.clone(), &tot).run().unwrap())
+    });
+    group.finish();
+}
+
+fn bench_transform_overhead(c: &mut Criterion) {
+    // Program-generation overhead of the wrappers (the "complex index
+    // calculation" cost of §5.2-(6), measured at the source).
+    let cfg = arch::tesla_k40();
+    let syk = Syrk::new(2, 16);
+    let partition = Partition::x(syk.launch().grid, cfg.num_sms as u64).unwrap();
+    let agents = AgentKernel::with_partition(syk.clone(), &cfg, partition).unwrap();
+    let ctx = gpu_sim::CtaContext {
+        cta: 0,
+        sm_id: 3,
+        slot: 1,
+        arrival: 1,
+        num_sms: cfg.num_sms,
+    };
+    let mut group = c.benchmark_group("program_generation");
+    group.bench_function("inner_kernel", |b| b.iter(|| syk.warp_program(&ctx, 0)));
+    group.bench_function("agent_wrapped", |b| b.iter(|| agents.warp_program(&ctx, 0)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_transform_overhead);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmarks of end-to-end simulation throughput: how fast
+//! the discrete-event engine runs representative workload shapes, and
+//! the relative cost of the GigaThread scheduler models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_kernels::{BlackScholes, Kmeans, MatrixMul};
+use gpu_sim::{arch, KernelSpec, Simulation};
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+
+    let mm = MatrixMul::new(4, 4, 4);
+    let kmn = Kmeans::new(60, 32, 4);
+    let bs = BlackScholes::new(60, 2);
+    let kernels: Vec<(&str, &dyn KernelSpec)> = vec![
+        ("matrix_mul_4x4x4", &mm),
+        ("kmeans_60", &kmn),
+        ("blackscholes_60", &bs),
+    ];
+    for (name, kernel) in kernels {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &kernel, |b, k| {
+            b.iter(|| Simulation::new(arch::tesla_k40(), *k).run().unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_models");
+    group.sample_size(10);
+    let kmn = Kmeans::new(60, 32, 4);
+    for name in ["strict-rr", "hardware-like", "randomized"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &n| {
+            b.iter(|| {
+                let sched: Box<dyn gpu_sim::sched::CtaScheduler> = match n {
+                    "strict-rr" => Box::new(gpu_sim::sched::StrictRoundRobin::new()),
+                    "hardware-like" => Box::new(gpu_sim::sched::HardwareLike::new(7)),
+                    _ => Box::new(gpu_sim::sched::Randomized::new(7)),
+                };
+                Simulation::new(arch::gtx570(), &kmn)
+                    .with_scheduler(sched)
+                    .run()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads, bench_schedulers);
+criterion_main!(benches);

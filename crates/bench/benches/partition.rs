@@ -1,0 +1,48 @@
+//! Criterion microbenchmarks of the partition arithmetic: the per-CTA
+//! index-calculation overhead is exactly what the paper blames for the
+//! tile-wise indexing's disappointing end-to-end results (§5.2-(6)-(1)).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cta_clustering::{Indexing, Partition};
+use gpu_sim::Dim3;
+
+fn bench_assign_invert(c: &mut Criterion) {
+    let grid = Dim3::plane(64, 64);
+    let m = 16;
+    let mut group = c.benchmark_group("partition_round_trip");
+    for (name, indexing) in [
+        ("row_major", Indexing::RowMajor),
+        ("col_major", Indexing::ColMajor),
+        ("tile_4x4", Indexing::Tile { tile_x: 4, tile_y: 4 }),
+    ] {
+        let p = Partition::new(grid, m, indexing).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &p, |b, p| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for v in 0..grid.count() {
+                    let (w, i) = p.assign(black_box(v));
+                    acc ^= p.invert(w, i);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cluster_materialization(c: &mut Criterion) {
+    let grid = Dim3::plane(128, 128);
+    let p = Partition::y(grid, 20).unwrap();
+    c.bench_function("cluster_materialize_16k_ctas", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for i in 0..p.num_clusters() {
+                total += p.cluster(black_box(i)).len();
+            }
+            total
+        })
+    });
+}
+
+criterion_group!(benches, bench_assign_invert, bench_cluster_materialization);
+criterion_main!(benches);

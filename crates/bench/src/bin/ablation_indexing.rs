@@ -1,0 +1,63 @@
+//! Ablation of the CTA indexing method (paper Figure 7 / §5.2-(6)-(1)):
+//! row-major, column-major and tile-wise partitioning applied to matrix
+//! multiplication and syrk on Fermi.
+//!
+//! The paper observes that tile-wise indexing shrinks MM's reuse distance
+//! (better hit rate, fewer L2 transactions) but its "complex indexing
+//! calculation leads to significant overhead, bringing little performance
+//! benefit".
+
+use cluster_bench::report::{ratio, Table};
+use cta_clustering::{AgentKernel, Indexing, Partition};
+use gpu_kernels::{MatrixMul, Syrk};
+use gpu_sim::{arch, KernelSpec, Simulation};
+
+fn main() {
+    let cfg = arch::gtx570().prefer_l1(8192);
+    println!("CTA indexing ablation on {} (agent-based clustering)", cfg.name);
+    println!();
+
+    for (name, kernel) in [
+        ("MM(10x10x10)", Box::new(MatrixMul::new(10, 10, 10)) as Box<dyn KernelClone>),
+        ("SYK(4x32)", Box::new(Syrk::new(4, 32))),
+    ] {
+        let base = kernel.run_baseline(&cfg);
+        println!("--- {name} (baseline: {} cycles) ---", base.cycles);
+        let mut t = Table::new(&["indexing", "speedup", "L2 txns", "L1 hit rate"]);
+        for (label, indexing) in [
+            ("row-major (Y-P)", Indexing::RowMajor),
+            ("col-major (X-P)", Indexing::ColMajor),
+            ("tile 2x2", Indexing::Tile { tile_x: 2, tile_y: 2 }),
+            ("tile 4x4", Indexing::Tile { tile_x: 4, tile_y: 4 }),
+        ] {
+            let stats = kernel.run_clustered(&cfg, indexing);
+            t.row(vec![
+                label.into(),
+                ratio(stats.speedup_vs(&base)),
+                format!("{:.2}", stats.l2_txns_vs(&base)),
+                format!("{:.0}%", 100.0 * stats.l1_hit_rate()),
+            ]);
+        }
+        print!("{t}");
+        println!();
+    }
+}
+
+/// Object-safe helper so the two differently-typed kernels share the loop.
+trait KernelClone {
+    fn run_baseline(&self, cfg: &gpu_sim::GpuConfig) -> gpu_sim::RunStats;
+    fn run_clustered(&self, cfg: &gpu_sim::GpuConfig, indexing: Indexing) -> gpu_sim::RunStats;
+}
+
+impl<K: KernelSpec + Clone> KernelClone for K {
+    fn run_baseline(&self, cfg: &gpu_sim::GpuConfig) -> gpu_sim::RunStats {
+        Simulation::new(cfg.clone(), self).run().expect("baseline")
+    }
+    fn run_clustered(&self, cfg: &gpu_sim::GpuConfig, indexing: Indexing) -> gpu_sim::RunStats {
+        let partition =
+            Partition::new(self.launch().grid, cfg.num_sms as u64, indexing).expect("partition");
+        let agents = AgentKernel::with_partition(self.clone(), cfg, partition).expect("agents");
+        let stats = Simulation::new(cfg.clone(), &agents).run().expect("clustered");
+        stats
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates every table and figure in sequence (the full artifact
+//! run). Expect a few minutes in release mode.
+
+use std::process::Command;
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    for bin in [
+        "table1_platforms",
+        "table2_benchmarks",
+        "fig2_microbench",
+        "fig3_reuse",
+        "fig12_speedup",
+        "fig13_cache",
+    ] {
+        println!("\n================ {bin} ================\n");
+        let status = Command::new(exe_dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

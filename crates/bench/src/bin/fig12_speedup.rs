@@ -1,0 +1,55 @@
+//! Regenerates the paper's Figure 12: normalized performance speedup and
+//! achieved occupancy for every Table 2 application under every
+//! optimization variant, on all four architectures, grouped into the
+//! paper's three panels with geometric means.
+
+use cluster_bench::report::{ratio, Table};
+use cluster_bench::{evaluate_arch, Panel, Variant};
+
+fn main() {
+    println!("Figure 12: normalized performance speedup and achieved occupancy");
+    println!("series: BSL / RD / CLU / CLU+TOT / CLU+TOT+BPS / PFH+TOT (+AC_OCP delta)");
+    println!();
+    for cfg in gpu_sim::arch::all_presets() {
+        let eval = evaluate_arch(&cfg);
+        println!("=== {} ===", eval.gpu);
+        for panel in Panel::ALL {
+            println!("--- {panel} ---");
+            let mut t = Table::new(&[
+                "app", "RD", "CLU", "CLU+TOT", "+BPS", "PFH+TOT", "agents", "AC_OCP(B->T)",
+            ]);
+            for app in eval.panel_apps(panel) {
+                t.row(vec![
+                    app.info.abbr.to_string(),
+                    ratio(app.speedup(Variant::Redirection)),
+                    ratio(app.speedup(Variant::Clustering)),
+                    ratio(app.speedup(Variant::ClusteringThrottled)),
+                    ratio(app.speedup(Variant::ClusteringThrottledBypass)),
+                    ratio(app.speedup(Variant::PrefetchThrottled)),
+                    app.chosen_agents.to_string(),
+                    format!(
+                        "{:.2}->{:.2}",
+                        app.stats(Variant::Baseline).achieved_occupancy,
+                        app.stats(Variant::ClusteringThrottled).achieved_occupancy
+                    ),
+                ]);
+            }
+            t.row(vec![
+                "G-M".into(),
+                ratio(eval.geomean_speedup(panel, Variant::Redirection)),
+                ratio(eval.geomean_speedup(panel, Variant::Clustering)),
+                ratio(eval.geomean_speedup(panel, Variant::ClusteringThrottled)),
+                ratio(eval.geomean_speedup(panel, Variant::ClusteringThrottledBypass)),
+                ratio(eval.geomean_speedup(panel, Variant::PrefetchThrottled)),
+                "".into(),
+                "".into(),
+            ]);
+            print!("{t}");
+            println!();
+        }
+    }
+    println!("paper reference geomeans (CLU+TOT):");
+    println!("  algorithm:  1.46x / 1.48x / 1.45x / 1.41x (Fermi/Kepler/Maxwell/Pascal)");
+    println!("  cache-line: 1.47x / 1.29x / ~1.0x / ~1.0x");
+    println!("  data/write/streaming: ~1.0x on every architecture");
+}

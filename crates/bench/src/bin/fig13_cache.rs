@@ -1,0 +1,49 @@
+//! Regenerates the paper's Figure 13: normalized L2 transactions and L1
+//! hit rates for every Table 2 application under every variant.
+
+use cluster_bench::report::{pct, Table};
+use cluster_bench::{evaluate_arch, Panel, Variant};
+
+fn main() {
+    println!("Figure 13: normalized L2 cache transactions and L1 hit rates");
+    println!("(L2 columns normalized to BSL = 1.00; HT_RTE = L1 read hit rate)");
+    println!();
+    for cfg in gpu_sim::arch::all_presets() {
+        let eval = evaluate_arch(&cfg);
+        println!("=== {} ===", eval.gpu);
+        for panel in Panel::ALL {
+            println!("--- {panel} ---");
+            let mut t = Table::new(&[
+                "app", "L2 RD", "L2 CLU", "L2 CLU+TOT", "L2 +BPS", "L2 PFH+TOT",
+                "HT_RTE BSL", "HT_RTE CLU+TOT",
+            ]);
+            for app in eval.panel_apps(panel) {
+                t.row(vec![
+                    app.info.abbr.to_string(),
+                    format!("{:.2}", app.l2_norm(Variant::Redirection)),
+                    format!("{:.2}", app.l2_norm(Variant::Clustering)),
+                    format!("{:.2}", app.l2_norm(Variant::ClusteringThrottled)),
+                    format!("{:.2}", app.l2_norm(Variant::ClusteringThrottledBypass)),
+                    format!("{:.2}", app.l2_norm(Variant::PrefetchThrottled)),
+                    pct(app.stats(Variant::Baseline).l1_hit_rate()),
+                    pct(app.stats(Variant::ClusteringThrottled).l1_hit_rate()),
+                ]);
+            }
+            t.row(vec![
+                "G-M".into(),
+                format!("{:.2}", eval.geomean_l2(panel, Variant::Redirection)),
+                format!("{:.2}", eval.geomean_l2(panel, Variant::Clustering)),
+                format!("{:.2}", eval.geomean_l2(panel, Variant::ClusteringThrottled)),
+                format!("{:.2}", eval.geomean_l2(panel, Variant::ClusteringThrottledBypass)),
+                format!("{:.2}", eval.geomean_l2(panel, Variant::PrefetchThrottled)),
+                "".into(),
+                "".into(),
+            ]);
+            print!("{t}");
+            println!();
+        }
+    }
+    println!("paper reference L2 reductions (CLU+TOT):");
+    println!("  algorithm:  55% / 65% / 29% / 28% (Fermi/Kepler/Maxwell/Pascal)");
+    println!("  cache-line: 81% / 71% / 34% / ~0%");
+}

@@ -1,0 +1,47 @@
+//! Regenerates the paper's Figure 2: per-CTA access cycles on the SM
+//! holding CTA 0, under default (temporal locality) and staggered
+//! (spatial locality) execution, for all four architectures.
+
+use cluster_bench::fig2;
+use cluster_bench::report::Table;
+
+fn main() {
+    println!("Figure 2: exploiting inter-CTA reuse on the SM that holds CTA-0");
+    println!("(A) default scheduling = temporal locality; (B) staggered = spatial locality");
+    println!();
+    for cfg in gpu_sim::arch::all_presets() {
+        let (default, staggered) = fig2::run_gpu(&cfg);
+        for panel in [&default, &staggered] {
+            println!(
+                "--- {} {} ({} CTAs, observed SM {}; L1 ~{} cycles, L2 ~{} cycles) ---",
+                panel.gpu,
+                if panel.staggered { "(B) staggered" } else { "(A) default" },
+                panel.ctas,
+                panel.observed_sm,
+                panel.l1_latency,
+                panel.l2_latency,
+            );
+            let mut t = Table::new(&["CTA id", "access cycles", "class"]);
+            for p in &panel.series {
+                let class = if p.cycles <= (panel.l1_latency as u64 * 6) / 5 {
+                    "L1"
+                } else if p.cycles <= panel.l2_latency as u64 {
+                    "L2"
+                } else {
+                    "DRAM/reserved"
+                };
+                t.row(vec![p.cta.to_string(), p.cycles.to_string(), class.into()]);
+            }
+            print!("{t}");
+            println!(
+                "summary: {} CTAs at the L1 plateau, {} above the L2 plateau, of {}",
+                panel.l1_class(),
+                panel.slow_class(),
+                panel.series.len()
+            );
+            println!();
+        }
+    }
+    println!("paper shape: only (part of) the first turnaround pays the long");
+    println!("latency; every later CTA on the same SM lands at the L1 plateau.");
+}

@@ -1,0 +1,27 @@
+//! Regenerates the paper's Figure 3: percentage of inter- vs intra-CTA
+//! reuse for 33 common GPU applications (paper average: ~45% inter-CTA).
+
+use cluster_bench::fig3;
+use cluster_bench::report::{pct, Table};
+use gpu_sim::ArchGen;
+
+fn main() {
+    println!("Figure 3: share of inter-CTA vs intra-CTA reuse (pre-L1 stream)");
+    println!();
+    let bars = fig3::profile_suite(ArchGen::Kepler);
+    let mut t = Table::new(&["app", "Inter_CTA", "Intra_CTA", "reuse rate"]);
+    for b in &bars {
+        t.row(vec![
+            b.abbr.to_string(),
+            pct(b.inter),
+            pct(b.intra),
+            pct(b.summary.reuse_rate()),
+        ]);
+    }
+    print!("{t}");
+    println!();
+    println!(
+        "average inter-CTA share: {} (paper: ~45%)",
+        pct(fig3::average_inter_share(&bars))
+    );
+}

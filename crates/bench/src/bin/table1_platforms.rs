@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table 1: experiment platforms.
+
+fn main() {
+    println!("Table 1: Experiment Platforms (paper Table 1)");
+    println!();
+    print!("{}", cluster_bench::tables::table1());
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 2: benchmark characteristics.
+
+fn main() {
+    println!("Table 2: Benchmark Characteristics (paper Table 2)");
+    println!("CTAs/SM computed by the occupancy model per architecture");
+    println!("(F/K/M/P = Fermi/Kepler/Maxwell/Pascal)");
+    println!();
+    print!("{}", cluster_bench::tables::table2());
+}

@@ -1,0 +1,144 @@
+//! Figure 2 reproduction: the Listing 3 microbenchmark demonstrating
+//! temporal and spatial inter-CTA locality on L1.
+
+use gpu_kernels::Microbench;
+use gpu_sim::{GpuConfig, Simulation, TraceSink, VecSink};
+
+/// One plotted point: a CTA that ran on the observed SM and its measured
+/// access delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtaLatency {
+    /// CTA id (the x-axis of Figure 2).
+    pub cta: u64,
+    /// Measured global-load delay in cycles (the y-axis).
+    pub cycles: u64,
+}
+
+/// The data behind one Figure 2 panel.
+#[derive(Debug, Clone)]
+pub struct MicrobenchPanel {
+    /// GPU name.
+    pub gpu: String,
+    /// Whether this is the staggered (spatial) variant.
+    pub staggered: bool,
+    /// CTAs launched.
+    pub ctas: u32,
+    /// The SM that executed CTA 0 (the paper's "SM 0").
+    pub observed_sm: usize,
+    /// Latency of every CTA dispatched to that SM, in dispatch order.
+    pub series: Vec<CtaLatency>,
+    /// Configured L1 hit latency (plateau annotation).
+    pub l1_latency: u32,
+    /// Configured L2 hit latency (plateau annotation).
+    pub l2_latency: u32,
+}
+
+impl MicrobenchPanel {
+    /// CTAs whose delay is within 20% of the L1 plateau.
+    pub fn l1_class(&self) -> usize {
+        self.series
+            .iter()
+            .filter(|p| p.cycles <= (self.l1_latency as u64 * 6) / 5)
+            .count()
+    }
+
+    /// CTAs slower than the L2 plateau (off-chip or hit-reserved).
+    pub fn slow_class(&self) -> usize {
+        self.series.iter().filter(|p| p.cycles > self.l2_latency as u64).count()
+    }
+}
+
+/// Runs the microbenchmark on `cfg` and extracts the per-CTA latency
+/// series of the SM that held CTA 0, as the paper's Figure 2 plots it.
+///
+/// # Panics
+///
+/// Panics if the simulation fails (the microbenchmark launch is always
+/// schedulable on the Table 1 presets).
+pub fn run_panel(cfg: &GpuConfig, turnarounds: u32, staggered: bool) -> MicrobenchPanel {
+    let mb = Microbench::for_gpu(cfg, turnarounds, staggered);
+    let mut sink = VecSink::new();
+    let stats = Simulation::new(cfg.clone(), &mb)
+        .run_traced(&mut sink)
+        .expect("microbenchmark run");
+    let observed_sm = stats.sm_of(0).expect("CTA 0 ran");
+    let mut series: Vec<CtaLatency> = sink
+        .events
+        .iter()
+        .filter(|e| e.sm_id == observed_sm)
+        .map(|e| CtaLatency {
+            cta: e.cta,
+            cycles: e.latency,
+        })
+        .collect();
+    series.sort_by_key(|p| p.cta);
+    MicrobenchPanel {
+        gpu: cfg.name.clone(),
+        staggered,
+        ctas: mb.ctas,
+        observed_sm,
+        series,
+        l1_latency: cfg.timings.l1_hit,
+        l2_latency: cfg.timings.l2_hit,
+    }
+}
+
+/// Convenience: both panels (default + staggered) for one GPU with the
+/// paper's turnaround counts (4 on Fermi/Kepler, 2 on Maxwell/Pascal).
+pub fn run_gpu(cfg: &GpuConfig) -> (MicrobenchPanel, MicrobenchPanel) {
+    let turnarounds = match cfg.arch {
+        gpu_sim::ArchGen::Fermi | gpu_sim::ArchGen::Kepler => 4,
+        _ => 2,
+    };
+    (
+        run_panel(cfg, turnarounds, false),
+        run_panel(cfg, turnarounds, true),
+    )
+}
+
+/// A profiling sink counting L1-level vs L2-level read transactions, for
+/// the `L1 Read Trans` / `L1_L2 Read Trans` annotations of Figure 2.
+#[derive(Debug, Default)]
+pub struct TransactionCounter {
+    /// Warp-level read accesses observed.
+    pub l1_reads: u64,
+}
+
+impl TraceSink for TransactionCounter {
+    fn record(&mut self, e: &gpu_sim::AccessEvent<'_>) {
+        if !e.is_write {
+            self.l1_reads += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::arch;
+
+    #[test]
+    fn temporal_panel_shape_on_fermi() {
+        let p = run_panel(&arch::gtx570(), 4, false);
+        // The observed SM runs about CTA_slots * turnarounds CTAs.
+        assert!(p.series.len() >= 24, "got {}", p.series.len());
+        // Figure 2-(A): most CTAs are at the L1 plateau; only (part of)
+        // the first turnaround is slow.
+        assert!(p.l1_class() * 2 > p.series.len(), "l1={} of {}", p.l1_class(), p.series.len());
+        assert!(p.slow_class() <= p.series.len() / 3);
+    }
+
+    #[test]
+    fn staggered_panel_still_reuses_spatially() {
+        let p = run_panel(&arch::gtx980(), 2, true);
+        // Figure 2-(B): only the first CTA misses; the de-aligned rest of
+        // the first turnaround reuses its line.
+        assert!(p.slow_class() <= p.series.len() / 4);
+    }
+
+    #[test]
+    fn cta_zero_always_observed() {
+        let p = run_panel(&arch::tesla_k40(), 4, false);
+        assert_eq!(p.series.first().map(|s| s.cta), Some(0));
+    }
+}

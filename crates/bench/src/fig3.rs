@@ -1,0 +1,73 @@
+//! Figure 3 reproduction: the share of inter- vs intra-CTA reuse in the
+//! pre-L1 access stream of 33 applications.
+
+use gpu_sim::{ArchGen, Simulation};
+use locality::{ReuseProfiler, ReuseSummary};
+
+/// One Figure 3 bar.
+#[derive(Debug, Clone)]
+pub struct ReuseBar {
+    /// Application abbreviation.
+    pub abbr: &'static str,
+    /// Inter-CTA share of all reuse.
+    pub inter: f64,
+    /// Intra-CTA share (intra-warp + inter-warp) of all reuse.
+    pub intra: f64,
+    /// Raw summary for deeper inspection.
+    pub summary: ReuseSummary,
+}
+
+/// Profiles the full 33-app Figure 3 suite. The quantification is
+/// data-driven and scheduler/cache-independent (paper §3.2), so a single
+/// architecture's stream suffices; `arch` only selects default geometry.
+pub fn profile_suite(arch: ArchGen) -> Vec<ReuseBar> {
+    let cfg = gpu_sim::arch::preset_for(arch);
+    gpu_kernels::suite::fig3_suite(arch)
+        .into_iter()
+        .map(|w| {
+            let abbr = w.info().abbr;
+            let mut profiler = ReuseProfiler::new();
+            Simulation::new(cfg.clone(), &w)
+                .run_traced(&mut profiler)
+                .expect("profiling run");
+            let summary = profiler.summary();
+            ReuseBar {
+                abbr,
+                inter: summary.inter_cta_share(),
+                intra: summary.intra_cta_share(),
+                summary,
+            }
+        })
+        .collect()
+}
+
+/// Average inter-CTA share over the bars (the paper reports ≈45%).
+pub fn average_inter_share(bars: &[ReuseBar]) -> f64 {
+    if bars.is_empty() {
+        return 0.0;
+    }
+    bars.iter().map(|b| b.inter).sum::<f64>() / bars.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_apps_have_high_inter_share() {
+        let cfg = gpu_sim::arch::tesla_k40();
+        let w = gpu_kernels::suite::by_abbr("NN", ArchGen::Kepler).unwrap();
+        let mut p = ReuseProfiler::new();
+        Simulation::new(cfg, &w).run_traced(&mut p).unwrap();
+        assert!(p.summary().inter_cta_share() > 0.5);
+    }
+
+    #[test]
+    fn streaming_apps_have_no_reuse() {
+        let cfg = gpu_sim::arch::tesla_k40();
+        let w = gpu_kernels::suite::by_abbr("BS", ArchGen::Kepler).unwrap();
+        let mut p = ReuseProfiler::new();
+        Simulation::new(cfg, &w).run_traced(&mut p).unwrap();
+        assert!(p.summary().reuse_rate() < 0.05);
+    }
+}

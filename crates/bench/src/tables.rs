@@ -1,0 +1,89 @@
+//! Table 1 and Table 2 reproductions.
+
+use crate::report::Table;
+use gpu_sim::{occupancy, ArchGen};
+
+/// Renders the paper's Table 1: experiment platforms.
+pub fn table1() -> String {
+    let mut t = Table::new(&[
+        "GPUs", "Architecture", "CC.", "SMs", "Warp slots", "CTA slots", "L1(KB)", "L1 line",
+        "L2(KB)", "L2 line", "Regs(K)", "SMem(KB)",
+    ]);
+    for cfg in gpu_sim::arch::all_presets() {
+        t.row(vec![
+            cfg.name.clone(),
+            cfg.arch.to_string(),
+            format!("{}.{}", cfg.compute_capability.0, cfg.compute_capability.1),
+            cfg.num_sms.to_string(),
+            cfg.warp_slots.to_string(),
+            cfg.cta_slots.to_string(),
+            (cfg.l1.size_bytes / 1024).to_string(),
+            format!("{}B", cfg.l1.line_bytes),
+            (cfg.l2.size_bytes / 1024).to_string(),
+            format!("{}B", cfg.l2.line_bytes),
+            (cfg.regs_per_sm / 1024).to_string(),
+            (cfg.smem_per_sm / 1024).to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders the paper's Table 2: benchmark characteristics, with the
+/// per-architecture baseline CTAs/SM computed by the occupancy model.
+pub fn table2() -> String {
+    let mut t = Table::new(&[
+        "abbr", "Application", "Category", "WP", "CTAs(F/K/M/P)", "Regs(F/K/M/P)", "SMem",
+        "Partition", "OptAgents(F/K/M/P)", "Ref",
+    ]);
+    let archs = ArchGen::ALL;
+    for w in gpu_kernels::suite::table2_suite(ArchGen::Fermi) {
+        let info = w.info();
+        let ctas: Vec<String> = archs
+            .iter()
+            .map(|&a| {
+                let cfg = gpu_sim::arch::preset_for(a);
+                let wa = gpu_kernels::suite::by_abbr(info.abbr, a).expect("known");
+                occupancy(&cfg, &wa.launch())
+                    .map(|o| o.ctas_per_sm.to_string())
+                    .unwrap_or_else(|_| "-".into())
+            })
+            .collect();
+        t.row(vec![
+            info.abbr.to_string(),
+            info.full_name.to_string(),
+            info.category.to_string(),
+            info.warps_per_cta.to_string(),
+            ctas.join("/"),
+            info.regs.map(|r| r.to_string()).join("/"),
+            format!("{}B", info.smem),
+            info.partition.to_string(),
+            info.opt_agents.map(|a| a.to_string()).join("/"),
+            info.source.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contains_all_platforms() {
+        let s = table1();
+        for name in ["GTX570", "Tesla K40", "GTX980", "GTX1080"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+        assert!(s.contains("128B"));
+        assert!(s.contains("32B"));
+    }
+
+    #[test]
+    fn table2_has_23_rows() {
+        let s = table2();
+        assert_eq!(s.lines().count(), 2 + 23);
+        assert!(s.contains("KMN"));
+        assert!(s.contains("BlackScholes"));
+        assert!(s.contains("PolyBench"));
+    }
+}

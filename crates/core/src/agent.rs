@@ -1,0 +1,404 @@
+//! Agent-based clustering (paper §4.2.4-(2), Listing 5, Figure 10), plus
+//! its complementary optimizations: CTA throttling (§4.3-(I)) and CTA
+//! prefetching over the reshaped order (§4.3-(III)).
+//!
+//! Instead of tricking the GigaThread engine, this transform circumvents
+//! it: the new kernel launches `SMs x MAX_AGENTS` persistent CTAs
+//! ("agents"). Each agent reads the physical SM id it landed on (`%smid`
+//! — [`CtaContext::sm_id`] in the simulator), binds that SM's cluster,
+//! determines its agent id — from the hardware warp slot on static-binding
+//! architectures (Fermi/Kepler), or by a global atomic ticket plus
+//! shared-memory broadcast on dynamic-binding ones (Maxwell/Pascal, which
+//! costs real cycles) — and then serially executes every task `(w, i)` of
+//! its cluster with `w ≡ agent_id (mod ACTIVE_AGENTS)`.
+//!
+//! Spatial inter-CTA locality is exploited between concurrently-running
+//! agents of one SM; temporal locality between an agent's consecutive
+//! tasks.
+
+use crate::error::ClusterError;
+use crate::partition::Partition;
+use gpu_sim::{
+    occupancy, ArchGen, CacheOp, CtaContext, GpuConfig, KernelSpec, LaunchConfig, MemAccess, Op,
+    Program,
+};
+
+/// Extra issue latency modelling the agent-id bidding of dynamic-binding
+/// architectures (atomic round trip is modelled by a real `Op::Atomic`;
+/// this covers the shared-memory broadcast).
+const BROADCAST_COST: u32 = 12;
+
+/// Global-memory word holding the per-SM agent counter array
+/// (`global_counters[smid]` in Listing 5), placed in a dedicated tag.
+const COUNTER_TAG: u16 = u16::MAX;
+
+/// A kernel transformed by agent-based clustering.
+///
+/// # Examples
+///
+/// ```
+/// use cta_clustering::AgentKernel;
+/// use gpu_kernels::{MatrixMul, Workload};
+/// use gpu_sim::{arch, Simulation};
+///
+/// let cfg = arch::tesla_k40();
+/// let mm = MatrixMul::new(4, 4, 2);
+/// let agents = AgentKernel::build(mm, &cfg)?; // Y-partition comes from the builder
+/// let stats = Simulation::new(cfg, &agents).run()?;
+/// assert!(stats.cycles > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AgentKernel<K> {
+    inner: K,
+    partition: Partition,
+    arch: ArchGen,
+    num_sms: usize,
+    max_agents: u32,
+    active_agents: u32,
+    prefetch_depth: usize,
+}
+
+impl<K: KernelSpec> AgentKernel<K> {
+    /// Builds the transform against `cfg` with an explicit partition.
+    /// `MAX_AGENTS` is the occupancy bound of the kernel on one SM, and
+    /// all agents start active.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::ClusterSmMismatch`] unless the partition
+    /// has exactly one cluster per SM, and propagates occupancy errors
+    /// for unschedulable kernels.
+    pub fn with_partition(inner: K, cfg: &GpuConfig, partition: Partition) -> Result<Self, ClusterError> {
+        if partition.num_clusters() != cfg.num_sms as u64 {
+            return Err(ClusterError::ClusterSmMismatch {
+                clusters: partition.num_clusters(),
+                sms: cfg.num_sms,
+            });
+        }
+        if partition.grid() != inner.launch().grid {
+            return Err(ClusterError::InvalidPartition(
+                "partition grid does not match the kernel grid".into(),
+            ));
+        }
+        let occ = occupancy(cfg, &inner.launch())?;
+        Ok(AgentKernel {
+            inner,
+            partition,
+            arch: cfg.arch,
+            num_sms: cfg.num_sms,
+            max_agents: occ.ctas_per_sm,
+            active_agents: occ.ctas_per_sm,
+            prefetch_depth: 0,
+        })
+    }
+
+    /// Builds the transform with the default Y-partition (row-major
+    /// indexing) into one cluster per SM.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`with_partition`](Self::with_partition).
+    pub fn build(inner: K, cfg: &GpuConfig) -> Result<Self, ClusterError> {
+        let partition = Partition::y(inner.launch().grid, cfg.num_sms as u64)?;
+        Self::with_partition(inner, cfg, partition)
+    }
+
+    /// CTA throttling (§4.3-(I)): activates only `active` of the
+    /// `MAX_AGENTS` agents per SM. The grid stays at
+    /// `SMs x MAX_AGENTS` — surplus agents retire immediately — because
+    /// shrinking the grid would let the unbalanced hardware scheduler
+    /// starve some SM's cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidThrottle`] unless
+    /// `1 <= active <= MAX_AGENTS`.
+    pub fn with_active_agents(mut self, active: u32) -> Result<Self, ClusterError> {
+        if active == 0 || active > self.max_agents {
+            return Err(ClusterError::InvalidThrottle {
+                active,
+                max: self.max_agents,
+            });
+        }
+        self.active_agents = active;
+        Ok(self)
+    }
+
+    /// CTA prefetching over the reshaped order (§4.3-(III)): while
+    /// executing task `w`, issue non-blocking L1 prefetches for the first
+    /// `depth` loads of the agent's *next* task.
+    pub fn with_prefetch(mut self, depth: usize) -> Self {
+        self.prefetch_depth = depth;
+        self
+    }
+
+    /// The wrapped kernel.
+    pub fn inner(&self) -> &K {
+        &self.inner
+    }
+
+    /// The partition in use.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// `MAX_AGENTS`: occupancy-bounded agents per SM.
+    pub fn max_agents(&self) -> u32 {
+        self.max_agents
+    }
+
+    /// `ACTIVE_AGENTS`: agents that execute tasks after throttling.
+    pub fn active_agents(&self) -> u32 {
+        self.active_agents
+    }
+
+    /// Tasks (original CTA ids) agent `agent_id` of SM `sm_id` executes,
+    /// in order.
+    pub fn tasks_of(&self, sm_id: usize, agent_id: u64) -> Vec<u64> {
+        let i = sm_id as u64;
+        if i >= self.partition.num_clusters() || agent_id >= self.active_agents as u64 {
+            return Vec::new();
+        }
+        let jobs = self.partition.cluster_size(i);
+        (agent_id..jobs)
+            .step_by(self.active_agents as usize)
+            .map(|w| self.partition.invert(w, i))
+            .collect()
+    }
+
+    /// The agent id a CTA derives at run time: hardware warp-slot based
+    /// on static-binding architectures, atomic-ticket based otherwise.
+    fn agent_id(&self, ctx: &CtaContext) -> u64 {
+        if self.arch.static_warp_slot_binding() {
+            ctx.slot as u64
+        } else {
+            ctx.arrival % self.max_agents as u64
+        }
+    }
+}
+
+impl<K: KernelSpec> KernelSpec for AgentKernel<K> {
+    fn name(&self) -> String {
+        format!(
+            "CLU[{}]x{}/{}",
+            self.inner.name(),
+            self.active_agents,
+            self.max_agents
+        )
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        // Grid = SM * MAX_AGENTS linear CTAs; block and per-CTA resources
+        // inherited from the original kernel.
+        let inner = self.inner.launch();
+        LaunchConfig::new(self.num_sms as u32 * self.max_agents, inner.block)
+            .with_regs(inner.regs_per_thread)
+            .with_smem(inner.smem_per_cta)
+    }
+
+    fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
+        let mut prog = Program::new();
+        // SM-based binding overhead (Listing 5, Maxwell/Pascal path):
+        // thread 0 bids on a global atomic, everyone waits on the
+        // broadcast.
+        if !self.arch.static_warp_slot_binding() {
+            if warp == 0 {
+                prog.push(Op::Atomic(MemAccess::scalar(
+                    COUNTER_TAG,
+                    (u64::from(COUNTER_TAG) << 32) + ctx.sm_id as u64 * 4,
+                    4,
+                )));
+            }
+            prog.push(Op::Compute(BROADCAST_COST));
+            prog.push(Op::Barrier);
+        }
+        let agent_id = self.agent_id(ctx);
+        if agent_id >= self.active_agents as u64 {
+            // Throttled: `if (agent_id >= ACTIVE_AGENTS) return;`.
+            // The binding prologue ran, but a lone prologue would leave
+            // this CTA's barrier unmatched relative to peers that run
+            // tasks — and an all-Compute retirement is cheaper anyway.
+            return if self.arch.static_warp_slot_binding() {
+                Vec::new()
+            } else {
+                prog
+            };
+        }
+        let tasks = self.tasks_of(ctx.sm_id, agent_id);
+        for (k, &v) in tasks.iter().enumerate() {
+            let task_ctx = CtaContext { cta: v, ..*ctx };
+            let mut body = self.inner.warp_program(&task_ctx, warp);
+            // Reshaped-order prefetching: pull the next task's leading
+            // loads while this task runs.
+            if self.prefetch_depth > 0 {
+                if let Some(&next) = tasks.get(k + 1) {
+                    let next_ctx = CtaContext { cta: next, ..*ctx };
+                    let next_prog = self.inner.warp_program(&next_ctx, warp);
+                    let prefetches: Vec<Op> = next_prog
+                        .iter()
+                        .filter_map(|op| match op {
+                            Op::Load(a) if a.cache_op == CacheOp::CacheAll => {
+                                Some(Op::Load(a.clone().with_cache_op(CacheOp::PrefetchL1)))
+                            }
+                            _ => None,
+                        })
+                        .take(self.prefetch_depth)
+                        .collect();
+                    let at = body.len().saturating_sub(1);
+                    for (off, p) in prefetches.into_iter().enumerate() {
+                        body.insert(at.min(body.len()) + off, p);
+                    }
+                }
+            }
+            prog.extend(body);
+        }
+        prog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{arch, Dim3, Simulation};
+
+    /// Probe kernel whose single load encodes the executing original CTA.
+    #[derive(Debug, Clone)]
+    struct Probe {
+        grid: Dim3,
+    }
+
+    impl KernelSpec for Probe {
+        fn name(&self) -> String {
+            "probe".into()
+        }
+        fn launch(&self) -> LaunchConfig {
+            LaunchConfig::new(self.grid, 32u32)
+        }
+        fn warp_program(&self, ctx: &CtaContext, _warp: u32) -> Program {
+            vec![Op::Load(MemAccess::scalar(0, ctx.cta * 4, 4))]
+        }
+    }
+
+    #[test]
+    fn grid_is_sms_times_max_agents() {
+        let cfg = arch::gtx570(); // 15 SMs, 8 CTA slots
+        let probe = Probe { grid: Dim3::linear(480) };
+        let a = AgentKernel::build(probe, &cfg).unwrap();
+        assert_eq!(a.max_agents(), 8);
+        assert_eq!(a.launch().num_ctas(), 15 * 8);
+    }
+
+    #[test]
+    fn tasks_cover_the_original_grid_exactly_once() {
+        let cfg = arch::gtx570();
+        let probe = Probe { grid: Dim3::plane(16, 10) };
+        let a = AgentKernel::build(probe, &cfg).unwrap();
+        let mut all: Vec<u64> = Vec::new();
+        for sm in 0..cfg.num_sms {
+            for agent in 0..a.active_agents() as u64 {
+                all.extend(a.tasks_of(sm, agent));
+            }
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..160).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn throttling_redistributes_not_drops() {
+        let cfg = arch::tesla_k40();
+        let probe = Probe { grid: Dim3::plane(8, 8) };
+        let a = AgentKernel::build(probe, &cfg)
+            .unwrap()
+            .with_active_agents(2)
+            .unwrap();
+        let mut all: Vec<u64> = Vec::new();
+        for sm in 0..cfg.num_sms {
+            for agent in 0..16 {
+                all.extend(a.tasks_of(sm, agent));
+            }
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..64).collect::<Vec<_>>());
+        // Agents beyond the throttle run nothing.
+        assert!(a.tasks_of(0, 2).is_empty());
+    }
+
+    #[test]
+    fn invalid_throttle_rejected() {
+        let cfg = arch::gtx570();
+        let probe = Probe { grid: Dim3::linear(64) };
+        let a = AgentKernel::build(probe, &cfg).unwrap();
+        assert!(matches!(
+            a.clone().with_active_agents(0),
+            Err(ClusterError::InvalidThrottle { .. })
+        ));
+        assert!(a.with_active_agents(9).is_err());
+    }
+
+    #[test]
+    fn cluster_count_must_match_sms() {
+        let cfg = arch::gtx570();
+        let probe = Probe { grid: Dim3::linear(64) };
+        let partition = Partition::y(Dim3::linear(64), 10).unwrap();
+        assert!(matches!(
+            AgentKernel::with_partition(probe, &cfg, partition),
+            Err(ClusterError::ClusterSmMismatch { clusters: 10, sms: 15 })
+        ));
+    }
+
+    #[test]
+    fn every_original_cta_executes_exactly_once_end_to_end() {
+        // Run through the full simulator and verify, via the trace, that
+        // the agent kernel touches the same address set as the original.
+        let cfg = arch::gtx980(); // dynamic binding path
+        let probe = Probe { grid: Dim3::plane(10, 8) };
+        let a = AgentKernel::build(probe.clone(), &cfg).unwrap();
+
+        let mut sink = gpu_sim::VecSink::new();
+        Simulation::new(cfg.clone(), &a).run_traced(&mut sink).unwrap();
+        let mut touched: Vec<u64> = sink
+            .events
+            .iter()
+            .filter(|e| e.tag == 0)
+            .map(|e| e.addrs[0] / 4)
+            .collect();
+        touched.sort_unstable();
+        assert_eq!(touched, (0..80).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dynamic_binding_pays_atomic_overhead() {
+        let cfg_maxwell = arch::gtx980();
+        let cfg_kepler = arch::tesla_k40();
+        let probe = Probe { grid: Dim3::linear(128) };
+        let am = AgentKernel::build(probe.clone(), &cfg_maxwell).unwrap();
+        let ak = AgentKernel::build(probe, &cfg_kepler).unwrap();
+        let sm_stats = Simulation::new(cfg_maxwell, &am).run().unwrap();
+        let k_stats = Simulation::new(cfg_kepler, &ak).run().unwrap();
+        assert!(sm_stats.memory.l2_atomic_txns > 0, "Maxwell agents bid via atomics");
+        assert_eq!(k_stats.memory.l2_atomic_txns, 0, "Kepler agents read warp slots");
+    }
+
+    #[test]
+    fn prefetch_inserts_nonblocking_loads() {
+        let cfg = arch::tesla_k40();
+        let probe = Probe { grid: Dim3::linear(128) };
+        let a = AgentKernel::build(probe, &cfg).unwrap().with_prefetch(1);
+        let ctx = CtaContext {
+            cta: 0,
+            sm_id: 0,
+            slot: 0,
+            arrival: 0,
+            num_sms: cfg.num_sms,
+        };
+        let prog = a.warp_program(&ctx, 0);
+        let prefetches = prog
+            .iter()
+            .filter(|op| matches!(op, Op::Load(a) if a.cache_op == CacheOp::PrefetchL1))
+            .count();
+        // One prefetch per task except the last.
+        let tasks = a.tasks_of(0, 0).len();
+        assert_eq!(prefetches, tasks - 1);
+    }
+}

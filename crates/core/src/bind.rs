@@ -1,0 +1,80 @@
+//! Step 3 of CTA-Clustering: **Binding** `g : N → C` (paper §4.2.3).
+//!
+//! Binding associates the CTAs of the *new* kernel with cluster
+//! coordinates `(w, i)`. Two schemes exist:
+//!
+//! * **RR-based** ([`rr_binding`], Eq. 8) — assumes the GigaThread engine
+//!   dispatches round-robin, so CTA `u` must be sitting on SM `u % M`.
+//!   Cheap (pure arithmetic) but wrong whenever the hardware deviates
+//!   from strict RR, which the paper demonstrates it does (§3.1-(3)).
+//! * **SM-based** — reads the physical SM id at run time (`%smid`) and
+//!   derives the agent id from the hardware warp slot (Fermi/Kepler,
+//!   static binding) or a global atomic ticket (Maxwell/Pascal, dynamic
+//!   binding). Implemented inside
+//!   [`AgentKernel`](crate::AgentKernel), which receives both through
+//!   [`gpu_sim::CtaContext`].
+
+/// RR-based binding (Eq. 8): `(w, i) = (u / M, u % M)` for new-kernel CTA
+/// `u` under the strict-round-robin assumption with `m` clusters.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+///
+/// # Examples
+///
+/// ```
+/// // The paper's example: CTA u=4 of the new MM kernel with M=2
+/// // clusters maps to (w, i) = (2, 0).
+/// assert_eq!(cta_clustering::rr_binding(4, 2), (2, 0));
+/// ```
+pub fn rr_binding(u: u64, m: u64) -> (u64, u64) {
+    assert!(m > 0, "at least one cluster required");
+    (u / m, u % m)
+}
+
+/// Which binding scheme a transform uses (for reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BindingScheme {
+    /// RR-based binding (redirection clustering).
+    RoundRobin,
+    /// SM-based binding (agent clustering).
+    SmBased,
+}
+
+impl std::fmt::Display for BindingScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BindingScheme::RoundRobin => "RR-based",
+            BindingScheme::SmBased => "SM-based",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_eq8_example() {
+        assert_eq!(rr_binding(4, 2), (2, 0));
+        assert_eq!(rr_binding(5, 2), (2, 1));
+        assert_eq!(rr_binding(0, 15), (0, 0));
+    }
+
+    #[test]
+    fn covers_all_cluster_coordinates() {
+        let m = 7u64;
+        let mut seen = std::collections::BTreeSet::new();
+        for u in 0..35 {
+            assert!(seen.insert(rr_binding(u, m)));
+        }
+        assert_eq!(seen.len(), 35);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_panics() {
+        rr_binding(3, 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error types for the clustering transforms.
+
+use gpu_sim::SimError;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced when constructing or applying clustering transforms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// The partition geometry is malformed (zero clusters, empty grid,
+    /// tile sizes of zero, ...).
+    InvalidPartition(String),
+    /// Agent-based clustering requires exactly one cluster per SM.
+    ClusterSmMismatch {
+        /// Clusters in the partition.
+        clusters: u64,
+        /// SMs on the target GPU.
+        sms: usize,
+    },
+    /// The throttling degree is out of range.
+    InvalidThrottle {
+        /// Requested active agents.
+        active: u32,
+        /// Maximum allowable agents per SM.
+        max: u32,
+    },
+    /// An underlying simulation failed (framework probe runs).
+    Sim(SimError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidPartition(msg) => write!(f, "invalid partition: {msg}"),
+            ClusterError::ClusterSmMismatch { clusters, sms } => write!(
+                f,
+                "agent clustering needs one cluster per SM, got {clusters} clusters for {sms} SMs"
+            ),
+            ClusterError::InvalidThrottle { active, max } => {
+                write!(f, "throttle degree {active} outside 1..={max}")
+            }
+            ClusterError::Sim(e) => write!(f, "probe simulation failed: {e}"),
+        }
+    }
+}
+
+impl StdError for ClusterError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            ClusterError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for ClusterError {
+    fn from(e: SimError) -> Self {
+        ClusterError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ClusterError::ClusterSmMismatch { clusters: 10, sms: 15 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("15"));
+        let e = ClusterError::from(SimError::InvalidConfig("x".into()));
+        assert!(e.source_is_sim());
+    }
+
+    impl ClusterError {
+        fn source_is_sim(&self) -> bool {
+            matches!(self, ClusterError::Sim(_))
+        }
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ClusterError>();
+    }
+}

@@ -1,0 +1,356 @@
+//! Step 1 & 2 of CTA-Clustering: **Partitioning** `f : O → C` and
+//! **Inverting** `f⁻¹ : C → O` (paper §4.2.1–§4.2.2, Eqs. 3–7).
+//!
+//! A [`Partition`] splits the `|V|` CTAs of the original kernel into `M`
+//! balanced clusters, preserving locality by choosing the *CTA indexing*
+//! (Figure 7) that orders mutually-sharing CTAs consecutively:
+//!
+//! * row-major indexing ⇒ **Y-partitioning** (clusters CTAs of equal
+//!   `blockIdx.y`, i.e. locality across X),
+//! * column-major indexing ⇒ **X-partitioning** (locality across Y),
+//! * tile-wise indexing ⇒ partitioning along both axes,
+//! * arbitrary indexing via a custom permutation.
+
+use crate::error::ClusterError;
+use gpu_sim::Dim3;
+
+/// The CTA indexing method (Figure 7) that defines the order in which
+/// CTAs are chunked into clusters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Indexing {
+    /// `v = by * nx + bx` — the CUDA default. Chunking this order is the
+    /// paper's **Y-partitioning**.
+    RowMajor,
+    /// `v = bx * ny + by` — the paper's **X-partitioning**.
+    ColMajor,
+    /// Tile-wise: the grid is covered by `tile_x x tile_y` tiles,
+    /// enumerated row-major, with CTAs row-major within each tile.
+    /// Partitions along both dimensions at the cost of more complex index
+    /// arithmetic (the overhead the paper measures in §5.2-(6)).
+    Tile {
+        /// Tile width in CTAs.
+        tile_x: u32,
+        /// Tile height in CTAs.
+        tile_y: u32,
+    },
+    /// An arbitrary permutation: `order[k]` is the row-major CTA id placed
+    /// at position `k`.
+    Custom(Vec<u64>),
+}
+
+impl Indexing {
+    /// Position of row-major CTA id `v` in this ordering.
+    fn position(&self, grid: Dim3, v: u64) -> u64 {
+        match self {
+            Indexing::RowMajor => v,
+            Indexing::ColMajor => {
+                let (x, y, _) = grid.coords_row_major(v);
+                grid.linear_col_major(x, y)
+            }
+            Indexing::Tile { tile_x, tile_y } => {
+                let (x, y, _) = grid.coords_row_major(v);
+                let (tx, ty) = (*tile_x as u64, *tile_y as u64);
+                let tiles_x = (grid.x as u64).div_ceil(tx);
+                let (tile_col, tile_row) = (x as u64 / tx, y as u64 / ty);
+                // CTAs in full rows of tiles above, plus full tiles to the
+                // left in this tile row (accounting for clipped tiles).
+                let row0 = tile_row * ty;
+                let rows_here = ty.min(grid.y as u64 - row0);
+                let above = row0 * grid.x as u64;
+                let left = tile_col * tx * rows_here;
+                let in_tile_x = x as u64 - tile_col * tx;
+                let in_tile_y = y as u64 - row0;
+                let width_here = tx.min(grid.x as u64 - tile_col * tx);
+                let _ = tiles_x;
+                above + left + in_tile_y * width_here + in_tile_x
+            }
+            Indexing::Custom(order) => {
+                order.iter().position(|&o| o == v).expect("custom order covers the grid") as u64
+            }
+        }
+    }
+
+    /// Row-major CTA id at position `k` of this ordering.
+    fn cta_at(&self, grid: Dim3, k: u64) -> u64 {
+        match self {
+            Indexing::RowMajor => k,
+            Indexing::ColMajor => {
+                let (x, y) = grid.coords_col_major(k);
+                grid.linear_row_major(x, y, 0)
+            }
+            Indexing::Tile { tile_x, tile_y } => {
+                let (tx, ty) = (*tile_x as u64, *tile_y as u64);
+                // Walk tile rows, subtracting their populations.
+                let mut remaining = k;
+                let mut row0 = 0u64;
+                loop {
+                    let rows_here = ty.min(grid.y as u64 - row0);
+                    let band = rows_here * grid.x as u64;
+                    if remaining < band {
+                        // Within this tile row: walk tiles left to right.
+                        let mut col0 = 0u64;
+                        loop {
+                            let width_here = tx.min(grid.x as u64 - col0);
+                            let tile_pop = width_here * rows_here;
+                            if remaining < tile_pop {
+                                let in_y = remaining / width_here;
+                                let in_x = remaining % width_here;
+                                return grid.linear_row_major(
+                                    (col0 + in_x) as u32,
+                                    (row0 + in_y) as u32,
+                                    0,
+                                );
+                            }
+                            remaining -= tile_pop;
+                            col0 += width_here;
+                        }
+                    }
+                    remaining -= band;
+                    row0 += rows_here;
+                }
+            }
+            Indexing::Custom(order) => order[k as usize],
+        }
+    }
+}
+
+/// A balanced partition of a kernel grid into `M` clusters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    grid: Dim3,
+    clusters: u64,
+    indexing: Indexing,
+    total: u64,
+}
+
+impl Partition {
+    /// Creates a partition of `grid` into `clusters` clusters under the
+    /// given indexing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidPartition`] for an empty grid, zero
+    /// clusters, zero-sized tiles, or a custom order that does not cover
+    /// the grid exactly.
+    pub fn new(grid: Dim3, clusters: u64, indexing: Indexing) -> Result<Self, ClusterError> {
+        let total = grid.count();
+        if total == 0 {
+            return Err(ClusterError::InvalidPartition("empty grid".into()));
+        }
+        if clusters == 0 {
+            return Err(ClusterError::InvalidPartition("zero clusters".into()));
+        }
+        if grid.z != 1 {
+            return Err(ClusterError::InvalidPartition(
+                "3D grids are not supported; flatten Z first".into(),
+            ));
+        }
+        match &indexing {
+            Indexing::Tile { tile_x, tile_y } if *tile_x == 0 || *tile_y == 0 => {
+                return Err(ClusterError::InvalidPartition("zero-sized tiles".into()));
+            }
+            Indexing::Custom(order) => {
+                if order.len() as u64 != total {
+                    return Err(ClusterError::InvalidPartition(format!(
+                        "custom order has {} entries for a {total}-CTA grid",
+                        order.len()
+                    )));
+                }
+                let mut seen = vec![false; total as usize];
+                for &v in order {
+                    if v >= total || seen[v as usize] {
+                        return Err(ClusterError::InvalidPartition(
+                            "custom order is not a permutation of the grid".into(),
+                        ));
+                    }
+                    seen[v as usize] = true;
+                }
+            }
+            _ => {}
+        }
+        Ok(Partition {
+            grid,
+            clusters,
+            indexing,
+            total,
+        })
+    }
+
+    /// X-partitioning: column-major indexing (paper Table 2 "X-P").
+    pub fn x(grid: Dim3, clusters: u64) -> Result<Self, ClusterError> {
+        Partition::new(grid, clusters, Indexing::ColMajor)
+    }
+
+    /// Y-partitioning: row-major indexing (paper Table 2 "Y-P").
+    pub fn y(grid: Dim3, clusters: u64) -> Result<Self, ClusterError> {
+        Partition::new(grid, clusters, Indexing::RowMajor)
+    }
+
+    /// The grid being partitioned.
+    pub fn grid(&self) -> Dim3 {
+        self.grid
+    }
+
+    /// Number of clusters `M`.
+    pub fn num_clusters(&self) -> u64 {
+        self.clusters
+    }
+
+    /// Total CTAs `|V|`.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The indexing in use.
+    pub fn indexing(&self) -> &Indexing {
+        &self.indexing
+    }
+
+    /// Number of CTAs in cluster `i` (balanced: `|V|/M` or `|V|/M + 1`).
+    pub fn cluster_size(&self, i: u64) -> u64 {
+        debug_assert!(i < self.clusters);
+        let base = self.total / self.clusters;
+        let extra = self.total % self.clusters;
+        base + u64::from(i < extra)
+    }
+
+    /// **Partitioning** `f(v) = (w, i)` (Eqs. 4–5): maps the row-major CTA
+    /// id `v` of the original kernel to its position `w` within cluster
+    /// `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `v` is outside the grid.
+    pub fn assign(&self, v: u64) -> (u64, u64) {
+        debug_assert!(v < self.total);
+        let o = self.indexing.position(self.grid, v);
+        let big = self.total / self.clusters + 1;
+        let small = self.total / self.clusters;
+        let extra = self.total % self.clusters;
+        let boundary = extra * big;
+        if o < boundary {
+            (o % big, o / big)
+        } else if small == 0 {
+            // More clusters than CTAs: the tail clusters are empty.
+            (0, extra + (o - boundary))
+        } else {
+            ((o - boundary) % small, extra + (o - boundary) / small)
+        }
+    }
+
+    /// **Inverting** `f⁻¹(w, i) = v` (Eq. 7): recovers the row-major CTA
+    /// id of the original kernel from a cluster coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `(w, i)` is outside the partition.
+    pub fn invert(&self, w: u64, i: u64) -> u64 {
+        debug_assert!(i < self.clusters);
+        debug_assert!(w < self.cluster_size(i), "w={w} i={i}");
+        let small = self.total / self.clusters;
+        let extra = self.total % self.clusters;
+        // Eq. 7: v = i*(|V|/M + 1) + w + min(|V|%M - i, 0).
+        let o = i * (small + 1) + w - i.saturating_sub(extra);
+        self.indexing.cta_at(self.grid, o)
+    }
+
+    /// All CTAs of cluster `i`, in execution order.
+    pub fn cluster(&self, i: u64) -> Vec<u64> {
+        (0..self.cluster_size(i)).map(|w| self.invert(w, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_running_example() {
+        // §4.2.1: MM with M=2, grid 3x2 (nx=3, ny=2), Y-partitioning
+        // (row-major). f(CTA-(0,1)) = f(v=3) = (0, 1).
+        let p = Partition::y(Dim3::plane(3, 2), 2).unwrap();
+        assert_eq!(p.assign(3), (0, 1));
+        // §4.2.2: f^-1((2,1)) = 5.
+        assert_eq!(p.invert(2, 1), 5);
+        assert_eq!(p.cluster(0), vec![0, 1, 2]);
+        assert_eq!(p.cluster(1), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn col_major_clusters_same_bx() {
+        // X-partitioning of a 3x2 grid into 3 clusters: each cluster is a
+        // grid column {(bx,0),(bx,1)}.
+        let p = Partition::x(Dim3::plane(3, 2), 3).unwrap();
+        assert_eq!(p.cluster(0), vec![0, 3]); // bx=0: v=0 and v=3
+        assert_eq!(p.cluster(1), vec![1, 4]);
+        assert_eq!(p.cluster(2), vec![2, 5]);
+    }
+
+    #[test]
+    fn assign_invert_round_trip_all_indexings() {
+        let grid = Dim3::plane(7, 5);
+        for indexing in [
+            Indexing::RowMajor,
+            Indexing::ColMajor,
+            Indexing::Tile { tile_x: 3, tile_y: 2 },
+            Indexing::Custom((0..35).rev().collect()),
+        ] {
+            for m in [1u64, 2, 3, 5, 8, 35, 40] {
+                let p = Partition::new(grid, m, indexing.clone()).unwrap();
+                for v in 0..35 {
+                    let (w, i) = p.assign(v);
+                    assert_eq!(p.invert(w, i), v, "{indexing:?} M={m} v={v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clusters_are_balanced() {
+        let p = Partition::y(Dim3::plane(10, 3), 4).unwrap(); // 30 CTAs / 4
+        let sizes: Vec<u64> = (0..4).map(|i| p.cluster_size(i)).collect();
+        assert_eq!(sizes, vec![8, 8, 7, 7]);
+        assert_eq!(sizes.iter().sum::<u64>(), 30);
+    }
+
+    #[test]
+    fn more_clusters_than_ctas() {
+        let p = Partition::y(Dim3::plane(2, 1), 5).unwrap();
+        assert_eq!(p.cluster_size(0), 1);
+        assert_eq!(p.cluster_size(1), 1);
+        assert_eq!(p.cluster_size(2), 0);
+        let (w, i) = p.assign(1);
+        assert_eq!(p.invert(w, i), 1);
+    }
+
+    #[test]
+    fn tile_indexing_orders_tiles_first() {
+        // 4x4 grid, 2x2 tiles: first tile is {0,1,4,5}.
+        let p = Partition::new(Dim3::plane(4, 4), 4, Indexing::Tile { tile_x: 2, tile_y: 2 }).unwrap();
+        assert_eq!(p.cluster(0), vec![0, 1, 4, 5]);
+        assert_eq!(p.cluster(1), vec![2, 3, 6, 7]);
+        assert_eq!(p.cluster(2), vec![8, 9, 12, 13]);
+    }
+
+    #[test]
+    fn tile_indexing_handles_clipped_edges() {
+        // 5x3 grid with 2x2 tiles: ragged right column and bottom row.
+        let p = Partition::new(Dim3::plane(5, 3), 1, Indexing::Tile { tile_x: 2, tile_y: 2 }).unwrap();
+        let order = p.cluster(0);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..15).collect::<Vec<_>>());
+        // First tile covers (0,0),(1,0),(0,1),(1,1).
+        assert_eq!(&order[..4], &[0, 1, 5, 6]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        assert!(Partition::y(Dim3::plane(0, 2), 2).is_err());
+        assert!(Partition::y(Dim3::plane(2, 2), 0).is_err());
+        assert!(Partition::new(Dim3::new(2, 2, 2), 2, Indexing::RowMajor).is_err());
+        assert!(Partition::new(Dim3::plane(2, 2), 2, Indexing::Tile { tile_x: 0, tile_y: 1 }).is_err());
+        assert!(Partition::new(Dim3::plane(2, 2), 2, Indexing::Custom(vec![0, 1, 2])).is_err());
+        assert!(Partition::new(Dim3::plane(2, 2), 2, Indexing::Custom(vec![0, 1, 2, 2])).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! Preset [`GpuConfig`]s for the platforms of the paper's Table 1.
+//!
+//! Structural parameters (SMs, slots, cache geometry, register file,
+//! shared memory) are taken directly from Table 1. Latencies are the
+//! values the paper measured with its Listing 3 microbenchmark and reports
+//! in Figure 2 (e.g. ~125-cycle L1 and ~374-cycle L2 on Fermi).
+
+use crate::config::{ArchGen, CacheConfig, GpuConfig, MemoryTimings, WritePolicy};
+
+const KB: u32 = 1024;
+
+fn l1_cache(size_kb: u32, line: u32, mshr: u32) -> CacheConfig {
+    CacheConfig {
+        size_bytes: size_kb * KB,
+        line_bytes: line,
+        associativity: 4,
+        mshr_entries: mshr,
+        write_policy: WritePolicy::WriteEvict,
+    }
+}
+
+fn l2_cache(size_kb: u32) -> CacheConfig {
+    CacheConfig {
+        size_bytes: size_kb * KB,
+        line_bytes: 32,
+        associativity: 16,
+        mshr_entries: 128,
+        write_policy: WritePolicy::WriteBackAllocate,
+    }
+}
+
+/// GTX570 — Fermi, CC 2.0, 15 SMs, 48 warp slots, 8 CTA slots,
+/// 16KB default / 48KB configurable L1 with 128B lines, 1536KB L2.
+pub fn gtx570() -> GpuConfig {
+    GpuConfig {
+        name: "GTX570".to_string(),
+        arch: ArchGen::Fermi,
+        compute_capability: (2, 0),
+        num_sms: 15,
+        warp_size: 32,
+        warp_slots: 48,
+        cta_slots: 8,
+        regs_per_sm: 32 * 1024,
+        smem_per_sm: 48 * KB,
+        l1: l1_cache(16, 128, 32),
+        l1_sectors: 1,
+        l1_enabled: true,
+        l2: l2_cache(1536),
+        timings: MemoryTimings {
+            l1_hit: 125,
+            l2_hit: 374,
+            dram: 830,
+            l2_bank_gap: 1,
+            l2_banks: 6,
+            dram_channel_gap: 4,
+            dram_channels: 5,
+        },
+    }
+}
+
+/// Tesla K40 — Kepler, CC 3.5, 15 SMs, 64 warp slots, 16 CTA slots,
+/// 16/32/48KB configurable L1 with 128B lines, 1536KB L2.
+pub fn tesla_k40() -> GpuConfig {
+    GpuConfig {
+        name: "Tesla K40".to_string(),
+        arch: ArchGen::Kepler,
+        compute_capability: (3, 5),
+        num_sms: 15,
+        warp_size: 32,
+        warp_slots: 64,
+        cta_slots: 16,
+        regs_per_sm: 64 * 1024,
+        smem_per_sm: 48 * KB,
+        l1: l1_cache(16, 128, 32),
+        l1_sectors: 1,
+        l1_enabled: true,
+        l2: l2_cache(1536),
+        timings: MemoryTimings {
+            l1_hit: 91,
+            l2_hit: 260,
+            dram: 660,
+            l2_bank_gap: 1,
+            l2_banks: 6,
+            dram_channel_gap: 4,
+            dram_channels: 6,
+        },
+    }
+}
+
+/// GTX980 — Maxwell, CC 5.2, 16 SMs, 64 warp slots, 32 CTA slots,
+/// 48KB L1/Tex unified cache with 32B lines split into two CTA-slot-private
+/// sectors, 2048KB L2, 96KB shared memory.
+pub fn gtx980() -> GpuConfig {
+    GpuConfig {
+        name: "GTX980".to_string(),
+        arch: ArchGen::Maxwell,
+        compute_capability: (5, 2),
+        num_sms: 16,
+        warp_size: 32,
+        warp_slots: 64,
+        cta_slots: 32,
+        regs_per_sm: 64 * 1024,
+        smem_per_sm: 96 * KB,
+        l1: l1_cache(48, 32, 64),
+        l1_sectors: 2,
+        l1_enabled: true,
+        l2: l2_cache(2048),
+        timings: MemoryTimings {
+            l1_hit: 131,
+            l2_hit: 254,
+            dram: 700,
+            // GTX980: four 64-bit memory controllers -> four L2 slices.
+            // The 32B-line unified cache generates a quarter of the
+            // per-miss traffic of Fermi/Kepler, so slice occupancy is
+            // higher per transaction.
+            l2_bank_gap: 2,
+            l2_banks: 4,
+            dram_channel_gap: 5,
+            dram_channels: 4,
+        },
+    }
+}
+
+/// GTX1080 — Pascal, CC 6.1, 20 SMs, 64 warp slots, 32 CTA slots,
+/// 48KB sectored L1/Tex unified cache with 32B lines, 2048KB L2.
+pub fn gtx1080() -> GpuConfig {
+    GpuConfig {
+        name: "GTX1080".to_string(),
+        arch: ArchGen::Pascal,
+        compute_capability: (6, 1),
+        num_sms: 20,
+        warp_size: 32,
+        warp_slots: 64,
+        cta_slots: 32,
+        regs_per_sm: 64 * 1024,
+        smem_per_sm: 64 * KB,
+        l1: l1_cache(48, 32, 64),
+        l1_sectors: 2,
+        l1_enabled: true,
+        l2: l2_cache(2048),
+        timings: MemoryTimings {
+            l1_hit: 132,
+            l2_hit: 260,
+            dram: 750,
+            l2_bank_gap: 2,
+            l2_banks: 8,
+            dram_channel_gap: 5,
+            dram_channels: 8,
+        },
+    }
+}
+
+/// GTX750Ti — first-generation Maxwell (CC 5.0), the fifth platform the
+/// paper probed in §3.1-(3); its GigaThread engine assigns CTAs randomly
+/// within each turnaround.
+pub fn gtx750ti() -> GpuConfig {
+    GpuConfig {
+        name: "GTX750Ti".to_string(),
+        arch: ArchGen::Maxwell,
+        compute_capability: (5, 0),
+        num_sms: 5,
+        warp_size: 32,
+        warp_slots: 64,
+        cta_slots: 32,
+        regs_per_sm: 64 * 1024,
+        smem_per_sm: 64 * KB,
+        l1: l1_cache(24, 32, 64),
+        l1_sectors: 2,
+        l1_enabled: true,
+        l2: l2_cache(2048),
+        timings: MemoryTimings {
+            l1_hit: 108,
+            l2_hit: 230,
+            dram: 640,
+            l2_bank_gap: 1,
+            l2_banks: 2,
+            dram_channel_gap: 4,
+            dram_channels: 2,
+        },
+    }
+}
+
+/// The four Table 1 evaluation platforms, in the paper's order.
+pub fn all_presets() -> Vec<GpuConfig> {
+    vec![gtx570(), tesla_k40(), gtx980(), gtx1080()]
+}
+
+/// Look up a Table 1 preset by its architecture generation.
+pub fn preset_for(arch: ArchGen) -> GpuConfig {
+    match arch {
+        ArchGen::Fermi => gtx570(),
+        ArchGen::Kepler => tesla_k40(),
+        ArchGen::Maxwell => gtx980(),
+        ArchGen::Pascal => gtx1080(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_structural_parameters() {
+        let f = gtx570();
+        assert_eq!((f.num_sms, f.warp_slots, f.cta_slots), (15, 48, 8));
+        assert_eq!(f.l1.line_bytes, 128);
+        assert_eq!(f.l2.size_bytes, 1536 * 1024);
+
+        let k = tesla_k40();
+        assert_eq!((k.num_sms, k.warp_slots, k.cta_slots), (15, 64, 16));
+        assert_eq!(k.regs_per_sm, 64 * 1024);
+
+        let m = gtx980();
+        assert_eq!((m.num_sms, m.warp_slots, m.cta_slots), (16, 64, 32));
+        assert_eq!(m.l1.line_bytes, 32);
+        assert_eq!(m.l1_sectors, 2);
+        assert_eq!(m.smem_per_sm, 96 * 1024);
+
+        let p = gtx1080();
+        assert_eq!((p.num_sms, p.warp_slots, p.cta_slots), (20, 64, 32));
+        assert_eq!(p.l2.size_bytes, 2048 * 1024);
+    }
+
+    #[test]
+    fn preset_for_round_trips() {
+        for arch in ArchGen::ALL {
+            assert_eq!(preset_for(arch).arch, arch);
+        }
+    }
+
+    #[test]
+    fn latencies_match_figure2() {
+        assert_eq!(gtx570().timings.l1_hit, 125);
+        assert_eq!(gtx570().timings.l2_hit, 374);
+        assert_eq!(tesla_k40().timings.l1_hit, 91);
+        assert_eq!(tesla_k40().timings.l2_hit, 260);
+        assert_eq!(gtx980().timings.l1_hit, 131);
+        assert_eq!(gtx1080().timings.l2_hit, 260);
+    }
+}

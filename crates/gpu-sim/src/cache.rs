@@ -1,0 +1,490 @@
+//! Set-associative cache model with LRU replacement, MSHR-style
+//! outstanding-fill tracking and *hit-reserved* semantics.
+//!
+//! The paper's Figure 2 shows that in the first turnaround only one CTA per
+//! SM actually fetches from DRAM; its siblings *hit reserved*: they match a
+//! line whose fill is still in flight and wait for it. This model
+//! reproduces that by timestamping fills.
+
+use crate::config::{CacheConfig, WritePolicy};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Per-level counters, updated on every access.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read transactions presented to this level.
+    pub reads: u64,
+    /// Reads that hit a fully-arrived line.
+    pub read_hits: u64,
+    /// Reads that hit a line whose fill was still in flight (counted as
+    /// hits for hit-rate purposes, but latency extends to the fill).
+    pub read_reserved: u64,
+    /// Reads that missed and allocated.
+    pub read_misses: u64,
+    /// Write transactions presented to this level.
+    pub writes: u64,
+    /// Writes that hit (write-back levels only).
+    pub write_hits: u64,
+    /// Writes that missed.
+    pub write_misses: u64,
+    /// Lines invalidated by the write-evict policy.
+    pub write_evictions: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+    /// Misses that stalled for a free MSHR entry.
+    pub mshr_stalls: u64,
+    /// Total cycles spent in MSHR structural stalls.
+    pub mshr_wait_cycles: u64,
+}
+
+impl CacheStats {
+    /// Read hit rate counting reserved hits as hits (profiler convention).
+    pub fn read_hit_rate(&self) -> f64 {
+        if self.reads == 0 {
+            return 0.0;
+        }
+        (self.read_hits + self.read_reserved) as f64 / self.reads as f64
+    }
+
+    /// Merge another stats block into this one.
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.reads += other.reads;
+        self.read_hits += other.read_hits;
+        self.read_reserved += other.read_reserved;
+        self.read_misses += other.read_misses;
+        self.writes += other.writes;
+        self.write_hits += other.write_hits;
+        self.write_misses += other.write_misses;
+        self.write_evictions += other.write_evictions;
+        self.writebacks += other.writebacks;
+        self.mshr_stalls += other.mshr_stalls;
+        self.mshr_wait_cycles += other.mshr_wait_cycles;
+    }
+}
+
+/// Result of presenting a read to a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// Data present and arrived.
+    Hit,
+    /// Line allocated but fill still in flight; data usable at `ready_at`.
+    HitReserved {
+        /// Absolute cycle at which the in-flight fill completes.
+        ready_at: u64,
+    },
+    /// Not present. The caller must fetch from the next level and then
+    /// call [`Cache::fill`].
+    Miss {
+        /// Extra cycles the request waited for a free MSHR before it could
+        /// even be sent downstream (0 when MSHRs were available).
+        mshr_wait: u64,
+        /// Whether a dirty victim was evicted (write-back levels: the
+        /// caller must account a writeback transaction).
+        dirty_victim: bool,
+    },
+}
+
+/// Result of presenting a write to a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// Write-evict level: the line (if present) was invalidated and the
+    /// write must be forwarded downstream.
+    Forwarded {
+        /// Whether a matching line was evicted (cross-CTA write-related
+        /// locality destruction, paper Fig. 4-(D)).
+        evicted: bool,
+    },
+    /// Write-back level: absorbed by a present line (marked dirty).
+    Absorbed,
+    /// Write-back level: write-allocate fetched the line; the caller must
+    /// account a read from the next level and call [`Cache::fill`].
+    AllocateMiss {
+        /// Whether a dirty victim was evicted.
+        dirty_victim: bool,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+    /// Absolute cycle at which the line's data arrives; `0` once settled.
+    fill_done: u64,
+}
+
+const INVALID: Line = Line {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    lru: 0,
+    fill_done: 0,
+};
+
+/// A single set-associative cache array (one L1 sector, or one L2 bank).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    num_sets: u64,
+    lines: Vec<Line>,
+    tick: u64,
+    /// Completion times of outstanding fills (MSHR occupancy), min-first.
+    inflight: BinaryHeap<Reverse<u64>>,
+    /// Observable counters.
+    pub stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not validate; construct configs through
+    /// [`CacheConfig::validate`]-checked paths.
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate("cache").expect("valid cache config");
+        let num_sets = cfg.num_sets() as u64;
+        let lines = vec![INVALID; (num_sets * cfg.associativity as u64) as usize];
+        Cache {
+            cfg,
+            num_sets,
+            lines,
+            tick: 0,
+            inflight: BinaryHeap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Set index of a line, using multiplicative (Fibonacci) hashing as a
+    /// model of the address swizzling in real GPU L1/L2 arrays. Plain
+    /// modulo indexing collapses the power-of-two row strides that
+    /// dense-matrix kernels produce onto a handful of sets; NVIDIA
+    /// hardware hashes higher address bits into the index to avoid
+    /// exactly that pathology.
+    pub fn set_index(&self, line_addr: u64) -> u64 {
+        let ln = line_addr / self.cfg.line_bytes as u64;
+        if self.num_sets == 1 {
+            return 0;
+        }
+        (ln.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % self.num_sets
+    }
+
+    fn set_range(&self, line_addr: u64) -> std::ops::Range<usize> {
+        let set = self.set_index(line_addr) as usize;
+        let a = self.cfg.associativity as usize;
+        set * a..(set + 1) * a
+    }
+
+    fn prune_inflight(&mut self, now: u64) {
+        while let Some(&Reverse(t)) = self.inflight.peek() {
+            if t > now {
+                break;
+            }
+            self.inflight.pop();
+        }
+    }
+
+    /// Presents a read of the line containing `line_addr` (already
+    /// line-aligned by the coalescer).
+    pub fn read(&mut self, line_addr: u64, now: u64) -> ReadOutcome {
+        self.stats.reads += 1;
+        self.tick += 1;
+        let tick = self.tick;
+        let tag = line_addr / self.cfg.line_bytes as u64;
+        let range = self.set_range(line_addr);
+        if let Some(line) = self.lines[range.clone()].iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = tick;
+            if line.fill_done > now {
+                self.stats.read_reserved += 1;
+                return ReadOutcome::HitReserved {
+                    ready_at: line.fill_done,
+                };
+            }
+            self.stats.read_hits += 1;
+            return ReadOutcome::Hit;
+        }
+        // Miss: check MSHR availability, then pick a victim.
+        self.stats.read_misses += 1;
+        self.prune_inflight(now);
+        let mshr_wait = if self.inflight.len() >= self.cfg.mshr_entries as usize {
+            // Structural stall: the request waits for the earliest
+            // in-flight fill to retire and reuses its entry. The entry is
+            // popped (it has completed by the time the request proceeds),
+            // and the wait is bounded by one fill horizon so a burst of
+            // same-cycle misses shares the stall rather than chaining it
+            // (real hardware replays the instruction, it does not build an
+            // unbounded queue in front of the MSHRs).
+            let Reverse(earliest) = self.inflight.pop().expect("nonempty inflight");
+            // Drain everything that retires alongside it.
+            while let Some(&Reverse(t)) = self.inflight.peek() {
+                if t > earliest {
+                    break;
+                }
+                self.inflight.pop();
+            }
+            let wait = earliest.saturating_sub(now);
+            self.stats.mshr_stalls += 1;
+            self.stats.mshr_wait_cycles += wait;
+            wait
+        } else {
+            0
+        };
+        let dirty_victim = self.install(range, tag, tick);
+        ReadOutcome::Miss {
+            mshr_wait,
+            dirty_victim,
+        }
+    }
+
+    /// Installs `tag` into the set covered by `range`, returning whether a
+    /// dirty line was evicted.
+    fn install(&mut self, range: std::ops::Range<usize>, tag: u64, tick: u64) -> bool {
+        let set = &mut self.lines[range];
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| (l.valid, l.lru))
+            .expect("associativity >= 1");
+        let dirty_victim = victim.valid && victim.dirty;
+        if dirty_victim {
+            self.stats.writebacks += 1;
+        }
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: false,
+            lru: tick,
+            fill_done: u64::MAX, // in flight until `fill` is called
+        };
+        dirty_victim
+    }
+
+    /// Completes the fill started by a previous `Miss`, making the line's
+    /// data available at absolute cycle `ready_at`.
+    pub fn fill(&mut self, line_addr: u64, ready_at: u64) {
+        let tag = line_addr / self.cfg.line_bytes as u64;
+        let range = self.set_range(line_addr);
+        if let Some(line) = self.lines[range].iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.fill_done = ready_at;
+        }
+        self.inflight.push(Reverse(ready_at));
+    }
+
+    /// Presents a write of the line containing `line_addr`.
+    pub fn write(&mut self, line_addr: u64, now: u64) -> WriteOutcome {
+        self.stats.writes += 1;
+        self.tick += 1;
+        let tick = self.tick;
+        let tag = line_addr / self.cfg.line_bytes as u64;
+        let range = self.set_range(line_addr);
+        match self.cfg.write_policy {
+            WritePolicy::WriteEvict => {
+                let evicted = if let Some(line) = self.lines[range]
+                    .iter_mut()
+                    .find(|l| l.valid && l.tag == tag)
+                {
+                    line.valid = false;
+                    self.stats.write_evictions += 1;
+                    true
+                } else {
+                    false
+                };
+                WriteOutcome::Forwarded { evicted }
+            }
+            WritePolicy::WriteBackAllocate => {
+                if let Some(line) = self.lines[range.clone()]
+                    .iter_mut()
+                    .find(|l| l.valid && l.tag == tag)
+                {
+                    line.dirty = true;
+                    line.lru = tick;
+                    self.stats.write_hits += 1;
+                    if line.fill_done > now {
+                        // Absorbed into an in-flight line; no extra traffic.
+                        return WriteOutcome::Absorbed;
+                    }
+                    return WriteOutcome::Absorbed;
+                }
+                self.stats.write_misses += 1;
+                let dirty_victim = self.install(range, tag, tick);
+                // Mark dirty immediately: the allocate fetch is accounted by
+                // the caller, after which the line holds the merged write.
+                self.mark_dirty(line_addr);
+                WriteOutcome::AllocateMiss { dirty_victim }
+            }
+        }
+    }
+
+    fn mark_dirty(&mut self, line_addr: u64) {
+        let tag = line_addr / self.cfg.line_bytes as u64;
+        let range = self.set_range(line_addr);
+        if let Some(line) = self.lines[range].iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.dirty = true;
+        }
+    }
+
+    /// Whether the line is currently resident with arrived data (test and
+    /// probe helper; does not touch LRU state or statistics).
+    pub fn probe(&self, line_addr: u64, now: u64) -> bool {
+        let tag = line_addr / self.cfg.line_bytes as u64;
+        let range = self.set_range(line_addr);
+        self.lines[range]
+            .iter()
+            .any(|l| l.valid && l.tag == tag && l.fill_done <= now)
+    }
+
+    /// Invalidates all contents and outstanding fills; statistics are kept.
+    pub fn flush(&mut self) {
+        for l in &mut self.lines {
+            *l = INVALID;
+        }
+        self.inflight.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(policy: WritePolicy) -> Cache {
+        Cache::new(CacheConfig {
+            size_bytes: 1024, // 8 sets x 2 ways x 64B... actually 4 sets below
+            line_bytes: 128,
+            associativity: 2,
+            mshr_entries: 2,
+            write_policy: policy,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small(WritePolicy::WriteEvict);
+        assert!(matches!(c.read(0, 0), ReadOutcome::Miss { .. }));
+        c.fill(0, 100);
+        // Before the fill arrives: hit-reserved.
+        assert_eq!(c.read(0, 50), ReadOutcome::HitReserved { ready_at: 100 });
+        // After: plain hit.
+        assert_eq!(c.read(0, 200), ReadOutcome::Hit);
+        assert_eq!(c.stats.read_hits, 1);
+        assert_eq!(c.stats.read_reserved, 1);
+        assert_eq!(c.stats.read_misses, 1);
+    }
+
+    /// First three line addresses colliding with line 0's set.
+    fn colliding(c: &Cache, n: usize) -> Vec<u64> {
+        let target = c.set_index(0);
+        (1u64..)
+            .map(|i| i * 128)
+            .filter(|&a| c.set_index(a) == target)
+            .take(n)
+            .collect()
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = small(WritePolicy::WriteEvict);
+        let peers = colliding(&c, 2);
+        c.read(0, 0);
+        c.fill(0, 0);
+        for &a in &peers {
+            assert!(matches!(c.read(a, 1), ReadOutcome::Miss { .. }));
+            c.fill(a, 1);
+        }
+        // Line 0 was LRU in a 2-way set and must be gone; peers remain.
+        assert!(!c.probe(0, 10));
+        assert!(c.probe(peers[0], 10));
+        assert!(c.probe(peers[1], 10));
+    }
+
+    #[test]
+    fn hashing_spreads_power_of_two_strides() {
+        // 256 lines at a 1KB stride (the dense-matrix row stride that
+        // collapses onto 4 sets under modulo indexing) must spread over
+        // every set under XOR hashing.
+        let c = Cache::new(CacheConfig {
+            size_bytes: 16 * 1024,
+            line_bytes: 128,
+            associativity: 4,
+            mshr_entries: 32,
+            write_policy: WritePolicy::WriteEvict,
+        });
+        let mut sets = std::collections::BTreeSet::new();
+        for r in 0..256u64 {
+            sets.insert(c.set_index(r * 1024));
+        }
+        assert!(sets.len() >= 16, "only {} sets used", sets.len());
+    }
+
+    #[test]
+    fn write_evict_invalidates() {
+        let mut c = small(WritePolicy::WriteEvict);
+        c.read(0, 0);
+        c.fill(0, 0);
+        assert!(c.probe(0, 1));
+        assert_eq!(c.write(0, 1), WriteOutcome::Forwarded { evicted: true });
+        assert!(!c.probe(0, 2));
+        // Write to an absent line forwards without eviction.
+        assert_eq!(c.write(4096, 2), WriteOutcome::Forwarded { evicted: false });
+        assert_eq!(c.stats.write_evictions, 1);
+    }
+
+    #[test]
+    fn write_back_allocates_and_writes_back() {
+        let mut c = small(WritePolicy::WriteBackAllocate);
+        let peers = colliding(&c, 2);
+        assert!(matches!(c.write(0, 0), WriteOutcome::AllocateMiss { .. }));
+        c.fill(0, 0);
+        assert_eq!(c.write(0, 1), WriteOutcome::Absorbed);
+        // Evicting the dirty line reports a dirty victim.
+        for (i, &a) in peers.iter().enumerate() {
+            match c.read(a, 2) {
+                ReadOutcome::Miss { dirty_victim, .. } if i == 1 => assert!(dirty_victim),
+                ReadOutcome::Miss { .. } => {}
+                other => panic!("unexpected {other:?}"),
+            }
+            c.fill(a, 2);
+        }
+        assert_eq!(c.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn mshr_saturation_delays() {
+        let mut c = small(WritePolicy::WriteEvict);
+        // Two fills in flight (mshr_entries = 2).
+        c.read(0, 0);
+        c.fill(0, 500);
+        c.read(128, 0);
+        c.fill(128, 600);
+        // Third distinct miss at t=10 must wait for the earliest fill (500).
+        match c.read(256, 10) {
+            ReadOutcome::Miss { mshr_wait, .. } => assert_eq!(mshr_wait, 490),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flush_clears_contents_not_stats() {
+        let mut c = small(WritePolicy::WriteEvict);
+        c.read(0, 0);
+        c.fill(0, 0);
+        c.flush();
+        assert!(!c.probe(0, 1));
+        assert_eq!(c.stats.read_misses, 1);
+    }
+
+    #[test]
+    fn hit_rate_counts_reserved() {
+        let mut c = small(WritePolicy::WriteEvict);
+        c.read(0, 0);
+        c.fill(0, 100);
+        c.read(0, 10);
+        c.read(0, 200);
+        assert!((c.stats.read_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,173 @@
+//! Three-dimensional launch geometry, mirroring CUDA's `dim3`.
+
+use std::fmt;
+
+/// A three-dimensional extent or coordinate, like CUDA's `dim3`.
+///
+/// Used for both kernel grid dimensions (CTAs per grid) and block
+/// dimensions (threads per CTA).
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::Dim3;
+///
+/// let grid = Dim3::new(4, 2, 1);
+/// assert_eq!(grid.count(), 8);
+/// assert_eq!(grid.linear_row_major(3, 1, 0), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Dim3 {
+    /// Extent along X (fastest-varying in row-major order).
+    pub x: u32,
+    /// Extent along Y.
+    pub y: u32,
+    /// Extent along Z (slowest-varying).
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// Creates a new extent. Zero components are permitted here but are
+    /// rejected by [`LaunchConfig::validate`](crate::LaunchConfig::validate).
+    pub const fn new(x: u32, y: u32, z: u32) -> Self {
+        Dim3 { x, y, z }
+    }
+
+    /// A one-dimensional extent `(n, 1, 1)`.
+    pub const fn linear(n: u32) -> Self {
+        Dim3::new(n, 1, 1)
+    }
+
+    /// A two-dimensional extent `(x, y, 1)`.
+    pub const fn plane(x: u32, y: u32) -> Self {
+        Dim3::new(x, y, 1)
+    }
+
+    /// Total number of elements covered by this extent.
+    pub const fn count(&self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+
+    /// Row-major linearization: `z * (x*y) + y * x + x`.
+    ///
+    /// This is CUDA's default CTA indexing
+    /// (`blockIdx.y * gridDim.x + blockIdx.x` for 2D grids).
+    pub const fn linear_row_major(&self, x: u32, y: u32, z: u32) -> u64 {
+        (z as u64 * self.y as u64 + y as u64) * self.x as u64 + x as u64
+    }
+
+    /// Column-major linearization for 2D extents:
+    /// `x * gridDim.y + y` (the paper's column-major CTA indexing).
+    pub const fn linear_col_major(&self, x: u32, y: u32) -> u64 {
+        x as u64 * self.y as u64 + y as u64
+    }
+
+    /// Inverse of [`linear_row_major`](Self::linear_row_major).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `linear >= self.count()`.
+    pub const fn coords_row_major(&self, linear: u64) -> (u32, u32, u32) {
+        debug_assert!(linear < self.count());
+        let x = (linear % self.x as u64) as u32;
+        let rest = linear / self.x as u64;
+        let y = (rest % self.y as u64) as u32;
+        let z = (rest / self.y as u64) as u32;
+        (x, y, z)
+    }
+
+    /// Inverse of [`linear_col_major`](Self::linear_col_major) for 2D extents.
+    pub const fn coords_col_major(&self, linear: u64) -> (u32, u32) {
+        debug_assert!(linear < self.count());
+        let x = (linear / self.y as u64) as u32;
+        let y = (linear % self.y as u64) as u32;
+        (x, y)
+    }
+}
+
+impl Default for Dim3 {
+    /// The unit extent `(1, 1, 1)`.
+    fn default() -> Self {
+        Dim3::new(1, 1, 1)
+    }
+}
+
+impl fmt::Display for Dim3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+impl From<u32> for Dim3 {
+    fn from(n: u32) -> Self {
+        Dim3::linear(n)
+    }
+}
+
+impl From<(u32, u32)> for Dim3 {
+    fn from((x, y): (u32, u32)) -> Self {
+        Dim3::plane(x, y)
+    }
+}
+
+impl From<(u32, u32, u32)> for Dim3 {
+    fn from((x, y, z): (u32, u32, u32)) -> Self {
+        Dim3::new(x, y, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_multiplies_components() {
+        assert_eq!(Dim3::new(3, 4, 5).count(), 60);
+        assert_eq!(Dim3::linear(7).count(), 7);
+        assert_eq!(Dim3::default().count(), 1);
+    }
+
+    #[test]
+    fn row_major_round_trip() {
+        let d = Dim3::new(5, 3, 2);
+        for z in 0..2 {
+            for y in 0..3 {
+                for x in 0..5 {
+                    let lin = d.linear_row_major(x, y, z);
+                    assert_eq!(d.coords_row_major(lin), (x, y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col_major_round_trip() {
+        let d = Dim3::plane(5, 3);
+        for x in 0..5 {
+            for y in 0..3 {
+                let lin = d.linear_col_major(x, y);
+                assert_eq!(d.coords_col_major(lin), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn row_major_matches_cuda_convention() {
+        // blockIdx.y * gridDim.x + blockIdx.x
+        let d = Dim3::plane(3, 2);
+        assert_eq!(d.linear_row_major(1, 1, 0), 4);
+        assert_eq!(d.linear_col_major(1, 1), 3);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Dim3::from(4u32), Dim3::linear(4));
+        assert_eq!(Dim3::from((4u32, 2u32)), Dim3::plane(4, 2));
+        assert_eq!(Dim3::from((4u32, 2u32, 3u32)), Dim3::new(4, 2, 3));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Dim3::new(1, 2, 3).to_string(), "(1, 2, 3)");
+    }
+}

@@ -1,0 +1,95 @@
+//! Error types for the simulator.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced when validating or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The launch configuration is malformed (zero-sized grid or block,
+    /// block larger than hardware limits, ...).
+    InvalidLaunch(String),
+    /// The kernel cannot run on the configured GPU: a single CTA exceeds
+    /// a per-SM resource (registers, shared memory, warp slots).
+    Unschedulable {
+        /// Name of the exhausted resource.
+        resource: &'static str,
+        /// Amount required by one CTA.
+        required: u64,
+        /// Amount available on one SM.
+        available: u64,
+    },
+    /// The GPU configuration itself is inconsistent.
+    InvalidConfig(String),
+    /// A CTA deadlocked at a barrier (warps arrived at differing barrier
+    /// counts), indicating a malformed kernel program.
+    BarrierDeadlock {
+        /// Linear CTA id within the launched grid.
+        cta: u64,
+        /// SM the CTA was resident on.
+        sm_id: usize,
+    },
+    /// The CTA scheduler stopped producing CTAs while work remained.
+    SchedulerStarved {
+        /// Number of CTAs never dispatched.
+        remaining: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidLaunch(msg) => write!(f, "invalid launch configuration: {msg}"),
+            SimError::Unschedulable {
+                resource,
+                required,
+                available,
+            } => write!(
+                f,
+                "kernel unschedulable: one CTA needs {required} of {resource}, SM has {available}"
+            ),
+            SimError::InvalidConfig(msg) => write!(f, "invalid GPU configuration: {msg}"),
+            SimError::BarrierDeadlock { cta, sm_id } => {
+                write!(f, "barrier deadlock in CTA {cta} on SM {sm_id}")
+            }
+            SimError::SchedulerStarved { remaining } => {
+                write!(f, "scheduler starved with {remaining} CTAs pending")
+            }
+        }
+    }
+}
+
+impl StdError for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errs: Vec<SimError> = vec![
+            SimError::InvalidLaunch("grid is empty".into()),
+            SimError::Unschedulable {
+                resource: "registers",
+                required: 100_000,
+                available: 65_536,
+            },
+            SimError::InvalidConfig("zero SMs".into()),
+            SimError::BarrierDeadlock { cta: 3, sm_id: 1 },
+            SimError::SchedulerStarved { remaining: 12 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

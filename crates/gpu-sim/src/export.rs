@@ -1,0 +1,147 @@
+//! CSV export of simulation results, for plotting the reproduced figures
+//! with external tooling.
+//!
+//! Hand-rolled on purpose: the values exported here are all numeric or
+//! simple identifiers, so a serializer dependency would buy nothing.
+
+use crate::stats::RunStats;
+use std::fmt::Write as _;
+
+/// Escapes one CSV cell (quotes fields containing separators or quotes).
+pub fn csv_escape(cell: &str) -> String {
+    if cell.contains([',', '"', '\n']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Renders one CSV row.
+pub fn csv_row<I, S>(cells: I) -> String
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut out = String::new();
+    for (i, c) in cells.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&csv_escape(c.as_ref()));
+    }
+    out.push('\n');
+    out
+}
+
+/// The header matching [`run_stats_row`].
+pub fn run_stats_header() -> String {
+    csv_row([
+        "kernel",
+        "gpu",
+        "cycles",
+        "instructions",
+        "l1_reads",
+        "l1_hits",
+        "l1_reserved",
+        "l1_misses",
+        "l1_hit_rate",
+        "l2_read_txns",
+        "l2_write_txns",
+        "l2_atomic_txns",
+        "l2_transactions",
+        "dram_reads",
+        "dram_writes",
+        "achieved_occupancy",
+        "max_ctas_per_sm",
+    ])
+}
+
+/// Renders one run as a CSV row (columns per [`run_stats_header`]).
+pub fn run_stats_row(s: &RunStats) -> String {
+    csv_row([
+        s.kernel.as_str(),
+        s.gpu.as_str(),
+        &s.cycles.to_string(),
+        &s.instructions.to_string(),
+        &s.l1.reads.to_string(),
+        &s.l1.read_hits.to_string(),
+        &s.l1.read_reserved.to_string(),
+        &s.l1.read_misses.to_string(),
+        &format!("{:.4}", s.l1_hit_rate()),
+        &s.memory.l2_read_txns.to_string(),
+        &s.memory.l2_write_txns.to_string(),
+        &s.memory.l2_atomic_txns.to_string(),
+        &s.l2_transactions().to_string(),
+        &s.memory.dram_reads.to_string(),
+        &s.memory.dram_writes.to_string(),
+        &format!("{:.4}", s.achieved_occupancy),
+        &s.max_ctas_per_sm.to_string(),
+    ])
+}
+
+/// Renders a whole result set as a CSV document.
+pub fn run_stats_csv<'a>(runs: impl IntoIterator<Item = &'a RunStats>) -> String {
+    let mut out = run_stats_header();
+    for r in runs {
+        let _ = write!(out, "{}", run_stats_row(r));
+    }
+    out
+}
+
+/// Renders a generic `(x, y)` series (e.g. a Figure 2 panel) as CSV.
+pub fn series_csv(x_name: &str, y_name: &str, points: impl IntoIterator<Item = (u64, u64)>) -> String {
+    let mut out = csv_row([x_name, y_name]);
+    for (x, y) in points {
+        let _ = write!(out, "{}", csv_row([x.to_string(), y.to_string()]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{arch, CtaContext, KernelSpec, LaunchConfig, MemAccess, Op, Program, Simulation};
+
+    #[derive(Debug)]
+    struct Tiny;
+    impl KernelSpec for Tiny {
+        fn name(&self) -> String {
+            "tiny,\"csv\"".into() // deliberately hostile to CSV
+        }
+        fn launch(&self) -> LaunchConfig {
+            LaunchConfig::new(4u32, 32u32)
+        }
+        fn warp_program(&self, ctx: &CtaContext, _warp: u32) -> Program {
+            vec![Op::Load(MemAccess::scalar(0, ctx.cta * 64, 4))]
+        }
+    }
+
+    #[test]
+    fn escaping_quotes_hostile_cells() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn run_stats_round_trip_shape() {
+        let stats = Simulation::new(arch::gtx570(), &Tiny).run().unwrap();
+        let csv = run_stats_csv([&stats]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0].split(',').count(),
+            17,
+            "header arity: {}",
+            lines[0]
+        );
+        // Kernel name with comma/quotes stays one quoted field.
+        assert!(lines[1].starts_with("\"tiny,\"\"csv\"\"\""));
+    }
+
+    #[test]
+    fn series_is_two_columns() {
+        let csv = series_csv("cta", "cycles", [(0, 800), (1, 125)]);
+        assert_eq!(csv, "cta,cycles\n0,800\n1,125\n");
+    }
+}

@@ -1,0 +1,166 @@
+//! Occupancy arithmetic: how many CTAs of a kernel fit on one SM.
+//!
+//! This is the calculation behind the "CTAs" column of the paper's Table 2
+//! and the `MAX_AGENTS` constant of the agent-based clustering transform
+//! (Listing 5): the maximum allowable agents per SM is exactly the
+//! occupancy bound of the transformed kernel.
+
+use crate::config::GpuConfig;
+use crate::error::SimError;
+use crate::kernel::LaunchConfig;
+
+/// Which resource bounds occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OccupancyLimiter {
+    /// Hardware CTA slots.
+    CtaSlots,
+    /// Hardware warp slots.
+    WarpSlots,
+    /// Register file capacity.
+    Registers,
+    /// Shared-memory capacity.
+    SharedMemory,
+}
+
+/// Detailed occupancy result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Maximum CTAs of this kernel resident on one SM.
+    pub ctas_per_sm: u32,
+    /// The binding resource.
+    pub limiter: OccupancyLimiter,
+    /// Resident warps implied (`ctas_per_sm * warps_per_cta`).
+    pub warps_per_sm: u32,
+    /// Theoretical occupancy: resident warps / warp slots.
+    pub theoretical: f64,
+}
+
+/// Computes the occupancy of `launch` on `cfg`.
+///
+/// # Errors
+///
+/// Returns [`SimError::Unschedulable`] when even a single CTA exceeds a
+/// per-SM resource, and [`SimError::InvalidLaunch`] for malformed
+/// launches.
+pub fn occupancy(cfg: &GpuConfig, launch: &LaunchConfig) -> Result<Occupancy, SimError> {
+    launch.validate()?;
+    let warps_per_cta = launch.warps_per_cta(cfg.warp_size);
+    let threads = launch.threads_per_cta();
+    let regs_per_cta = launch.regs_per_thread as u64 * threads as u64;
+
+    if warps_per_cta > cfg.warp_slots {
+        return Err(SimError::Unschedulable {
+            resource: "warp slots",
+            required: warps_per_cta as u64,
+            available: cfg.warp_slots as u64,
+        });
+    }
+    if regs_per_cta > cfg.regs_per_sm as u64 {
+        return Err(SimError::Unschedulable {
+            resource: "registers",
+            required: regs_per_cta,
+            available: cfg.regs_per_sm as u64,
+        });
+    }
+    if launch.smem_per_cta as u64 > cfg.smem_per_sm as u64 {
+        return Err(SimError::Unschedulable {
+            resource: "shared memory bytes",
+            required: launch.smem_per_cta as u64,
+            available: cfg.smem_per_sm as u64,
+        });
+    }
+
+    let mut best = (cfg.cta_slots, OccupancyLimiter::CtaSlots);
+    let by_warps = cfg.warp_slots / warps_per_cta;
+    if by_warps < best.0 {
+        best = (by_warps, OccupancyLimiter::WarpSlots);
+    }
+    if let Some(by_regs) = (cfg.regs_per_sm as u64).checked_div(regs_per_cta) {
+        if (by_regs as u32) < best.0 {
+            best = (by_regs as u32, OccupancyLimiter::Registers);
+        }
+    }
+    if let Some(by_smem) = cfg.smem_per_sm.checked_div(launch.smem_per_cta) {
+        if by_smem < best.0 {
+            best = (by_smem, OccupancyLimiter::SharedMemory);
+        }
+    }
+
+    let (ctas_per_sm, limiter) = best;
+    let warps_per_sm = ctas_per_sm * warps_per_cta;
+    Ok(Occupancy {
+        ctas_per_sm,
+        limiter,
+        warps_per_sm,
+        theoretical: warps_per_sm as f64 / cfg.warp_slots as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch;
+    use crate::dim::Dim3;
+
+    #[test]
+    fn cta_slot_bound_microbenchmark() {
+        // Listing 3: single-warp CTAs fill all CTA slots on every arch.
+        let l = LaunchConfig::new(480u32, 32u32).with_regs(16);
+        assert_eq!(occupancy(&arch::gtx570(), &l).unwrap().ctas_per_sm, 8);
+        assert_eq!(occupancy(&arch::tesla_k40(), &l).unwrap().ctas_per_sm, 16);
+        assert_eq!(occupancy(&arch::gtx980(), &l).unwrap().ctas_per_sm, 32);
+        assert_eq!(occupancy(&arch::gtx1080(), &l).unwrap().ctas_per_sm, 32);
+    }
+
+    #[test]
+    fn warp_slot_bound_mm() {
+        // MM: 32 warps per CTA -> 1 CTA/SM on Fermi (48 slots), 2 elsewhere.
+        let l = LaunchConfig::new(Dim3::plane(8, 8), Dim3::plane(32, 32))
+            .with_regs(22)
+            .with_smem(8192);
+        let o = occupancy(&arch::gtx570(), &l).unwrap();
+        assert_eq!(o.ctas_per_sm, 1);
+        assert_eq!(o.limiter, OccupancyLimiter::WarpSlots);
+        let o = occupancy(&arch::tesla_k40(), &l).unwrap();
+        assert_eq!(o.ctas_per_sm, 2);
+    }
+
+    #[test]
+    fn register_bound() {
+        let cfg = arch::gtx570(); // 32K regs
+        let l = LaunchConfig::new(16u32, 256u32).with_regs(63);
+        let o = occupancy(&cfg, &l).unwrap();
+        assert_eq!(o.limiter, OccupancyLimiter::Registers);
+        assert_eq!(o.ctas_per_sm, 32_768 / (63 * 256));
+    }
+
+    #[test]
+    fn smem_bound() {
+        let cfg = arch::gtx570(); // 48KB smem
+        let l = LaunchConfig::new(16u32, 64u32).with_regs(8).with_smem(20 * 1024);
+        let o = occupancy(&cfg, &l).unwrap();
+        assert_eq!(o.ctas_per_sm, 2);
+        assert_eq!(o.limiter, OccupancyLimiter::SharedMemory);
+    }
+
+    #[test]
+    fn unschedulable_cta() {
+        let cfg = arch::gtx570();
+        let too_many_regs = LaunchConfig::new(1u32, 1024u32).with_regs(64);
+        assert!(matches!(
+            occupancy(&cfg, &too_many_regs),
+            Err(SimError::Unschedulable { resource: "registers", .. })
+        ));
+        let too_much_smem = LaunchConfig::new(1u32, 32u32).with_smem(1 << 20);
+        assert!(occupancy(&cfg, &too_much_smem).is_err());
+    }
+
+    #[test]
+    fn theoretical_occupancy_fraction() {
+        let cfg = arch::tesla_k40();
+        let l = LaunchConfig::new(64u32, 256u32).with_regs(16);
+        let o = occupancy(&cfg, &l).unwrap();
+        assert_eq!(o.warps_per_sm, o.ctas_per_sm * 8);
+        assert!(o.theoretical <= 1.0 && o.theoretical > 0.0);
+    }
+}

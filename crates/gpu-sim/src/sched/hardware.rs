@@ -1,0 +1,115 @@
+//! The default, hardware-like scheduler model.
+
+use super::CtaScheduler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A GigaThread model matching the paper's empirical observations
+/// (§3.1-(3)): mostly round-robin in the first wave but with occasional
+/// out-of-order picks, and purely demand-driven afterwards (whichever SM
+/// retires a CTA first gets the next one). The perturbation makes the
+/// `cta % num_sms` assumption of redirection-based clustering *mostly but
+/// not always* true — which is exactly why the paper's redirection scheme
+/// underperforms its agent scheme on real silicon.
+#[derive(Debug, Clone)]
+pub struct HardwareLike {
+    seed: u64,
+    rng: StdRng,
+    pending: Vec<u64>,
+    cursor: usize,
+    /// How far ahead of the queue head a perturbed pick may reach.
+    window: usize,
+    /// Probability that a dispatch picks inside the window instead of the
+    /// head.
+    swap_prob: f64,
+}
+
+impl HardwareLike {
+    /// Creates the model with the paper-calibrated defaults
+    /// (window 4, 25% perturbation).
+    pub fn new(seed: u64) -> Self {
+        Self::with_perturbation(seed, 4, 0.25)
+    }
+
+    /// Creates the model with explicit perturbation parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `swap_prob` is outside `[0, 1]`.
+    pub fn with_perturbation(seed: u64, window: usize, swap_prob: f64) -> Self {
+        assert!(window > 0, "window must be at least 1");
+        assert!((0.0..=1.0).contains(&swap_prob), "swap_prob must be in [0, 1]");
+        HardwareLike {
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            pending: Vec::new(),
+            cursor: 0,
+            window,
+            swap_prob,
+        }
+    }
+}
+
+impl CtaScheduler for HardwareLike {
+    fn reset(&mut self, total_ctas: u64) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.pending = (0..total_ctas).collect();
+        self.cursor = 0;
+    }
+
+    fn next_for_sm(&mut self, _sm_id: usize, _now: u64) -> Option<u64> {
+        if self.cursor >= self.pending.len() {
+            return None;
+        }
+        let left = self.pending.len() - self.cursor;
+        let pick = if left > 1 && self.rng.gen_bool(self.swap_prob) {
+            self.cursor + self.rng.gen_range(0..self.window.min(left))
+        } else {
+            self.cursor
+        };
+        self.pending.swap(self.cursor, pick);
+        let c = self.pending[self.cursor];
+        self.cursor += 1;
+        Some(c)
+    }
+
+    fn remaining(&self) -> u64 {
+        (self.pending.len() - self.cursor) as u64
+    }
+
+    fn label(&self) -> &'static str {
+        "hardware-like"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mostly_but_not_exactly_in_order() {
+        let mut s = HardwareLike::new(1);
+        s.reset(1000);
+        let got: Vec<_> = std::iter::from_fn(|| s.next_for_sm(0, 0)).collect();
+        let in_place = got.iter().enumerate().filter(|(i, &c)| *i as u64 == c).count();
+        assert!(in_place > 500, "should be mostly RR, got {in_place}/1000 in place");
+        assert!(in_place < 1000, "must not be strict RR");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let seq = |seed| {
+            let mut s = HardwareLike::new(seed);
+            s.reset(64);
+            std::iter::from_fn(|| s.next_for_sm(0, 0)).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(9), seq(9));
+        assert_ne!(seq(9), seq(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        let _ = HardwareLike::with_perturbation(0, 0, 0.5);
+    }
+}

@@ -1,0 +1,206 @@
+//! Per-SM execution state: resident CTAs, warp contexts, the L1 sectors,
+//! and occupancy accounting.
+
+use crate::cache::{Cache, CacheStats};
+use crate::config::{CacheConfig, GpuConfig};
+use crate::kernel::Program;
+
+/// One resident warp's execution context.
+#[derive(Debug)]
+pub(crate) struct WarpState {
+    /// CTA slot this warp belongs to.
+    pub cta_slot: u32,
+    /// Warp index within its CTA.
+    pub warp: u32,
+    /// Remaining instruction stream.
+    pub program: Program,
+    /// Next op index.
+    pub pc: usize,
+    /// Earliest cycle the next op may issue.
+    pub ready_at: u64,
+    /// Parked at a `__syncthreads()`.
+    pub at_barrier: bool,
+}
+
+/// Bookkeeping for one resident CTA.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ResidentCta {
+    /// Linear CTA id within the launched grid.
+    pub cta: u64,
+    /// Warps the CTA launched with.
+    pub warps_total: u32,
+    /// Warps that ran their program to completion.
+    pub warps_done: u32,
+    /// Warps currently parked at the barrier.
+    pub barrier_count: u32,
+    /// Dispatch cycle.
+    pub dispatched: u64,
+}
+
+/// One streaming multiprocessor.
+#[derive(Debug)]
+pub(crate) struct SmState {
+    pub id: usize,
+    /// Next cycle the issue stage is free.
+    pub clock: u64,
+    /// L1 sectors (one for Fermi/Kepler, two for Maxwell/Pascal).
+    pub l1_sectors: Vec<Cache>,
+    /// Warp contexts, indexed by hardware warp slot
+    /// (`cta_slot * warps_per_cta + warp`).
+    pub warps: Vec<Option<WarpState>>,
+    /// Resident CTAs, indexed by CTA slot.
+    pub ctas: Vec<Option<ResidentCta>>,
+    /// CTAs dispatched to this SM so far (the atomic-ticket value).
+    pub dispatch_count: u64,
+    /// Times at which a freed slot owes the scheduler a dispatch poll.
+    pub pending_dispatch: Vec<u64>,
+    /// Next cycle the load/store unit can accept a transaction: the LSU
+    /// replays divergent accesses one line-transaction per cycle, which
+    /// bounds how fast one SM can flood the memory system.
+    pub lsu_free: u64,
+    /// Occupancy accounting: live warps right now.
+    pub active_warps: u32,
+    /// Integral of `active_warps` over time.
+    pub occ_integral: u64,
+    /// Last time `active_warps` changed.
+    pub occ_last_change: u64,
+}
+
+impl SmState {
+    pub(crate) fn new(id: usize, cfg: &GpuConfig, max_ctas: u32, warps_per_cta: u32) -> Self {
+        let sector_cfg = CacheConfig {
+            size_bytes: cfg.l1.size_bytes / cfg.l1_sectors,
+            ..cfg.l1.clone()
+        };
+        SmState {
+            id,
+            clock: 0,
+            l1_sectors: (0..cfg.l1_sectors).map(|_| Cache::new(sector_cfg.clone())).collect(),
+            warps: (0..(max_ctas * warps_per_cta) as usize).map(|_| None).collect(),
+            ctas: (0..max_ctas as usize).map(|_| None).collect(),
+            dispatch_count: 0,
+            pending_dispatch: Vec::new(),
+            lsu_free: 0,
+            active_warps: 0,
+            occ_integral: 0,
+            occ_last_change: 0,
+        }
+    }
+
+    /// Lowest free CTA slot, if any.
+    pub(crate) fn free_slot(&self) -> Option<u32> {
+        self.ctas.iter().position(|c| c.is_none()).map(|i| i as u32)
+    }
+
+    /// Number of resident CTAs.
+    #[allow(dead_code)] // exercised by tests; kept as an inspection helper
+    pub(crate) fn resident(&self) -> usize {
+        self.ctas.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Updates the occupancy integral up to `now`, then applies a delta to
+    /// the live-warp count.
+    pub(crate) fn account_warps(&mut self, now: u64, delta: i64) {
+        let now = now.max(self.occ_last_change);
+        self.occ_integral += self.active_warps as u64 * (now - self.occ_last_change);
+        self.occ_last_change = now;
+        self.active_warps = (self.active_warps as i64 + delta) as u32;
+    }
+
+    /// The L1 sector serving a given CTA slot. The paper speculates the
+    /// Maxwell/Pascal unified-cache sectors "are private to particular
+    /// CTA-slots following certain mapping mechanism"; we map slots to
+    /// sectors round-robin. The engine inlines this mapping in its
+    /// split-borrow hot path; this method is the documented reference.
+    #[allow(dead_code)]
+    pub(crate) fn sector_of_slot(&self, slot: u32) -> usize {
+        (slot as usize) % self.l1_sectors.len()
+    }
+
+    /// Aggregated L1 statistics over this SM's sectors.
+    pub(crate) fn l1_stats(&self) -> CacheStats {
+        let mut agg = CacheStats::default();
+        for s in &self.l1_sectors {
+            agg.absorb(&s.stats);
+        }
+        agg
+    }
+
+    /// Earliest ready time among issuable warps (not done, not at a
+    /// barrier), with the warp-slot index as deterministic tiebreak.
+    pub(crate) fn next_issuable(&self) -> Option<(u64, usize)> {
+        let mut best: Option<(u64, usize)> = None;
+        for (i, w) in self.warps.iter().enumerate() {
+            if let Some(w) = w {
+                if !w.at_barrier {
+                    let key = (w.ready_at, i);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// The SM's next event time: earliest of issuable-warp readiness
+    /// (clamped by the issue clock) and pending dispatch polls. `None`
+    /// when the SM has nothing to do.
+    pub(crate) fn next_event(&self) -> Option<u64> {
+        let issue = self.next_issuable().map(|(t, _)| t.max(self.clock));
+        let dispatch = self.pending_dispatch.iter().copied().min();
+        match (issue, dispatch) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch;
+
+    #[test]
+    fn slot_and_sector_mapping() {
+        let cfg = arch::gtx980();
+        let sm = SmState::new(0, &cfg, 4, 2);
+        assert_eq!(sm.l1_sectors.len(), 2);
+        assert_eq!(sm.sector_of_slot(0), 0);
+        assert_eq!(sm.sector_of_slot(1), 1);
+        assert_eq!(sm.sector_of_slot(2), 0);
+        assert_eq!(sm.free_slot(), Some(0));
+        assert_eq!(sm.resident(), 0);
+    }
+
+    #[test]
+    fn occupancy_integral_accumulates() {
+        let cfg = arch::gtx570();
+        let mut sm = SmState::new(0, &cfg, 2, 1);
+        sm.account_warps(0, 2); // 2 warps live from t=0
+        sm.account_warps(100, -1); // one retires at t=100
+        sm.account_warps(150, -1);
+        assert_eq!(sm.occ_integral, 2 * 100 + 1 * 50);
+        assert_eq!(sm.active_warps, 0);
+    }
+
+    #[test]
+    fn next_event_prefers_earliest() {
+        let cfg = arch::gtx570();
+        let mut sm = SmState::new(0, &cfg, 2, 1);
+        assert_eq!(sm.next_event(), None);
+        sm.pending_dispatch.push(500);
+        assert_eq!(sm.next_event(), Some(500));
+        sm.warps[0] = Some(WarpState {
+            cta_slot: 0,
+            warp: 0,
+            program: vec![crate::kernel::Op::Compute(1)],
+            pc: 0,
+            ready_at: 30,
+            at_barrier: false,
+        });
+        assert_eq!(sm.next_event(), Some(30));
+    }
+}

@@ -1,0 +1,136 @@
+//! Observation hooks: a [`TraceSink`] receives every global-memory access
+//! the SMs issue, *before* it enters the L1 — the stream the paper's
+//! locality quantification (its §3.2, via GPGPU-Sim) is defined over.
+
+use crate::kernel::ArrayTag;
+use crate::memory::Level;
+
+/// One warp-wide global-memory access as observed at the SM's load/store
+/// unit, with its resolved service latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessEvent<'a> {
+    /// Issue cycle.
+    pub time: u64,
+    /// SM that issued the access.
+    pub sm_id: usize,
+    /// Hardware CTA slot of the issuing CTA.
+    pub slot: u32,
+    /// Linear CTA id (in the *launched* grid) of the issuing CTA.
+    pub cta: u64,
+    /// Warp index within the CTA.
+    pub warp: u32,
+    /// Logical array tag.
+    pub tag: ArrayTag,
+    /// Whether this is a store.
+    pub is_write: bool,
+    /// Bytes per lane.
+    pub bytes_per_lane: u32,
+    /// Per-lane byte addresses.
+    pub addrs: &'a [u64],
+    /// Cycles from issue until the slowest transaction returned
+    /// (1 for fire-and-forget stores/prefetches).
+    pub latency: u64,
+    /// Deepest level that served any transaction of the access.
+    pub served_by: Level,
+}
+
+/// Receives access events during a simulation run.
+///
+/// Implementations must be cheap: the engine calls this on every access.
+pub trait TraceSink {
+    /// Records one access.
+    fn record(&mut self, event: &AccessEvent<'_>);
+}
+
+/// A sink that owns its events (convenient for tests and analysis passes).
+#[derive(Debug, Default, Clone)]
+pub struct VecSink {
+    /// All recorded events, in issue order per SM (globally ordered by the
+    /// engine's event loop).
+    pub events: Vec<OwnedAccessEvent>,
+}
+
+/// Owned form of [`AccessEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedAccessEvent {
+    /// Issue cycle.
+    pub time: u64,
+    /// SM that issued the access.
+    pub sm_id: usize,
+    /// Hardware CTA slot.
+    pub slot: u32,
+    /// Linear CTA id within the launched grid.
+    pub cta: u64,
+    /// Warp index within the CTA.
+    pub warp: u32,
+    /// Logical array tag.
+    pub tag: ArrayTag,
+    /// Whether this is a store.
+    pub is_write: bool,
+    /// Bytes per lane.
+    pub bytes_per_lane: u32,
+    /// Per-lane byte addresses.
+    pub addrs: Vec<u64>,
+    /// Service latency in cycles.
+    pub latency: u64,
+    /// Deepest serving level.
+    pub served_by: Level,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, e: &AccessEvent<'_>) {
+        self.events.push(OwnedAccessEvent {
+            time: e.time,
+            sm_id: e.sm_id,
+            slot: e.slot,
+            cta: e.cta,
+            warp: e.warp,
+            tag: e.tag,
+            is_write: e.is_write,
+            bytes_per_lane: e.bytes_per_lane,
+            addrs: e.addrs.to_vec(),
+            latency: e.latency,
+            served_by: e.served_by,
+        });
+    }
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    fn record(&mut self, event: &AccessEvent<'_>) {
+        (**self).record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sink_owns_events() {
+        let mut sink = VecSink::new();
+        let addrs = [0u64, 4, 8];
+        sink.record(&AccessEvent {
+            time: 10,
+            sm_id: 2,
+            slot: 1,
+            cta: 7,
+            warp: 0,
+            tag: 3,
+            is_write: false,
+            bytes_per_lane: 4,
+            addrs: &addrs,
+            latency: 125,
+            served_by: Level::L1,
+        });
+        assert_eq!(sink.events.len(), 1);
+        assert_eq!(sink.events[0].addrs, vec![0, 4, 8]);
+        assert_eq!(sink.events[0].served_by, Level::L1);
+    }
+}

@@ -1,0 +1,166 @@
+//! ATX — matrix-transpose-and-vector multiply (PolyBench `atax`),
+//! computing `y = A' * (A * x)`.
+//!
+//! The first phase walks row panels of A (cache-line sharing across
+//! column-panel CTAs of the same rows) while broadcasting the small `x`
+//! vector; the second phase streams the transposed contribution. The
+//! paper reaches its best throttling effect here (optimal agents = 1
+//! everywhere).
+
+use crate::common::{panel_reads, read_words, write_words};
+use crate::info::{PaperCategory, PartitionHint, Workload, WorkloadInfo};
+use gpu_sim::{ArchGen, CtaContext, Dim3, KernelSpec, LaunchConfig, Op, Program};
+
+const INFO: WorkloadInfo = WorkloadInfo {
+    abbr: "ATX",
+    full_name: "atax",
+    description: "Matrix transpose and vector multiply",
+    category: PaperCategory::CacheLine,
+    warps_per_cta: 8,
+    partition: PartitionHint::X,
+    opt_agents: [1, 1, 1, 1],
+    regs: [13, 17, 17, 22],
+    smem: 0,
+    source: "PolyBench",
+};
+
+const TAG_A: u16 = 0;
+const TAG_X: u16 = 1;
+const TAG_TMP: u16 = 2;
+const TAG_Y: u16 = 3;
+
+const PANEL_WORDS: u64 = 8;
+
+/// The atax workload model.
+#[derive(Debug, Clone)]
+pub struct Atax {
+    /// Row blocks (256 rows each).
+    pub grid_x: u32,
+    /// Column panels.
+    pub grid_y: u32,
+    /// Registers per thread.
+    pub regs: u32,
+}
+
+impl Atax {
+    /// Default evaluation-scale instance for `arch`.
+    pub fn for_arch(arch: ArchGen) -> Self {
+        Atax {
+            grid_x: 4,
+            grid_y: 32,
+            regs: INFO.regs_for(arch),
+        }
+    }
+
+    /// Custom-sized instance.
+    pub fn new(grid_x: u32, grid_y: u32) -> Self {
+        Atax {
+            grid_x,
+            grid_y,
+            regs: INFO.regs[0],
+        }
+    }
+
+    fn row_words(&self) -> u64 {
+        self.grid_y as u64 * PANEL_WORDS
+    }
+}
+
+impl KernelSpec for Atax {
+    fn name(&self) -> String {
+        format!("ATX({}x{})", self.grid_x, self.grid_y)
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(Dim3::plane(self.grid_x, self.grid_y), 256u32)
+            .with_regs(self.regs)
+            .with_smem(INFO.smem)
+    }
+
+    fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
+        let (bx, by, _) = self.launch().grid.coords_row_major(ctx.cta);
+        let row0 = bx as u64 * 256 + warp as u64 * 32;
+        let col0 = by as u64 * PANEL_WORDS;
+        let mut prog = Program::new();
+        // tmp = A * x over this panel: x segment broadcast, A panel walked.
+        prog.push(read_words(TAG_X, col0, PANEL_WORDS as u32));
+        prog.extend(panel_reads(TAG_A, row0, self.row_words(), col0, PANEL_WORDS, 32));
+        prog.push(Op::Compute(6));
+        // Partial tmp for the row block (one coalesced store per warp).
+        prog.push(write_words(TAG_TMP, row0, 32));
+        prog.push(Op::Barrier);
+        // y += A' * tmp over the same panel: re-walk the panel.
+        prog.extend(panel_reads(TAG_A, row0, self.row_words(), col0, PANEL_WORDS / 2, 32));
+        prog.push(Op::Compute(6));
+        if warp == 0 {
+            prog.push(write_words(TAG_Y, (bx as u64 * self.grid_y as u64 + by as u64) * PANEL_WORDS, PANEL_WORDS as u32));
+        } else {
+            prog.push(Op::Compute(1));
+        }
+        prog
+    }
+}
+
+impl Workload for Atax {
+    fn info(&self) -> WorkloadInfo {
+        INFO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::coalesce_lines;
+
+    fn ctx(cta: u64) -> CtaContext {
+        CtaContext {
+            cta,
+            sm_id: 0,
+            slot: 0,
+            arrival: 0,
+            num_sms: 15,
+        }
+    }
+
+    #[test]
+    fn x_vector_segment_indexed_by_panel() {
+        let a = Atax::new(2, 4);
+        let xs = |cta| {
+            a.warp_program(&ctx(cta), 0)
+                .iter()
+                .filter_map(|op| op.access().cloned())
+                .filter(|acc| acc.tag == TAG_X)
+                .flat_map(|acc| acc.addrs)
+                .collect::<Vec<_>>()
+        };
+        // Same panel (by=0) -> same x words even across row blocks.
+        assert_eq!(xs(0), xs(1));
+        assert_ne!(xs(0), xs(2));
+    }
+
+    #[test]
+    fn a_panel_lines_shared_across_panels_of_same_rows() {
+        let a = Atax::new(2, 8);
+        let lines = |cta: u64| {
+            (0..8)
+                .flat_map(|w| a.warp_program(&ctx(cta), w))
+                .filter_map(|op| op.access().cloned())
+                .filter(|acc| acc.tag == TAG_A)
+                .flat_map(|acc| coalesce_lines(&acc, 128))
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        assert!(lines(0).intersection(&lines(2)).count() > 0);
+        assert_eq!(lines(0).intersection(&lines(1)).count(), 0);
+    }
+
+    #[test]
+    fn uniform_barrier_counts() {
+        let a = Atax::new(2, 2);
+        for w in 0..8 {
+            assert_eq!(
+                a.warp_program(&ctx(0), w).iter().filter(|o| o.is_barrier()).count(),
+                1
+            );
+        }
+    }
+}

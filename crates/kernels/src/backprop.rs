@@ -1,0 +1,181 @@
+//! BKP — perceptron back-propagation, layer-forward kernel (Rodinia).
+//!
+//! CTAs tile the (hidden x input) weight matrix. The hidden-unit value
+//! vector segment a CTA needs is indexed by `blockIdx.x` only, so every
+//! CTA in a grid column re-reads it (and revisits it once per partial-sum
+//! reduction round): algorithm-related locality clustered by
+//! X-partitioning.
+
+use crate::common::{read_words, write_words};
+use crate::info::{PaperCategory, PartitionHint, Workload, WorkloadInfo};
+use gpu_sim::{ArchGen, CtaContext, Dim3, KernelSpec, LaunchConfig, Op, Program};
+
+const INFO: WorkloadInfo = WorkloadInfo {
+    abbr: "BKP",
+    full_name: "backprop",
+    description: "Perceptron back propagation",
+    category: PaperCategory::Algorithm,
+    warps_per_cta: 8,
+    partition: PartitionHint::X,
+    opt_agents: [6, 8, 8, 8],
+    regs: [11, 11, 16, 18],
+    smem: 1092,
+    source: "Rodinia",
+};
+
+const TAG_WEIGHTS: u16 = 0;
+const TAG_HIDDEN: u16 = 1;
+const TAG_PARTIAL: u16 = 2;
+
+/// Reduction rounds per CTA (each re-reads the hidden segment).
+const ROUNDS: u64 = 4;
+
+/// The back-propagation layer-forward workload model.
+#[derive(Debug, Clone)]
+pub struct Backprop {
+    /// Grid tiles along X (hidden-unit blocks of 16).
+    pub grid_x: u32,
+    /// Grid tiles along Y (input blocks of 16).
+    pub grid_y: u32,
+    /// Registers per thread.
+    pub regs: u32,
+}
+
+impl Backprop {
+    /// Default evaluation-scale instance for `arch`.
+    pub fn for_arch(arch: ArchGen) -> Self {
+        Backprop {
+            grid_x: 16,
+            grid_y: 64,
+            regs: INFO.regs_for(arch),
+        }
+    }
+
+    /// Custom-sized instance.
+    pub fn new(grid_x: u32, grid_y: u32) -> Self {
+        Backprop {
+            grid_x,
+            grid_y,
+            regs: INFO.regs[0],
+        }
+    }
+
+    fn weight_row_words(&self) -> u64 {
+        self.grid_y as u64 * 16
+    }
+}
+
+impl KernelSpec for Backprop {
+    fn name(&self) -> String {
+        format!("BKP({}x{})", self.grid_x, self.grid_y)
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(Dim3::plane(self.grid_x, self.grid_y), Dim3::plane(16, 16))
+            .with_regs(self.regs)
+            .with_smem(INFO.smem)
+    }
+
+    fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
+        let (bx, by, _) = self.launch().grid.coords_row_major(ctx.cta);
+        let mut prog = Program::new();
+        for round in 0..ROUNDS {
+            // Hidden-unit segment, indexed by bx alone: shared across the
+            // grid column, re-read every round.
+            prog.push(read_words(TAG_HIDDEN, bx as u64 * 16, 16));
+            // This CTA's two weight-matrix rows per warp (streaming).
+            for r in 0..2u64 {
+                let row = bx as u64 * 16 + warp as u64 * 2 + r;
+                let col = by as u64 * 16;
+                prog.push(read_words(TAG_WEIGHTS, row * self.weight_row_words() + col, 16));
+            }
+            prog.push(Op::Compute(8));
+            prog.push(Op::Barrier);
+            let _ = round;
+        }
+        // One partial-sum row per CTA.
+        if warp == 0 {
+            prog.push(write_words(
+                TAG_PARTIAL,
+                (by as u64 * self.grid_x as u64 + bx as u64) * 16,
+                16,
+            ));
+        } else {
+            // Keep the barrier count uniform (warp 0 writes after the last
+            // barrier; others are already balanced).
+            prog.push(Op::Compute(1));
+        }
+        prog
+    }
+}
+
+impl Workload for Backprop {
+    fn info(&self) -> WorkloadInfo {
+        INFO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::arch;
+
+    fn ctx(cta: u64) -> CtaContext {
+        CtaContext {
+            cta,
+            sm_id: 0,
+            slot: 0,
+            arrival: 0,
+            num_sms: 15,
+        }
+    }
+
+    #[test]
+    fn table2_occupancy() {
+        let expect = [6u32, 8, 8, 8];
+        for (i, cfg) in arch::all_presets().into_iter().enumerate() {
+            let b = Backprop::for_arch(cfg.arch);
+            let occ = gpu_sim::occupancy(&cfg, &b.launch()).unwrap();
+            assert_eq!(occ.ctas_per_sm, expect[i], "on {}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn grid_column_shares_hidden_segment() {
+        let b = Backprop::new(4, 4);
+        let hidden = |cta| {
+            b.warp_program(&ctx(cta), 0)
+                .iter()
+                .filter_map(|op| op.access())
+                .filter(|a| a.tag == TAG_HIDDEN)
+                .flat_map(|a| a.addrs.clone())
+                .collect::<Vec<_>>()
+        };
+        // CTA 1 is (bx=1, by=0); CTA 5 is (bx=1, by=1): same column.
+        assert_eq!(hidden(1), hidden(5));
+        assert_ne!(hidden(1), hidden(2));
+    }
+
+    #[test]
+    fn weights_are_streamed_once() {
+        let b = Backprop::new(2, 2);
+        let mut all: Vec<u64> = Vec::new();
+        for cta in 0..4 {
+            for w in 0..8 {
+                all.extend(
+                    b.warp_program(&ctx(cta), w)
+                        .iter()
+                        .filter_map(|op| op.access())
+                        .filter(|a| a.tag == TAG_WEIGHTS)
+                        .flat_map(|a| a.addrs.clone()),
+                );
+            }
+        }
+        // Each weight word is touched exactly ROUNDS times (once per
+        // round) by exactly one CTA: dedup factor == ROUNDS.
+        let n = all.len() as u64;
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(n, all.len() as u64 * ROUNDS);
+    }
+}

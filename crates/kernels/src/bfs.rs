@@ -1,0 +1,184 @@
+//! BFS — breadth-first search (Rodinia `bfs`).
+//!
+//! Each CTA scans a slice of the frontier, gathers the irregular
+//! adjacency lists of its active vertices and writes visited flags. The
+//! cross-CTA reuse (shared neighbours) is data-dependent, and the flag
+//! writes interfere with other CTAs' reads of the same cache lines —
+//! Table 2 labels BFS with the combined "Data&Writing" category.
+
+use crate::common::{gather_words, mix_range, read_words, scatter_words};
+use crate::info::{PaperCategory, PartitionHint, Workload, WorkloadInfo};
+use gpu_sim::{ArchGen, CtaContext, KernelSpec, LaunchConfig, Op, Program};
+
+const INFO: WorkloadInfo = WorkloadInfo {
+    abbr: "BFS",
+    full_name: "bfs",
+    description: "Breadth-first search",
+    category: PaperCategory::DataWrite,
+    warps_per_cta: 8,
+    partition: PartitionHint::X,
+    opt_agents: [2, 6, 6, 7],
+    regs: [17, 18, 19, 20],
+    smem: 0,
+    source: "Rodinia",
+};
+
+const TAG_FRONTIER: u16 = 0;
+const TAG_EDGES: u16 = 1;
+const TAG_VISITED: u16 = 2;
+
+/// The BFS workload model.
+#[derive(Debug, Clone)]
+pub struct Bfs {
+    /// CTAs in the 1D grid.
+    pub grid: u32,
+    /// Vertices in the (synthetic) graph.
+    pub vertices: u64,
+    /// Neighbours expanded per vertex.
+    pub degree: u32,
+    /// Deterministic seed shaping the graph.
+    pub seed: u64,
+    /// Registers per thread.
+    pub regs: u32,
+}
+
+impl Bfs {
+    /// Default evaluation-scale instance for `arch`.
+    pub fn for_arch(arch: ArchGen) -> Self {
+        Bfs {
+            grid: 240,
+            vertices: 1 << 16,
+            degree: 4,
+            seed: 0xBF5,
+            regs: INFO.regs_for(arch),
+        }
+    }
+
+    /// Custom-sized instance.
+    pub fn new(grid: u32, vertices: u64, degree: u32, seed: u64) -> Self {
+        Bfs {
+            grid,
+            vertices,
+            degree,
+            seed,
+            regs: INFO.regs[0],
+        }
+    }
+}
+
+impl KernelSpec for Bfs {
+    fn name(&self) -> String {
+        format!("BFS(grid={},v{},d{})", self.grid, self.vertices, self.degree)
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(self.grid, 256u32)
+            .with_regs(self.regs)
+            .with_smem(INFO.smem)
+    }
+
+    fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
+        let mut prog = Program::new();
+        // Scan this warp's frontier slice (coalesced).
+        let f0 = (ctx.cta * 8 + warp as u64) * 32;
+        prog.push(read_words(TAG_FRONTIER, f0, 32));
+        for hop in 0..self.degree as u64 {
+            // Gather neighbour records: a small-world mixture of local and
+            // far edges, with hubs (low vertex ids) shared across CTAs.
+            let addrs: Vec<u64> = (0..32u64)
+                .map(|lane| {
+                    let v = f0 + lane;
+                    let r = mix_range(self.seed ^ (v * self.degree as u64 + hop), 100);
+                    if r < 30 {
+                        // Hub edge: lands on a popular vertex.
+                        mix_range(v ^ hop, 64)
+                    } else {
+                        mix_range(v.wrapping_mul(31) ^ hop, self.vertices)
+                    }
+                })
+                .collect();
+            prog.push(gather_words(TAG_EDGES, &addrs));
+            prog.push(Op::Compute(4));
+            // Mark neighbours visited: irregular writes that evict other
+            // CTAs' cached lines (the write-related half of the category).
+            prog.push(scatter_words(TAG_VISITED, &addrs));
+        }
+        prog
+    }
+}
+
+impl Workload for Bfs {
+    fn info(&self) -> WorkloadInfo {
+        INFO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(cta: u64) -> CtaContext {
+        CtaContext {
+            cta,
+            sm_id: 0,
+            slot: 0,
+            arrival: 0,
+            num_sms: 15,
+        }
+    }
+
+    fn edge_words(b: &Bfs, cta: u64) -> std::collections::BTreeSet<u64> {
+        (0..8)
+            .flat_map(|w| b.warp_program(&ctx(cta), w))
+            .filter_map(|op| match op {
+                Op::Load(a) if a.tag == TAG_EDGES => Some(a.addrs.clone()),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    #[test]
+    fn hubs_create_accidental_sharing() {
+        let b = Bfs::new(16, 1 << 14, 4, 3);
+        let shared = edge_words(&b, 0).intersection(&edge_words(&b, 7)).count();
+        assert!(shared > 0, "hub vertices must collide across CTAs");
+    }
+
+    #[test]
+    fn visited_writes_hit_read_lines() {
+        let b = Bfs::new(4, 1 << 12, 2, 3);
+        let p = b.warp_program(&ctx(0), 0);
+        let reads: std::collections::BTreeSet<u64> = p
+            .iter()
+            .filter_map(|op| match op {
+                Op::Load(a) if a.tag == TAG_EDGES => Some(a.addrs.clone()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        let writes: std::collections::BTreeSet<u64> = p
+            .iter()
+            .filter_map(|op| match op {
+                Op::Store(a) if a.tag == TAG_VISITED => Some(a.addrs.clone()),
+                _ => None,
+            })
+            .flatten()
+            .map(|a| a - crate::common::array_base(TAG_VISITED) + crate::common::array_base(TAG_EDGES))
+            .collect();
+        assert_eq!(reads.len(), writes.len());
+    }
+
+    #[test]
+    fn degree_scales_expansion() {
+        let b1 = Bfs::new(2, 1 << 10, 1, 1);
+        let b3 = Bfs::new(2, 1 << 10, 3, 1);
+        let gathers = |b: &Bfs| {
+            b.warp_program(&ctx(0), 0)
+                .iter()
+                .filter(|op| matches!(op, Op::Load(a) if a.tag == TAG_EDGES))
+                .count()
+        };
+        assert_eq!(gathers(&b3), 3 * gathers(&b1));
+    }
+}

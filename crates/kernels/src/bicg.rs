@@ -1,0 +1,160 @@
+//! BC — BiCGStab linear-solver sub-kernel (PolyBench `bicg`):
+//! `s = A' * r; q = A * p`.
+//!
+//! Same row-panel shape as the other PolyBench cache-line workloads, with
+//! the distinction that the Pascal configuration tolerates full occupancy
+//! (Table 2: optimal agents 1/1/1/8).
+
+use crate::common::{panel_reads, read_words, write_words};
+use crate::info::{PaperCategory, PartitionHint, Workload, WorkloadInfo};
+use gpu_sim::{ArchGen, CtaContext, Dim3, KernelSpec, LaunchConfig, Op, Program};
+
+const INFO: WorkloadInfo = WorkloadInfo {
+    abbr: "BC",
+    full_name: "bicg",
+    description: "BiCGStab linear solver",
+    category: PaperCategory::CacheLine,
+    warps_per_cta: 8,
+    partition: PartitionHint::X,
+    opt_agents: [1, 1, 1, 8],
+    regs: [13, 16, 17, 22],
+    smem: 0,
+    source: "PolyBench",
+};
+
+const TAG_A: u16 = 0;
+const TAG_P: u16 = 1;
+const TAG_R: u16 = 2;
+const TAG_Q: u16 = 3;
+const TAG_S: u16 = 4;
+
+const PANEL_WORDS: u64 = 8;
+
+/// The bicg workload model.
+#[derive(Debug, Clone)]
+pub struct Bicg {
+    /// Row blocks (256 rows each).
+    pub grid_x: u32,
+    /// Column panels.
+    pub grid_y: u32,
+    /// Registers per thread.
+    pub regs: u32,
+}
+
+impl Bicg {
+    /// Default evaluation-scale instance for `arch`.
+    pub fn for_arch(arch: ArchGen) -> Self {
+        Bicg {
+            grid_x: 4,
+            grid_y: 32,
+            regs: INFO.regs_for(arch),
+        }
+    }
+
+    /// Custom-sized instance.
+    pub fn new(grid_x: u32, grid_y: u32) -> Self {
+        Bicg {
+            grid_x,
+            grid_y,
+            regs: INFO.regs[0],
+        }
+    }
+
+    fn row_words(&self) -> u64 {
+        self.grid_y as u64 * PANEL_WORDS
+    }
+}
+
+impl KernelSpec for Bicg {
+    fn name(&self) -> String {
+        format!("BC({}x{})", self.grid_x, self.grid_y)
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(Dim3::plane(self.grid_x, self.grid_y), 256u32)
+            .with_regs(self.regs)
+            .with_smem(INFO.smem)
+    }
+
+    fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
+        let (bx, by, _) = self.launch().grid.coords_row_major(ctx.cta);
+        let row0 = bx as u64 * 256 + warp as u64 * 32;
+        let col0 = by as u64 * PANEL_WORDS;
+        let mut prog = Program::new();
+        // q = A * p: p segment broadcast, panel walked.
+        prog.push(read_words(TAG_P, col0, PANEL_WORDS as u32));
+        prog.extend(panel_reads(TAG_A, row0, self.row_words(), col0, PANEL_WORDS, 32));
+        prog.push(Op::Compute(5));
+        prog.push(write_words(TAG_Q, row0, 32));
+        prog.push(Op::Barrier);
+        // s = A' * r: r indexed by the row block.
+        prog.push(read_words(TAG_R, row0 / 8, PANEL_WORDS as u32));
+        prog.extend(panel_reads(TAG_A, row0, self.row_words(), col0, PANEL_WORDS / 2, 32));
+        prog.push(Op::Compute(5));
+        if warp == 0 {
+            prog.push(write_words(
+                TAG_S,
+                (bx as u64 * self.grid_y as u64 + by as u64) * PANEL_WORDS,
+                PANEL_WORDS as u32,
+            ));
+        } else {
+            prog.push(Op::Compute(1));
+        }
+        prog
+    }
+}
+
+impl Workload for Bicg {
+    fn info(&self) -> WorkloadInfo {
+        INFO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::arch;
+
+    fn ctx(cta: u64) -> CtaContext {
+        CtaContext {
+            cta,
+            sm_id: 0,
+            slot: 0,
+            arrival: 0,
+            num_sms: 15,
+        }
+    }
+
+    #[test]
+    fn full_occupancy_on_every_arch() {
+        // 8-warp CTAs, light registers: 6/8/8/8 CTAs per SM.
+        let expect = [6u32, 8, 8, 8];
+        for (i, cfg) in arch::all_presets().into_iter().enumerate() {
+            let b = Bicg::for_arch(cfg.arch);
+            let occ = gpu_sim::occupancy(&cfg, &b.launch()).unwrap();
+            assert_eq!(occ.ctas_per_sm, expect[i], "on {}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn two_phases_write_different_vectors() {
+        let b = Bicg::new(2, 2);
+        let p = b.warp_program(&ctx(0), 0);
+        assert!(p.iter().any(|op| matches!(op, Op::Store(a) if a.tag == TAG_Q)));
+        assert!(p.iter().any(|op| matches!(op, Op::Store(a) if a.tag == TAG_S)));
+    }
+
+    #[test]
+    fn panel_words_cover_32_bytes_per_thread() {
+        let b = Bicg::new(1, 1);
+        let p = b.warp_program(&ctx(0), 0);
+        let a_loads: Vec<_> = p
+            .iter()
+            .filter_map(|op| op.access())
+            .filter(|a| a.tag == TAG_A)
+            .collect();
+        // Phase 1 walks 8 words, phase 2 walks 4.
+        assert_eq!(a_loads.len(), 12);
+        assert!(a_loads.iter().all(|a| a.addrs.len() == 32));
+    }
+}

@@ -1,0 +1,149 @@
+//! BS — Black-Scholes option pricing (CUDA SDK `BlackScholes`).
+//!
+//! The canonical GPU streaming kernel: three coalesced input arrays in,
+//! two coalesced output arrays out, every element touched exactly once.
+//! The paper uses BS as the archetype of its streaming category
+//! (Figure 4-(E)).
+
+use crate::common::{read_words, write_words};
+use crate::info::{PaperCategory, PartitionHint, Workload, WorkloadInfo};
+use gpu_sim::{ArchGen, CtaContext, KernelSpec, LaunchConfig, Op, Program};
+
+const INFO: WorkloadInfo = WorkloadInfo {
+    abbr: "BS",
+    full_name: "BlackScholes",
+    description: "Black-Scholes option pricing",
+    category: PaperCategory::Streaming,
+    warps_per_cta: 4,
+    partition: PartitionHint::X,
+    opt_agents: [8, 16, 16, 12],
+    regs: [23, 25, 21, 19],
+    smem: 0,
+    source: "CUDA SDK",
+};
+
+const TAG_PRICE: u16 = 0;
+const TAG_STRIKE: u16 = 1;
+const TAG_YEARS: u16 = 2;
+const TAG_CALL: u16 = 3;
+const TAG_PUT: u16 = 4;
+
+/// The Black-Scholes workload model.
+#[derive(Debug, Clone)]
+pub struct BlackScholes {
+    /// CTAs in the 1D grid.
+    pub grid: u32,
+    /// Option batches (of 128 words) per CTA.
+    pub batches: u32,
+    /// Registers per thread.
+    pub regs: u32,
+}
+
+impl BlackScholes {
+    /// Default evaluation-scale instance for `arch`.
+    pub fn for_arch(arch: ArchGen) -> Self {
+        BlackScholes {
+            grid: 360,
+            batches: 4,
+            regs: INFO.regs_for(arch),
+        }
+    }
+
+    /// Custom-sized instance.
+    pub fn new(grid: u32, batches: u32) -> Self {
+        BlackScholes {
+            grid,
+            batches,
+            regs: INFO.regs[0],
+        }
+    }
+}
+
+impl KernelSpec for BlackScholes {
+    fn name(&self) -> String {
+        format!("BS(grid={},b{})", self.grid, self.batches)
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(self.grid, 128u32)
+            .with_regs(self.regs)
+            .with_smem(INFO.smem)
+    }
+
+    fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
+        let mut prog = Program::new();
+        for b in 0..self.batches as u64 {
+            let word = ((ctx.cta * self.batches as u64 + b) * 4 + warp as u64) * 32;
+            prog.push(read_words(TAG_PRICE, word, 32));
+            prog.push(read_words(TAG_STRIKE, word, 32));
+            prog.push(read_words(TAG_YEARS, word, 32));
+            prog.push(Op::Compute(25)); // CND evaluations
+            prog.push(write_words(TAG_CALL, word, 32));
+            prog.push(write_words(TAG_PUT, word, 32));
+        }
+        prog
+    }
+}
+
+impl Workload for BlackScholes {
+    fn info(&self) -> WorkloadInfo {
+        INFO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::arch;
+
+    fn ctx(cta: u64) -> CtaContext {
+        CtaContext {
+            cta,
+            sm_id: 0,
+            slot: 0,
+            arrival: 0,
+            num_sms: 15,
+        }
+    }
+
+    #[test]
+    fn every_word_touched_once() {
+        let bs = BlackScholes::new(3, 2);
+        let mut reads: Vec<u64> = Vec::new();
+        for cta in 0..3 {
+            for w in 0..4 {
+                reads.extend(
+                    bs.warp_program(&ctx(cta), w)
+                        .iter()
+                        .filter_map(|op| op.access())
+                        .filter(|a| a.tag == TAG_PRICE)
+                        .flat_map(|a| a.addrs.clone()),
+                );
+            }
+        }
+        let n = reads.len();
+        reads.sort_unstable();
+        reads.dedup();
+        assert_eq!(reads.len(), n);
+    }
+
+    #[test]
+    fn occupancy_full_on_all_archs() {
+        // 4-warp CTAs, light registers: 8/16/16/16 CTAs per SM (warp-slot
+        // bound beyond Fermi's CTA slots).
+        let expect = [8u32, 16, 16, 16];
+        for (i, cfg) in arch::all_presets().into_iter().enumerate() {
+            let bs = BlackScholes::for_arch(cfg.arch);
+            let occ = gpu_sim::occupancy(&cfg, &bs.launch()).unwrap();
+            assert_eq!(occ.ctas_per_sm, expect[i], "on {}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn five_streams_per_batch() {
+        let bs = BlackScholes::new(1, 1);
+        let p = bs.warp_program(&ctx(0), 0);
+        assert_eq!(p.iter().filter(|o| matches!(o, Op::Load(_))).count(), 3);
+        assert_eq!(p.iter().filter(|o| matches!(o, Op::Store(_))).count(), 2);
+    }
+}

@@ -1,0 +1,172 @@
+//! BTR — B+tree range queries (Rodinia `b+tree`).
+//!
+//! Every CTA answers a batch of key lookups by walking the tree from the
+//! root. The top levels are shared by *all* CTAs (accidental inter-CTA
+//! locality from data organization); the leaf levels diverge per query —
+//! the paper's data-related category.
+
+use crate::common::{gather_words, mix_range, read_words, write_words};
+use crate::info::{PaperCategory, PartitionHint, Workload, WorkloadInfo};
+use gpu_sim::{ArchGen, CtaContext, KernelSpec, LaunchConfig, Op, Program};
+
+const INFO: WorkloadInfo = WorkloadInfo {
+    abbr: "BTR",
+    full_name: "b+tree",
+    description: "B+tree operations",
+    category: PaperCategory::Data,
+    warps_per_cta: 8,
+    partition: PartitionHint::X,
+    opt_agents: [5, 8, 8, 8],
+    regs: [22, 27, 29, 30],
+    smem: 0,
+    source: "Rodinia",
+};
+
+const TAG_NODES: u16 = 0;
+const TAG_KEYS: u16 = 1;
+const TAG_OUT: u16 = 2;
+
+/// Words per tree node (16 keys + 17 child pointers, rounded).
+const NODE_WORDS: u64 = 32;
+/// Fanout used to derive child indices.
+const FANOUT: u64 = 16;
+
+/// The B+tree workload model.
+#[derive(Debug, Clone)]
+pub struct BTree {
+    /// CTAs in the 1D grid (one query batch each).
+    pub grid: u32,
+    /// Tree depth walked per query.
+    pub depth: u32,
+    /// Deterministic seed shaping the key distribution.
+    pub seed: u64,
+    /// Registers per thread.
+    pub regs: u32,
+}
+
+impl BTree {
+    /// Default evaluation-scale instance for `arch`.
+    pub fn for_arch(arch: ArchGen) -> Self {
+        BTree {
+            grid: 240,
+            depth: 4,
+            seed: 0xB7EE,
+            regs: INFO.regs_for(arch),
+        }
+    }
+
+    /// Custom-sized instance.
+    pub fn new(grid: u32, depth: u32, seed: u64) -> Self {
+        BTree {
+            grid,
+            depth,
+            seed,
+            regs: INFO.regs[0],
+        }
+    }
+
+    /// Word offset of node `i` at `level` (level-major layout).
+    fn node_word(&self, level: u32, index: u64) -> u64 {
+        // Level L starts after sum of FANOUT^l for l < L nodes.
+        let mut base = 0u64;
+        let mut width = 1u64;
+        for _ in 0..level {
+            base += width;
+            width *= FANOUT;
+        }
+        (base + index % width) * NODE_WORDS
+    }
+}
+
+impl KernelSpec for BTree {
+    fn name(&self) -> String {
+        format!("BTR(grid={},d{})", self.grid, self.depth)
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(self.grid, 256u32)
+            .with_regs(self.regs)
+            .with_smem(INFO.smem)
+    }
+
+    fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
+        let mut prog = Program::new();
+        // Load this warp's query keys.
+        let key0 = (ctx.cta * 8 + warp as u64) * 32;
+        prog.push(read_words(TAG_KEYS, key0, 32));
+        // Walk the tree: each lane follows its own key's path, so each
+        // level is a 32-lane gather over that level's nodes.
+        for level in 0..self.depth {
+            let addrs: Vec<u64> = (0..32u64)
+                .map(|lane| {
+                    let key = mix_range(self.seed ^ (key0 + lane), 1 << 30);
+                    // The path of `key` at this level.
+                    let index = key >> ((self.depth - 1 - level) * 4);
+                    self.node_word(level, index) + key % FANOUT
+                })
+                .collect();
+            prog.push(gather_words(TAG_NODES, &addrs));
+            prog.push(Op::Compute(6));
+        }
+        prog.push(write_words(TAG_OUT, key0, 32));
+        prog
+    }
+}
+
+impl Workload for BTree {
+    fn info(&self) -> WorkloadInfo {
+        INFO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(cta: u64) -> CtaContext {
+        CtaContext {
+            cta,
+            sm_id: 0,
+            slot: 0,
+            arrival: 0,
+            num_sms: 15,
+        }
+    }
+
+    fn level_words(b: &BTree, cta: u64, op_index: usize) -> std::collections::BTreeSet<u64> {
+        b.warp_program(&ctx(cta), 0)
+            .iter()
+            .filter_map(|op| match op {
+                Op::Load(a) if a.tag == TAG_NODES => Some(a.addrs.clone()),
+                _ => None,
+            })
+            .nth(op_index)
+            .map(|v| v.into_iter().collect())
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn root_level_shared_by_all_ctas() {
+        let b = BTree::new(8, 3, 5);
+        let r0 = level_words(&b, 0, 0);
+        let r1 = level_words(&b, 5, 0);
+        assert!(r0.intersection(&r1).count() > 0, "root node words collide");
+    }
+
+    #[test]
+    fn leaf_level_mostly_diverges() {
+        let b = BTree::new(8, 4, 5);
+        let l0 = level_words(&b, 0, 3);
+        let l1 = level_words(&b, 5, 3);
+        let shared = l0.intersection(&l1).count();
+        assert!(shared < l0.len() / 2, "leaves should diverge, shared={shared}");
+    }
+
+    #[test]
+    fn node_layout_is_level_major() {
+        let b = BTree::new(1, 3, 1);
+        assert_eq!(b.node_word(0, 0), 0);
+        assert_eq!(b.node_word(1, 0), NODE_WORDS);
+        assert_eq!(b.node_word(2, 0), (1 + FANOUT) * NODE_WORDS);
+    }
+}

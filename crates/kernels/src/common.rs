@@ -1,0 +1,135 @@
+//! Shared building blocks for the workload models: array address layout
+//! and the recurring access-pattern primitives of GPU kernels.
+
+use gpu_sim::{ArrayTag, MemAccess, Op};
+
+/// Base byte address of a logical array. Arrays are placed in disjoint
+/// 4GiB windows so patterns never alias across tags.
+pub const fn array_base(tag: ArrayTag) -> u64 {
+    (tag as u64) << 32
+}
+
+/// A coalesced warp read of `lanes` consecutive 4-byte words starting at
+/// word `word` of array `tag`.
+pub fn read_words(tag: ArrayTag, word: u64, lanes: u32) -> Op {
+    Op::Load(MemAccess::coalesced(tag, array_base(tag) + word * 4, lanes, 4))
+}
+
+/// A coalesced warp store of `lanes` consecutive 4-byte words.
+pub fn write_words(tag: ArrayTag, word: u64, lanes: u32) -> Op {
+    Op::Store(MemAccess::coalesced(tag, array_base(tag) + word * 4, lanes, 4))
+}
+
+/// A column access into a row-major matrix: lane `l` reads word
+/// `(row0 + l) * row_words + col`. This is the divergent
+/// one-line-per-lane pattern behind the cache-line-related locality
+/// category: each lane's miss drags a whole L1 line of its row into the
+/// cache, and CTAs working on nearby columns of the same rows reuse those
+/// lines.
+pub fn read_column(tag: ArrayTag, row0: u64, row_words: u64, col: u64, lanes: u32) -> Op {
+    let base = array_base(tag) + (row0 * row_words + col) * 4;
+    Op::Load(MemAccess::strided(tag, base, lanes, row_words * 4, 4))
+}
+
+/// Column-access store (divergent scatter down a matrix column).
+pub fn write_column(tag: ArrayTag, row0: u64, row_words: u64, col: u64, lanes: u32) -> Op {
+    let base = array_base(tag) + (row0 * row_words + col) * 4;
+    Op::Store(MemAccess::strided(tag, base, lanes, row_words * 4, 4))
+}
+
+/// An irregular gather: lane `l` reads the 4-byte word at
+/// `indices[l]`. Used by the data-related workloads (graphs, trees,
+/// histograms).
+pub fn gather_words(tag: ArrayTag, indices: &[u64]) -> Op {
+    let addrs = indices.iter().map(|w| array_base(tag) + w * 4).collect();
+    Op::Load(MemAccess::gather(tag, addrs, 4))
+}
+
+/// An irregular scatter write.
+pub fn scatter_words(tag: ArrayTag, indices: &[u64]) -> Op {
+    let addrs = indices.iter().map(|w| array_base(tag) + w * 4).collect();
+    Op::Store(MemAccess::gather(tag, addrs, 4))
+}
+
+/// The *row-panel* pattern shared by the PolyBench cache-line-related
+/// workloads (SYK, S2K, ATX, MVT, BC): lane `l` of the warp walks
+/// `words`-consecutive column words of its own matrix row `row0 + l`.
+///
+/// Each lane's first touch drags a whole L1 line of its row into the
+/// cache. A CTA only consumes `words` (x4 bytes) of that line, so on
+/// 128-byte-line architectures the rest is reusable by the CTAs covering
+/// the *neighbouring column panels of the same rows* — line-granularity
+/// inter-CTA sharing with zero word-granularity sharing, the signature of
+/// the paper's cache-line category (Figure 4-(B)). On 32-byte-line
+/// architectures a panel of `words >= 8` covers its fetch exactly and no
+/// sharing is left, which is why the paper's cache-line gains vanish on
+/// Maxwell/Pascal.
+pub fn panel_reads(tag: ArrayTag, row0: u64, row_words: u64, col0: u64, words: u64, lanes: u32) -> Vec<Op> {
+    (0..words)
+        .map(|j| read_column(tag, row0, row_words, col0 + j, lanes))
+        .collect()
+}
+
+/// A deterministic 64-bit mix (splitmix64 finalizer) used by the
+/// irregular workloads to derive reproducible pseudo-random indices from
+/// loop counters without carrying RNG state through `KernelSpec`'s
+/// immutable interface.
+pub const fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// `mix64` folded into `[0, bound)`.
+pub const fn mix_range(x: u64, bound: u64) -> u64 {
+    mix64(x) % bound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::coalesce_lines;
+
+    #[test]
+    fn arrays_do_not_alias() {
+        assert_eq!(array_base(0), 0);
+        assert_eq!(array_base(1), 1 << 32);
+        assert!(array_base(2) > array_base(1));
+    }
+
+    #[test]
+    fn read_words_is_coalesced() {
+        let op = read_words(1, 10, 32);
+        let a = op.access().unwrap();
+        assert_eq!(a.addrs[0], array_base(1) + 40);
+        // 32 consecutive words span at most two 128B lines.
+        assert!(coalesce_lines(a, 128).len() <= 2);
+        let aligned = read_words(1, 0, 32);
+        assert_eq!(coalesce_lines(aligned.access().unwrap(), 128).len(), 1);
+    }
+
+    #[test]
+    fn read_column_is_divergent() {
+        let op = read_column(0, 0, 1024, 5, 32);
+        let a = op.access().unwrap();
+        // Each lane lands on its own 128B line.
+        assert_eq!(coalesce_lines(a, 128).len(), 32);
+        assert_eq!(a.addrs[1] - a.addrs[0], 4096);
+    }
+
+    #[test]
+    fn gather_addresses_offset_by_base() {
+        let op = gather_words(3, &[0, 7]);
+        let a = op.access().unwrap();
+        assert_eq!(a.addrs, vec![array_base(3), array_base(3) + 28]);
+    }
+
+    #[test]
+    fn mix64_is_deterministic_and_spread() {
+        assert_eq!(mix64(42), mix64(42));
+        assert_ne!(mix64(1), mix64(2));
+        let r = mix_range(1234, 100);
+        assert!(r < 100);
+    }
+}

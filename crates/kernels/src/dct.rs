@@ -1,0 +1,172 @@
+//! DCT — 8x8 discrete cosine transform (CUDA SDK `dct8x8`).
+//!
+//! Every CTA re-reads the 8x8 cosine coefficient table (shared by the
+//! whole grid) and additionally walks a per-column quantization strip
+//! indexed by `blockIdx.x`, shared down each grid column: algorithm
+//! locality clustered by X-partitioning. Its own image blocks stream
+//! through once.
+
+use crate::common::{read_words, write_words};
+use crate::info::{PaperCategory, PartitionHint, Workload, WorkloadInfo};
+use gpu_sim::{ArchGen, CtaContext, Dim3, KernelSpec, LaunchConfig, Op, Program};
+
+const INFO: WorkloadInfo = WorkloadInfo {
+    abbr: "DCT",
+    full_name: "dct8x8",
+    description: "Discrete cosine transform",
+    category: PaperCategory::Algorithm,
+    warps_per_cta: 2,
+    partition: PartitionHint::X,
+    opt_agents: [8, 16, 32, 24],
+    regs: [14, 17, 22, 19],
+    smem: 512,
+    source: "CUDA SDK",
+};
+
+const TAG_IMAGE: u16 = 0;
+const TAG_COEF: u16 = 1;
+const TAG_QUANT: u16 = 2;
+const TAG_OUT: u16 = 3;
+
+/// The 8x8 DCT workload model.
+#[derive(Debug, Clone)]
+pub struct Dct {
+    /// CTA tiles along X.
+    pub grid_x: u32,
+    /// CTA tiles along Y.
+    pub grid_y: u32,
+    /// Registers per thread.
+    pub regs: u32,
+}
+
+impl Dct {
+    /// Default evaluation-scale instance for `arch`.
+    pub fn for_arch(arch: ArchGen) -> Self {
+        Dct {
+            grid_x: 32,
+            grid_y: 96,
+            regs: INFO.regs_for(arch),
+        }
+    }
+
+    /// Custom-sized instance.
+    pub fn new(grid_x: u32, grid_y: u32) -> Self {
+        Dct {
+            grid_x,
+            grid_y,
+            regs: INFO.regs[0],
+        }
+    }
+
+    fn image_row_words(&self) -> u64 {
+        self.grid_x as u64 * 8
+    }
+}
+
+impl KernelSpec for Dct {
+    fn name(&self) -> String {
+        format!("DCT({}x{})", self.grid_x, self.grid_y)
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(Dim3::plane(self.grid_x, self.grid_y), 64u32)
+            .with_regs(self.regs)
+            .with_smem(INFO.smem)
+    }
+
+    fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
+        let (bx, by, _) = self.launch().grid.coords_row_major(ctx.cta);
+        let mut prog = Program::new();
+        // The 64-word cosine table, shared by every CTA.
+        prog.push(read_words(TAG_COEF, 0, 32));
+        prog.push(read_words(TAG_COEF, 32, 32));
+        // Per-column quantization strip (64 words indexed by bx).
+        prog.push(read_words(TAG_QUANT, bx as u64 * 64 + warp as u64 * 32, 32));
+        // The CTA's own 8x8 block: warp w loads rows 4w..4w+4 (streaming).
+        for r in 0..4u64 {
+            let row = by as u64 * 8 + warp as u64 * 4 + r;
+            let word = row * self.image_row_words() + bx as u64 * 8;
+            prog.push(read_words(TAG_IMAGE, word, 8));
+        }
+        prog.push(Op::Barrier);
+        prog.push(Op::Compute(32)); // row pass + column pass
+        prog.push(Op::Barrier);
+        for r in 0..4u64 {
+            let row = by as u64 * 8 + warp as u64 * 4 + r;
+            let word = row * self.image_row_words() + bx as u64 * 8;
+            prog.push(write_words(TAG_OUT, word, 8));
+        }
+        prog
+    }
+}
+
+impl Workload for Dct {
+    fn info(&self) -> WorkloadInfo {
+        INFO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::arch;
+
+    fn ctx(cta: u64) -> CtaContext {
+        CtaContext {
+            cta,
+            sm_id: 0,
+            slot: 0,
+            arrival: 0,
+            num_sms: 15,
+        }
+    }
+
+    #[test]
+    fn occupancy_is_slot_bound() {
+        // WP=2: Fermi is CTA-slot bound at 8; Kepler at 16; Maxwell 32.
+        let expect = [8u32, 16, 32, 32];
+        for (i, cfg) in arch::all_presets().into_iter().enumerate() {
+            let d = Dct::for_arch(cfg.arch);
+            let occ = gpu_sim::occupancy(&cfg, &d.launch()).unwrap();
+            assert_eq!(occ.ctas_per_sm, expect[i], "on {}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn coefficient_table_shared_quant_strip_columnar() {
+        let d = Dct::new(4, 4);
+        let by_tag = |cta, tag| {
+            d.warp_program(&ctx(cta), 0)
+                .iter()
+                .filter_map(|op| op.access())
+                .filter(|a| a.tag == tag)
+                .flat_map(|a| a.addrs.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(by_tag(0, TAG_COEF), by_tag(9, TAG_COEF));
+        // Quant strip: CTA 1 (bx=1,by=0) matches CTA 5 (bx=1,by=1).
+        assert_eq!(by_tag(1, TAG_QUANT), by_tag(5, TAG_QUANT));
+        assert_ne!(by_tag(1, TAG_QUANT), by_tag(2, TAG_QUANT));
+    }
+
+    #[test]
+    fn image_blocks_disjoint() {
+        let d = Dct::new(3, 3);
+        let mut all: Vec<u64> = Vec::new();
+        for cta in 0..9 {
+            for w in 0..2 {
+                all.extend(
+                    d.warp_program(&ctx(cta), w)
+                        .iter()
+                        .filter_map(|op| op.access())
+                        .filter(|a| a.tag == TAG_IMAGE)
+                        .flat_map(|a| a.addrs.clone()),
+                );
+            }
+        }
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n);
+    }
+}

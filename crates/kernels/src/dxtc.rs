@@ -1,0 +1,132 @@
+//! DXT — DXT1 texture compression (CUDA SDK `dxtc`).
+//!
+//! Register-heavy streaming (Table 2: up to 91 regs/thread): each CTA
+//! compresses its own 4x4-texel blocks, reading every input word exactly
+//! once and writing a compact output. No inter-CTA reuse.
+
+use crate::common::{read_words, write_words};
+use crate::info::{PaperCategory, PartitionHint, Workload, WorkloadInfo};
+use gpu_sim::{ArchGen, CtaContext, KernelSpec, LaunchConfig, Op, Program};
+
+const INFO: WorkloadInfo = WorkloadInfo {
+    abbr: "DXT",
+    full_name: "dxtc",
+    description: "High quality DXT compression",
+    category: PaperCategory::Streaming,
+    warps_per_cta: 2,
+    partition: PartitionHint::X,
+    opt_agents: [8, 8, 10, 10],
+    regs: [63, 89, 89, 91],
+    smem: 2048,
+    source: "CUDA SDK",
+};
+
+const TAG_TEXELS: u16 = 0;
+const TAG_BLOCKS: u16 = 1;
+
+/// The DXT compression workload model.
+#[derive(Debug, Clone)]
+pub struct Dxtc {
+    /// CTAs in the 1D grid.
+    pub grid: u32,
+    /// 64-word texel tiles per CTA.
+    pub tiles: u32,
+    /// Registers per thread.
+    pub regs: u32,
+}
+
+impl Dxtc {
+    /// Default evaluation-scale instance for `arch`.
+    pub fn for_arch(arch: ArchGen) -> Self {
+        Dxtc {
+            grid: 320,
+            tiles: 6,
+            regs: INFO.regs_for(arch),
+        }
+    }
+
+    /// Custom-sized instance.
+    pub fn new(grid: u32, tiles: u32) -> Self {
+        Dxtc {
+            grid,
+            tiles,
+            regs: INFO.regs[0],
+        }
+    }
+}
+
+impl KernelSpec for Dxtc {
+    fn name(&self) -> String {
+        format!("DXT(grid={},t{})", self.grid, self.tiles)
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(self.grid, 64u32)
+            .with_regs(self.regs)
+            .with_smem(INFO.smem)
+    }
+
+    fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
+        let mut prog = Program::new();
+        for t in 0..self.tiles as u64 {
+            let word = ((ctx.cta * self.tiles as u64 + t) * 2 + warp as u64) * 32;
+            prog.push(read_words(TAG_TEXELS, word, 32));
+            prog.push(Op::Compute(40)); // endpoint search is compute-heavy
+        }
+        prog.push(Op::Barrier);
+        // 8:1 compression: one 8-word output block per warp-tile.
+        let out = (ctx.cta * 2 + warp as u64) * 8;
+        prog.push(write_words(TAG_BLOCKS, out, 8));
+        prog
+    }
+}
+
+impl Workload for Dxtc {
+    fn info(&self) -> WorkloadInfo {
+        INFO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::arch;
+
+    #[test]
+    fn register_pressure_limits_occupancy() {
+        // 89 regs x 64 threads = 5696 regs/CTA on Kepler: 64K/5696 = 11,
+        // but Table 2 caps at CTA slots... verify the model is at least
+        // register-sensitive on Fermi: 63*64 = 4032 -> 32K/4032 = 8.
+        let cfg = arch::gtx570();
+        let d = Dxtc::for_arch(ArchGen::Fermi);
+        assert_eq!(gpu_sim::occupancy(&cfg, &d.launch()).unwrap().ctas_per_sm, 8);
+    }
+
+    #[test]
+    fn output_is_compressed() {
+        let d = Dxtc::new(2, 1);
+        let ctx = CtaContext {
+            cta: 0,
+            sm_id: 0,
+            slot: 0,
+            arrival: 0,
+            num_sms: 15,
+        };
+        let p = d.warp_program(&ctx, 0);
+        let read: usize = p
+            .iter()
+            .filter_map(|op| match op {
+                Op::Load(a) => Some(a.addrs.len()),
+                _ => None,
+            })
+            .sum();
+        let written: usize = p
+            .iter()
+            .filter_map(|op| match op {
+                Op::Store(a) => Some(a.addrs.len()),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(read, 4 * written);
+    }
+}

@@ -1,0 +1,162 @@
+//! HST — 64-bin histogramming (CUDA SDK `histogram`).
+//!
+//! Each CTA streams a slice of input data and scatters counts into
+//! per-CTA partial histograms that are later merged. The inter-CTA
+//! locality that exists (popular bins touched by everyone) is
+//! data-dependent — the paper's data-related category, not exploitable
+//! before runtime.
+
+use crate::common::{gather_words, mix_range, read_words, scatter_words};
+use crate::info::{PaperCategory, PartitionHint, Workload, WorkloadInfo};
+use gpu_sim::{ArchGen, CtaContext, KernelSpec, LaunchConfig, Op, Program};
+
+const INFO: WorkloadInfo = WorkloadInfo {
+    abbr: "HST",
+    full_name: "histogram",
+    description: "64-bin histogramming",
+    category: PaperCategory::Data,
+    warps_per_cta: 8,
+    partition: PartitionHint::X,
+    opt_agents: [5, 5, 6, 7],
+    regs: [15, 19, 20, 15],
+    smem: 1024,
+    source: "CUDA SDK",
+};
+
+const TAG_DATA: u16 = 0;
+const TAG_BINS: u16 = 1;
+
+/// The histogram workload model.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// CTAs in the 1D grid.
+    pub grid: u32,
+    /// Input chunks (of 256 words) per CTA.
+    pub chunks: u32,
+    /// Deterministic seed shaping the bin distribution.
+    pub seed: u64,
+    /// Registers per thread.
+    pub regs: u32,
+}
+
+impl Histogram {
+    /// Default evaluation-scale instance for `arch`.
+    pub fn for_arch(arch: ArchGen) -> Self {
+        Histogram {
+            grid: 256,
+            chunks: 4,
+            seed: 0x4057,
+            regs: INFO.regs_for(arch),
+        }
+    }
+
+    /// Custom-sized instance.
+    pub fn new(grid: u32, chunks: u32, seed: u64) -> Self {
+        Histogram {
+            grid,
+            chunks,
+            seed,
+            regs: INFO.regs[0],
+        }
+    }
+}
+
+impl KernelSpec for Histogram {
+    fn name(&self) -> String {
+        format!("HST(grid={},c{})", self.grid, self.chunks)
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(self.grid, 256u32)
+            .with_regs(self.regs)
+            .with_smem(INFO.smem)
+    }
+
+    fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
+        let mut prog = Program::new();
+        for c in 0..self.chunks as u64 {
+            // Stream this warp's input slice.
+            let word = (ctx.cta * self.chunks as u64 + c) * 2048 + warp as u64 * 32;
+            prog.push(read_words(TAG_DATA, word, 32));
+            // Scatter into bins: a skewed, data-dependent distribution of
+            // the 64 global bins (per-CTA sub-histograms of 64 bins each,
+            // the popular bins colliding across CTAs by accident).
+            let bins: Vec<u64> = (0..32)
+                .map(|l| {
+                    let h = mix_range(self.seed ^ (word + l), 256);
+                    // Zipf-flavoured skew: most updates land in few bins.
+                    let bin = if h < 128 { h % 8 } else { h % 64 };
+                    (ctx.cta % 16) * 64 + bin
+                })
+                .collect();
+            prog.push(scatter_words(TAG_BINS, &bins));
+            prog.push(Op::Compute(4));
+        }
+        // Merge pass: re-read this CTA's sub-histogram.
+        prog.push(Op::Barrier);
+        let indices: Vec<u64> = (0..32).map(|l| (ctx.cta % 16) * 64 + warp as u64 * 8 + l % 8).collect();
+        prog.push(gather_words(TAG_BINS, &indices));
+        prog
+    }
+}
+
+impl Workload for Histogram {
+    fn info(&self) -> WorkloadInfo {
+        INFO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(cta: u64) -> CtaContext {
+        CtaContext {
+            cta,
+            sm_id: 0,
+            slot: 0,
+            arrival: 0,
+            num_sms: 15,
+        }
+    }
+
+    #[test]
+    fn bins_collide_across_ctas() {
+        let h = Histogram::new(32, 1, 1);
+        let bins = |cta| {
+            h.warp_program(&ctx(cta), 0)
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Store(a) if a.tag == TAG_BINS => Some(a.addrs.clone()),
+                    _ => None,
+                })
+                .flatten()
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        // CTAs 0 and 16 map to the same sub-histogram: accidental sharing.
+        assert!(bins(0).intersection(&bins(16)).count() > 0);
+    }
+
+    #[test]
+    fn input_stream_is_disjoint() {
+        let h = Histogram::new(8, 2, 1);
+        let data = |cta| {
+            (0..8)
+                .flat_map(|w| h.warp_program(&ctx(cta), w))
+                .filter_map(|op| match op {
+                    Op::Load(a) if a.tag == TAG_DATA => Some(a.addrs.clone()),
+                    _ => None,
+                })
+                .flatten()
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        assert_eq!(data(0).intersection(&data(1)).count(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Histogram::new(4, 1, 9).warp_program(&ctx(0), 0);
+        let b = Histogram::new(4, 1, 9).warp_program(&ctx(0), 0);
+        assert_eq!(a, b);
+    }
+}

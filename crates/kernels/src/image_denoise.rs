@@ -1,0 +1,165 @@
+//! IMD — non-local-means image denoising (CUDA SDK `imageDenoising`).
+//!
+//! Each 8x8-pixel CTA scans a search window that extends several pixels
+//! past its tile on every side. The horizontal halo overlaps the windows
+//! of same-row neighbour CTAs, giving algorithm-related inter-CTA reuse
+//! clustered by Y-partitioning; the register-heavy kernel (Table 2: up to
+//! 63 regs/thread) also makes it occupancy-sensitive.
+
+use crate::common::read_words;
+use crate::common::write_words;
+use crate::info::{PaperCategory, PartitionHint, Workload, WorkloadInfo};
+use gpu_sim::{ArchGen, CtaContext, Dim3, KernelSpec, LaunchConfig, Op, Program};
+
+const INFO: WorkloadInfo = WorkloadInfo {
+    abbr: "IMD",
+    full_name: "imageDenoising",
+    description: "NLM method for image denoising",
+    category: PaperCategory::Algorithm,
+    warps_per_cta: 2,
+    partition: PartitionHint::Y,
+    opt_agents: [8, 16, 14, 16],
+    regs: [63, 61, 49, 55],
+    smem: 0,
+    source: "CUDA SDK",
+};
+
+const TAG_IMAGE: u16 = 0;
+const TAG_OUTPUT: u16 = 1;
+
+/// The NLM denoising workload model.
+#[derive(Debug, Clone)]
+pub struct ImageDenoise {
+    /// CTA tiles along X (each 8 pixels wide).
+    pub grid_x: u32,
+    /// CTA tiles along Y (each 8 pixels tall).
+    pub grid_y: u32,
+    /// Search-window apron in pixels on each side.
+    pub apron: u32,
+    /// Registers per thread.
+    pub regs: u32,
+}
+
+impl ImageDenoise {
+    /// Default evaluation-scale instance for `arch`.
+    pub fn for_arch(arch: ArchGen) -> Self {
+        ImageDenoise {
+            grid_x: 24,
+            grid_y: 96,
+            apron: 6,
+            regs: INFO.regs_for(arch),
+        }
+    }
+
+    /// Custom-sized instance.
+    pub fn new(grid_x: u32, grid_y: u32, apron: u32) -> Self {
+        ImageDenoise {
+            grid_x,
+            grid_y,
+            apron,
+            regs: INFO.regs[0],
+        }
+    }
+
+    fn image_row_words(&self) -> u64 {
+        self.grid_x as u64 * 8 + 2 * self.apron as u64
+    }
+}
+
+impl KernelSpec for ImageDenoise {
+    fn name(&self) -> String {
+        format!("IMD({}x{},a{})", self.grid_x, self.grid_y, self.apron)
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(Dim3::plane(self.grid_x, self.grid_y), Dim3::plane(8, 8))
+            .with_regs(self.regs)
+            .with_smem(INFO.smem)
+    }
+
+    fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
+        let (bx, by, _) = self.launch().grid.coords_row_major(ctx.cta);
+        let window_rows = 8 + 2 * self.apron as u64;
+        let window_cols = (8 + 2 * self.apron as u64).min(32);
+        let mut prog = Program::new();
+        // The two warps split the window rows between them.
+        let half = window_rows.div_ceil(2);
+        let r0 = warp as u64 * half;
+        let r1 = (r0 + half).min(window_rows);
+        for r in r0..r1 {
+            let row = by as u64 * 8 + r; // apron folded into the base offset
+            let col = bx as u64 * 8;
+            prog.push(read_words(TAG_IMAGE, row * self.image_row_words() + col, window_cols as u32));
+            prog.push(Op::Compute(10));
+        }
+        prog.push(Op::Barrier);
+        // Each warp writes half the 8x8 output tile (4 rows of 8).
+        for r in 0..4u64 {
+            let row = by as u64 * 8 + warp as u64 * 4 + r;
+            prog.push(write_words(TAG_OUTPUT, row * self.grid_x as u64 * 8 + bx as u64 * 8, 8));
+        }
+        prog
+    }
+}
+
+impl Workload for ImageDenoise {
+    fn info(&self) -> WorkloadInfo {
+        INFO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::arch;
+
+    fn ctx(cta: u64) -> CtaContext {
+        CtaContext {
+            cta,
+            sm_id: 0,
+            slot: 0,
+            arrival: 0,
+            num_sms: 15,
+        }
+    }
+
+    #[test]
+    fn occupancy_is_register_sensitive() {
+        // 63 regs x 64 threads = 4032 regs/CTA: Fermi fits 8 (32K regs).
+        let cfg = arch::gtx570();
+        let imd = ImageDenoise::for_arch(ArchGen::Fermi);
+        let occ = gpu_sim::occupancy(&cfg, &imd.launch()).unwrap();
+        assert_eq!(occ.ctas_per_sm, 8);
+    }
+
+    #[test]
+    fn horizontal_neighbours_share_window_words() {
+        let imd = ImageDenoise::new(4, 4, 6);
+        let words = |cta| {
+            imd.warp_program(&ctx(cta), 0)
+                .iter()
+                .filter_map(|op| op.access())
+                .filter(|a| a.tag == TAG_IMAGE)
+                .flat_map(|a| a.addrs.clone())
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        // CTA 0 (bx=0) and CTA 1 (bx=1) share by=0: column windows overlap.
+        let shared: Vec<_> = words(0).intersection(&words(1)).cloned().collect();
+        assert!(!shared.is_empty(), "apron must overlap row neighbours");
+    }
+
+    #[test]
+    fn warps_cover_disjoint_window_rows() {
+        let imd = ImageDenoise::new(2, 2, 4);
+        let rows = |w| {
+            imd.warp_program(&ctx(0), w)
+                .iter()
+                .filter_map(|op| op.access())
+                .filter(|a| a.tag == TAG_IMAGE)
+                .map(|a| a.addrs[0] / 4 / imd.image_row_words())
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        assert!(rows(0).intersection(&rows(1)).count() == 0);
+        assert_eq!(rows(0).len() + rows(1).len(), (8 + 2 * 4) as usize);
+    }
+}

@@ -1,0 +1,154 @@
+//! Workload metadata: the characteristics the paper tabulates in Table 2.
+
+use gpu_sim::{ArchGen, KernelSpec};
+use std::fmt;
+
+/// The paper's locality-source category of a workload (Table 2
+/// "Category"; Figure 4 defines the five patterns, and BFS carries the
+/// combined "Data & Writing" label).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperCategory {
+    /// Inter-CTA reuse inherent in the algorithm.
+    Algorithm,
+    /// Inter-CTA reuse introduced by long L1 cache lines.
+    CacheLine,
+    /// Reuse dependent on irregular runtime data.
+    Data,
+    /// Reuse destroyed by write-evict interference.
+    Write,
+    /// Both data- and write-related (BFS).
+    DataWrite,
+    /// No reuse: coalesced, used-once streams.
+    Streaming,
+}
+
+impl PaperCategory {
+    /// Whether the paper treats this category's locality as exploitable by
+    /// CTA-Clustering (§4.1).
+    pub fn exploitable(&self) -> bool {
+        matches!(self, PaperCategory::Algorithm | PaperCategory::CacheLine)
+    }
+}
+
+impl fmt::Display for PaperCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PaperCategory::Algorithm => "Algorithm",
+            PaperCategory::CacheLine => "Cache-line",
+            PaperCategory::Data => "Data",
+            PaperCategory::Write => "Writing",
+            PaperCategory::DataWrite => "Data&Writing",
+            PaperCategory::Streaming => "Streaming",
+        })
+    }
+}
+
+/// Which grid axis the paper's framework partitions the workload along
+/// (Table 2 "Partition"): `X-P` clusters CTAs sharing a `blockIdx.x`
+/// value (column-major indexing), `Y-P` clusters CTAs sharing a
+/// `blockIdx.y` value (row-major indexing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionHint {
+    /// Partition along X: column-major CTA indexing.
+    X,
+    /// Partition along Y: row-major CTA indexing.
+    Y,
+}
+
+impl fmt::Display for PartitionHint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PartitionHint::X => "X-P",
+            PartitionHint::Y => "Y-P",
+        })
+    }
+}
+
+/// Static description of one benchmark (one row of Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadInfo {
+    /// Paper abbreviation (e.g. `"MM"`).
+    pub abbr: &'static str,
+    /// Full application name.
+    pub full_name: &'static str,
+    /// One-line description (Table 2 "Description").
+    pub description: &'static str,
+    /// Locality-source category.
+    pub category: PaperCategory,
+    /// Warps per CTA (Table 2 "WP").
+    pub warps_per_cta: u32,
+    /// Partition axis the framework selects.
+    pub partition: PartitionHint,
+    /// Optimal active agents per SM for CTA throttling, per architecture
+    /// in Table 1 order [Fermi, Kepler, Maxwell, Pascal]
+    /// (Table 2 "Opt Agents").
+    pub opt_agents: [u32; 4],
+    /// Registers per thread, per architecture (Table 2 "Registers").
+    pub regs: [u32; 4],
+    /// Shared memory bytes per CTA (Table 2 "SMem").
+    pub smem: u32,
+    /// Benchmark suite of origin (Table 2 "Ref").
+    pub source: &'static str,
+}
+
+impl WorkloadInfo {
+    /// Index of `arch` into the per-architecture arrays.
+    pub fn arch_index(arch: ArchGen) -> usize {
+        match arch {
+            ArchGen::Fermi => 0,
+            ArchGen::Kepler => 1,
+            ArchGen::Maxwell => 2,
+            ArchGen::Pascal => 3,
+        }
+    }
+
+    /// Registers per thread on `arch`.
+    pub fn regs_for(&self, arch: ArchGen) -> u32 {
+        self.regs[Self::arch_index(arch)]
+    }
+
+    /// Optimal throttling degree on `arch`.
+    pub fn opt_agents_for(&self, arch: ArchGen) -> u32 {
+        self.opt_agents[Self::arch_index(arch)]
+    }
+}
+
+/// A benchmark workload: a simulatable kernel plus its Table 2 metadata.
+pub trait Workload: KernelSpec {
+    /// Static characteristics (Table 2 row).
+    fn info(&self) -> WorkloadInfo;
+}
+
+impl<W: Workload + ?Sized> Workload for Box<W> {
+    fn info(&self) -> WorkloadInfo {
+        (**self).info()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exploitability_matches_paper() {
+        assert!(PaperCategory::Algorithm.exploitable());
+        assert!(PaperCategory::CacheLine.exploitable());
+        assert!(!PaperCategory::Data.exploitable());
+        assert!(!PaperCategory::Write.exploitable());
+        assert!(!PaperCategory::DataWrite.exploitable());
+        assert!(!PaperCategory::Streaming.exploitable());
+    }
+
+    #[test]
+    fn arch_indexing() {
+        assert_eq!(WorkloadInfo::arch_index(ArchGen::Fermi), 0);
+        assert_eq!(WorkloadInfo::arch_index(ArchGen::Pascal), 3);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(PaperCategory::DataWrite.to_string(), "Data&Writing");
+        assert_eq!(PartitionHint::X.to_string(), "X-P");
+        assert_eq!(PartitionHint::Y.to_string(), "Y-P");
+    }
+}

@@ -1,0 +1,202 @@
+//! KMN — k-means clustering (Rodinia).
+//!
+//! Every CTA streams its own slice of the point array but re-reads the
+//! *entire centroid table* when assigning points to clusters. The
+//! centroid table is therefore reused by every CTA in the grid: textbook
+//! algorithm-related inter-CTA locality. The paper finds KMN is also the
+//! algorithm app most sensitive to CTA throttling (optimal agents = 1 on
+//! all four architectures): the point stream of concurrently-resident
+//! CTAs thrashes the centroids out of the small L1 between reuses.
+
+use crate::common::{read_words, write_words};
+use crate::info::{PaperCategory, PartitionHint, Workload, WorkloadInfo};
+use gpu_sim::{ArchGen, CtaContext, KernelSpec, LaunchConfig, Op, Program};
+
+const INFO: WorkloadInfo = WorkloadInfo {
+    abbr: "KMN",
+    full_name: "kmeans",
+    description: "Clustering algorithm",
+    category: PaperCategory::Algorithm,
+    warps_per_cta: 8,
+    partition: PartitionHint::X,
+    opt_agents: [1, 1, 1, 1],
+    regs: [14, 17, 16, 18],
+    smem: 0,
+    source: "Rodinia",
+};
+
+const TAG_POINTS: u16 = 0;
+const TAG_CENTROIDS: u16 = 1;
+const TAG_ASSIGN: u16 = 2;
+
+/// The k-means workload model.
+#[derive(Debug, Clone)]
+pub struct Kmeans {
+    /// CTAs in the (1D) grid.
+    pub grid: u32,
+    /// Clusters (centroid count).
+    pub k: u32,
+    /// Features per point.
+    pub features: u32,
+    /// Point chunks per CTA; the centroid table is re-walked once per
+    /// chunk, as the Rodinia kernel re-reads every centroid per point.
+    pub chunks: u32,
+    /// Registers per thread (architecture dependent, Table 2).
+    pub regs: u32,
+}
+
+impl Kmeans {
+    /// Default evaluation-scale instance for `arch`. The centroid table
+    /// (k x features words) is sized so that it thrashes against the
+    /// point stream at full occupancy but survives in L1 once throttled —
+    /// the effect behind KMN's optimal agent count of 1 in Table 2.
+    pub fn for_arch(arch: ArchGen) -> Self {
+        Kmeans {
+            grid: 240,
+            k: 256,
+            features: 8,
+            chunks: 2,
+            regs: INFO.regs_for(arch),
+        }
+    }
+
+    /// Custom-sized instance (Fermi register footprint).
+    pub fn new(grid: u32, k: u32, features: u32) -> Self {
+        Kmeans {
+            grid,
+            k,
+            features,
+            chunks: 1,
+            regs: INFO.regs[0],
+        }
+    }
+}
+
+impl KernelSpec for Kmeans {
+    fn name(&self) -> String {
+        format!("KMN(grid={},k={},f={})", self.grid, self.k, self.features)
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(self.grid, 256u32)
+            .with_regs(self.regs)
+            .with_smem(INFO.smem)
+    }
+
+    fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
+        let mut prog = Program::new();
+        let threads_per_cta = 256u64;
+        for c in 0..self.chunks as u64 {
+            let point0 = ((ctx.cta * self.chunks as u64 + c) * threads_per_cta
+                + warp as u64 * 32)
+                * self.features as u64;
+            // Stream this chunk's 32 points per warp (feature-major rows,
+            // coalesced per feature plane).
+            for f in 0..self.features as u64 {
+                prog.push(read_words(TAG_POINTS, point0 + f * 32, 32));
+            }
+            // Walk the full centroid table: k * features words, warp-wide,
+            // once per point chunk (every point compares to every centroid).
+            let table_words = self.k as u64 * self.features as u64;
+            let mut w = 0;
+            while w < table_words {
+                let lanes = (table_words - w).min(32) as u32;
+                prog.push(read_words(TAG_CENTROIDS, w, lanes));
+                prog.push(Op::Compute(4));
+                w += 32;
+            }
+            // Write the chunk's per-point cluster assignments.
+            prog.push(write_words(
+                TAG_ASSIGN,
+                (ctx.cta * self.chunks as u64 + c) * threads_per_cta + warp as u64 * 32,
+                32,
+            ));
+        }
+        prog
+    }
+}
+
+impl Workload for Kmeans {
+    fn info(&self) -> WorkloadInfo {
+        INFO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::arch;
+
+    #[test]
+    fn table2_row() {
+        let k = Kmeans::for_arch(ArchGen::Fermi);
+        assert_eq!(k.info().abbr, "KMN");
+        assert_eq!(k.info().warps_per_cta, 8);
+        assert_eq!(k.launch().warps_per_cta(32), 8);
+        assert_eq!(k.regs, 14);
+        assert_eq!(Kmeans::for_arch(ArchGen::Pascal).regs, 18);
+    }
+
+    #[test]
+    fn baseline_ctas_per_sm_matches_table2() {
+        // Table 2 "CTAs": 6/8/8/8 for Fermi/Kepler/Maxwell/Pascal.
+        let expect = [6u32, 8, 8, 8];
+        for (i, cfg) in arch::all_presets().into_iter().enumerate() {
+            let k = Kmeans::for_arch(cfg.arch);
+            let occ = gpu_sim::occupancy(&cfg, &k.launch()).unwrap();
+            assert_eq!(occ.ctas_per_sm, expect[i], "on {}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn centroid_table_is_shared_across_ctas() {
+        let k = Kmeans::new(4, 16, 4);
+        let ctx = |cta| CtaContext {
+            cta,
+            sm_id: 0,
+            slot: 0,
+            arrival: 0,
+            num_sms: 15,
+        };
+        let p0 = k.warp_program(&ctx(0), 0);
+        let p1 = k.warp_program(&ctx(1), 0);
+        let centroid_addrs = |p: &Program| {
+            p.iter()
+                .filter_map(|op| op.access())
+                .filter(|a| a.tag == TAG_CENTROIDS)
+                .flat_map(|a| a.addrs.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(centroid_addrs(&p0), centroid_addrs(&p1));
+        // Point loads are disjoint.
+        let points = |p: &Program| {
+            p.iter()
+                .filter_map(|op| op.access())
+                .filter(|a| a.tag == TAG_POINTS)
+                .flat_map(|a| a.addrs.clone())
+                .collect::<Vec<_>>()
+        };
+        assert!(points(&p0).iter().all(|a| !points(&p1).contains(a)));
+    }
+
+    #[test]
+    fn partial_tail_load_has_fewer_lanes() {
+        // 5 features x 5 clusters = 25 words: single 25-lane load.
+        let k = Kmeans::new(1, 5, 5);
+        let ctx = CtaContext {
+            cta: 0,
+            sm_id: 0,
+            slot: 0,
+            arrival: 0,
+            num_sms: 1,
+        };
+        let p = k.warp_program(&ctx, 0);
+        let lanes: Vec<usize> = p
+            .iter()
+            .filter_map(|op| op.access())
+            .filter(|a| a.tag == TAG_CENTROIDS)
+            .map(|a| a.addrs.len())
+            .collect();
+        assert_eq!(lanes, vec![25]);
+    }
+}

@@ -1,0 +1,91 @@
+//! # gpu-kernels
+//!
+//! Workload models of the 33 GPU applications evaluated by
+//! *"Locality-Aware CTA Clustering for Modern GPUs"* (ASPLOS 2017): the
+//! 23 benchmarks of its Table 2 plus the 10 additional apps of its
+//! Figure 3, and the Listing 3 microbenchmark behind its Figure 2.
+//!
+//! Each workload implements [`gpu_sim::KernelSpec`] — generating the
+//! kernel's per-warp global-memory access stream — plus [`Workload`],
+//! which carries the Table 2 metadata (category, warps/CTA, registers,
+//! shared memory, partition axis, optimal throttling agents).
+//!
+//! Inter-CTA locality is a property of address streams, and these models
+//! generate the documented streams of the original CUDA kernels:
+//! algorithm-related apps share concrete words across CTAs along their
+//! partition axis, cache-line-related apps share 128-byte lines but not
+//! words, data-related apps collide through seeded irregular structures,
+//! NW's wavefront reads neighbours' freshly-written lines, and streaming
+//! apps touch every word exactly once.
+//!
+//! ## Example
+//!
+//! ```
+//! use gpu_kernels::{suite, Workload};
+//! use gpu_sim::{arch, ArchGen, Simulation};
+//!
+//! let mm = suite::by_abbr("MM", ArchGen::Kepler).expect("known workload");
+//! let stats = Simulation::new(arch::tesla_k40(), &mm).run()?;
+//! println!("{}: {} cycles, {} L2 txns", mm.info().abbr, stats.cycles, stats.l2_transactions());
+//! # Ok::<(), gpu_sim::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod common;
+mod info;
+pub mod suite;
+
+mod atax;
+mod backprop;
+mod bfs;
+mod bicg;
+mod blackscholes;
+mod btree;
+mod conv3d;
+mod dct;
+mod dxtc;
+pub mod extras;
+mod histogram;
+mod hotspot;
+mod image_denoise;
+mod kmeans;
+mod matrix_mul;
+mod microbench;
+mod montecarlo;
+mod mvt;
+mod nbody;
+mod nn;
+mod nw;
+mod sad;
+mod sgemm;
+mod syr2k;
+mod syrk;
+
+pub use atax::Atax;
+pub use backprop::Backprop;
+pub use bfs::Bfs;
+pub use bicg::Bicg;
+pub use blackscholes::BlackScholes;
+pub use btree::BTree;
+pub use conv3d::Conv3d;
+pub use dct::Dct;
+pub use dxtc::Dxtc;
+pub use extras::ExtraApp;
+pub use histogram::Histogram;
+pub use hotspot::Hotspot;
+pub use image_denoise::ImageDenoise;
+pub use info::{PaperCategory, PartitionHint, Workload, WorkloadInfo};
+pub use kmeans::Kmeans;
+pub use matrix_mul::MatrixMul;
+pub use microbench::Microbench;
+pub use montecarlo::MonteCarlo;
+pub use mvt::Mvt;
+pub use nbody::Nbody;
+pub use nn::NeuralNet;
+pub use nw::NeedlemanWunsch;
+pub use sad::Sad;
+pub use sgemm::Sgemm;
+pub use syr2k::Syr2k;
+pub use syrk::Syrk;

@@ -1,0 +1,197 @@
+//! MM — tiled dense matrix multiplication (CUDA SDK), the paper's running
+//! example (Figure 8).
+//!
+//! CTA `(bx, by)` computes the C tile at `(bx, by)`. Over the k-loop it
+//! loads A tiles `(k, by)` — shared with every CTA of the same `by` (the
+//! "S region" of Figure 8-(A)) — and B tiles `(bx, k)` — shared with every
+//! CTA of the same `bx` (the "T region"). Intra-CTA reuse is handled by
+//! shared memory in the real kernel, so the global traffic is exactly
+//! these tile loads.
+//!
+//! The paper's §5.2-(6) explains why MM gains little from clustering
+//! despite the reuse: the inter-CTA reuse distance (one full A row band,
+//! `32 * N` words) exceeds the L1, and 32 warps per CTA leave only one or
+//! two agents per SM.
+
+use crate::common::{read_words, write_words};
+use crate::info::{PaperCategory, PartitionHint, Workload, WorkloadInfo};
+use gpu_sim::{ArchGen, CtaContext, Dim3, KernelSpec, LaunchConfig, Op, Program};
+
+const INFO: WorkloadInfo = WorkloadInfo {
+    abbr: "MM",
+    full_name: "matrixMul",
+    description: "Matrix multiplication",
+    category: PaperCategory::Algorithm,
+    warps_per_cta: 32,
+    partition: PartitionHint::Y,
+    opt_agents: [1, 2, 2, 2],
+    regs: [22, 29, 32, 27],
+    smem: 8192,
+    source: "CUDA SDK",
+};
+
+const TAG_A: u16 = 0;
+const TAG_B: u16 = 1;
+const TAG_C: u16 = 2;
+const TILE: u64 = 32;
+
+/// The tiled matrix-multiplication workload model.
+#[derive(Debug, Clone)]
+pub struct MatrixMul {
+    /// C tiles along X (`gridDim.x`).
+    pub tiles_x: u32,
+    /// C tiles along Y (`gridDim.y`).
+    pub tiles_y: u32,
+    /// Tiles along the contraction dimension.
+    pub tiles_k: u32,
+    /// Registers per thread.
+    pub regs: u32,
+}
+
+impl MatrixMul {
+    /// Default evaluation-scale instance for `arch`.
+    pub fn for_arch(arch: ArchGen) -> Self {
+        MatrixMul {
+            tiles_x: 10,
+            tiles_y: 10,
+            tiles_k: 10,
+            regs: INFO.regs_for(arch),
+        }
+    }
+
+    /// Custom-sized instance.
+    pub fn new(tiles_x: u32, tiles_y: u32, tiles_k: u32) -> Self {
+        MatrixMul {
+            tiles_x,
+            tiles_y,
+            tiles_k,
+            regs: INFO.regs[0],
+        }
+    }
+
+    /// Row length of A in words (the contraction dimension).
+    fn a_row_words(&self) -> u64 {
+        self.tiles_k as u64 * TILE
+    }
+
+    /// Row length of B and C in words.
+    fn b_row_words(&self) -> u64 {
+        self.tiles_x as u64 * TILE
+    }
+}
+
+impl KernelSpec for MatrixMul {
+    fn name(&self) -> String {
+        format!("MM({}x{}x{})", self.tiles_y, self.tiles_k, self.tiles_x)
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(Dim3::plane(self.tiles_x, self.tiles_y), Dim3::plane(32, 32))
+            .with_regs(self.regs)
+            .with_smem(INFO.smem)
+    }
+
+    fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
+        let (bx, by, _) = self.launch().grid.coords_row_major(ctx.cta);
+        let mut prog = Program::new();
+        for kt in 0..self.tiles_k as u64 {
+            // Warp `w` stages row `w` of the A and B tiles into shared
+            // memory (each a coalesced 32-word line).
+            let a_row = by as u64 * TILE + warp as u64;
+            prog.push(read_words(TAG_A, a_row * self.a_row_words() + kt * TILE, 32));
+            let b_row = kt * TILE + warp as u64;
+            prog.push(read_words(TAG_B, b_row * self.b_row_words() + bx as u64 * TILE, 32));
+            prog.push(Op::Barrier);
+            prog.push(Op::Compute(24)); // 2*TILE FMAs per thread per tile
+            prog.push(Op::Barrier);
+        }
+        let c_row = by as u64 * TILE + warp as u64;
+        prog.push(write_words(TAG_C, c_row * self.b_row_words() + bx as u64 * TILE, 32));
+        prog
+    }
+}
+
+impl Workload for MatrixMul {
+    fn info(&self) -> WorkloadInfo {
+        INFO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::arch;
+
+    fn ctx(cta: u64) -> CtaContext {
+        CtaContext {
+            cta,
+            sm_id: 0,
+            slot: 0,
+            arrival: 0,
+            num_sms: 15,
+        }
+    }
+
+    fn addrs_of(p: &Program, tag: u16) -> Vec<u64> {
+        p.iter()
+            .filter_map(|op| op.access())
+            .filter(|a| a.tag == tag)
+            .flat_map(|a| a.addrs.clone())
+            .collect()
+    }
+
+    #[test]
+    fn table2_row_and_occupancy() {
+        // Table 2 "CTAs": 1/2/2/2 (32 warps per CTA, warp-slot bound).
+        let expect = [1u32, 2, 2, 2];
+        for (i, cfg) in arch::all_presets().into_iter().enumerate() {
+            let mm = MatrixMul::for_arch(cfg.arch);
+            let occ = gpu_sim::occupancy(&cfg, &mm.launch()).unwrap();
+            assert_eq!(occ.ctas_per_sm, expect[i], "on {}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn same_by_ctas_share_a_tiles() {
+        let mm = MatrixMul::new(4, 4, 4);
+        // CTA (0,1) is cta id 4; CTA (1,1) is cta id 5 (row-major).
+        let a0 = addrs_of(&mm.warp_program(&ctx(4), 0), TAG_A);
+        let a1 = addrs_of(&mm.warp_program(&ctx(5), 0), TAG_A);
+        assert_eq!(a0, a1, "A loads shared along a row of CTAs");
+        // B loads differ between those CTAs...
+        let b0 = addrs_of(&mm.warp_program(&ctx(4), 0), TAG_B);
+        let b1 = addrs_of(&mm.warp_program(&ctx(5), 0), TAG_B);
+        assert_ne!(b0, b1);
+        // ...but are shared along a column: CTA (1,0) id 1 and (1,1) id 5.
+        let b_col = addrs_of(&mm.warp_program(&ctx(1), 0), TAG_B);
+        assert_eq!(b_col, b1);
+    }
+
+    #[test]
+    fn c_stores_are_disjoint_across_ctas() {
+        let mm = MatrixMul::new(3, 3, 2);
+        let mut all: Vec<u64> = Vec::new();
+        for cta in 0..9 {
+            for w in 0..32 {
+                all.extend(addrs_of(&mm.warp_program(&ctx(cta), w), TAG_C));
+            }
+        }
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "every C word written exactly once");
+    }
+
+    #[test]
+    fn barrier_structure_is_uniform_across_warps() {
+        let mm = MatrixMul::new(2, 2, 3);
+        let count = |w| {
+            mm.warp_program(&ctx(0), w)
+                .iter()
+                .filter(|op| op.is_barrier())
+                .count()
+        };
+        assert_eq!(count(0), count(31));
+        assert_eq!(count(0), 6);
+    }
+}

@@ -1,0 +1,129 @@
+//! The paper's Listing 3 microbenchmark, used to demonstrate that
+//! temporal and spatial inter-CTA locality can be harvested on L1
+//! (Figure 2).
+//!
+//! Single-warp CTAs in which only the primary thread loads one word whose
+//! address depends on the **physical SM id** (`input[32 * smid]`), so
+//! every CTA landing on the same SM requests the same cache line while
+//! CTAs on different SMs never share. The CTA count is chosen as
+//! `SMs x CTA_slots x turnarounds`; the staggered variant delays each CTA
+//! by `DELAY x blockIdx.x` cycles to de-align the concurrent CTAs'
+//! accesses (spatial-reuse measurement).
+
+use gpu_sim::{CtaContext, GpuConfig, KernelSpec, LaunchConfig, MemAccess, Op, Program};
+
+/// The Listing 3 microbenchmark kernel.
+#[derive(Debug, Clone)]
+pub struct Microbench {
+    /// Total CTAs to launch.
+    pub ctas: u32,
+    /// Staggered execution (Figure 2-(B)) vs default (Figure 2-(A)).
+    pub staggered: bool,
+    /// Stagger delay per CTA id, in cycles (the paper uses 1200).
+    pub delay: u32,
+}
+
+impl Microbench {
+    /// The paper's configuration for `cfg`: all CTA slots filled for
+    /// `turnarounds` rounds (Listing 3 lines 18-21 use 4/4/2/2 rounds on
+    /// Fermi/Kepler/Maxwell/Pascal).
+    pub fn for_gpu(cfg: &GpuConfig, turnarounds: u32, staggered: bool) -> Self {
+        Microbench {
+            ctas: cfg.num_sms as u32 * cfg.cta_slots * turnarounds,
+            staggered,
+            delay: 1200,
+        }
+    }
+
+    /// Explicit configuration.
+    pub fn new(ctas: u32, staggered: bool, delay: u32) -> Self {
+        Microbench {
+            ctas,
+            staggered,
+            delay,
+        }
+    }
+}
+
+impl KernelSpec for Microbench {
+    fn name(&self) -> String {
+        format!(
+            "microbench({} CTAs{})",
+            self.ctas,
+            if self.staggered { ", staggered" } else { "" }
+        )
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(self.ctas, 32u32).with_regs(16)
+    }
+
+    fn warp_program(&self, ctx: &CtaContext, _warp: u32) -> Program {
+        let mut prog = Program::new();
+        if self.staggered {
+            // while(clock()-t0 < DELAY*bid): de-align concurrent CTAs.
+            // The delay is folded modulo one SM's worth of stagger so the
+            // simulated horizon stays reasonable on large grids.
+            let rounds = (ctx.cta / ctx.num_sms as u64) as u32;
+            prog.push(Op::Compute(self.delay.saturating_mul(rounds % 64)));
+        }
+        // tmp = input[32 * smid]: one 4-byte load by the primary thread.
+        prog.push(Op::Load(MemAccess::scalar(0, 32 * 4 * ctx.sm_id as u64, 4)));
+        prog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{arch, Simulation, VecSink};
+
+    #[test]
+    fn paper_cta_counts() {
+        // Listing 3 lines 18-21.
+        assert_eq!(Microbench::for_gpu(&arch::gtx570(), 4, false).ctas, 480);
+        assert_eq!(Microbench::for_gpu(&arch::tesla_k40(), 4, false).ctas, 960);
+        assert_eq!(Microbench::for_gpu(&arch::gtx980(), 2, false).ctas, 1024);
+        assert_eq!(Microbench::for_gpu(&arch::gtx1080(), 2, false).ctas, 1280);
+    }
+
+    #[test]
+    fn per_sm_addresses_never_alias() {
+        let mb = Microbench::new(64, false, 0);
+        let addr = |sm_id| {
+            let ctx = CtaContext {
+                cta: 0,
+                sm_id,
+                slot: 0,
+                arrival: 0,
+                num_sms: 15,
+            };
+            mb.warp_program(&ctx, 0)
+                .iter()
+                .find_map(|op| op.access().map(|a| a.addrs[0]))
+                .unwrap()
+        };
+        assert_ne!(addr(0), addr(1));
+        assert_eq!(addr(3), 3 * 128);
+    }
+
+    #[test]
+    fn temporal_locality_visible_in_latencies() {
+        // Figure 2-(A): first-turnaround CTAs see DRAM latency, later
+        // turnarounds see ~L1 latency.
+        let cfg = arch::gtx570();
+        let mb = Microbench::for_gpu(&cfg, 4, false);
+        let mut sink = VecSink::new();
+        let stats = Simulation::new(cfg.clone(), &mb).run_traced(&mut sink).unwrap();
+        assert_eq!(stats.placements.len(), 480);
+        let slow = sink.events.iter().filter(|e| e.latency > cfg.timings.l2_hit as u64).count();
+        let fast = sink
+            .events
+            .iter()
+            .filter(|e| e.latency <= cfg.timings.l1_hit as u64 + 8)
+            .count();
+        // Only around one turnaround's worth of accesses can be slow.
+        assert!(slow <= 480 / 3, "slow={slow}");
+        assert!(fast >= 480 / 2, "fast={fast}");
+    }
+}

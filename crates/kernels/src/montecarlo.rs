@@ -1,0 +1,130 @@
+//! MON — Monte Carlo option pricing (CUDA SDK `MonteCarlo`).
+//!
+//! Pure streaming: every CTA consumes its own slice of pre-generated
+//! quasi-random samples, reduces in shared memory and writes one result
+//! block. No inter-CTA reuse exists (paper category: streaming); the
+//! framework's reshaped-order prefetching is the only applicable
+//! optimization.
+
+use crate::common::{read_words, write_words};
+use crate::info::{PaperCategory, PartitionHint, Workload, WorkloadInfo};
+use gpu_sim::{ArchGen, CtaContext, KernelSpec, LaunchConfig, Op, Program};
+
+const INFO: WorkloadInfo = WorkloadInfo {
+    abbr: "MON",
+    full_name: "MonteCarlo",
+    description: "Option call price via MonteCarlo method",
+    category: PaperCategory::Streaming,
+    warps_per_cta: 8,
+    partition: PartitionHint::X,
+    opt_agents: [4, 4, 8, 8],
+    regs: [28, 28, 28, 28],
+    smem: 4096,
+    source: "CUDA SDK",
+};
+
+const TAG_SAMPLES: u16 = 0;
+const TAG_RESULTS: u16 = 1;
+
+/// The Monte Carlo pricing workload model.
+#[derive(Debug, Clone)]
+pub struct MonteCarlo {
+    /// CTAs in the 1D grid (one option batch each).
+    pub grid: u32,
+    /// Sample batches (of 256 words) per CTA.
+    pub batches: u32,
+    /// Registers per thread.
+    pub regs: u32,
+}
+
+impl MonteCarlo {
+    /// Default evaluation-scale instance for `arch`.
+    pub fn for_arch(arch: ArchGen) -> Self {
+        MonteCarlo {
+            grid: 256,
+            batches: 6,
+            regs: INFO.regs_for(arch),
+        }
+    }
+
+    /// Custom-sized instance.
+    pub fn new(grid: u32, batches: u32) -> Self {
+        MonteCarlo {
+            grid,
+            batches,
+            regs: INFO.regs[0],
+        }
+    }
+}
+
+impl KernelSpec for MonteCarlo {
+    fn name(&self) -> String {
+        format!("MON(grid={},b{})", self.grid, self.batches)
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(self.grid, 256u32)
+            .with_regs(self.regs)
+            .with_smem(INFO.smem)
+    }
+
+    fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
+        let mut prog = Program::new();
+        for b in 0..self.batches as u64 {
+            let word = ((ctx.cta * self.batches as u64 + b) * 8 + warp as u64) * 32;
+            prog.push(read_words(TAG_SAMPLES, word, 32));
+            prog.push(Op::Compute(20)); // path evaluation
+        }
+        // Block-wide reduction then one result line.
+        prog.push(Op::Barrier);
+        if warp == 0 {
+            prog.push(write_words(TAG_RESULTS, ctx.cta * 32, 32));
+        } else {
+            prog.push(Op::Compute(1));
+        }
+        prog
+    }
+}
+
+impl Workload for MonteCarlo {
+    fn info(&self) -> WorkloadInfo {
+        INFO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(cta: u64) -> CtaContext {
+        CtaContext {
+            cta,
+            sm_id: 0,
+            slot: 0,
+            arrival: 0,
+            num_sms: 15,
+        }
+    }
+
+    #[test]
+    fn sample_slices_disjoint_across_ctas() {
+        let m = MonteCarlo::new(4, 2);
+        let words = |cta| {
+            (0..8)
+                .flat_map(|w| m.warp_program(&ctx(cta), w))
+                .filter_map(|op| op.access().cloned())
+                .filter(|a| a.tag == TAG_SAMPLES)
+                .flat_map(|a| a.addrs)
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        assert_eq!(words(0).intersection(&words(1)).count(), 0);
+        assert_eq!(words(1).intersection(&words(3)).count(), 0);
+    }
+
+    #[test]
+    fn shared_memory_footprint_matches_table2() {
+        let m = MonteCarlo::for_arch(ArchGen::Fermi);
+        assert_eq!(m.launch().smem_per_cta, 4096);
+        assert_eq!(m.info().opt_agents, [4, 4, 8, 8]);
+    }
+}

@@ -1,0 +1,160 @@
+//! MVT — matrix-vector product and transpose (PolyBench `mvt`):
+//! `x1 += A * y1; x2 += A' * y2`.
+//!
+//! Both phases walk the same A panels with the row-panel pattern, so the
+//! cache-line-shared fetches are touched twice per CTA. Structurally the
+//! PolyBench twin of [`Atax`](crate::Atax) (identical register footprint
+//! in Table 2) but with two independent vector inputs.
+
+use crate::common::{panel_reads, read_words, write_words};
+use crate::info::{PaperCategory, PartitionHint, Workload, WorkloadInfo};
+use gpu_sim::{ArchGen, CtaContext, Dim3, KernelSpec, LaunchConfig, Op, Program};
+
+const INFO: WorkloadInfo = WorkloadInfo {
+    abbr: "MVT",
+    full_name: "mvt",
+    description: "Matrix vector product and transpose",
+    category: PaperCategory::CacheLine,
+    warps_per_cta: 8,
+    partition: PartitionHint::X,
+    opt_agents: [1, 1, 1, 1],
+    regs: [13, 17, 17, 22],
+    smem: 0,
+    source: "PolyBench",
+};
+
+const TAG_A: u16 = 0;
+const TAG_Y1: u16 = 1;
+const TAG_Y2: u16 = 2;
+const TAG_X1: u16 = 3;
+const TAG_X2: u16 = 4;
+
+const PANEL_WORDS: u64 = 8;
+
+/// The mvt workload model.
+#[derive(Debug, Clone)]
+pub struct Mvt {
+    /// Row blocks (256 rows each).
+    pub grid_x: u32,
+    /// Column panels.
+    pub grid_y: u32,
+    /// Registers per thread.
+    pub regs: u32,
+}
+
+impl Mvt {
+    /// Default evaluation-scale instance for `arch`.
+    pub fn for_arch(arch: ArchGen) -> Self {
+        Mvt {
+            grid_x: 4,
+            grid_y: 32,
+            regs: INFO.regs_for(arch),
+        }
+    }
+
+    /// Custom-sized instance.
+    pub fn new(grid_x: u32, grid_y: u32) -> Self {
+        Mvt {
+            grid_x,
+            grid_y,
+            regs: INFO.regs[0],
+        }
+    }
+
+    fn row_words(&self) -> u64 {
+        self.grid_y as u64 * PANEL_WORDS
+    }
+}
+
+impl KernelSpec for Mvt {
+    fn name(&self) -> String {
+        format!("MVT({}x{})", self.grid_x, self.grid_y)
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(Dim3::plane(self.grid_x, self.grid_y), 256u32)
+            .with_regs(self.regs)
+            .with_smem(INFO.smem)
+    }
+
+    fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
+        let (bx, by, _) = self.launch().grid.coords_row_major(ctx.cta);
+        let row0 = bx as u64 * 256 + warp as u64 * 32;
+        let col0 = by as u64 * PANEL_WORDS;
+        let mut prog = Program::new();
+        // Phase 1: x1 += A * y1.
+        prog.push(read_words(TAG_Y1, col0, PANEL_WORDS as u32));
+        prog.extend(panel_reads(TAG_A, row0, self.row_words(), col0, PANEL_WORDS, 32));
+        prog.push(Op::Compute(6));
+        prog.push(write_words(TAG_X1, row0, 32));
+        prog.push(Op::Barrier);
+        // Phase 2: x2 += A' * y2 over the same panel.
+        prog.push(read_words(TAG_Y2, row0 / 8, PANEL_WORDS as u32));
+        prog.extend(panel_reads(TAG_A, row0, self.row_words(), col0, PANEL_WORDS, 32));
+        prog.push(Op::Compute(6));
+        if warp == 0 {
+            prog.push(write_words(
+                TAG_X2,
+                (bx as u64 * self.grid_y as u64 + by as u64) * PANEL_WORDS,
+                PANEL_WORDS as u32,
+            ));
+        } else {
+            prog.push(Op::Compute(1));
+        }
+        prog
+    }
+}
+
+impl Workload for Mvt {
+    fn info(&self) -> WorkloadInfo {
+        INFO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(cta: u64) -> CtaContext {
+        CtaContext {
+            cta,
+            sm_id: 0,
+            slot: 0,
+            arrival: 0,
+            num_sms: 15,
+        }
+    }
+
+    #[test]
+    fn a_panel_walked_twice() {
+        let m = Mvt::new(2, 4);
+        let n = m
+            .warp_program(&ctx(0), 0)
+            .iter()
+            .filter(|op| op.access().map(|a| a.tag == TAG_A).unwrap_or(false))
+            .count();
+        assert_eq!(n, 2 * PANEL_WORDS as usize);
+    }
+
+    #[test]
+    fn intra_cta_panel_reuse_exists() {
+        // The second phase re-reads the same words as the first: the
+        // reuse the L1 can capture even without clustering.
+        let m = Mvt::new(2, 4);
+        let p = m.warp_program(&ctx(0), 0);
+        let words: Vec<u64> = p
+            .iter()
+            .filter_map(|op| op.access())
+            .filter(|a| a.tag == TAG_A)
+            .flat_map(|a| a.addrs.clone())
+            .collect();
+        let unique: std::collections::BTreeSet<_> = words.iter().collect();
+        assert_eq!(words.len(), unique.len() * 2);
+    }
+
+    #[test]
+    fn regs_match_atax_twin() {
+        assert_eq!(INFO.regs, [13, 17, 17, 22]);
+        assert_eq!(Mvt::for_arch(ArchGen::Pascal).regs, 22);
+    }
+}

@@ -1,0 +1,174 @@
+//! NN — convolutional neural-network layer (GPGPU-Sim benchmark suite).
+//!
+//! Single-warp CTAs (Table 2: WP = 1) compute one row segment of output
+//! pixels each. All CTAs share the small filter table; CTAs in the same
+//! output row (same `blockIdx.y`) share the input-image rows their
+//! receptive fields overlap on — algorithm-related locality clustered by
+//! Y-partitioning.
+
+use crate::common::{read_words, write_words};
+use crate::info::{PaperCategory, PartitionHint, Workload, WorkloadInfo};
+use gpu_sim::{ArchGen, CtaContext, Dim3, KernelSpec, LaunchConfig, Op, Program};
+
+const INFO: WorkloadInfo = WorkloadInfo {
+    abbr: "NN",
+    full_name: "nn",
+    description: "Convolutional neural network",
+    category: PaperCategory::Algorithm,
+    warps_per_cta: 1,
+    partition: PartitionHint::Y,
+    opt_agents: [8, 16, 32, 32],
+    regs: [21, 35, 37, 32],
+    smem: 0,
+    source: "GPGPU-Sim",
+};
+
+const TAG_INPUT: u16 = 0;
+const TAG_FILTER: u16 = 1;
+const TAG_OUTPUT: u16 = 2;
+
+/// The convolution-layer workload model.
+#[derive(Debug, Clone)]
+pub struct NeuralNet {
+    /// CTAs along the output row (each covers 32 pixels).
+    pub grid_x: u32,
+    /// Output rows.
+    pub grid_y: u32,
+    /// Square filter side (e.g. 5 for a 5x5 kernel).
+    pub filter: u32,
+    /// Registers per thread.
+    pub regs: u32,
+}
+
+impl NeuralNet {
+    /// Default evaluation-scale instance for `arch`.
+    pub fn for_arch(arch: ArchGen) -> Self {
+        NeuralNet {
+            grid_x: 16,
+            grid_y: 192,
+            filter: 5,
+            regs: INFO.regs_for(arch),
+        }
+    }
+
+    /// Custom-sized instance.
+    pub fn new(grid_x: u32, grid_y: u32, filter: u32) -> Self {
+        NeuralNet {
+            grid_x,
+            grid_y,
+            filter,
+            regs: INFO.regs[0],
+        }
+    }
+
+    fn input_row_words(&self) -> u64 {
+        self.grid_x as u64 * 32 + self.filter as u64
+    }
+}
+
+impl KernelSpec for NeuralNet {
+    fn name(&self) -> String {
+        format!("NN({}x{},f{})", self.grid_x, self.grid_y, self.filter)
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(Dim3::plane(self.grid_x, self.grid_y), 32u32)
+            .with_regs(self.regs)
+            .with_smem(INFO.smem)
+    }
+
+    fn warp_program(&self, ctx: &CtaContext, _warp: u32) -> Program {
+        let (bx, by, _) = self.launch().grid.coords_row_major(ctx.cta);
+        let mut prog = Program::new();
+        // Filter weights: shared by the whole grid.
+        let fwords = (self.filter * self.filter) as u64;
+        let mut w = 0;
+        while w < fwords {
+            let lanes = (fwords - w).min(32) as u32;
+            prog.push(read_words(TAG_FILTER, w, lanes));
+            w += 32;
+        }
+        // Receptive field: `filter` input rows, each 32 + filter words;
+        // the row span is shared with same-row neighbours (same by).
+        for r in 0..self.filter as u64 {
+            let row = by as u64 + r;
+            let col = bx as u64 * 32;
+            let word = row * self.input_row_words() + col;
+            prog.push(read_words(TAG_INPUT, word, 32));
+            let tail = self.filter.min(32);
+            prog.push(read_words(TAG_INPUT, word + 32, tail));
+            prog.push(Op::Compute(self.filter));
+        }
+        prog.push(write_words(
+            TAG_OUTPUT,
+            by as u64 * self.grid_x as u64 * 32 + bx as u64 * 32,
+            32,
+        ));
+        prog
+    }
+}
+
+impl Workload for NeuralNet {
+    fn info(&self) -> WorkloadInfo {
+        INFO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::arch;
+
+    fn ctx(cta: u64) -> CtaContext {
+        CtaContext {
+            cta,
+            sm_id: 0,
+            slot: 0,
+            arrival: 0,
+            num_sms: 15,
+        }
+    }
+
+    #[test]
+    fn table2_occupancy() {
+        // Table 2 "CTAs": 8/16/32/32 — CTA-slot bound single-warp CTAs.
+        let expect = [8u32, 16, 32, 32];
+        for (i, cfg) in arch::all_presets().into_iter().enumerate() {
+            let nn = NeuralNet::for_arch(cfg.arch);
+            let occ = gpu_sim::occupancy(&cfg, &nn.launch()).unwrap();
+            assert_eq!(occ.ctas_per_sm, expect[i], "on {}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn filter_shared_by_all_ctas() {
+        let nn = NeuralNet::new(4, 4, 5);
+        let filt = |cta| {
+            nn.warp_program(&ctx(cta), 0)
+                .iter()
+                .filter_map(|op| op.access())
+                .filter(|a| a.tag == TAG_FILTER)
+                .flat_map(|a| a.addrs.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(filt(0), filt(13));
+    }
+
+    #[test]
+    fn row_neighbours_share_input_rows() {
+        let nn = NeuralNet::new(4, 4, 5);
+        let rows = |cta| {
+            nn.warp_program(&ctx(cta), 0)
+                .iter()
+                .filter_map(|op| op.access())
+                .filter(|a| a.tag == TAG_INPUT)
+                .map(|a| a.addrs[0] / 4 / nn.input_row_words())
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        // CTAs 0 and 1 share by=0: identical input row sets.
+        assert_eq!(rows(0), rows(1));
+        // CTA 4 (by=1) overlaps but differs.
+        assert_ne!(rows(0), rows(4));
+        assert!(rows(0).intersection(&rows(4)).count() > 0);
+    }
+}

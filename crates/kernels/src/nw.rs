@@ -1,0 +1,171 @@
+//! NW — Needleman-Wunsch DNA sequence alignment (Rodinia `nw`).
+//!
+//! The anti-diagonal wavefront reads the score-matrix cells written by
+//! the previous diagonal's CTAs, at offsets **within one cache line** of
+//! its own writes. Under the write-evict L1, a neighbouring CTA's store
+//! invalidates the very line a reader just fetched — the paper's
+//! write-related category (Figure 4-(D)): locality exists but cannot be
+//! exploited.
+
+use crate::common::{read_words, write_words};
+use crate::info::{PaperCategory, PartitionHint, Workload, WorkloadInfo};
+use gpu_sim::{ArchGen, CtaContext, KernelSpec, LaunchConfig, Op, Program};
+
+const INFO: WorkloadInfo = WorkloadInfo {
+    abbr: "NW",
+    full_name: "nw",
+    description: "DNA sequence alignment algorithm",
+    category: PaperCategory::Write,
+    warps_per_cta: 1,
+    partition: PartitionHint::X,
+    opt_agents: [8, 16, 16, 8],
+    regs: [28, 27, 39, 40],
+    smem: 2180,
+    source: "Rodinia",
+};
+
+const TAG_SCORE: u16 = 0;
+const TAG_REF: u16 = 1;
+
+/// The Needleman-Wunsch workload model.
+#[derive(Debug, Clone)]
+pub struct NeedlemanWunsch {
+    /// CTAs in the 1D grid (one anti-diagonal block each).
+    pub grid: u32,
+    /// Diagonal sweeps fused per kernel.
+    pub sweeps: u32,
+    /// Registers per thread.
+    pub regs: u32,
+}
+
+impl NeedlemanWunsch {
+    /// Default evaluation-scale instance for `arch`.
+    pub fn for_arch(arch: ArchGen) -> Self {
+        NeedlemanWunsch {
+            grid: 768,
+            sweeps: 4,
+            regs: INFO.regs_for(arch),
+        }
+    }
+
+    /// Custom-sized instance.
+    pub fn new(grid: u32, sweeps: u32) -> Self {
+        NeedlemanWunsch {
+            grid,
+            sweeps,
+            regs: INFO.regs[0],
+        }
+    }
+}
+
+impl KernelSpec for NeedlemanWunsch {
+    fn name(&self) -> String {
+        format!("NW(grid={},s{})", self.grid, self.sweeps)
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(self.grid, 32u32)
+            .with_regs(self.regs)
+            .with_smem(INFO.smem)
+    }
+
+    fn warp_program(&self, ctx: &CtaContext, _warp: u32) -> Program {
+        let mut prog = Program::new();
+        // Each CTA owns a 32-word cell strip; strips of consecutive CTAs
+        // are adjacent, so the +-1-cell dependency reads land in the
+        // neighbour's strip — less than a cache line away from the
+        // neighbour's own writes.
+        let strip = ctx.cta * 32;
+        for s in 0..self.sweeps as u64 {
+            // Read the north-west dependency cells: the tail of the
+            // previous CTA's strip plus our own previous diagonal.
+            prog.push(read_words(TAG_SCORE, strip.saturating_sub(2), 32));
+            // Reference sequence tables (streaming).
+            prog.push(read_words(TAG_REF, strip + s * 65536, 32));
+            prog.push(Op::Compute(10));
+            // Write this diagonal's cells over the strip.
+            prog.push(write_words(TAG_SCORE, strip, 32));
+        }
+        prog
+    }
+}
+
+impl Workload for NeedlemanWunsch {
+    fn info(&self) -> WorkloadInfo {
+        INFO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::coalesce_lines;
+
+    fn ctx(cta: u64) -> CtaContext {
+        CtaContext {
+            cta,
+            sm_id: 0,
+            slot: 0,
+            arrival: 0,
+            num_sms: 15,
+        }
+    }
+
+    #[test]
+    fn reads_overlap_neighbour_writes_within_a_line() {
+        let nw = NeedlemanWunsch::new(4, 1);
+        let reads1: Vec<u64> = nw
+            .warp_program(&ctx(1), 0)
+            .iter()
+            .filter_map(|op| match op {
+                Op::Load(a) if a.tag == TAG_SCORE => Some(a.addrs.clone()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        let writes0: Vec<u64> = nw
+            .warp_program(&ctx(0), 0)
+            .iter()
+            .filter_map(|op| match op {
+                Op::Store(a) if a.tag == TAG_SCORE => Some(a.addrs.clone()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        // CTA 1's dependency reads include words CTA 0 writes.
+        assert!(reads1.iter().any(|a| writes0.contains(a)));
+        // And they share 128B lines with CTA 1's own writes (write-evict
+        // interference).
+        let w1: Vec<u64> = nw
+            .warp_program(&ctx(1), 0)
+            .iter()
+            .filter_map(|op| match op {
+                Op::Store(a) => Some(coalesce_lines(a, 128)),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        let r1_lines: Vec<u64> = reads1.iter().map(|a| a & !127).collect();
+        assert!(w1.iter().any(|l| r1_lines.contains(l)));
+    }
+
+    #[test]
+    fn single_warp_ctas() {
+        let nw = NeedlemanWunsch::for_arch(ArchGen::Fermi);
+        assert_eq!(nw.launch().warps_per_cta(32), 1);
+        assert_eq!(nw.info().category, PaperCategory::Write);
+    }
+
+    #[test]
+    fn sweeps_scale_stores() {
+        let n1 = NeedlemanWunsch::new(2, 1);
+        let n4 = NeedlemanWunsch::new(2, 4);
+        let stores = |n: &NeedlemanWunsch| {
+            n.warp_program(&ctx(0), 0)
+                .iter()
+                .filter(|op| matches!(op, Op::Store(_)))
+                .count()
+        };
+        assert_eq!(stores(&n4), 4 * stores(&n1));
+    }
+}

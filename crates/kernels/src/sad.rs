@@ -1,0 +1,132 @@
+//! SAD — sum of absolute differences, MPEG encoder stage (Parboil `sad`).
+//!
+//! Streams a current-frame macroblock and the corresponding
+//! reference-frame search window, writes SAD scores. All slices are
+//! CTA-private: streaming category.
+
+use crate::common::{read_words, write_words};
+use crate::info::{PaperCategory, PartitionHint, Workload, WorkloadInfo};
+use gpu_sim::{ArchGen, CtaContext, KernelSpec, LaunchConfig, Op, Program};
+
+const INFO: WorkloadInfo = WorkloadInfo {
+    abbr: "SAD",
+    full_name: "sad",
+    description: "Sum of abs differences in MPEG encoder",
+    category: PaperCategory::Streaming,
+    warps_per_cta: 2,
+    partition: PartitionHint::X,
+    opt_agents: [8, 16, 20, 20],
+    regs: [43, 44, 46, 40],
+    smem: 0,
+    source: "Parboil",
+};
+
+const TAG_CUR: u16 = 0;
+const TAG_REF: u16 = 1;
+const TAG_SAD: u16 = 2;
+
+/// The SAD workload model.
+#[derive(Debug, Clone)]
+pub struct Sad {
+    /// CTAs in the 1D grid (one macroblock each).
+    pub grid: u32,
+    /// Search positions evaluated per macroblock.
+    pub positions: u32,
+    /// Registers per thread.
+    pub regs: u32,
+}
+
+impl Sad {
+    /// Default evaluation-scale instance for `arch`.
+    pub fn for_arch(arch: ArchGen) -> Self {
+        Sad {
+            grid: 512,
+            positions: 4,
+            regs: INFO.regs_for(arch),
+        }
+    }
+
+    /// Custom-sized instance.
+    pub fn new(grid: u32, positions: u32) -> Self {
+        Sad {
+            grid,
+            positions,
+            regs: INFO.regs[0],
+        }
+    }
+}
+
+impl KernelSpec for Sad {
+    fn name(&self) -> String {
+        format!("SAD(grid={},p{})", self.grid, self.positions)
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(self.grid, 64u32)
+            .with_regs(self.regs)
+            .with_smem(INFO.smem)
+    }
+
+    fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
+        let mut prog = Program::new();
+        // Current macroblock rows for this warp.
+        let cur = (ctx.cta * 2 + warp as u64) * 32;
+        prog.push(read_words(TAG_CUR, cur, 32));
+        // Reference window: `positions` displaced row reads.
+        for p in 0..self.positions as u64 {
+            let word = (ctx.cta * self.positions as u64 + p) * 64 + warp as u64 * 32;
+            prog.push(read_words(TAG_REF, word, 32));
+            prog.push(Op::Compute(8));
+        }
+        prog.push(write_words(TAG_SAD, (ctx.cta * 2 + warp as u64) * self.positions as u64, self.positions.min(32)));
+        prog
+    }
+}
+
+impl Workload for Sad {
+    fn info(&self) -> WorkloadInfo {
+        INFO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(cta: u64) -> CtaContext {
+        CtaContext {
+            cta,
+            sm_id: 0,
+            slot: 0,
+            arrival: 0,
+            num_sms: 15,
+        }
+    }
+
+    #[test]
+    fn reference_windows_disjoint() {
+        let s = Sad::new(4, 2);
+        let refs = |cta| {
+            (0..2)
+                .flat_map(|w| s.warp_program(&ctx(cta), w))
+                .filter_map(|op| op.access().cloned())
+                .filter(|a| a.tag == TAG_REF)
+                .flat_map(|a| a.addrs)
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        assert_eq!(refs(0).intersection(&refs(1)).count(), 0);
+    }
+
+    #[test]
+    fn positions_scale_reads() {
+        let s2 = Sad::new(2, 2);
+        let s6 = Sad::new(2, 6);
+        let loads = |s: &Sad| {
+            s.warp_program(&ctx(0), 0)
+                .iter()
+                .filter(|op| matches!(op, Op::Load(a) if a.tag == TAG_REF))
+                .count()
+        };
+        assert_eq!(loads(&s6), 3 * loads(&s2));
+    }
+}

@@ -1,0 +1,133 @@
+//! Suite constructors: the paper's benchmark sets at evaluation scale.
+
+use crate::extras;
+use crate::info::Workload;
+use crate::{
+    Atax, Backprop, Bfs, Bicg, BlackScholes, BTree, Conv3d, Dct, Dxtc, Histogram, Hotspot,
+    ImageDenoise, Kmeans, MatrixMul, MonteCarlo, Mvt, NeedlemanWunsch, NeuralNet, Sad, Sgemm,
+    Syr2k, Syrk,
+};
+use gpu_sim::ArchGen;
+
+/// The 23 Table 2 applications in the paper's row order, configured for
+/// `arch` (per-architecture register footprints).
+pub fn table2_suite(arch: ArchGen) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Kmeans::for_arch(arch)),
+        Box::new(MatrixMul::for_arch(arch)),
+        Box::new(NeuralNet::for_arch(arch)),
+        Box::new(ImageDenoise::for_arch(arch)),
+        Box::new(Backprop::for_arch(arch)),
+        Box::new(Dct::for_arch(arch)),
+        Box::new(Sgemm::for_arch(arch)),
+        Box::new(Hotspot::for_arch(arch)),
+        Box::new(Syrk::for_arch(arch)),
+        Box::new(Syr2k::for_arch(arch)),
+        Box::new(Atax::for_arch(arch)),
+        Box::new(Mvt::for_arch(arch)),
+        Box::new(Nbody::for_arch(arch)),
+        Box::new(Conv3d::for_arch(arch)),
+        Box::new(Bicg::for_arch(arch)),
+        Box::new(Histogram::for_arch(arch)),
+        Box::new(BTree::for_arch(arch)),
+        Box::new(NeedlemanWunsch::for_arch(arch)),
+        Box::new(Bfs::for_arch(arch)),
+        Box::new(MonteCarlo::for_arch(arch)),
+        Box::new(Dxtc::for_arch(arch)),
+        Box::new(Sad::for_arch(arch)),
+        Box::new(BlackScholes::for_arch(arch)),
+    ]
+}
+
+use crate::Nbody;
+
+/// The 33 applications of Figure 3, in the paper's bar order
+/// (MM NN BS 3CV BC HST BTR NW BFS SAD HS ATX BKP SGM MVT COR LUD FWT PFD
+/// STD MRI SRD LIB SR2 NE SP BNO SLA FTD LPS GES HRT KMN).
+pub fn fig3_suite(arch: ArchGen) -> Vec<Box<dyn Workload>> {
+    let mut suite: Vec<Box<dyn Workload>> = vec![
+        Box::new(MatrixMul::for_arch(arch)),
+        Box::new(NeuralNet::for_arch(arch)),
+        Box::new(BlackScholes::for_arch(arch)),
+        Box::new(Conv3d::for_arch(arch)),
+        Box::new(Bicg::for_arch(arch)),
+        Box::new(Histogram::for_arch(arch)),
+        Box::new(BTree::for_arch(arch)),
+        Box::new(NeedlemanWunsch::for_arch(arch)),
+        Box::new(Bfs::for_arch(arch)),
+        Box::new(Sad::for_arch(arch)),
+        Box::new(Hotspot::for_arch(arch)),
+        Box::new(Atax::for_arch(arch)),
+        Box::new(Backprop::for_arch(arch)),
+        Box::new(Sgemm::for_arch(arch)),
+        Box::new(Mvt::for_arch(arch)),
+    ];
+    for e in extras::all_extras() {
+        suite.push(Box::new(e));
+    }
+    suite.push(Box::new(Kmeans::for_arch(arch)));
+    suite
+}
+
+/// Looks up a Table 2 workload by its paper abbreviation
+/// (case-insensitive). Returns `None` for unknown abbreviations.
+pub fn by_abbr(abbr: &str, arch: ArchGen) -> Option<Box<dyn Workload>> {
+    let target = abbr.to_ascii_uppercase();
+    table2_suite(arch).into_iter().find(|w| w.info().abbr == target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::info::PaperCategory;
+
+    #[test]
+    fn table2_has_23_rows_in_order() {
+        let suite = table2_suite(ArchGen::Fermi);
+        assert_eq!(suite.len(), 23);
+        let abbrs: Vec<_> = suite.iter().map(|w| w.info().abbr).collect();
+        assert_eq!(
+            abbrs,
+            vec![
+                "KMN", "MM", "NN", "IMD", "BKP", "DCT", "SGM", "HS", "SYK", "S2K", "ATX", "MVT",
+                "NBO", "3CV", "BC", "HST", "BTR", "NW", "BFS", "MON", "DXT", "SAD", "BS"
+            ]
+        );
+    }
+
+    #[test]
+    fn category_counts_match_paper() {
+        let suite = table2_suite(ArchGen::Kepler);
+        let count = |c: PaperCategory| suite.iter().filter(|w| w.info().category == c).count();
+        assert_eq!(count(PaperCategory::Algorithm), 8);
+        assert_eq!(count(PaperCategory::CacheLine), 7);
+        assert_eq!(count(PaperCategory::Data), 2);
+        assert_eq!(count(PaperCategory::Write), 1);
+        assert_eq!(count(PaperCategory::DataWrite), 1);
+        assert_eq!(count(PaperCategory::Streaming), 4);
+    }
+
+    #[test]
+    fn fig3_has_33_bars_ending_with_kmn() {
+        let suite = fig3_suite(ArchGen::Maxwell);
+        assert_eq!(suite.len(), 33);
+        assert_eq!(suite.first().unwrap().info().abbr, "MM");
+        assert_eq!(suite.last().unwrap().info().abbr, "KMN");
+    }
+
+    #[test]
+    fn by_abbr_finds_known_and_rejects_unknown() {
+        assert!(by_abbr("mm", ArchGen::Fermi).is_some());
+        assert!(by_abbr("SYK", ArchGen::Pascal).is_some());
+        assert!(by_abbr("NOPE", ArchGen::Fermi).is_none());
+    }
+
+    #[test]
+    fn all_launches_validate() {
+        for w in table2_suite(ArchGen::Pascal) {
+            w.launch()
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.info().abbr));
+        }
+    }
+}

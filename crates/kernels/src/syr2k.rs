@@ -1,0 +1,151 @@
+//! S2K — symmetric rank-2k update (PolyBench `syr2k`).
+//!
+//! `C = alpha*(A*B' + B*A') + beta*C`: like [`Syrk`](crate::Syrk) but
+//! walking *two* input matrices per panel, doubling the row-panel
+//! pressure. Table 2 shows it is the most throttling-sensitive
+//! cache-line app (optimal agents 1/1 on Fermi/Kepler).
+
+use crate::common::{panel_reads, write_column};
+use crate::info::{PaperCategory, PartitionHint, Workload, WorkloadInfo};
+use gpu_sim::{ArchGen, CtaContext, Dim3, KernelSpec, LaunchConfig, Op, Program};
+
+const INFO: WorkloadInfo = WorkloadInfo {
+    abbr: "S2K",
+    full_name: "syr2k",
+    description: "Symmetric rank-2k operations",
+    category: PaperCategory::CacheLine,
+    warps_per_cta: 8,
+    partition: PartitionHint::X,
+    opt_agents: [1, 1, 6, 6],
+    regs: [33, 38, 33, 19],
+    smem: 0,
+    source: "PolyBench",
+};
+
+const TAG_A: u16 = 0;
+const TAG_B: u16 = 1;
+const TAG_C: u16 = 2;
+
+const PANEL_WORDS: u64 = 8;
+
+/// The syr2k workload model.
+#[derive(Debug, Clone)]
+pub struct Syr2k {
+    /// Row blocks (256 rows each).
+    pub grid_x: u32,
+    /// Column panels.
+    pub grid_y: u32,
+    /// Registers per thread.
+    pub regs: u32,
+}
+
+impl Syr2k {
+    /// Default evaluation-scale instance for `arch`.
+    pub fn for_arch(arch: ArchGen) -> Self {
+        Syr2k {
+            grid_x: 4,
+            grid_y: 28,
+            regs: INFO.regs_for(arch),
+        }
+    }
+
+    /// Custom-sized instance.
+    pub fn new(grid_x: u32, grid_y: u32) -> Self {
+        Syr2k {
+            grid_x,
+            grid_y,
+            regs: INFO.regs[0],
+        }
+    }
+
+    fn row_words(&self) -> u64 {
+        self.grid_y as u64 * PANEL_WORDS
+    }
+}
+
+impl KernelSpec for Syr2k {
+    fn name(&self) -> String {
+        format!("S2K({}x{})", self.grid_x, self.grid_y)
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(Dim3::plane(self.grid_x, self.grid_y), 256u32)
+            .with_regs(self.regs)
+            .with_smem(INFO.smem)
+    }
+
+    fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
+        let (bx, by, _) = self.launch().grid.coords_row_major(ctx.cta);
+        let row0 = bx as u64 * 256 + warp as u64 * 32;
+        let col0 = by as u64 * PANEL_WORDS;
+        let mut prog = Program::new();
+        // A*B' pass then B*A' pass: each walks both input panels.
+        for pass in 0..2 {
+            prog.extend(panel_reads(TAG_A, row0, self.row_words(), col0, PANEL_WORDS, 32));
+            prog.extend(panel_reads(TAG_B, row0, self.row_words(), col0, PANEL_WORDS, 32));
+            prog.push(Op::Compute(10));
+            let _ = pass;
+        }
+        prog.extend(panel_reads(TAG_C, row0, self.row_words(), col0, 2, 32));
+        prog.push(write_column(TAG_C, row0, self.row_words(), col0, 32));
+        prog
+    }
+}
+
+impl Workload for Syr2k {
+    fn info(&self) -> WorkloadInfo {
+        INFO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::coalesce_lines;
+
+    fn ctx(cta: u64) -> CtaContext {
+        CtaContext {
+            cta,
+            sm_id: 0,
+            slot: 0,
+            arrival: 0,
+            num_sms: 15,
+        }
+    }
+
+    #[test]
+    fn reads_both_inputs_per_pass() {
+        let s = Syr2k::new(2, 4);
+        let p = s.warp_program(&ctx(0), 0);
+        let count = |tag| {
+            p.iter()
+                .filter(|op| op.access().map(|a| a.tag == tag).unwrap_or(false))
+                .count()
+        };
+        assert_eq!(count(TAG_A), 2 * PANEL_WORDS as usize);
+        assert_eq!(count(TAG_B), 2 * PANEL_WORDS as usize);
+    }
+
+    #[test]
+    fn panel_lines_shared_across_same_bx_ctas() {
+        let s = Syr2k::new(2, 8);
+        let lines = |cta: u64| {
+            (0..8)
+                .flat_map(|w| s.warp_program(&ctx(cta), w))
+                .filter_map(|op| op.access().cloned())
+                .filter(|a| a.tag == TAG_B)
+                .flat_map(|a| coalesce_lines(&a, 128))
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        // ctas 0 and 2 share bx=0 (row-major, grid_x=2).
+        assert!(lines(0).intersection(&lines(2)).count() > 0);
+    }
+
+    #[test]
+    fn table2_metadata() {
+        let s = Syr2k::for_arch(ArchGen::Kepler);
+        assert_eq!(s.info().opt_agents_for(ArchGen::Kepler), 1);
+        assert_eq!(s.regs, 38);
+        assert_eq!(s.info().partition, PartitionHint::X);
+    }
+}

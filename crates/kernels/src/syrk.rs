@@ -1,0 +1,175 @@
+//! SYK — symmetric rank-k update (PolyBench `syrk`).
+//!
+//! `C = alpha*A*A' + beta*C`, tiled so that CTA `(x, y)` updates the
+//! column panel `y` of the C rows owned by `x`. Each thread walks its row
+//! of A with the row-panel pattern: the fetched 128-byte lines are shared
+//! — at line granularity only — with the CTAs covering neighbouring
+//! panels of the same rows, i.e. the paper's cache-line-related locality,
+//! clustered by X-partitioning.
+
+use crate::common::{panel_reads, write_column};
+use crate::info::{PaperCategory, PartitionHint, Workload, WorkloadInfo};
+use gpu_sim::{ArchGen, CtaContext, Dim3, KernelSpec, LaunchConfig, Op, Program};
+
+const INFO: WorkloadInfo = WorkloadInfo {
+    abbr: "SYK",
+    full_name: "syrk",
+    description: "Symmetric rank-k operations",
+    category: PaperCategory::CacheLine,
+    warps_per_cta: 8,
+    partition: PartitionHint::X,
+    opt_agents: [3, 2, 8, 8],
+    regs: [21, 26, 21, 28],
+    smem: 0,
+    source: "PolyBench",
+};
+
+const TAG_A: u16 = 0;
+const TAG_C: u16 = 1;
+
+/// Column words each thread consumes per panel (32 bytes: one Maxwell
+/// line, a quarter of a Fermi line).
+const PANEL_WORDS: u64 = 8;
+
+/// The syrk workload model.
+#[derive(Debug, Clone)]
+pub struct Syrk {
+    /// Row blocks (each 256 rows, one per grid-X index).
+    pub grid_x: u32,
+    /// Column panels (each `PANEL_WORDS` wide, one per grid-Y index).
+    pub grid_y: u32,
+    /// Registers per thread.
+    pub regs: u32,
+}
+
+impl Syrk {
+    /// Default evaluation-scale instance for `arch`.
+    pub fn for_arch(arch: ArchGen) -> Self {
+        Syrk {
+            grid_x: 4,
+            grid_y: 32,
+            regs: INFO.regs_for(arch),
+        }
+    }
+
+    /// Custom-sized instance.
+    pub fn new(grid_x: u32, grid_y: u32) -> Self {
+        Syrk {
+            grid_x,
+            grid_y,
+            regs: INFO.regs[0],
+        }
+    }
+
+    fn row_words(&self) -> u64 {
+        self.grid_y as u64 * PANEL_WORDS
+    }
+}
+
+impl KernelSpec for Syrk {
+    fn name(&self) -> String {
+        format!("SYK({}x{})", self.grid_x, self.grid_y)
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(Dim3::plane(self.grid_x, self.grid_y), 256u32)
+            .with_regs(self.regs)
+            .with_smem(INFO.smem)
+    }
+
+    fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
+        let (bx, by, _) = self.launch().grid.coords_row_major(ctx.cta);
+        let row0 = bx as u64 * 256 + warp as u64 * 32;
+        let col0 = by as u64 * PANEL_WORDS;
+        let mut prog = Program::new();
+        // A walked twice (A and A-transpose contributions of the rank-k
+        // update read the same row panel).
+        for pass in 0..2 {
+            prog.extend(panel_reads(TAG_A, row0, self.row_words(), col0, PANEL_WORDS, 32));
+            prog.push(Op::Compute(8));
+            let _ = pass;
+        }
+        // C panel update (read-modify-write, column strided).
+        prog.extend(panel_reads(TAG_C, row0, self.row_words(), col0, 2, 32));
+        prog.push(write_column(TAG_C, row0, self.row_words(), col0, 32));
+        prog
+    }
+}
+
+impl Workload for Syrk {
+    fn info(&self) -> WorkloadInfo {
+        INFO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::coalesce_lines;
+
+    fn ctx(cta: u64) -> CtaContext {
+        CtaContext {
+            cta,
+            sm_id: 0,
+            slot: 0,
+            arrival: 0,
+            num_sms: 15,
+        }
+    }
+
+    fn a_lines(s: &Syrk, cta: u64, line_bytes: u32) -> std::collections::BTreeSet<u64> {
+        (0..8)
+            .flat_map(|w| s.warp_program(&ctx(cta), w))
+            .filter_map(|op| op.access().cloned())
+            .filter(|a| a.tag == TAG_A)
+            .flat_map(|a| coalesce_lines(&a, line_bytes))
+            .collect()
+    }
+
+    fn a_words(s: &Syrk, cta: u64) -> std::collections::BTreeSet<u64> {
+        (0..8)
+            .flat_map(|w| s.warp_program(&ctx(cta), w))
+            .filter_map(|op| op.access().cloned())
+            .filter(|a| a.tag == TAG_A)
+            .flat_map(|a| a.addrs)
+            .collect()
+    }
+
+    #[test]
+    fn line_sharing_without_word_sharing_on_128b() {
+        let s = Syrk::new(2, 8);
+        // Row-major cta = by*grid_x + bx: CTAs 0 and 2 share the bx=0 row
+        // block and cover adjacent column panels (by=0 and by=1).
+        let w0 = a_words(&s, 0);
+        let w1 = a_words(&s, 2);
+        assert_eq!(w0.intersection(&w1).count(), 0, "no word sharing");
+        let l0 = a_lines(&s, 0, 128);
+        let l1 = a_lines(&s, 2, 128);
+        assert!(l0.intersection(&l1).count() > 0, "128B lines shared");
+    }
+
+    #[test]
+    fn no_line_sharing_on_32b() {
+        let s = Syrk::new(2, 8);
+        let l0 = a_lines(&s, 0, 32);
+        let l1 = a_lines(&s, 2, 32);
+        assert_eq!(l0.intersection(&l1).count(), 0, "32B lines private");
+    }
+
+    #[test]
+    fn different_row_blocks_fully_disjoint() {
+        let s = Syrk::new(2, 4);
+        // CTA 0 is (bx=0, by=0); CTA 1 is (bx=1, by=0): different row block.
+        let l0 = a_lines(&s, 0, 128);
+        let l1 = a_lines(&s, 1, 128);
+        assert_eq!(l0.intersection(&l1).count(), 0);
+    }
+
+    #[test]
+    fn info_matches_table2() {
+        let s = Syrk::for_arch(ArchGen::Maxwell);
+        assert_eq!(s.info().category, PaperCategory::CacheLine);
+        assert_eq!(s.info().opt_agents, [3, 2, 8, 8]);
+        assert_eq!(s.regs, 21);
+    }
+}

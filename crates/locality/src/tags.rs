@@ -1,0 +1,163 @@
+//! Per-array reuse accounting: which logical arrays of a kernel carry
+//! reuse and which merely stream.
+//!
+//! This is the probe behind the paper's bypassing decision (§4.3-(II)):
+//! "we bypass the streaming accesses to L1 ... to prevent them from
+//! contending resources with the accesses that have inter-CTA reuse."
+
+use gpu_sim::{AccessEvent, ArrayTag, TraceSink};
+use std::collections::HashMap;
+
+/// Reuse statistics of one array tag.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TagSummary {
+    /// Word-granularity accesses to this array.
+    pub accesses: u64,
+    /// Accesses that re-touched a previously-touched word.
+    pub reuses: u64,
+    /// Reuses whose previous toucher was a different CTA.
+    pub inter_cta: u64,
+    /// Stores to this array.
+    pub writes: u64,
+}
+
+impl TagSummary {
+    /// Fraction of accesses that are reuses.
+    pub fn reuse_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.reuses as f64 / self.accesses as f64
+    }
+}
+
+/// Trace sink building per-tag reuse summaries.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::{arch, Simulation};
+/// use gpu_kernels::Kmeans;
+/// use locality::TagReuseProfiler;
+///
+/// let kmn = Kmeans::new(16, 32, 4);
+/// let mut profiler = TagReuseProfiler::new();
+/// Simulation::new(arch::gtx570(), &kmn).run_traced(&mut profiler)?;
+/// // Tag 1 is the centroid table (heavy reuse); tag 0 the point stream.
+/// assert!(profiler.summary(1).reuse_rate() > 0.5);
+/// assert!(profiler.summary(0).reuse_rate() < 0.05);
+/// assert_eq!(profiler.streaming_tags(64), vec![0, 2]);
+/// # Ok::<(), gpu_sim::SimError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct TagReuseProfiler {
+    words: HashMap<(ArrayTag, u64), u64>, // (tag, word) -> last toucher CTA + 1 (0 = unseen)
+    tags: HashMap<ArrayTag, TagSummary>,
+}
+
+impl TagReuseProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Summary for one tag (zeros if never seen).
+    pub fn summary(&self, tag: ArrayTag) -> TagSummary {
+        self.tags.get(&tag).copied().unwrap_or_default()
+    }
+
+    /// All observed tags with their summaries, sorted by tag.
+    pub fn summaries(&self) -> Vec<(ArrayTag, TagSummary)> {
+        let mut v: Vec<_> = self.tags.iter().map(|(&t, &s)| (t, s)).collect();
+        v.sort_by_key(|(t, _)| *t);
+        v
+    }
+
+    /// Tags that stream: at least `min_accesses` word accesses with a
+    /// reuse rate under 2% — the bypass candidates.
+    pub fn streaming_tags(&self, min_accesses: u64) -> Vec<ArrayTag> {
+        let mut v: Vec<ArrayTag> = self
+            .tags
+            .iter()
+            .filter(|(_, s)| s.accesses >= min_accesses && (s.reuses as f64) < 0.02 * s.accesses as f64)
+            .map(|(&t, _)| t)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl TraceSink for TagReuseProfiler {
+    fn record(&mut self, e: &AccessEvent<'_>) {
+        let entry = self.tags.entry(e.tag).or_default();
+        if e.is_write {
+            entry.writes += e.addrs.len() as u64;
+        }
+        let mut seen: Vec<u64> = Vec::with_capacity(e.addrs.len());
+        for &addr in e.addrs {
+            let word = addr / 4;
+            if seen.contains(&word) {
+                continue;
+            }
+            seen.push(word);
+            entry.accesses += 1;
+            let slot = self.words.entry((e.tag, word)).or_insert(0);
+            if *slot != 0 {
+                entry.reuses += 1;
+                if *slot != e.cta + 1 {
+                    entry.inter_cta += 1;
+                }
+            }
+            *slot = e.cta + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(p: &mut TagReuseProfiler, tag: u16, cta: u64, addrs: &[u64], is_write: bool) {
+        p.record(&AccessEvent {
+            time: 0,
+            sm_id: 0,
+            slot: 0,
+            cta,
+            warp: 0,
+            tag,
+            is_write,
+            bytes_per_lane: 4,
+            addrs,
+            latency: 1,
+            served_by: gpu_sim::Level::L1,
+        });
+    }
+
+    #[test]
+    fn separates_streaming_from_reused_tags() {
+        let mut p = TagReuseProfiler::new();
+        for cta in 0..4u64 {
+            feed(&mut p, 0, cta, &(0..32).map(|l| cta * 128 + l * 4).collect::<Vec<_>>(), false);
+            feed(&mut p, 1, cta, &(0..32).map(|l| l * 4).collect::<Vec<_>>(), false);
+        }
+        assert_eq!(p.summary(0).reuses, 0);
+        assert_eq!(p.summary(1).reuses, 96);
+        assert_eq!(p.summary(1).inter_cta, 96);
+        assert_eq!(p.streaming_tags(64), vec![0]);
+    }
+
+    #[test]
+    fn write_counting() {
+        let mut p = TagReuseProfiler::new();
+        feed(&mut p, 3, 0, &[0, 4], true);
+        assert_eq!(p.summary(3).writes, 2);
+        assert_eq!(p.summaries().len(), 1);
+    }
+
+    #[test]
+    fn small_tags_never_flagged_streaming() {
+        let mut p = TagReuseProfiler::new();
+        feed(&mut p, 5, 0, &[0], false);
+        assert!(p.streaming_tags(64).is_empty());
+    }
+}

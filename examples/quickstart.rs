@@ -1,0 +1,65 @@
+//! Quickstart: cluster one kernel, measure the win.
+//!
+//! Takes the paper's running example (tiled matrix multiplication on a
+//! Kepler-class GPU), applies agent-based CTA-Clustering along the
+//! Y-partition, and prints the speedup, L2-transaction reduction and L1
+//! hit rates against the unmodified baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cta_clustering::{AgentKernel, Partition};
+use gpu_kernels::{MatrixMul, NeuralNet};
+use gpu_sim::{arch, ArchGen, KernelSpec, Simulation};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = arch::tesla_k40();
+    println!("GPU: {cfg}");
+    println!();
+
+    // --- Matrix multiplication: the paper's running example -------------
+    let mm = MatrixMul::for_arch(ArchGen::Kepler);
+    let baseline = Simulation::new(cfg.clone(), &mm).run()?;
+
+    // Cluster CTAs that share matrix-A row bands (same blockIdx.y) onto
+    // the same SM: Y-partitioning into one cluster per SM, executed by
+    // persistent agent CTAs.
+    let partition = Partition::y(mm.launch().grid, cfg.num_sms as u64)?;
+    let clustered = AgentKernel::with_partition(mm.clone(), &cfg, partition)?;
+    let optimized = Simulation::new(cfg.clone(), &clustered).run()?;
+
+    report(&mm.name(), &baseline, &optimized);
+    println!("(the paper's §5.2-(6) explains why MM gains little: its reuse");
+    println!(" distance exceeds the L1 and 32-warp CTAs leave few agents)");
+    println!();
+
+    // --- A kernel where clustering shines --------------------------------
+    let nn = NeuralNet::for_arch(ArchGen::Kepler);
+    let baseline = Simulation::new(cfg.clone(), &nn).run()?;
+    let partition = Partition::y(nn.launch().grid, cfg.num_sms as u64)?;
+    let clustered = AgentKernel::with_partition(nn.clone(), &cfg, partition)?;
+    let optimized = Simulation::new(cfg.clone(), &clustered).run()?;
+    report(&nn.name(), &baseline, &optimized);
+
+    Ok(())
+}
+
+fn report(name: &str, baseline: &gpu_sim::RunStats, optimized: &gpu_sim::RunStats) {
+    println!("{name}:");
+    println!(
+        "  cycles        {:>10} -> {:>10}  ({:.2}x speedup)",
+        baseline.cycles,
+        optimized.cycles,
+        optimized.speedup_vs(baseline)
+    );
+    println!(
+        "  L2 txns       {:>10} -> {:>10}  ({:.0}% reduction)",
+        baseline.l2_transactions(),
+        optimized.l2_transactions(),
+        100.0 * (1.0 - optimized.l2_txns_vs(baseline))
+    );
+    println!(
+        "  L1 hit rate   {:>9.1}% -> {:>9.1}%",
+        100.0 * baseline.l1_hit_rate(),
+        100.0 * optimized.l1_hit_rate()
+    );
+}

@@ -1,0 +1,23 @@
+//! # cta-clustering-repro
+//!
+//! Umbrella crate for the reproduction of *"Locality-Aware CTA Clustering
+//! for Modern GPUs"* (Li et al., ASPLOS 2017). It re-exports the workspace
+//! crates so the repository-level examples and integration tests can use
+//! the whole stack through one dependency:
+//!
+//! * [`gpu_sim`] — the GPU execution-model simulator substrate;
+//! * [`gpu_kernels`] — the 33 benchmark workload models (Table 2 + Fig. 3);
+//! * [`locality`] — inter-CTA reuse quantification and classification;
+//! * [`cta_clustering`] — the paper's contribution: partitioning,
+//!   inverting, binding, agents, throttling, bypassing, prefetching and
+//!   the automatic framework;
+//! * [`cluster_bench`] — the harness regenerating every table and figure.
+//!
+//! See `examples/quickstart.rs` for the one-minute tour and `DESIGN.md`
+//! for the system inventory and experiment index.
+
+pub use cluster_bench;
+pub use cta_clustering;
+pub use gpu_kernels;
+pub use gpu_sim;
+pub use locality;

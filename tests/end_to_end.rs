@@ -1,0 +1,140 @@
+//! Cross-crate integration tests: the transforms preserve the kernel's
+//! work exactly, place clusters where they promise, and behave
+//! deterministically through the full simulator.
+
+use cta_clustering::{AgentKernel, BypassKernel, Partition, RedirectionKernel};
+use gpu_kernels::{suite, Workload};
+use gpu_sim::{arch, ArchGen, KernelSpec, Simulation, VecSink};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Cloneable adapter over a boxed workload.
+#[derive(Clone)]
+struct Shared(Rc<Box<dyn Workload>>);
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Shared({})", self.0.name())
+    }
+}
+
+impl KernelSpec for Shared {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn launch(&self) -> gpu_sim::LaunchConfig {
+        self.0.launch()
+    }
+    fn warp_program(&self, ctx: &gpu_sim::CtaContext, warp: u32) -> gpu_sim::Program {
+        self.0.warp_program(ctx, warp)
+    }
+}
+
+fn shared(abbr: &str, arch: ArchGen) -> Shared {
+    Shared(Rc::new(suite::by_abbr(abbr, arch).expect("known workload")))
+}
+
+/// Multiset of (tag, address, is_write) touched during a run.
+fn footprint(cfg: &gpu_sim::GpuConfig, kernel: &dyn KernelSpec) -> BTreeMap<(u16, u64, bool), u64> {
+    let mut sink = VecSink::new();
+    Simulation::new(cfg.clone(), &kernel)
+        .run_traced(&mut sink)
+        .expect("run");
+    let mut map = BTreeMap::new();
+    for e in &sink.events {
+        for &a in &e.addrs {
+            *map.entry((e.tag, a, e.is_write)).or_insert(0) += 1;
+        }
+    }
+    map
+}
+
+#[test]
+fn redirection_preserves_the_memory_footprint() {
+    let cfg = arch::gtx570();
+    let k = shared("DCT", ArchGen::Fermi);
+    let rd = RedirectionKernel::new(k.clone(), Partition::x(k.launch().grid, 15).unwrap());
+    assert_eq!(footprint(&cfg, &k), footprint(&cfg, &rd));
+}
+
+#[test]
+fn agent_clustering_preserves_the_memory_footprint() {
+    for (cfg, arch) in [
+        (arch::gtx570(), ArchGen::Fermi),
+        (arch::gtx980(), ArchGen::Maxwell),
+    ] {
+        let k = shared("HS", arch);
+        let agents = AgentKernel::build(k.clone(), &cfg).unwrap();
+        let base = footprint(&cfg, &k);
+        let mut clustered = footprint(&cfg, &agents);
+        // Remove the agent-id ticket traffic (dynamic binding only).
+        clustered.retain(|(tag, _, _), _| *tag != u16::MAX);
+        assert_eq!(base, clustered, "footprint must match on {}", cfg.name);
+    }
+}
+
+#[test]
+fn throttled_agents_still_execute_everything() {
+    let cfg = arch::tesla_k40();
+    let k = shared("SYK", ArchGen::Kepler);
+    let agents = AgentKernel::build(k.clone(), &cfg)
+        .unwrap()
+        .with_active_agents(1)
+        .unwrap();
+    assert_eq!(footprint(&cfg, &k), footprint(&cfg, &agents));
+}
+
+#[test]
+fn bypass_changes_routing_not_addresses() {
+    let cfg = arch::gtx570();
+    let k = shared("KMN", ArchGen::Fermi);
+    let bypassed = BypassKernel::new(k.clone(), vec![0]);
+    assert_eq!(footprint(&cfg, &k), footprint(&cfg, &bypassed));
+    // But the L1 sees fewer reads.
+    let base = Simulation::new(cfg.clone(), &k).run().unwrap();
+    let byp = Simulation::new(cfg.clone(), &bypassed).run().unwrap();
+    assert!(byp.l1.reads < base.l1.reads);
+}
+
+#[test]
+fn agents_bind_every_cluster_to_its_own_sm() {
+    let cfg = arch::gtx570();
+    let k = shared("NN", ArchGen::Fermi);
+    let agents = AgentKernel::build(k.clone(), &cfg).unwrap();
+    let stats = Simulation::new(cfg.clone(), &agents).run().unwrap();
+    // Every SM executed exactly MAX_AGENTS CTAs of the new kernel.
+    for (sm, &count) in stats.ctas_per_sm.iter().enumerate() {
+        assert_eq!(count, agents.max_agents() as u64, "SM {sm}");
+    }
+}
+
+#[test]
+fn transforms_are_deterministic_end_to_end() {
+    let cfg = arch::gtx1080();
+    let k = shared("IMD", ArchGen::Pascal);
+    let run = || {
+        let agents = AgentKernel::build(k.clone(), &cfg).unwrap();
+        let stats = Simulation::new(cfg.clone(), &agents).run().unwrap();
+        stats
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.memory, b.memory);
+    assert_eq!(a.l1, b.l1);
+}
+
+#[test]
+fn whole_table2_suite_runs_transformed_on_every_arch() {
+    // Smoke coverage: every workload survives the agent transform on
+    // every architecture (small instances for test speed).
+    for cfg in arch::all_presets() {
+        for abbr in ["KMN", "MM", "SYK", "NW", "BS", "BFS"] {
+            let k = shared(abbr, cfg.arch);
+            let cfg_k = cfg.prefer_l1(k.launch().smem_per_cta);
+            let agents = AgentKernel::build(k, &cfg_k).unwrap();
+            let stats = Simulation::new(cfg_k, &agents).run().unwrap();
+            assert!(stats.cycles > 0, "{abbr} on {}", cfg.name);
+        }
+    }
+}

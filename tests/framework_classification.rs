@@ -1,0 +1,100 @@
+//! Integration tests of the automatic framework (Figure 11) against the
+//! real benchmark suite: the probe-driven classification must agree with
+//! the paper's Table 2 categories, and the assembled transforms must be
+//! sound.
+
+use cluster_bench::SharedKernel;
+use cta_clustering::Framework;
+use gpu_kernels::{suite, PaperCategory};
+use gpu_sim::{arch, ArchGen, KernelSpec, Simulation};
+use locality::Category;
+
+fn analyze(abbr: &str) -> (cta_clustering::Analysis, SharedKernel, gpu_sim::GpuConfig) {
+    let w = suite::by_abbr(abbr, ArchGen::Fermi).expect("known");
+    let kernel = SharedKernel::new(w);
+    let cfg = arch::gtx570().prefer_l1(kernel.launch().smem_per_cta);
+    let fw = Framework::new(cfg.clone());
+    (fw.analyze(&kernel).expect("probes run"), kernel, cfg)
+}
+
+#[test]
+fn classifies_algorithm_apps() {
+    for abbr in ["KMN", "NN", "BKP"] {
+        let (analysis, _, _) = analyze(abbr);
+        assert_eq!(analysis.category, Category::Algorithm, "{abbr}");
+    }
+}
+
+#[test]
+fn classifies_cache_line_apps() {
+    for abbr in ["SYK", "ATX", "MVT", "BC"] {
+        let (analysis, _, _) = analyze(abbr);
+        assert_eq!(analysis.category, Category::CacheLine, "{abbr}");
+    }
+}
+
+#[test]
+fn classifies_streaming_apps() {
+    for abbr in ["BS", "MON", "SAD", "DXT"] {
+        let (analysis, _, _) = analyze(abbr);
+        assert_eq!(analysis.category, Category::Streaming, "{abbr}");
+    }
+}
+
+#[test]
+fn classifies_write_related() {
+    let (analysis, _, _) = analyze("NW");
+    assert_eq!(analysis.category, Category::Write);
+}
+
+#[test]
+fn classifies_data_related() {
+    for abbr in ["BTR", "BFS"] {
+        let (analysis, _, _) = analyze(abbr);
+        assert!(
+            matches!(analysis.category, Category::Data | Category::Write),
+            "{abbr} got {}",
+            analysis.category
+        );
+    }
+}
+
+#[test]
+fn axis_choice_agrees_with_table2_for_clear_cases() {
+    // The probe should rediscover the paper's partition hints where the
+    // locality is one-sided.
+    for (abbr, expect) in [("NN", "Y-P"), ("SYK", "X-P"), ("BKP", "X-P")] {
+        let (analysis, _, _) = analyze(abbr);
+        assert_eq!(analysis.axis.to_string(), expect, "{abbr}");
+    }
+}
+
+#[test]
+fn exploitability_matches_paper_rule() {
+    // Algorithm + cache-line exploitable; the rest not (§4.1).
+    for w in suite::table2_suite(ArchGen::Fermi) {
+        let info = w.info();
+        let expected = matches!(
+            info.category,
+            PaperCategory::Algorithm | PaperCategory::CacheLine
+        );
+        assert_eq!(info.category.exploitable(), expected, "{}", info.abbr);
+    }
+}
+
+#[test]
+fn optimize_pipeline_never_degrades_badly() {
+    // End-to-end: the framework's chosen transform must stay within a
+    // small tolerance of baseline even when there is nothing to gain.
+    for abbr in ["BS", "NN"] {
+        let w = suite::by_abbr(abbr, ArchGen::Fermi).expect("known");
+        let kernel = SharedKernel::new(w);
+        let cfg = arch::gtx570().prefer_l1(kernel.launch().smem_per_cta);
+        let fw = Framework::new(cfg.clone());
+        let baseline = Simulation::new(cfg.clone(), &kernel).run().unwrap();
+        let (optimized, _plan) = fw.optimize(kernel).unwrap();
+        let stats = Simulation::new(cfg.clone(), &optimized).run().unwrap();
+        let speedup = stats.speedup_vs(&baseline);
+        assert!(speedup > 0.9, "{abbr} degraded to {speedup:.2}x");
+    }
+}

@@ -1,0 +1,104 @@
+//! Integration tests of the paper's §3.1 empirical observations, driven
+//! through the Listing 3 microbenchmark on the simulator.
+
+use cluster_bench::fig2;
+use gpu_kernels::Microbench;
+use gpu_sim::sched::{Randomized, StrictRoundRobin};
+use gpu_sim::{arch, Simulation};
+
+#[test]
+fn observation1_temporal_locality_on_every_arch() {
+    // Figure 2-(A): subsequent turnarounds hit L1 on all four platforms.
+    for cfg in arch::all_presets() {
+        let (default, _) = fig2::run_gpu(&cfg);
+        let total = default.series.len();
+        assert!(
+            default.l1_class() * 2 >= total,
+            "{}: {} of {} at L1 plateau",
+            cfg.name,
+            default.l1_class(),
+            total
+        );
+        // The slow class is bounded by roughly one turnaround.
+        let turnarounds = if matches!(cfg.arch, gpu_sim::ArchGen::Fermi | gpu_sim::ArchGen::Kepler)
+        {
+            4
+        } else {
+            2
+        };
+        assert!(
+            default.slow_class() <= total / turnarounds + 4,
+            "{}: {} slow of {}",
+            cfg.name,
+            default.slow_class(),
+            total
+        );
+    }
+}
+
+#[test]
+fn observation2_spatial_locality_with_staggering() {
+    // Figure 2-(B): de-aligned concurrent CTAs still reuse the line the
+    // first one fetched.
+    for cfg in arch::all_presets() {
+        let (_, staggered) = fig2::run_gpu(&cfg);
+        assert!(
+            staggered.slow_class() <= staggered.series.len() / 4,
+            "{}: {} slow of {}",
+            cfg.name,
+            staggered.slow_class(),
+            staggered.series.len()
+        );
+    }
+}
+
+#[test]
+fn observation3_workload_distribution_is_imbalanced() {
+    // §3.1-(3): "the workload distribution is not balanced across SMs,
+    // even if the number of SMs can exactly divide the CTA number" —
+    // e.g. the Kepler SM 0 executed 60 CTAs rather than the expected 64.
+    // Cache and queueing effects give CTAs unequal durations, so the
+    // demand-driven refills drift exactly as on hardware.
+    let cfg = arch::tesla_k40();
+    let kmn = gpu_kernels::Kmeans::new(240, 32, 4);
+    let stats = Simulation::new(cfg.clone(), &kmn).run().unwrap();
+    assert_eq!(stats.ctas_per_sm.iter().sum::<u64>(), 240);
+    let min = *stats.ctas_per_sm.iter().min().unwrap();
+    let max = *stats.ctas_per_sm.iter().max().unwrap();
+    assert!(max > min, "hardware-like scheduler must imbalance: {min}..{max}");
+}
+
+#[test]
+fn observation3_first_wave_depends_on_scheduler_model() {
+    let cfg = arch::gtx570();
+    let mb = Microbench::for_gpu(&cfg, 2, false);
+    // Strict RR: the first wave is exactly u % M.
+    let rr = Simulation::new(cfg.clone(), &mb)
+        .with_scheduler(Box::new(StrictRoundRobin::new()))
+        .run()
+        .unwrap();
+    for cta in 0..cfg.num_sms as u64 {
+        assert_eq!(rr.sm_of(cta), Some(cta as usize % cfg.num_sms));
+    }
+    // Randomized (GTX750Ti behaviour): it is not.
+    let rnd = Simulation::new(cfg.clone(), &mb)
+        .with_scheduler(Box::new(Randomized::new(3)))
+        .run()
+        .unwrap();
+    let matches = (0..cfg.num_sms as u64)
+        .filter(|&c| rnd.sm_of(c) == Some(c as usize % cfg.num_sms))
+        .count();
+    assert!(matches < cfg.num_sms, "randomized must break u % M placement");
+}
+
+#[test]
+fn gtx750ti_preset_runs_the_microbenchmark() {
+    // The paper's fifth probe platform.
+    let cfg = arch::gtx750ti();
+    let mb = Microbench::for_gpu(&cfg, 2, false);
+    let stats = Simulation::new(cfg.clone(), &mb)
+        .with_scheduler(Box::new(Randomized::new(50)))
+        .run()
+        .unwrap();
+    assert_eq!(stats.placements.len(), (cfg.num_sms as u32 * cfg.cta_slots * 2) as usize);
+}

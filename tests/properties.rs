@@ -1,0 +1,128 @@
+//! Property-based tests (proptest) on the core invariants: partition
+//! bijectivity, balance, coalescer correctness, reuse-distance equivalence
+//! with a naive reference, and occupancy monotonicity.
+
+use cta_clustering::{Indexing, Partition};
+use gpu_sim::{coalesce_lines, occupancy, Dim3, LaunchConfig, MemAccess};
+use locality::ReuseDistance;
+use proptest::prelude::*;
+
+proptest! {
+    /// f and f^-1 are mutual inverses for every indexing and geometry.
+    #[test]
+    fn partition_assign_invert_bijection(
+        gx in 1u32..40,
+        gy in 1u32..40,
+        m in 1u64..64,
+        mode in 0u8..3,
+        tx in 1u32..6,
+        ty in 1u32..6,
+    ) {
+        let grid = Dim3::plane(gx, gy);
+        let indexing = match mode {
+            0 => Indexing::RowMajor,
+            1 => Indexing::ColMajor,
+            _ => Indexing::Tile { tile_x: tx, tile_y: ty },
+        };
+        let p = Partition::new(grid, m, indexing).unwrap();
+        for v in 0..grid.count() {
+            let (w, i) = p.assign(v);
+            prop_assert!(i < m);
+            prop_assert!(w < p.cluster_size(i));
+            prop_assert_eq!(p.invert(w, i), v);
+        }
+    }
+
+    /// Cluster sizes are balanced within one and sum to the grid.
+    #[test]
+    fn partition_balance(gx in 1u32..64, gy in 1u32..32, m in 1u64..64) {
+        let grid = Dim3::plane(gx, gy);
+        let p = Partition::y(grid, m).unwrap();
+        let sizes: Vec<u64> = (0..m).map(|i| p.cluster_size(i)).collect();
+        prop_assert_eq!(sizes.iter().sum::<u64>(), grid.count());
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "sizes {:?}", sizes);
+    }
+
+    /// Every cluster member maps back to the cluster that lists it.
+    #[test]
+    fn partition_cluster_listing_consistent(gx in 1u32..20, gy in 1u32..20, m in 1u64..20) {
+        let grid = Dim3::plane(gx, gy);
+        let p = Partition::x(grid, m).unwrap();
+        for i in 0..m {
+            for (w, v) in p.cluster(i).into_iter().enumerate() {
+                prop_assert_eq!(p.assign(v), (w as u64, i));
+            }
+        }
+    }
+
+    /// The coalescer covers every accessed byte and emits distinct lines.
+    #[test]
+    fn coalescer_covers_all_lanes(
+        base in 0u64..100_000,
+        lanes in 1u32..32,
+        stride in 0u64..512,
+        bytes in prop::sample::select(vec![4u32, 8]),
+        line in prop::sample::select(vec![32u32, 128]),
+    ) {
+        let acc = MemAccess::strided(0, base, lanes, stride, bytes);
+        let lines = coalesce_lines(&acc, line);
+        // Distinctness.
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), lines.len());
+        // Coverage: every accessed byte falls inside an emitted line.
+        for &addr in &acc.addrs {
+            for b in [addr, addr + bytes as u64 - 1] {
+                let l = b & !(line as u64 - 1);
+                prop_assert!(lines.contains(&l), "byte {b} line {l} missing");
+            }
+        }
+        // Never more lines than touched bytes require.
+        prop_assert!(lines.len() <= (lanes as usize) * 2);
+    }
+
+    /// The Fenwick-based reuse distance equals a naive LRU-stack reference.
+    #[test]
+    fn reuse_distance_matches_naive(seq in prop::collection::vec(0u64..24, 1..200)) {
+        let mut rd = ReuseDistance::new();
+        let mut stack: Vec<u64> = Vec::new();
+        for &line in &seq {
+            let expected = stack.iter().position(|&l| l == line).map(|p| p as u64);
+            if let Some(p) = expected {
+                stack.remove(p as usize);
+            }
+            stack.insert(0, line);
+            prop_assert_eq!(rd.access(line), expected);
+        }
+    }
+
+    /// More resources never reduce occupancy; fewer never increase it.
+    #[test]
+    fn occupancy_monotone_in_registers(regs in 1u32..64, threads in prop::sample::select(vec![32u32, 64, 128, 256])) {
+        let cfg = gpu_sim::arch::gtx570();
+        let l1 = LaunchConfig::new(8u32, threads).with_regs(regs);
+        let l2 = LaunchConfig::new(8u32, threads).with_regs(regs + 1);
+        let o1 = occupancy(&cfg, &l1);
+        let o2 = occupancy(&cfg, &l2);
+        match (o1, o2) {
+            (Ok(a), Ok(b)) => prop_assert!(a.ctas_per_sm >= b.ctas_per_sm),
+            (Err(_), Ok(_)) => prop_assert!(false, "more regs cannot fix an unschedulable kernel"),
+            _ => {}
+        }
+    }
+
+    /// Dim3 row-major linearization round-trips for arbitrary coordinates.
+    #[test]
+    fn dim3_round_trip(
+        (gx, x) in (1u32..51).prop_flat_map(|g| (Just(g), 0..g)),
+        (gy, y) in (1u32..51).prop_flat_map(|g| (Just(g), 0..g)),
+        (gz, z) in (1u32..5).prop_flat_map(|g| (Just(g), 0..g)),
+    ) {
+        let d = Dim3::new(gx, gy, gz);
+        let lin = d.linear_row_major(x, y, z);
+        prop_assert_eq!(d.coords_row_major(lin), (x, y, z));
+    }
+}
