@@ -1,0 +1,47 @@
+//! Criterion benchmark of the evaluation harness itself: a reduced
+//! app × architecture matrix through the serial path (1 thread, the
+//! legacy inline loop) versus the parallel worker pool.
+//!
+//! On a multi-core host the parallel rows should approach
+//! `serial / min(threads, jobs)`; on a single core they show the
+//! (small) queueing overhead of the pool instead.
+
+use cluster_bench::par::evaluate_apps_par;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::{arch, GpuConfig};
+
+const APPS: [&str; 3] = ["NW", "BS", "HS"];
+
+fn archs() -> [GpuConfig; 2] {
+    [arch::gtx570(), arch::gtx980()]
+}
+
+fn run_matrix(threads: usize) {
+    for cfg in archs() {
+        let workloads = APPS
+            .iter()
+            .map(|a| gpu_kernels::suite::by_abbr(a, cfg.arch).expect("suite app"))
+            .collect();
+        let evals = evaluate_apps_par(&cfg, workloads, threads);
+        assert_eq!(evals.len(), APPS.len());
+    }
+}
+
+fn bench_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix_3apps_2archs");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let label = if threads == 1 {
+            "serial".to_string()
+        } else {
+            format!("par_{threads}_threads")
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &threads, |b, &t| {
+            b.iter(|| run_matrix(t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matrix);
+criterion_main!(benches);

@@ -7,49 +7,80 @@
 //! calculation leads to significant overhead, bringing little performance
 //! benefit".
 
+use cluster_bench::par::{self, par_map};
 use cluster_bench::report::{ratio, Table};
+use cluster_bench::{configured_threads, RunClock};
 use cta_clustering::{AgentKernel, Indexing, Partition};
 use gpu_kernels::{MatrixMul, Syrk};
 use gpu_sim::{arch, KernelSpec, Simulation};
 
+const INDEXINGS: [(&str, Indexing); 4] = [
+    ("row-major (Y-P)", Indexing::RowMajor),
+    ("col-major (X-P)", Indexing::ColMajor),
+    ("tile 2x2", Indexing::Tile { tile_x: 2, tile_y: 2 }),
+    ("tile 4x4", Indexing::Tile { tile_x: 4, tile_y: 4 }),
+];
+
 fn main() {
     let cfg = arch::gtx570().prefer_l1(8192);
+    let threads = configured_threads();
+    let clock = RunClock::start(threads);
     println!("CTA indexing ablation on {} (agent-based clustering)", cfg.name);
     println!();
 
-    for (name, kernel) in [
-        ("MM(10x10x10)", Box::new(MatrixMul::new(10, 10, 10)) as Box<dyn KernelClone>),
+    let kernels: Vec<(&str, Box<dyn KernelClone>)> = vec![
+        ("MM(10x10x10)", Box::new(MatrixMul::new(10, 10, 10))),
         ("SYK(4x32)", Box::new(Syrk::new(4, 32))),
-    ] {
-        let base = kernel.run_baseline(&cfg);
+    ];
+
+    // Every (kernel, indexing) cell plus each kernel's baseline is an
+    // independent simulation: fan all of them across the worker pool.
+    let jobs: Vec<(usize, Option<Indexing>)> = kernels
+        .iter()
+        .enumerate()
+        .flat_map(|(k, _)| {
+            std::iter::once((k, None))
+                .chain(INDEXINGS.iter().map(move |(_, ix)| (k, Some(ix.clone()))))
+        })
+        .collect();
+    let stats = par_map(&jobs, threads, |(k, indexing)| {
+        let t0 = std::time::Instant::now();
+        let s = match indexing {
+            None => kernels[*k].1.run_baseline(&cfg),
+            Some(ix) => kernels[*k].1.run_clustered(&cfg, ix.clone()),
+        };
+        par::record_busy(t0.elapsed());
+        s
+    });
+
+    let per_kernel = 1 + INDEXINGS.len();
+    for (k, (name, _)) in kernels.iter().enumerate() {
+        let base = &stats[k * per_kernel];
         println!("--- {name} (baseline: {} cycles) ---", base.cycles);
         let mut t = Table::new(&["indexing", "speedup", "L2 txns", "L1 hit rate"]);
-        for (label, indexing) in [
-            ("row-major (Y-P)", Indexing::RowMajor),
-            ("col-major (X-P)", Indexing::ColMajor),
-            ("tile 2x2", Indexing::Tile { tile_x: 2, tile_y: 2 }),
-            ("tile 4x4", Indexing::Tile { tile_x: 4, tile_y: 4 }),
-        ] {
-            let stats = kernel.run_clustered(&cfg, indexing);
+        for (i, (label, _)) in INDEXINGS.iter().enumerate() {
+            let s = &stats[k * per_kernel + 1 + i];
             t.row(vec![
-                label.into(),
-                ratio(stats.speedup_vs(&base)),
-                format!("{:.2}", stats.l2_txns_vs(&base)),
-                format!("{:.0}%", 100.0 * stats.l1_hit_rate()),
+                (*label).into(),
+                ratio(s.speedup_vs(base)),
+                format!("{:.2}", s.l2_txns_vs(base)),
+                format!("{:.0}%", 100.0 * s.l1_hit_rate()),
             ]);
         }
         print!("{t}");
         println!();
     }
+    println!("{}", clock.footer());
 }
 
-/// Object-safe helper so the two differently-typed kernels share the loop.
-trait KernelClone {
+/// Object-safe helper so the two differently-typed kernels share the loop
+/// (`Sync` so the worker pool can share the table of kernels).
+trait KernelClone: Sync {
     fn run_baseline(&self, cfg: &gpu_sim::GpuConfig) -> gpu_sim::RunStats;
     fn run_clustered(&self, cfg: &gpu_sim::GpuConfig, indexing: Indexing) -> gpu_sim::RunStats;
 }
 
-impl<K: KernelSpec + Clone> KernelClone for K {
+impl<K: KernelSpec + Clone + Sync> KernelClone for K {
     fn run_baseline(&self, cfg: &gpu_sim::GpuConfig) -> gpu_sim::RunStats {
         Simulation::new(cfg.clone(), self).run().expect("baseline")
     }

@@ -2,8 +2,10 @@
 //! run). Expect a few minutes in release mode.
 
 use std::process::Command;
+use std::time::Instant;
 
 fn main() {
+    let t0 = Instant::now();
     let exe_dir = std::env::current_exe()
         .expect("own path")
         .parent()
@@ -23,4 +25,12 @@ fn main() {
             .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
         assert!(status.success(), "{bin} failed");
     }
+    // Each child bin reports its own busy-time speedup; the children all
+    // read CLUSTER_BENCH_THREADS from this process's environment.
+    println!(
+        "\ntotal elapsed {:.2}s wall across all bins ({} worker thread{} per bin)",
+        t0.elapsed().as_secs_f64(),
+        cluster_bench::configured_threads(),
+        if cluster_bench::configured_threads() == 1 { "" } else { "s" },
+    );
 }

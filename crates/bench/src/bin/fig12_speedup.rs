@@ -4,14 +4,15 @@
 //! paper's three panels with geometric means.
 
 use cluster_bench::report::{ratio, Table};
-use cluster_bench::{evaluate_arch, Panel, Variant};
+use cluster_bench::{configured_threads, evaluate_matrix, Panel, RunClock, Variant};
 
 fn main() {
+    let threads = configured_threads();
+    let clock = RunClock::start(threads);
     println!("Figure 12: normalized performance speedup and achieved occupancy");
     println!("series: BSL / RD / CLU / CLU+TOT / CLU+TOT+BPS / PFH+TOT (+AC_OCP delta)");
     println!();
-    for cfg in gpu_sim::arch::all_presets() {
-        let eval = evaluate_arch(&cfg);
+    for eval in evaluate_matrix(&gpu_sim::arch::all_presets(), threads) {
         println!("=== {} ===", eval.gpu);
         for panel in Panel::ALL {
             println!("--- {panel} ---");
@@ -52,4 +53,6 @@ fn main() {
     println!("  algorithm:  1.46x / 1.48x / 1.45x / 1.41x (Fermi/Kepler/Maxwell/Pascal)");
     println!("  cache-line: 1.47x / 1.29x / ~1.0x / ~1.0x");
     println!("  data/write/streaming: ~1.0x on every architecture");
+    println!();
+    println!("{}", clock.footer());
 }

@@ -2,14 +2,15 @@
 //! hit rates for every Table 2 application under every variant.
 
 use cluster_bench::report::{pct, Table};
-use cluster_bench::{evaluate_arch, Panel, Variant};
+use cluster_bench::{configured_threads, evaluate_matrix, Panel, RunClock, Variant};
 
 fn main() {
+    let threads = configured_threads();
+    let clock = RunClock::start(threads);
     println!("Figure 13: normalized L2 cache transactions and L1 hit rates");
     println!("(L2 columns normalized to BSL = 1.00; HT_RTE = L1 read hit rate)");
     println!();
-    for cfg in gpu_sim::arch::all_presets() {
-        let eval = evaluate_arch(&cfg);
+    for eval in evaluate_matrix(&gpu_sim::arch::all_presets(), threads) {
         println!("=== {} ===", eval.gpu);
         for panel in Panel::ALL {
             println!("--- {panel} ---");
@@ -46,4 +47,6 @@ fn main() {
     println!("paper reference L2 reductions (CLU+TOT):");
     println!("  algorithm:  55% / 65% / 29% / 28% (Fermi/Kepler/Maxwell/Pascal)");
     println!("  cache-line: 81% / 71% / 34% / ~0%");
+    println!();
+    println!("{}", clock.footer());
 }

@@ -4,7 +4,7 @@
 //!
 //! Usage: `cargo run --release -p cluster-bench --bin sweep -- [fermi|kepler|maxwell|pascal]`
 
-use cluster_bench::{evaluate_app, Variant};
+use cluster_bench::{configured_threads, evaluate_arch_par, RunClock, Variant};
 use gpu_sim::arch;
 
 fn main() {
@@ -19,12 +19,12 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let threads = configured_threads();
+    let clock = RunClock::start(threads);
     println!("=== {} ===", cfg.name);
-    for w in gpu_kernels::suite::table2_suite(cfg.arch) {
-        let t0 = std::time::Instant::now();
-        let eval = evaluate_app(&cfg, w);
+    for eval in &evaluate_arch_par(&cfg, threads).apps {
         println!(
-            "{:4} [{:12}] RD {:4.2}x CLU {:4.2}x TOT({}) {:4.2}x BPS {:4.2}x PFH {:4.2}x | L2 TOT {:4.2} | l1hr {:4.2}->{:4.2} | {:?}",
+            "{:4} [{:12}] RD {:4.2}x CLU {:4.2}x TOT({}) {:4.2}x BPS {:4.2}x PFH {:4.2}x | L2 TOT {:4.2} | l1hr {:4.2}->{:4.2}",
             eval.info.abbr,
             eval.info.category.to_string(),
             eval.speedup(Variant::Redirection),
@@ -36,7 +36,7 @@ fn main() {
             eval.l2_norm(Variant::ClusteringThrottled),
             eval.stats(Variant::Baseline).l1_hit_rate(),
             eval.stats(Variant::ClusteringThrottled).l1_hit_rate(),
-            t0.elapsed(),
         );
     }
+    println!("{}", clock.footer());
 }

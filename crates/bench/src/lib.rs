@@ -20,9 +20,14 @@
 pub mod evaluation;
 pub mod fig2;
 pub mod fig3;
+pub mod par;
 pub mod report;
 pub mod runner;
 pub mod tables;
 
 pub use evaluation::{evaluate_all, evaluate_arch, ArchEvaluation, Panel};
-pub use runner::{evaluate_app, AppEvaluation, SharedKernel, Variant};
+pub use par::{
+    configured_threads, evaluate_all_par, evaluate_apps_par, evaluate_arch_par, evaluate_matrix,
+    RunClock,
+};
+pub use runner::{evaluate_app, AppEvaluation, AppPlan, SharedKernel, SimRequest, Variant};

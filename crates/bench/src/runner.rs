@@ -1,20 +1,28 @@
 //! Shared harness machinery: the optimization variants of Figure 12/13
 //! and the code that runs a workload under each of them.
+//!
+//! The evaluation of one app decomposes into independent simulations
+//! described by [`SimRequest`]s. [`AppPlan`] owns everything a request
+//! needs (kernel handle, configured GPU, hinted partition, agent
+//! template), so requests can execute in any order — or concurrently on
+//! worker threads ([`crate::par`]) — and still assemble into exactly the
+//! [`AppEvaluation`] the serial path produces.
 
 use cta_clustering::{AgentKernel, BypassKernel, Framework, Partition, RedirectionKernel};
 use gpu_kernels::{PartitionHint, Workload};
 use gpu_sim::{ArrayTag, CtaContext, GpuConfig, KernelSpec, LaunchConfig, Program, RunStats, Simulation};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A cloneable handle to a boxed workload, so the clustering transforms
-/// (which need `Clone`) can wrap suite entries.
+/// (which need `Clone`) can wrap suite entries. Backed by `Arc` so the
+/// handle can cross thread boundaries in the parallel harness.
 #[derive(Clone)]
-pub struct SharedKernel(Rc<Box<dyn Workload>>);
+pub struct SharedKernel(Arc<dyn Workload>);
 
 impl SharedKernel {
     /// Wraps a suite workload.
     pub fn new(w: Box<dyn Workload>) -> Self {
-        SharedKernel(Rc::new(w))
+        SharedKernel(Arc::from(w))
     }
 
     /// The workload's Table 2 metadata.
@@ -38,6 +46,9 @@ impl KernelSpec for SharedKernel {
     }
     fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
         self.0.warp_program(ctx, warp)
+    }
+    fn warp_program_into(&self, ctx: &CtaContext, warp: u32, out: &mut Program) {
+        self.0.warp_program_into(ctx, warp, out)
     }
 }
 
@@ -102,6 +113,196 @@ pub fn hinted_partition(kernel: &SharedKernel, cfg: &GpuConfig) -> Partition {
     .expect("suite grids are partitionable")
 }
 
+/// One independent simulation of the evaluation matrix.
+///
+/// Requests carry no references into their plan, so a `(plan, request)`
+/// pair is a self-contained unit of work for a thread pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimRequest {
+    /// The unmodified kernel.
+    Baseline,
+    /// Redirection-based clustering.
+    Redirection,
+    /// Agent-based clustering, all agents active.
+    Clustering,
+    /// Agent-based clustering throttled to `n` active agents.
+    Throttled(u32),
+    /// Throttled clustering plus L1 bypassing, at `n` active agents.
+    Bypass(u32),
+    /// Throttled clustering plus cross-CTA prefetching, at `n` agents.
+    Prefetch(u32),
+}
+
+/// One workload's prepared evaluation: the configured GPU, the hinted
+/// partition (computed once), the agent-kernel template, and the
+/// throttling candidate set. Every [`SimRequest`] runs off this shared,
+/// immutable state.
+#[derive(Debug, Clone)]
+pub struct AppPlan {
+    /// Table 2 metadata of the workload.
+    pub info: gpu_kernels::WorkloadInfo,
+    /// The GPU configuration (already `prefer_l1`-adjusted).
+    pub cfg: GpuConfig,
+    kernel: SharedKernel,
+    partition: Partition,
+    agents: AgentKernel<SharedKernel>,
+    /// Upper bound on concurrently resident agents per SM.
+    pub max_agents: u32,
+    /// Deduplicated, sorted throttling degrees the sweep will try.
+    pub candidates: Vec<u32>,
+}
+
+impl AppPlan {
+    /// Prepares `workload` for evaluation on `base_cfg`.
+    ///
+    /// The GPU is configured `cudaFuncCachePreferL1`-style on the
+    /// configurable architectures (uniformly, including the baseline).
+    /// The Table 2 partition hint is resolved exactly once here; every
+    /// transform reuses it.
+    pub fn new(base_cfg: &GpuConfig, workload: Box<dyn Workload>) -> AppPlan {
+        let kernel = SharedKernel::new(workload);
+        let info = kernel.info();
+        let cfg = base_cfg.prefer_l1(kernel.launch().smem_per_cta);
+        let partition = hinted_partition(&kernel, &cfg);
+        let agents = AgentKernel::with_partition(kernel.clone(), &cfg, partition.clone())
+            .expect("agent transform");
+        let max_agents = agents.max_agents();
+        // Sweep candidates: a small set always containing Table 2's
+        // published optimum, mirroring how the paper selected "Opt
+        // Agents" empirically.
+        let mut candidates = vec![1u32, 2, 4, info.opt_agents_for(cfg.arch), max_agents];
+        candidates.retain(|&c| c >= 1 && c <= max_agents);
+        candidates.sort_unstable();
+        candidates.dedup();
+        AppPlan {
+            info,
+            cfg,
+            kernel,
+            partition,
+            agents,
+            max_agents,
+            candidates,
+        }
+    }
+
+    /// The requests whose inputs are known up front: everything except
+    /// the two variants that depend on the sweep's winner.
+    pub fn phase_a(&self) -> Vec<SimRequest> {
+        let mut reqs = vec![
+            SimRequest::Baseline,
+            SimRequest::Redirection,
+            SimRequest::Clustering,
+        ];
+        reqs.extend(self.candidates.iter().map(|&c| SimRequest::Throttled(c)));
+        reqs
+    }
+
+    /// The requests that need the sweep-selected throttling degree.
+    pub fn phase_b(&self, chosen_agents: u32) -> Vec<SimRequest> {
+        vec![SimRequest::Bypass(chosen_agents), SimRequest::Prefetch(chosen_agents)]
+    }
+
+    /// Runs one request to completion. Pure with respect to the plan:
+    /// the same request always yields the same [`RunStats`].
+    pub fn run(&self, req: SimRequest) -> RunStats {
+        let t0 = std::time::Instant::now();
+        let stats = match req {
+            SimRequest::Baseline => {
+                Simulation::new(self.cfg.clone(), &self.kernel).run().expect("baseline run")
+            }
+            SimRequest::Redirection => {
+                let rd = RedirectionKernel::new(self.kernel.clone(), self.partition.clone());
+                let stats = Simulation::new(self.cfg.clone(), &rd).run().expect("RD run");
+                stats
+            }
+            SimRequest::Clustering => {
+                Simulation::new(self.cfg.clone(), &self.agents).run().expect("CLU run")
+            }
+            SimRequest::Throttled(active) => {
+                let throttled =
+                    self.agents.clone().with_active_agents(active).expect("valid throttle");
+                let stats = Simulation::new(self.cfg.clone(), &throttled).run().expect("TOT run");
+                stats
+            }
+            SimRequest::Bypass(active) => {
+                // Bypassing: streaming tags from the framework's probe.
+                let fw = Framework::new(self.cfg.clone());
+                let tags: Vec<ArrayTag> = fw
+                    .analyze(&self.kernel)
+                    .map(|a| a.streaming_tags)
+                    .unwrap_or_default();
+                let bypassed = AgentKernel::with_partition(
+                    BypassKernel::new(self.kernel.clone(), tags),
+                    &self.cfg,
+                    self.partition.clone(),
+                )
+                .expect("bypass transform")
+                .with_active_agents(active)
+                .expect("valid throttle");
+                let stats = Simulation::new(self.cfg.clone(), &bypassed).run().expect("BPS run");
+                stats
+            }
+            SimRequest::Prefetch(active) => {
+                let prefetching = self
+                    .agents
+                    .clone()
+                    .with_active_agents(active)
+                    .expect("valid throttle")
+                    .with_prefetch(2);
+                let stats = Simulation::new(self.cfg.clone(), &prefetching).run().expect("PFH run");
+                stats
+            }
+        };
+        crate::par::record_busy(t0.elapsed());
+        stats
+    }
+
+    /// Picks the winning throttling degree from phase-A results
+    /// (`stats` must be in [`AppPlan::phase_a`] order). Returns the
+    /// degree and its index into `stats`. Strict `<` keeps the earliest
+    /// candidate on ties, matching the original serial sweep.
+    pub fn select_throttle(&self, stats: &[RunStats]) -> (u32, usize) {
+        let sweep_base = 3; // Baseline, Redirection, Clustering precede the sweep.
+        let mut best: Option<(u32, usize)> = None;
+        for (i, &active) in self.candidates.iter().enumerate() {
+            let idx = sweep_base + i;
+            if best
+                .as_ref()
+                .is_none_or(|&(_, b)| stats[idx].cycles < stats[b].cycles)
+            {
+                best = Some((active, idx));
+            }
+        }
+        best.expect("nonempty sweep")
+    }
+
+    /// Combines phase-A and phase-B results into the final evaluation.
+    pub fn assemble(
+        &self,
+        phase_a: Vec<RunStats>,
+        chosen: (u32, usize),
+        phase_b: Vec<RunStats>,
+    ) -> AppEvaluation {
+        let (chosen_agents, best_idx) = chosen;
+        let tot_stats = phase_a[best_idx].clone();
+        let mut a = phase_a.into_iter();
+        let mut b = phase_b.into_iter();
+        let runs = vec![
+            (Variant::Baseline, a.next().expect("baseline stats")),
+            (Variant::Redirection, a.next().expect("RD stats")),
+            (Variant::Clustering, a.next().expect("CLU stats")),
+            (Variant::ClusteringThrottled, tot_stats),
+            (Variant::ClusteringThrottledBypass, b.next().expect("BPS stats")),
+            (Variant::PrefetchThrottled, b.next().expect("PFH stats")),
+        ];
+        AppEvaluation {
+            info: self.info,
+            runs,
+            chosen_agents,
+        }
+    }
+}
+
 /// Results of one workload under every variant on one GPU.
 #[derive(Debug, Clone)]
 pub struct AppEvaluation {
@@ -130,81 +331,17 @@ impl AppEvaluation {
     }
 }
 
-/// Evaluates one workload under all six variants on `base_cfg`.
+/// Evaluates one workload under all six variants on `base_cfg`,
+/// serially on the calling thread.
 ///
-/// The GPU is configured `cudaFuncCachePreferL1`-style on the
-/// configurable architectures (uniformly, including the baseline).
-/// `CLU+TOT` sweeps the throttling degree over a small candidate set —
-/// always including Table 2's published optimum — and keeps the fastest,
-/// mirroring how the paper selected its "Opt Agents" empirically.
+/// This is the legacy single-threaded path; [`crate::par`] runs the same
+/// [`SimRequest`]s across worker threads and produces identical results.
 pub fn evaluate_app(base_cfg: &GpuConfig, workload: Box<dyn Workload>) -> AppEvaluation {
-    let kernel = SharedKernel::new(workload);
-    let info = kernel.info();
-    let cfg = base_cfg.prefer_l1(kernel.launch().smem_per_cta);
-    let mut runs = Vec::new();
-
-    let baseline = Simulation::new(cfg.clone(), &kernel).run().expect("baseline run");
-    runs.push((Variant::Baseline, baseline));
-
-    let rd = RedirectionKernel::new(kernel.clone(), hinted_partition(&kernel, &cfg));
-    runs.push((Variant::Redirection, Simulation::new(cfg.clone(), &rd).run().expect("RD run")));
-
-    let agents = AgentKernel::with_partition(kernel.clone(), &cfg, hinted_partition(&kernel, &cfg))
-        .expect("agent transform");
-    let max_agents = agents.max_agents();
-    runs.push((Variant::Clustering, Simulation::new(cfg.clone(), &agents).run().expect("CLU run")));
-
-    // Throttling sweep.
-    let mut candidates = vec![1u32, 2, 4, info.opt_agents_for(cfg.arch), max_agents];
-    candidates.retain(|&c| c >= 1 && c <= max_agents);
-    candidates.sort_unstable();
-    candidates.dedup();
-    let mut best: Option<(u32, RunStats)> = None;
-    for active in candidates {
-        let throttled = agents.clone().with_active_agents(active).expect("valid throttle");
-        let stats = Simulation::new(cfg.clone(), &throttled).run().expect("TOT run");
-        if best.as_ref().is_none_or(|(_, b)| stats.cycles < b.cycles) {
-            best = Some((active, stats));
-        }
-    }
-    let (chosen_agents, tot_stats) = best.expect("nonempty sweep");
-    runs.push((Variant::ClusteringThrottled, tot_stats));
-
-    // Bypassing: streaming tags from the framework's probe.
-    let fw = Framework::new(cfg.clone());
-    let tags: Vec<ArrayTag> = fw
-        .analyze(&kernel)
-        .map(|a| a.streaming_tags)
-        .unwrap_or_default();
-    let bypassed = AgentKernel::with_partition(
-        BypassKernel::new(kernel.clone(), tags),
-        &cfg,
-        hinted_partition(&kernel, &cfg),
-    )
-    .expect("bypass transform")
-    .with_active_agents(chosen_agents)
-    .expect("valid throttle");
-    runs.push((
-        Variant::ClusteringThrottledBypass,
-        Simulation::new(cfg.clone(), &bypassed).run().expect("BPS run"),
-    ));
-
-    // Prefetching over the reshaped order.
-    let prefetching = AgentKernel::with_partition(kernel.clone(), &cfg, hinted_partition(&kernel, &cfg))
-        .expect("prefetch transform")
-        .with_active_agents(chosen_agents)
-        .expect("valid throttle")
-        .with_prefetch(2);
-    runs.push((
-        Variant::PrefetchThrottled,
-        Simulation::new(cfg.clone(), &prefetching).run().expect("PFH run"),
-    ));
-
-    AppEvaluation {
-        info,
-        runs,
-        chosen_agents,
-    }
+    let plan = AppPlan::new(base_cfg, workload);
+    let phase_a: Vec<RunStats> = plan.phase_a().into_iter().map(|r| plan.run(r)).collect();
+    let chosen = plan.select_throttle(&phase_a);
+    let phase_b: Vec<RunStats> = plan.phase_b(chosen.0).into_iter().map(|r| plan.run(r)).collect();
+    plan.assemble(phase_a, chosen, phase_b)
 }
 
 #[cfg(test)]
@@ -228,5 +365,31 @@ mod tests {
     fn variant_labels_match_paper() {
         let labels: Vec<_> = Variant::ALL.iter().map(|v| v.label()).collect();
         assert_eq!(labels, vec!["BSL", "RD", "CLU", "CLU+TOT", "CLU+TOT+BPS", "PFH+TOT"]);
+    }
+
+    #[test]
+    fn shared_kernel_handle_is_thread_safe() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedKernel>();
+        assert_send_sync::<AppPlan>();
+        assert_send_sync::<SimRequest>();
+    }
+
+    #[test]
+    fn plan_decomposition_matches_monolithic_order() {
+        let w = gpu_kernels::suite::by_abbr("NW", gpu_sim::ArchGen::Fermi).unwrap();
+        let plan = AppPlan::new(&arch::gtx570(), w);
+        let phase_a = plan.phase_a();
+        assert_eq!(
+            &phase_a[..3],
+            &[SimRequest::Baseline, SimRequest::Redirection, SimRequest::Clustering]
+        );
+        assert_eq!(phase_a.len(), 3 + plan.candidates.len());
+        // Candidates stay sorted and in range, including Table 2's optimum.
+        assert!(plan.candidates.windows(2).all(|w| w[0] < w[1]));
+        assert!(plan.candidates.iter().all(|&c| c >= 1 && c <= plan.max_agents));
+        let opt = plan.info.opt_agents_for(plan.cfg.arch).min(plan.max_agents);
+        assert!(plan.candidates.contains(&opt));
+        assert_eq!(plan.phase_b(2), vec![SimRequest::Bypass(2), SimRequest::Prefetch(2)]);
     }
 }

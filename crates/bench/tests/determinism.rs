@@ -1,0 +1,70 @@
+//! Regression tests for the parallel evaluation engine: fanning the
+//! matrix across worker threads must not change a single byte of the
+//! results. Each simulation is single-threaded and seeded, so the only
+//! way parallelism could leak in is through job ordering — these tests
+//! pin the index-keyed collection down.
+
+use cluster_bench::report::{ratio, Table};
+use cluster_bench::{evaluate_app, evaluate_apps_par, AppEvaluation, Variant};
+use gpu_sim::arch;
+
+fn workload(abbr: &str) -> Box<dyn gpu_kernels::Workload> {
+    gpu_kernels::suite::by_abbr(abbr, gpu_sim::ArchGen::Fermi).expect("suite app")
+}
+
+/// Renders one app's figure-12-style row set, exactly as a bin would.
+fn render(eval: &AppEvaluation) -> String {
+    let mut t = Table::new(&["app", "RD", "CLU", "CLU+TOT", "+BPS", "PFH+TOT", "agents"]);
+    t.row(vec![
+        eval.info.abbr.to_string(),
+        ratio(eval.speedup(Variant::Redirection)),
+        ratio(eval.speedup(Variant::Clustering)),
+        ratio(eval.speedup(Variant::ClusteringThrottled)),
+        ratio(eval.speedup(Variant::ClusteringThrottledBypass)),
+        ratio(eval.speedup(Variant::PrefetchThrottled)),
+        eval.chosen_agents.to_string(),
+    ]);
+    t.render()
+}
+
+#[test]
+fn parallel_results_are_identical_to_serial() {
+    let cfg = arch::gtx570();
+    let serial = evaluate_app(&cfg, workload("NW"));
+    let serial_rendered = render(&serial);
+
+    for threads in [2, 4] {
+        let par = evaluate_apps_par(&cfg, vec![workload("NW")], threads)
+            .pop()
+            .expect("one app evaluated");
+
+        assert_eq!(par.chosen_agents, serial.chosen_agents, "{threads} threads");
+        for v in Variant::ALL {
+            let (s, p) = (serial.stats(v), par.stats(v));
+            // Spot-check the headline metrics with readable failures...
+            assert_eq!(p.cycles, s.cycles, "{v} cycles, {threads} threads");
+            assert_eq!(p.l2_transactions(), s.l2_transactions(), "{v} L2 txns, {threads} threads");
+            assert_eq!(p.l1_hit_rate(), s.l1_hit_rate(), "{v} L1 hit rate, {threads} threads");
+            // ...then require every counter to match exactly.
+            assert_eq!(p, s, "{v} full stats, {threads} threads");
+        }
+        // Byte-identical rendered figure output.
+        assert_eq!(render(&par), serial_rendered, "{threads} threads");
+    }
+}
+
+#[test]
+fn parallel_preserves_app_order() {
+    let cfg = arch::gtx570();
+    let abbrs = ["NW", "BS"];
+    let serial: Vec<AppEvaluation> =
+        abbrs.iter().map(|a| evaluate_app(&cfg, workload(a))).collect();
+    let par = evaluate_apps_par(&cfg, abbrs.iter().map(|a| workload(a)).collect(), 3);
+    assert_eq!(par.len(), serial.len());
+    for (p, s) in par.iter().zip(&serial) {
+        assert_eq!(p.info.abbr, s.info.abbr);
+        for v in Variant::ALL {
+            assert_eq!(p.stats(v), s.stats(v), "{} {v}", s.info.abbr);
+        }
+    }
+}

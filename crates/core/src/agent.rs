@@ -199,19 +199,25 @@ impl<K: KernelSpec> KernelSpec for AgentKernel<K> {
 
     fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
         let mut prog = Program::new();
+        self.warp_program_into(ctx, warp, &mut prog);
+        prog
+    }
+
+    fn warp_program_into(&self, ctx: &CtaContext, warp: u32, out: &mut Program) {
+        out.clear();
         // SM-based binding overhead (Listing 5, Maxwell/Pascal path):
         // thread 0 bids on a global atomic, everyone waits on the
         // broadcast.
         if !self.arch.static_warp_slot_binding() {
             if warp == 0 {
-                prog.push(Op::Atomic(MemAccess::scalar(
+                out.push(Op::Atomic(MemAccess::scalar(
                     COUNTER_TAG,
                     (u64::from(COUNTER_TAG) << 32) + ctx.sm_id as u64 * 4,
                     4,
                 )));
             }
-            prog.push(Op::Compute(BROADCAST_COST));
-            prog.push(Op::Barrier);
+            out.push(Op::Compute(BROADCAST_COST));
+            out.push(Op::Barrier);
         }
         let agent_id = self.agent_id(ctx);
         if agent_id >= self.active_agents as u64 {
@@ -219,22 +225,26 @@ impl<K: KernelSpec> KernelSpec for AgentKernel<K> {
             // The binding prologue ran, but a lone prologue would leave
             // this CTA's barrier unmatched relative to peers that run
             // tasks — and an all-Compute retirement is cheaper anyway.
-            return if self.arch.static_warp_slot_binding() {
-                Vec::new()
-            } else {
-                prog
-            };
+            if self.arch.static_warp_slot_binding() {
+                out.clear();
+            }
+            return;
         }
+        // Walk the task list arithmetically; `body` and `next_prog` are
+        // scratch buffers shared by every task of this warp, so building
+        // the full program costs O(1) allocations instead of O(tasks).
         let tasks = self.tasks_of(ctx.sm_id, agent_id);
+        let mut body = Program::new();
+        let mut next_prog = Program::new();
         for (k, &v) in tasks.iter().enumerate() {
             let task_ctx = CtaContext { cta: v, ..*ctx };
-            let mut body = self.inner.warp_program(&task_ctx, warp);
+            self.inner.warp_program_into(&task_ctx, warp, &mut body);
             // Reshaped-order prefetching: pull the next task's leading
             // loads while this task runs.
             if self.prefetch_depth > 0 {
                 if let Some(&next) = tasks.get(k + 1) {
                     let next_ctx = CtaContext { cta: next, ..*ctx };
-                    let next_prog = self.inner.warp_program(&next_ctx, warp);
+                    self.inner.warp_program_into(&next_ctx, warp, &mut next_prog);
                     let prefetches: Vec<Op> = next_prog
                         .iter()
                         .filter_map(|op| match op {
@@ -251,9 +261,8 @@ impl<K: KernelSpec> KernelSpec for AgentKernel<K> {
                     }
                 }
             }
-            prog.extend(body);
+            out.append(&mut body);
         }
-        prog
     }
 }
 

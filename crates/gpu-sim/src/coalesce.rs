@@ -20,12 +20,24 @@ use crate::kernel::MemAccess;
 /// assert_eq!(coalesce_lines(&a, 32).len(), 4);
 /// ```
 pub fn coalesce_lines(access: &MemAccess, line_bytes: u32) -> Vec<u64> {
+    let mut lines = Vec::with_capacity(4);
+    coalesce_lines_into(access, line_bytes, &mut lines);
+    lines
+}
+
+/// [`coalesce_lines`], writing into a caller-provided buffer.
+///
+/// Clears `out` first and fills it with the same lines in the same
+/// (first-touch) order. The simulation engine calls this once per memory
+/// instruction, so reusing one scratch buffer across the whole run
+/// removes the hot path's per-access allocations.
+pub fn coalesce_lines_into(access: &MemAccess, line_bytes: u32, out: &mut Vec<u64>) {
     debug_assert!(line_bytes.is_power_of_two());
     let mask = !(line_bytes as u64 - 1);
-    let mut lines: Vec<u64> = Vec::with_capacity(4);
+    out.clear();
     let mut push = |line: u64| {
-        if !lines.contains(&line) {
-            lines.push(line);
+        if !out.contains(&line) {
+            out.push(line);
         }
     };
     for &addr in &access.addrs {
@@ -36,7 +48,6 @@ pub fn coalesce_lines(access: &MemAccess, line_bytes: u32) -> Vec<u64> {
             push(last);
         }
     }
-    lines
 }
 
 /// The *coalescing degree* of an access: active lanes divided by the

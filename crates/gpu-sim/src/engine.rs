@@ -12,7 +12,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::cache::{Cache, CacheStats, ReadOutcome};
-use crate::coalesce::coalesce_lines;
+use crate::coalesce::coalesce_lines_into;
 use crate::config::GpuConfig;
 use crate::error::SimError;
 use crate::kernel::{CacheOp, CtaContext, KernelSpec, MemAccess, Op};
@@ -119,6 +119,8 @@ impl<'k> Simulation<'k> {
             instructions: 0,
             horizon: 0,
             placements: Vec::new(),
+            line_buf: Vec::with_capacity(64),
+            program_pool: Vec::new(),
         };
         runner.run(launch.num_ctas())
     }
@@ -144,6 +146,12 @@ struct Runner<'a> {
     instructions: u64,
     horizon: u64,
     placements: Vec<CtaPlacement>,
+    /// Scratch for the coalescer: one buffer reused by every memory
+    /// instruction of the run instead of a fresh `Vec` per access.
+    line_buf: Vec<u64>,
+    /// Retired warps' program buffers, recycled into the next dispatch
+    /// via [`KernelSpec::warp_program_into`].
+    program_pool: Vec<Vec<Op>>,
 }
 
 impl<'a> Runner<'a> {
@@ -216,8 +224,10 @@ impl<'a> Runner<'a> {
         let wpc = self.warps_per_cta;
         let mut live = 0u32;
         for w in 0..wpc {
-            let program = self.kernel.warp_program(&ctx, w);
+            let mut program = self.program_pool.pop().unwrap_or_default();
+            self.kernel.warp_program_into(&ctx, w, &mut program);
             if program.is_empty() {
+                self.program_pool.push(program);
                 continue;
             }
             live += 1;
@@ -297,6 +307,9 @@ impl<'a> Runner<'a> {
         sm.account_warps(now, -1);
         self.horizon = self.horizon.max(now);
         let slot = ws.cta_slot;
+        let mut program = ws.program;
+        program.clear();
+        self.program_pool.push(program);
         let done = {
             let cta = sm.ctas[slot as usize].as_mut().expect("warp belongs to a resident CTA");
             cta.warps_done += 1;
@@ -392,6 +405,7 @@ impl<'a> Runner<'a> {
                     kind,
                     sector,
                     t,
+                    &mut self.line_buf,
                 );
                 if let Some(sink) = self.sink.as_deref_mut() {
                     let cta = sm.ctas[slot as usize].as_ref().expect("resident").cta;
@@ -469,6 +483,9 @@ fn lsu_slot(lsu_free: &mut u64, t: u64) -> u64 {
 
 /// Resolves one warp-wide memory access against the hierarchy, returning
 /// `(warp-visible latency, deepest serving level)`.
+///
+/// `line_buf` is caller-owned coalescer scratch, reused across every
+/// access of the run.
 #[allow(clippy::too_many_arguments)]
 fn resolve_access(
     cfg: &GpuConfig,
@@ -479,6 +496,7 @@ fn resolve_access(
     kind: AccessKind,
     sector: usize,
     t: u64,
+    line_buf: &mut Vec<u64>,
 ) -> (u64, Level) {
     match kind {
         AccessKind::Store => {
@@ -486,23 +504,25 @@ fn resolve_access(
             // touched L2 lines down. Stores retire through the write
             // buffer without blocking the warp.
             if cfg.l1_enabled && access.cache_op == CacheOp::CacheAll {
-                for line in coalesce_lines(access, cfg.l1.line_bytes) {
+                coalesce_lines_into(access, cfg.l1.line_bytes, line_buf);
+                for &line in line_buf.iter() {
                     l1_sectors[sector].write(line, t);
                 }
             }
-            for line in coalesce_lines(access, cfg.l2.line_bytes) {
+            coalesce_lines_into(access, cfg.l2.line_bytes, line_buf);
+            for &line in line_buf.iter() {
                 let slot = lsu_slot(lsu_free, t);
                 mem.write_line(line, slot);
             }
             (1, Level::L2)
         }
         AccessKind::Atomic => {
-            let lines = coalesce_lines(access, cfg.l2.line_bytes);
+            coalesce_lines_into(access, cfg.l2.line_bytes, line_buf);
             let mut done = t + 1;
             let mut level = Level::L2;
-            for line in &lines {
+            for &line in line_buf.iter() {
                 let slot = lsu_slot(lsu_free, t);
-                let (d, l) = mem.atomic_line(*line, slot);
+                let (d, l) = mem.atomic_line(line, slot);
                 done = done.max(d);
                 level = level.max(l);
             }
@@ -511,25 +531,25 @@ fn resolve_access(
         AccessKind::Load => {
             let bypass = access.cache_op == CacheOp::BypassL1 || !cfg.l1_enabled;
             let (latency, level) = if bypass {
-                let lines = coalesce_lines(access, cfg.l2.line_bytes);
+                coalesce_lines_into(access, cfg.l2.line_bytes, line_buf);
                 let mut done = t;
                 let mut level = Level::L2;
-                for line in &lines {
+                for &line in line_buf.iter() {
                     let slot = lsu_slot(lsu_free, t);
-                    let (d, l) = mem.read_line(*line, slot);
+                    let (d, l) = mem.read_line(line, slot);
                     done = done.max(d);
                     level = level.max(l);
                 }
                 (done - t, level)
             } else {
-                let lines = coalesce_lines(access, cfg.l1.line_bytes);
+                coalesce_lines_into(access, cfg.l1.line_bytes, line_buf);
                 let l1 = &mut l1_sectors[sector];
                 let mut done = t + cfg.timings.l1_hit as u64;
                 let mut level = Level::L1;
                 let mut stall = 0u64;
-                for line in &lines {
+                for &line in line_buf.iter() {
                     let slot = lsu_slot(lsu_free, t);
-                    match l1.read(*line, slot) {
+                    match l1.read(line, slot) {
                         ReadOutcome::Hit => {
                             done = done.max(slot + cfg.timings.l1_hit as u64);
                         }
@@ -552,7 +572,7 @@ fn resolve_access(
                                 level = level.max(l);
                             }
                             stall = stall.max(mshr_wait);
-                            l1.fill(*line, fill);
+                            l1.fill(line, fill);
                             done = done.max(fill);
                         }
                     }

@@ -255,6 +255,18 @@ pub trait KernelSpec {
     /// Instruction stream of warp `warp` (0-based within the CTA) of the
     /// CTA described by `ctx`.
     fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program;
+
+    /// Writes the instruction stream of warp `warp` into `out`, reusing
+    /// its allocation. The simulation engine dispatches every warp
+    /// through this method with recycled buffers, so kernels generating
+    /// many short programs can avoid one heap allocation per warp.
+    ///
+    /// The default clears `out` and delegates to
+    /// [`warp_program`](Self::warp_program); implementors only need to
+    /// override it when they can build the program in place.
+    fn warp_program_into(&self, ctx: &CtaContext, warp: u32, out: &mut Program) {
+        *out = self.warp_program(ctx, warp);
+    }
 }
 
 impl<K: KernelSpec + ?Sized> KernelSpec for &K {
@@ -267,6 +279,9 @@ impl<K: KernelSpec + ?Sized> KernelSpec for &K {
     fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
         (**self).warp_program(ctx, warp)
     }
+    fn warp_program_into(&self, ctx: &CtaContext, warp: u32, out: &mut Program) {
+        (**self).warp_program_into(ctx, warp, out)
+    }
 }
 
 impl<K: KernelSpec + ?Sized> KernelSpec for Box<K> {
@@ -278,6 +293,9 @@ impl<K: KernelSpec + ?Sized> KernelSpec for Box<K> {
     }
     fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
         (**self).warp_program(ctx, warp)
+    }
+    fn warp_program_into(&self, ctx: &CtaContext, warp: u32, out: &mut Program) {
+        (**self).warp_program_into(ctx, warp, out)
     }
 }
 

@@ -75,7 +75,7 @@ mod stats;
 mod trace;
 
 pub use cache::{Cache, CacheStats, ReadOutcome, WriteOutcome};
-pub use coalesce::{coalesce_lines, coalescing_degree};
+pub use coalesce::{coalesce_lines, coalesce_lines_into, coalescing_degree};
 pub use config::{ArchGen, CacheConfig, GpuConfig, MemoryTimings, WritePolicy};
 pub use dim::Dim3;
 pub use engine::Simulation;

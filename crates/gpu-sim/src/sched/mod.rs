@@ -65,7 +65,7 @@ mod tests {
     fn drain(s: &mut dyn CtaScheduler, n: u64) -> Vec<u64> {
         s.reset(n);
         let mut out = Vec::new();
-        while let Some(c) = s.next_for_sm((out.len() % 4) as usize, out.len() as u64) {
+        while let Some(c) = s.next_for_sm(out.len() % 4, out.len() as u64) {
             out.push(c);
         }
         out

@@ -182,7 +182,7 @@ mod tests {
         sm.account_warps(0, 2); // 2 warps live from t=0
         sm.account_warps(100, -1); // one retires at t=100
         sm.account_warps(150, -1);
-        assert_eq!(sm.occ_integral, 2 * 100 + 1 * 50);
+        assert_eq!(sm.occ_integral, 2 * 100 + 50); // 2 warps for 100 cy, then 1 for 50
         assert_eq!(sm.active_warps, 0);
     }
 

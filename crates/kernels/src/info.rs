@@ -114,7 +114,12 @@ impl WorkloadInfo {
 }
 
 /// A benchmark workload: a simulatable kernel plus its Table 2 metadata.
-pub trait Workload: KernelSpec {
+///
+/// `Send + Sync` is a supertrait bound so the evaluation harness can fan
+/// workloads out across threads (`cluster_bench::par`); workload models
+/// are pure data + arithmetic, so every implementor satisfies it
+/// structurally.
+pub trait Workload: KernelSpec + Send + Sync {
     /// Static characteristics (Table 2 row).
     fn info(&self) -> WorkloadInfo;
 }

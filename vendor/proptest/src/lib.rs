@@ -1,0 +1,321 @@
+//! Offline drop-in subset of the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of proptest it uses: the `proptest!` macro over `pat in
+//! strategy` arguments, `prop_assert!`/`prop_assert_eq!`, integer-range and
+//! `Just` strategies, tuples, `prop::sample::select`,
+//! `prop::collection::vec`, and `Strategy::prop_flat_map`/`prop_map`.
+//!
+//! Differences from upstream: generation is deterministic per test name
+//! (no `PROPTEST_CASES`/persistence machinery) and failing cases are
+//! reported without shrinking. Each property runs [`test_runner::CASES`]
+//! cases.
+
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Generates values of an associated type from an RNG.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produces one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Derives a new strategy from each generated value.
+        fn prop_flat_map<F, S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> S,
+            S: Strategy,
+        {
+            FlatMap { base: self, f }
+        }
+
+        /// Maps generated values through `f`.
+        fn prop_map<F, T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { base: self, f }
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, F, S> Strategy for FlatMap<B, F>
+    where
+        B: Strategy,
+        F: Fn(B::Value) -> S,
+        S: Strategy,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, F, T> Strategy for Map<B, F>
+    where
+        B: Strategy,
+        F: Fn(B::Value) -> T,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod test_runner {
+    //! The per-test deterministic RNG and case budget.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Cases generated per property.
+    pub const CASES: usize = 64;
+
+    /// RNG handed to strategies (wraps the workspace `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub StdRng);
+
+    impl TestRng {
+        /// Creates an RNG seeded deterministically from the test name, so
+        /// every run and every machine generates the same cases.
+        pub fn deterministic(test_name: &str) -> Self {
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+            for b in test_name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(seed))
+        }
+    }
+}
+
+pub mod sample {
+    //! Strategies sampling from explicit value sets.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Uniformly selects one of the given values.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.0.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Generates a `Vec` whose length is uniform in `len` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "vec length range must be nonempty");
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.0.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runs each property over [`test_runner::CASES`] generated cases.
+///
+/// Accepts the upstream `fn name(pat in strategy, ...) { body }` form;
+/// the body may use `prop_assert!`/`prop_assert_eq!` (which abort just the
+/// failing case with a descriptive panic) as well as plain `assert!`s.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..$crate::test_runner::CASES {
+                    let result: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                        $body
+                        Ok(())
+                    })();
+                    if let ::std::result::Result::Err(msg) = result {
+                        panic!("property {} failed at case {case}: {msg}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}: {}", stringify!($cond), ::std::format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left), stringify!($right), l, r
+            ));
+        }
+    }};
+}
+
+pub mod prelude {
+    //! Everything a property-based test module needs.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// Upstream-compatible `prop::` module alias.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in 0usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5, "y was {y}");
+        }
+
+        #[test]
+        fn flat_map_dependent_values((n, k) in (1u64..20).prop_flat_map(|n| (Just(n), 0..n))) {
+            prop_assert!(k < n);
+        }
+
+        #[test]
+        fn select_and_vec(b in prop::sample::select(vec![4u32, 8]),
+                          v in prop::collection::vec(0u64..10, 1..50)) {
+            prop_assert!(b == 4 || b == 8);
+            prop_assert_eq!(v.iter().filter(|&&x| x < 10).count(), v.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics() {
+        proptest! {
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 100, "x is small");
+            }
+        }
+        inner();
+    }
+}
