@@ -1,0 +1,128 @@
+//! `analyze`: sweep the static analysis over the full Figure 3 suite on
+//! every architecture preset and report findings.
+//!
+//! ```text
+//! cargo run --release -p cta-analyzer --bin analyze [-- OPTIONS]
+//!
+//!   --json           emit the machine-readable report instead of text
+//!   --arch NAME      only sweep presets whose name contains NAME
+//!   --app ABBR       only analyze the workload with this abbreviation
+//!   --list-lints     print the lint registry and exit
+//! ```
+//!
+//! Exits with status 1 on any deny-level finding (the CI gate), 2 on
+//! usage errors.
+
+use cta_analyzer::diag::Report;
+use cta_analyzer::{analyze_workload, render_json, LINTS};
+use gpu_sim::{arch, GpuConfig};
+use std::process::ExitCode;
+
+struct Options {
+    json: bool,
+    arch_filter: Vec<String>,
+    app_filter: Vec<String>,
+    list_lints: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        arch_filter: Vec::new(),
+        app_filter: Vec::new(),
+        list_lints: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--list-lints" => opts.list_lints = true,
+            "--arch" => {
+                let v = args.next().ok_or("--arch needs a value")?;
+                opts.arch_filter.push(v.to_lowercase());
+            }
+            "--app" => {
+                let v = args.next().ok_or("--app needs a value")?;
+                opts.app_filter.push(v.to_uppercase());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Analyzes one preset's share of the sweep into a fresh report.
+fn analyze_preset(cfg: &GpuConfig, app_filter: &[String]) -> Report {
+    let mut report = Report::new();
+    for w in gpu_kernels::suite::fig3_suite(cfg.arch) {
+        if !app_filter.is_empty() && !app_filter.iter().any(|a| a == w.info().abbr) {
+            continue;
+        }
+        analyze_workload(w, cfg, &mut report);
+    }
+    report
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_lints {
+        for lint in LINTS {
+            println!(
+                "{} {:<28} {:<5} {}",
+                lint.code, lint.name, lint.default_level, lint.summary
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let presets: Vec<GpuConfig> = arch::all_presets()
+        .into_iter()
+        .filter(|c| {
+            opts.arch_filter.is_empty()
+                || opts
+                    .arch_filter
+                    .iter()
+                    .any(|f| c.name.to_lowercase().contains(f))
+        })
+        .collect();
+    if presets.is_empty() {
+        eprintln!("analyze: no architecture preset matches the --arch filter");
+        return ExitCode::from(2);
+    }
+
+    // One worker per preset; merge in preset order so the report (and its
+    // JSON rendering) is deterministic regardless of finish order.
+    let reports: Vec<Report> = std::thread::scope(|scope| {
+        let handles: Vec<_> = presets
+            .iter()
+            .map(|cfg| scope.spawn(|| analyze_preset(cfg, &opts.app_filter)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("analysis worker panicked"))
+            .collect()
+    });
+    let mut report = Report::new();
+    for r in reports {
+        report.merge(r);
+    }
+
+    if opts.json {
+        println!("{}", render_json(&report));
+    } else {
+        print!("{}", report.render_human());
+    }
+
+    if report.deny_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

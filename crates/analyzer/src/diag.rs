@@ -1,0 +1,367 @@
+//! The diagnostics framework: lint descriptors, levels, the registry of
+//! every lint the analyzer knows, and the [`Report`] that collects and
+//! renders findings.
+//!
+//! Modelled on rustc's lint machinery: every finding carries a stable
+//! code (`CL0xx`), a kebab-case name, a default level, and a one-line
+//! summary. Levels can be overridden per lint (the `-A`/`-W`/`-D`
+//! equivalent) through [`Report::set_level`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// How severe a lint finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Suppressed: the finding is recorded nowhere.
+    Allow,
+    /// Reported, but does not fail the `analyze` gate.
+    Warn,
+    /// Reported and fails the `analyze` gate (nonzero exit).
+    Deny,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Level::Allow => "allow",
+            Level::Warn => "warn",
+            Level::Deny => "deny",
+        })
+    }
+}
+
+impl Level {
+    /// Parses a level name (`allow`/`warn`/`deny`).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "allow" => Some(Level::Allow),
+            "warn" => Some(Level::Warn),
+            "deny" => Some(Level::Deny),
+            _ => None,
+        }
+    }
+}
+
+/// A lint descriptor: stable identity plus default severity.
+#[derive(Debug)]
+pub struct Lint {
+    /// Stable code, `CL0xx`. Never reused once published.
+    pub code: &'static str,
+    /// Kebab-case name (the rustc-style handle).
+    pub name: &'static str,
+    /// Severity unless overridden.
+    pub default_level: Level,
+    /// One-line description of what the lint catches.
+    pub summary: &'static str,
+}
+
+macro_rules! declare_lints {
+    ($($(#[$doc:meta])* $ident:ident = { $code:literal, $name:literal, $level:ident, $summary:literal }),+ $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub static $ident: Lint = Lint {
+                code: $code,
+                name: $name,
+                default_level: Level::$level,
+                summary: $summary,
+            };
+        )+
+
+        /// Every lint the analyzer knows, in code order.
+        pub static LINTS: &[&Lint] = &[$(&$ident),+];
+    };
+}
+
+declare_lints! {
+    /// `f`/`f⁻¹` are not mutual inverses over the grid (Eqs. 4–7).
+    PARTITION_NOT_INVERSE = {
+        "CL001", "partition-not-inverse", Deny,
+        "partition assign/invert are not mutual inverses over the grid"
+    },
+    /// Cluster sizes violate the Eq. 3–5 balance bounds.
+    PARTITION_UNBALANCED = {
+        "CL002", "partition-unbalanced", Deny,
+        "cluster sizes violate the floor/ceil(|V|/M) balance bounds"
+    },
+    /// Cluster walks do not cover every original CTA exactly once.
+    PARTITION_COVERAGE = {
+        "CL003", "partition-coverage", Deny,
+        "cluster enumeration misses or duplicates original CTA ids"
+    },
+    /// A transform constructor rejected inputs the analyzer fed it.
+    TRANSFORM_CONSTRUCTION_FAILED = {
+        "CL004", "transform-construction-failed", Deny,
+        "a clustering transform could not be constructed for this kernel"
+    },
+    /// The redirection map is not a permutation of the grid.
+    REDIRECTION_NOT_PERMUTATION = {
+        "CL011", "redirection-not-permutation", Deny,
+        "redirect() is not a permutation of the original CTA ids"
+    },
+    /// Agent worklists do not emit every original CTA exactly once.
+    AGENT_COVERAGE = {
+        "CL012", "agent-coverage", Deny,
+        "agent worklists miss or duplicate original CTA ids"
+    },
+    /// Throttled-out agents still receive work, or worklist lengths are
+    /// inconsistent with the round-robin split.
+    AGENT_THROTTLE_LEAK = {
+        "CL013", "agent-throttle-leak", Deny,
+        "worklists inconsistent with ACTIVE_AGENTS throttling"
+    },
+    /// `MAX_AGENTS` or the launch grid disagree with the occupancy model.
+    AGENT_OCCUPANCY_MISMATCH = {
+        "CL014", "agent-occupancy-mismatch", Deny,
+        "MAX_AGENTS or launch grid disagree with occupancy-derived limits"
+    },
+    /// L1-bypassed loads predominantly touch reused cache lines.
+    BYPASS_ON_REUSED_LINE = {
+        "CL021", "bypass-on-reused-line", Deny,
+        "bypassed array's lines carry reuse the L1 would have served"
+    },
+    /// A prefetched line is never demanded afterwards.
+    PREFETCH_NEVER_USED = {
+        "CL022", "prefetch-never-used", Deny,
+        "prefetched line is never demanded by the issuing warp"
+    },
+    /// A line is prefetched only after its last demand access.
+    PREFETCH_AFTER_LAST_USE = {
+        "CL023", "prefetch-after-last-use", Deny,
+        "line prefetched after its last demand access"
+    },
+    /// The same line is prefetched twice with no intervening demand.
+    DUPLICATE_PREFETCH = {
+        "CL024", "duplicate-prefetch", Warn,
+        "line prefetched repeatedly without an intervening demand access"
+    },
+    /// Average coalescing degree is pathologically low.
+    PATHOLOGICAL_DIVERGENCE = {
+        "CL025", "pathological-divergence", Warn,
+        "average coalescing degree below 2 lanes per transaction"
+    },
+    /// A throttle request exceeds the occupancy-derived `MAX_AGENTS`.
+    THROTTLE_EXCEEDS_OCCUPANCY = {
+        "CL026", "throttle-exceeds-occupancy", Deny,
+        "ACTIVE_AGENTS outside 1..=MAX_AGENTS"
+    },
+    /// A throttle request was repaired by `clamp_active_agents`.
+    THROTTLE_CLAMPED = {
+        "CL027", "throttle-clamped", Warn,
+        "requested ACTIVE_AGENTS repaired by the runtime clamp"
+    },
+    /// Statically derived category disagrees with the recorded one.
+    STATIC_CATEGORY_MISMATCH = {
+        "CL030", "static-category-mismatch", Warn,
+        "static locality category disagrees with the plan's category"
+    },
+    /// The plan exploits locality of an unexploitable category.
+    PLAN_EXPLOITS_UNEXPLOITABLE = {
+        "CL031", "plan-exploits-unexploitable", Deny,
+        "plan exploits locality although its category is unexploitable"
+    },
+    /// The plan bypasses an array whose accesses carry reuse.
+    PLAN_BYPASS_REUSED_TAG = {
+        "CL032", "plan-bypass-reused-tag", Deny,
+        "plan bypasses an array tag with significant static reuse"
+    },
+    /// The plan prefetches although locality is exploitable.
+    PLAN_PREFETCH_ON_EXPLOITABLE = {
+        "CL033", "plan-prefetch-on-exploitable", Deny,
+        "plan enables prefetching although locality is exploitable"
+    },
+}
+
+/// Looks a lint up by its stable code.
+pub fn lint_by_code(code: &str) -> Option<&'static Lint> {
+    LINTS.iter().copied().find(|l| l.code == code)
+}
+
+/// Looks a lint up by its kebab-case name.
+pub fn lint_by_name(name: &str) -> Option<&'static Lint> {
+    LINTS.iter().copied().find(|l| l.name == name)
+}
+
+/// One emitted finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable lint code.
+    pub code: &'static str,
+    /// Lint name.
+    pub name: &'static str,
+    /// Effective level after overrides.
+    pub level: Level,
+    /// What was being checked, e.g. `MM/GTX570/CLU+TOT`.
+    pub subject: String,
+    /// The specific finding.
+    pub message: String,
+}
+
+/// Collects diagnostics across passes and renders them.
+#[derive(Debug, Default)]
+pub struct Report {
+    diags: Vec<Diagnostic>,
+    overrides: HashMap<&'static str, Level>,
+    subjects_checked: u64,
+}
+
+impl Report {
+    /// An empty report with default lint levels.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Overrides a lint's level (the `-A`/`-W`/`-D` equivalent).
+    pub fn set_level(&mut self, lint: &'static Lint, level: Level) {
+        self.overrides.insert(lint.code, level);
+    }
+
+    /// The effective level of `lint` under the current overrides.
+    pub fn level_of(&self, lint: &'static Lint) -> Level {
+        self.overrides
+            .get(lint.code)
+            .copied()
+            .unwrap_or(lint.default_level)
+    }
+
+    /// Emits one finding. `Allow`-level findings are dropped.
+    pub fn emit(&mut self, lint: &'static Lint, subject: &str, message: String) {
+        let level = self.level_of(lint);
+        if level == Level::Allow {
+            return;
+        }
+        self.diags.push(Diagnostic {
+            code: lint.code,
+            name: lint.name,
+            level,
+            subject: subject.to_string(),
+            message,
+        });
+    }
+
+    /// Marks one subject (kernel × arch × variant) as checked, for the
+    /// summary line.
+    pub fn note_subject(&mut self) {
+        self.subjects_checked += 1;
+    }
+
+    /// Subjects checked so far.
+    pub fn subjects_checked(&self) -> u64 {
+        self.subjects_checked
+    }
+
+    /// Merges `other` into `self` (used to join per-thread reports).
+    pub fn merge(&mut self, other: Report) {
+        self.diags.extend(other.diags);
+        self.subjects_checked += other.subjects_checked;
+    }
+
+    /// All findings, sorted deterministically by (subject, code, message).
+    pub fn diagnostics(&self) -> Vec<&Diagnostic> {
+        let mut v: Vec<&Diagnostic> = self.diags.iter().collect();
+        v.sort_by(|a, b| (&a.subject, a.code, &a.message).cmp(&(&b.subject, b.code, &b.message)));
+        v
+    }
+
+    /// Number of deny-level findings.
+    pub fn deny_count(&self) -> usize {
+        self.diags.iter().filter(|d| d.level == Level::Deny).count()
+    }
+
+    /// Number of warn-level findings.
+    pub fn warn_count(&self) -> usize {
+        self.diags.iter().filter(|d| d.level == Level::Warn).count()
+    }
+
+    /// Whether the report contains a finding of `lint` (any subject).
+    pub fn has(&self, lint: &'static Lint) -> bool {
+        self.diags.iter().any(|d| d.code == lint.code)
+    }
+
+    /// Renders the rustc-style human-readable report.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in self.diagnostics() {
+            out.push_str(&format!(
+                "{}[{}]: {}\n  --> {}\n  = note: {}\n",
+                d.level, d.code, d.name, d.subject, d.message
+            ));
+        }
+        out.push_str(&format!(
+            "analysis: {} subject(s) checked, {} deny, {} warn\n",
+            self.subjects_checked,
+            self.deny_count(),
+            self.warn_count()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_sorted() {
+        let codes: Vec<&str> = LINTS.iter().map(|l| l.code).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(codes, sorted, "lint table must stay in unique code order");
+        assert!(codes.iter().all(|c| c.starts_with("CL") && c.len() == 5));
+    }
+
+    #[test]
+    fn lookup_by_code_and_name() {
+        assert!(std::ptr::eq(
+            lint_by_code("CL012").unwrap(),
+            &AGENT_COVERAGE
+        ));
+        assert!(std::ptr::eq(
+            lint_by_name("agent-coverage").unwrap(),
+            &AGENT_COVERAGE
+        ));
+        assert!(lint_by_code("CL999").is_none());
+    }
+
+    #[test]
+    fn overrides_change_effective_level() {
+        let mut r = Report::new();
+        r.set_level(&AGENT_COVERAGE, Level::Warn);
+        r.emit(&AGENT_COVERAGE, "a", "x".into());
+        assert_eq!(r.deny_count(), 0);
+        assert_eq!(r.warn_count(), 1);
+        r.set_level(&AGENT_COVERAGE, Level::Allow);
+        r.emit(&AGENT_COVERAGE, "a", "y".into());
+        assert_eq!(r.warn_count(), 1, "allow-level findings are dropped");
+    }
+
+    #[test]
+    fn diagnostics_sort_deterministically() {
+        let mut r = Report::new();
+        r.emit(&AGENT_COVERAGE, "b", "2".into());
+        r.emit(&PARTITION_COVERAGE, "b", "1".into());
+        r.emit(&AGENT_COVERAGE, "a", "3".into());
+        let order: Vec<(&str, &str)> = r
+            .diagnostics()
+            .iter()
+            .map(|d| (d.subject.as_str(), d.code))
+            .collect();
+        assert_eq!(order, vec![("a", "CL012"), ("b", "CL003"), ("b", "CL012")]);
+    }
+
+    #[test]
+    fn human_rendering_has_rustc_shape() {
+        let mut r = Report::new();
+        r.note_subject();
+        r.emit(
+            &AGENT_COVERAGE,
+            "MM/GTX570/CLU",
+            "CTA 17 emitted 0 times".into(),
+        );
+        let text = r.render_human();
+        assert!(text.contains("deny[CL012]: agent-coverage"));
+        assert!(text.contains("--> MM/GTX570/CLU"));
+        assert!(text.contains("1 subject(s) checked, 1 deny, 0 warn"));
+    }
+}

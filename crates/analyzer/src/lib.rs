@@ -1,0 +1,40 @@
+//! `cta-analyzer`: static verification and lint pass over the clustering
+//! transforms and the kernel IR.
+//!
+//! Everything the runtime stack executes — partitions, redirection and
+//! agent kernels, cache-op rewrites, the framework's optimization plan —
+//! has an invariant the paper states in closed form (Eqs. 3–7, the
+//! Figure 5 decision table, the occupancy bound of §4.2). This crate
+//! checks those invariants *statically*: it walks warp programs with
+//! [`gpu_sim::walk`] instead of simulating them, re-derives the locality
+//! category from the address streams, and reports violations through a
+//! rustc-style diagnostics framework with stable `CL0xx` codes.
+//!
+//! Three pass families:
+//!
+//! 1. **Transform invariants** ([`transform`]) — partition bijection,
+//!    balance and coverage; redirection permutation; agent-kernel
+//!    coverage, throttling and occupancy consistency.
+//! 2. **IR lints** ([`ir`]) — bypass-on-reused-line, prefetch lifecycle
+//!    (never used / after last use / duplicate), pathological divergence.
+//! 3. **Plan audit** ([`plan`]) — the statically re-derived category vs
+//!    the plan's, exploit/bypass/prefetch consistency, throttle range.
+//!
+//! The `analyze` binary sweeps the full Figure 3 suite across all four
+//! architecture presets and exits nonzero on any deny-level finding.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod diag;
+pub mod driver;
+pub mod ir;
+pub mod json;
+pub mod plan;
+pub mod profile;
+pub mod transform;
+
+pub use diag::{lint_by_code, lint_by_name, Diagnostic, Level, Lint, Report, LINTS};
+pub use driver::{analyze_arch, analyze_workload};
+pub use json::render_json;
+pub use profile::{StaticProfile, TagLineStats};

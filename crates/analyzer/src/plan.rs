@@ -1,0 +1,216 @@
+//! Pass family 3: optimization-plan audit.
+//!
+//! Cross-checks a [`Plan`] (the Figure 11 framework's output) against the
+//! statically re-derived locality profile: the plan must not exploit
+//! unexploitable locality, must not bypass reused arrays, must not
+//! prefetch where clustering already wins, and must keep its throttle
+//! inside the occupancy bound.
+
+use crate::diag::{
+    Report, PLAN_BYPASS_REUSED_TAG, PLAN_EXPLOITS_UNEXPLOITABLE, PLAN_PREFETCH_ON_EXPLOITABLE,
+    STATIC_CATEGORY_MISMATCH, THROTTLE_CLAMPED, THROTTLE_EXCEEDS_OCCUPANCY,
+};
+use crate::profile::StaticProfile;
+use cta_clustering::{clamp_active_agents, Plan};
+
+/// A bypassed tag with at least this static word-reuse rate is flagged.
+const BYPASS_TAG_REUSE_MAX: f64 = 0.05;
+
+/// Audits `plan` against the static `profile` and the occupancy-derived
+/// `max_agents`, emitting CL026/CL027 and CL030–CL033.
+pub fn audit(
+    plan: &Plan,
+    profile: &StaticProfile,
+    max_agents: u32,
+    subject: &str,
+    report: &mut Report,
+) {
+    report.note_subject();
+
+    // CL030: the category the plan is predicated on must match what the
+    // address streams say. Warn-level: threshold effects on borderline
+    // kernels are expected, a disagreement is a review prompt.
+    let static_cat = profile.category;
+    if static_cat != plan.category {
+        report.emit(
+            &STATIC_CATEGORY_MISMATCH,
+            subject,
+            format!(
+                "plan says {}, static address streams classify as {static_cat}",
+                plan.category
+            ),
+        );
+    }
+
+    // CL031: an exploit plan over a category the paper calls
+    // unexploitable is self-contradictory (Figure 5's decision table).
+    if plan.exploit_locality && !plan.category.exploitable() {
+        report.emit(
+            &PLAN_EXPLOITS_UNEXPLOITABLE,
+            subject,
+            format!(
+                "plan exploits locality but its category is {}",
+                plan.category
+            ),
+        );
+    }
+
+    // CL032: bypassing an array whose accesses carry word reuse defeats
+    // the bypass's purpose — the L1 was serving those hits.
+    let mut reused: Vec<String> = Vec::new();
+    for &tag in &plan.bypass {
+        let s = profile.tag_summary(tag);
+        if s.reuse_rate() >= BYPASS_TAG_REUSE_MAX {
+            reused.push(format!(
+                "tag {tag}: {:.0}% word reuse over {} accesses",
+                s.reuse_rate() * 100.0,
+                s.accesses
+            ));
+        }
+    }
+    if !reused.is_empty() {
+        report.emit(&PLAN_BYPASS_REUSED_TAG, subject, reused.join("; "));
+    }
+
+    // CL033: prefetching exists to salvage unexploitable kernels (§4.3);
+    // on an exploit plan it competes with the locality it should yield to.
+    if plan.prefetch > 0 && plan.exploit_locality {
+        report.emit(
+            &PLAN_PREFETCH_ON_EXPLOITABLE,
+            subject,
+            format!(
+                "prefetch depth {} on an exploit plan (category {})",
+                plan.prefetch, plan.category
+            ),
+        );
+    }
+
+    // CL026/CL027: throttle vs occupancy. An out-of-range request is
+    // repaired at apply time by `clamp_active_agents`; the deny lint
+    // fires only if the repair would *not* restore validity (impossible
+    // by construction — kept as the analyzer's own consistency check),
+    // the warn lint whenever the repair changes the request.
+    if let Some(active) = plan.active_agents {
+        let clamped = clamp_active_agents(active, max_agents);
+        if clamped == 0 || clamped > max_agents {
+            report.emit(
+                &THROTTLE_EXCEEDS_OCCUPANCY,
+                subject,
+                format!(
+                    "ACTIVE_AGENTS = {active} not repairable against MAX_AGENTS = {max_agents}"
+                ),
+            );
+        } else if clamped != active {
+            report.emit(
+                &THROTTLE_CLAMPED,
+                subject,
+                format!("requested ACTIVE_AGENTS = {active}, runtime clamps to {clamped} (MAX_AGENTS = {max_agents})"),
+            );
+        }
+    }
+
+    // Note: a bypass list on an unexploitable plan is deliberately not a
+    // lint of its own — streaming kernels have nothing to protect in L1,
+    // and the other unexploitable categories are already covered by
+    // CL032 through their per-tag reuse rates.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cta_clustering::Axis;
+    use gpu_sim::{arch, CtaContext, Dim3, KernelSpec, LaunchConfig, MemAccess, Op, Program};
+    use locality::Category;
+
+    /// CTAs re-read a shared table (tag 0) and stream tag 1.
+    #[derive(Debug, Clone)]
+    struct Shared;
+
+    impl KernelSpec for Shared {
+        fn name(&self) -> String {
+            "shared".into()
+        }
+        fn launch(&self) -> LaunchConfig {
+            LaunchConfig::new(Dim3::linear(16), 32u32)
+        }
+        fn warp_program(&self, ctx: &CtaContext, _warp: u32) -> Program {
+            vec![
+                Op::Load(MemAccess::coalesced(0, 0, 32, 4)),
+                Op::Load(MemAccess::coalesced(1, (1 << 30) + ctx.cta * 128, 32, 4)),
+            ]
+        }
+    }
+
+    fn profile() -> StaticProfile {
+        StaticProfile::collect(&Shared, &arch::gtx570())
+    }
+
+    fn exploit_plan() -> Plan {
+        Plan {
+            category: Category::Algorithm,
+            axis: Axis::Y,
+            exploit_locality: true,
+            active_agents: Some(4),
+            bypass: vec![1],
+            prefetch: 0,
+        }
+    }
+
+    #[test]
+    fn consistent_plan_is_clean() {
+        let p = profile();
+        assert_eq!(p.category, Category::Algorithm);
+        let mut r = Report::new();
+        audit(&exploit_plan(), &p, 8, "t", &mut r);
+        assert_eq!(r.deny_count(), 0, "{}", r.render_human());
+        assert_eq!(r.warn_count(), 0);
+    }
+
+    #[test]
+    fn category_mismatch_fires_cl030() {
+        let mut plan = exploit_plan();
+        plan.category = Category::CacheLine;
+        let mut r = Report::new();
+        audit(&plan, &profile(), 8, "t", &mut r);
+        assert!(r.has(&STATIC_CATEGORY_MISMATCH));
+        assert_eq!(r.deny_count(), 0, "mismatch is warn-level");
+    }
+
+    #[test]
+    fn exploiting_streaming_fires_cl031() {
+        let mut plan = exploit_plan();
+        plan.category = Category::Streaming;
+        let mut r = Report::new();
+        audit(&plan, &profile(), 8, "t", &mut r);
+        assert!(r.has(&PLAN_EXPLOITS_UNEXPLOITABLE));
+    }
+
+    #[test]
+    fn bypassing_reused_tag_fires_cl032() {
+        let mut plan = exploit_plan();
+        plan.bypass = vec![0]; // the shared table
+        let mut r = Report::new();
+        audit(&plan, &profile(), 8, "t", &mut r);
+        assert!(r.has(&PLAN_BYPASS_REUSED_TAG), "{}", r.render_human());
+    }
+
+    #[test]
+    fn prefetch_on_exploit_plan_fires_cl033() {
+        let mut plan = exploit_plan();
+        plan.prefetch = 2;
+        let mut r = Report::new();
+        audit(&plan, &profile(), 8, "t", &mut r);
+        assert!(r.has(&PLAN_PREFETCH_ON_EXPLOITABLE));
+    }
+
+    #[test]
+    fn clamped_throttle_fires_cl027_not_cl026() {
+        let mut plan = exploit_plan();
+        plan.active_agents = Some(100);
+        let mut r = Report::new();
+        audit(&plan, &profile(), 8, "t", &mut r);
+        assert!(r.has(&THROTTLE_CLAMPED));
+        assert!(!r.has(&THROTTLE_EXCEEDS_OCCUPANCY));
+        assert_eq!(r.deny_count(), 0, "a repairable request is warn-level");
+    }
+}

@@ -1,0 +1,565 @@
+//! Pass family 1: transform invariants.
+//!
+//! Statically verifies the algebra the paper's correctness rests on:
+//! `f`/`f⁻¹` mutual inversion and Eq. 3–5 balance for any
+//! [`Partition`]-like map, permutation of the redirection transform, and
+//! coverage/uniqueness/throttle-consistency of agent worklists.
+//!
+//! Passes run over small *capability traits* ([`PartitionMap`],
+//! [`Redirector`], [`AgentSchedule`]) rather than the concrete types, so
+//! the negative-test suite can feed deliberately broken implementations
+//! and prove every lint actually fires. The real transforms implement the
+//! traits by delegation.
+
+use crate::diag::{
+    Report, AGENT_COVERAGE, AGENT_OCCUPANCY_MISMATCH, AGENT_THROTTLE_LEAK, PARTITION_COVERAGE,
+    PARTITION_NOT_INVERSE, PARTITION_UNBALANCED, REDIRECTION_NOT_PERMUTATION,
+    THROTTLE_EXCEEDS_OCCUPANCY,
+};
+use cta_clustering::{AgentKernel, Partition, RedirectionKernel};
+use gpu_sim::{occupancy, GpuConfig, KernelSpec};
+
+/// Cap on per-lint example lines in one finding's message.
+const MAX_EXAMPLES: usize = 3;
+
+/// What the partition passes need from a partitioning scheme.
+pub trait PartitionMap {
+    /// Total CTAs `|V|`.
+    fn total(&self) -> u64;
+    /// Number of clusters `M`.
+    fn num_clusters(&self) -> u64;
+    /// `f(v) = (w, i)`.
+    fn assign(&self, v: u64) -> (u64, u64);
+    /// `f⁻¹(w, i) = v`.
+    fn invert(&self, w: u64, i: u64) -> u64;
+    /// CTAs in cluster `i`.
+    fn cluster_size(&self, i: u64) -> u64;
+}
+
+impl PartitionMap for Partition {
+    fn total(&self) -> u64 {
+        Partition::total(self)
+    }
+    fn num_clusters(&self) -> u64 {
+        Partition::num_clusters(self)
+    }
+    fn assign(&self, v: u64) -> (u64, u64) {
+        Partition::assign(self, v)
+    }
+    fn invert(&self, w: u64, i: u64) -> u64 {
+        Partition::invert(self, w, i)
+    }
+    fn cluster_size(&self, i: u64) -> u64 {
+        Partition::cluster_size(self, i)
+    }
+}
+
+/// What the redirection pass needs from a redirection scheme.
+pub trait Redirector {
+    /// Grid size `|V| = |N|`.
+    fn total(&self) -> u64;
+    /// The original CTA id new-kernel CTA `u` executes.
+    fn redirect(&self, u: u64) -> u64;
+}
+
+impl<K: KernelSpec> Redirector for RedirectionKernel<K> {
+    fn total(&self) -> u64 {
+        self.partition().total()
+    }
+    fn redirect(&self, u: u64) -> u64 {
+        RedirectionKernel::redirect(self, u)
+    }
+}
+
+/// What the agent passes need from an agent-transformed kernel.
+pub trait AgentSchedule {
+    /// SMs (= clusters) the schedule spans.
+    fn num_sms(&self) -> usize;
+    /// Occupancy-bounded agents per SM.
+    fn max_agents(&self) -> u32;
+    /// Agents that execute tasks after throttling.
+    fn active_agents(&self) -> u32;
+    /// Original CTAs to cover.
+    fn original_total(&self) -> u64;
+    /// Tasks of cluster `sm_id` (its CTA count).
+    fn cluster_size(&self, sm_id: usize) -> u64;
+    /// Worklist of one agent, in execution order.
+    fn tasks_of(&self, sm_id: usize, agent_id: u64) -> Vec<u64>;
+}
+
+impl<K: KernelSpec> AgentSchedule for AgentKernel<K> {
+    fn num_sms(&self) -> usize {
+        self.partition().num_clusters() as usize
+    }
+    fn max_agents(&self) -> u32 {
+        AgentKernel::max_agents(self)
+    }
+    fn active_agents(&self) -> u32 {
+        AgentKernel::active_agents(self)
+    }
+    fn original_total(&self) -> u64 {
+        self.partition().total()
+    }
+    fn cluster_size(&self, sm_id: usize) -> u64 {
+        self.partition().cluster_size(sm_id as u64)
+    }
+    fn tasks_of(&self, sm_id: usize, agent_id: u64) -> Vec<u64> {
+        AgentKernel::tasks_of(self, sm_id, agent_id)
+    }
+}
+
+/// Joins the first [`MAX_EXAMPLES`] example strings, noting elision.
+fn examples(mut items: Vec<String>) -> String {
+    let extra = items.len().saturating_sub(MAX_EXAMPLES);
+    items.truncate(MAX_EXAMPLES);
+    let mut s = items.join("; ");
+    if extra > 0 {
+        s.push_str(&format!("; and {extra} more"));
+    }
+    s
+}
+
+/// CL001–CL003: mutual inversion, balance bounds, coverage/uniqueness of
+/// a partitioning scheme.
+pub fn check_partition<P: PartitionMap + ?Sized>(p: &P, subject: &str, report: &mut Report) {
+    report.note_subject();
+    let total = p.total();
+    let m = p.num_clusters();
+
+    // CL002: Eq. 3–5 — every cluster is floor or ceil of |V|/M, the extra
+    // CTAs land in the first |V| mod M clusters, and sizes sum to |V|.
+    let small = total / m;
+    let extra = total % m;
+    let mut bad_sizes: Vec<String> = Vec::new();
+    let mut sum = 0u64;
+    for i in 0..m {
+        let size = p.cluster_size(i);
+        sum = sum.saturating_add(size);
+        let expect = small + u64::from(i < extra);
+        if size != expect {
+            bad_sizes.push(format!("cluster {i}: size {size}, Eq. 5 expects {expect}"));
+        }
+    }
+    if sum != total || !bad_sizes.is_empty() {
+        if sum != total {
+            bad_sizes.push(format!("sizes sum to {sum}, |V| = {total}"));
+        }
+        report.emit(&PARTITION_UNBALANCED, subject, examples(bad_sizes));
+    }
+
+    // CL001: f⁻¹(f(v)) == v for every v, and f(f⁻¹(w, i)) == (w, i) for
+    // every valid cluster coordinate.
+    let mut not_inverse: Vec<String> = Vec::new();
+    for v in 0..total {
+        let (w, i) = p.assign(v);
+        if i >= m || w >= p.cluster_size(i) {
+            not_inverse.push(format!("f({v}) = ({w}, {i}) is out of range"));
+            continue;
+        }
+        let back = p.invert(w, i);
+        if back != v {
+            not_inverse.push(format!("f⁻¹(f({v})) = f⁻¹({w}, {i}) = {back}"));
+        }
+    }
+    for i in 0..m {
+        for w in 0..p.cluster_size(i) {
+            let v = p.invert(w, i);
+            if v >= total {
+                not_inverse.push(format!("f⁻¹({w}, {i}) = {v} is outside the grid"));
+            } else if p.assign(v) != (w, i) {
+                let (w2, i2) = p.assign(v);
+                not_inverse.push(format!("f(f⁻¹({w}, {i})) = f({v}) = ({w2}, {i2})"));
+            }
+        }
+    }
+    if !not_inverse.is_empty() {
+        report.emit(&PARTITION_NOT_INVERSE, subject, examples(not_inverse));
+    }
+
+    // CL003: walking every cluster position must enumerate each original
+    // CTA exactly once.
+    let mut seen = vec![0u32; total as usize];
+    for i in 0..m {
+        for w in 0..p.cluster_size(i) {
+            let v = p.invert(w, i);
+            if v < total {
+                seen[v as usize] += 1;
+            }
+        }
+    }
+    let bad: Vec<String> = seen
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n != 1)
+        .map(|(v, &n)| format!("CTA {v} emitted {n} times"))
+        .collect();
+    if !bad.is_empty() {
+        report.emit(&PARTITION_COVERAGE, subject, examples(bad));
+    }
+}
+
+/// CL011: the redirection map must be a permutation of the grid.
+pub fn check_redirection<R: Redirector + ?Sized>(r: &R, subject: &str, report: &mut Report) {
+    report.note_subject();
+    let total = r.total();
+    let mut seen = vec![0u32; total as usize];
+    let mut out_of_range: Vec<String> = Vec::new();
+    for u in 0..total {
+        let v = r.redirect(u);
+        if v >= total {
+            out_of_range.push(format!("redirect({u}) = {v} is outside the grid"));
+        } else {
+            seen[v as usize] += 1;
+        }
+    }
+    let mut bad: Vec<String> = seen
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n != 1)
+        .map(|(v, &n)| format!("original CTA {v} executed {n} times"))
+        .collect();
+    bad.extend(out_of_range);
+    if !bad.is_empty() {
+        report.emit(&REDIRECTION_NOT_PERMUTATION, subject, examples(bad));
+    }
+}
+
+/// CL012–CL013 + CL026: agent worklist coverage, throttle consistency,
+/// and the throttle range itself.
+pub fn check_agents<A: AgentSchedule + ?Sized>(a: &A, subject: &str, report: &mut Report) {
+    report.note_subject();
+    let total = a.original_total();
+    let active = a.active_agents();
+    let max = a.max_agents();
+
+    // CL026: the throttle itself must sit inside 1..=MAX_AGENTS. The
+    // runtime repairs requests through `clamp_active_agents`; a schedule
+    // carrying an unrepaired value escaped that path.
+    if active == 0 || active > max {
+        report.emit(
+            &THROTTLE_EXCEEDS_OCCUPANCY,
+            subject,
+            format!(
+                "ACTIVE_AGENTS = {active} outside 1..={max} (clamp_active_agents would give {})",
+                cta_clustering::clamp_active_agents(active, max)
+            ),
+        );
+    }
+
+    // CL013: throttled-out agents must be idle, and an active agent `a`
+    // of SM `s` must hold exactly the tasks `w ≡ a (mod ACTIVE_AGENTS)`
+    // of its cluster — count `ceil((jobs - a) / ACTIVE_AGENTS)`.
+    let mut leaks: Vec<String> = Vec::new();
+    for sm in 0..a.num_sms() {
+        let jobs = a.cluster_size(sm);
+        for agent in 0..u64::from(max.max(active)) {
+            let len = a.tasks_of(sm, agent).len() as u64;
+            let expect = if active == 0 || agent >= u64::from(active) {
+                0
+            } else {
+                jobs.saturating_sub(agent).div_ceil(u64::from(active))
+            };
+            if len != expect {
+                leaks.push(format!(
+                    "SM {sm} agent {agent}: {len} task(s), throttle at {active}/{max} expects {expect}"
+                ));
+            }
+        }
+    }
+    if !leaks.is_empty() {
+        report.emit(&AGENT_THROTTLE_LEAK, subject, examples(leaks));
+    }
+
+    // CL012: the union of all worklists is each original CTA exactly once.
+    let mut seen = vec![0u32; total as usize];
+    let mut out_of_range: Vec<String> = Vec::new();
+    for sm in 0..a.num_sms() {
+        for agent in 0..u64::from(max.max(active)) {
+            for v in a.tasks_of(sm, agent) {
+                if v >= total {
+                    out_of_range.push(format!("SM {sm} agent {agent}: task {v} outside the grid"));
+                } else {
+                    seen[v as usize] += 1;
+                }
+            }
+        }
+    }
+    let mut bad: Vec<String> = seen
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n != 1)
+        .map(|(v, &n)| format!("CTA {v} emitted {n} times"))
+        .collect();
+    bad.extend(out_of_range);
+    if !bad.is_empty() {
+        report.emit(&AGENT_COVERAGE, subject, examples(bad));
+    }
+}
+
+/// CL014: the constructed agent kernel must agree with the occupancy
+/// model — `MAX_AGENTS` equals the occupancy CTA bound of the *inner*
+/// launch, and the new grid is exactly `SMs × MAX_AGENTS`.
+pub fn check_agent_occupancy<K: KernelSpec>(
+    agents: &AgentKernel<K>,
+    cfg: &GpuConfig,
+    subject: &str,
+    report: &mut Report,
+) {
+    report.note_subject();
+    let mut bad: Vec<String> = Vec::new();
+    match occupancy(cfg, &agents.inner().launch()) {
+        Ok(occ) => {
+            if agents.max_agents() != occ.ctas_per_sm {
+                bad.push(format!(
+                    "MAX_AGENTS = {} but occupancy bounds {} CTAs per SM",
+                    agents.max_agents(),
+                    occ.ctas_per_sm
+                ));
+            }
+        }
+        Err(e) => bad.push(format!("inner kernel is unschedulable: {e}")),
+    }
+    let expect_grid = cfg.num_sms as u64 * u64::from(agents.max_agents());
+    let grid = agents.launch().num_ctas();
+    if grid != expect_grid {
+        bad.push(format!(
+            "launch grid has {grid} CTAs, SMs × MAX_AGENTS = {expect_grid}"
+        ));
+    }
+    if !bad.is_empty() {
+        report.emit(&AGENT_OCCUPANCY_MISMATCH, subject, examples(bad));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{arch, CtaContext, Dim3, LaunchConfig, MemAccess, Op, Program};
+
+    #[derive(Debug, Clone)]
+    struct Probe {
+        grid: Dim3,
+    }
+
+    impl KernelSpec for Probe {
+        fn name(&self) -> String {
+            "probe".into()
+        }
+        fn launch(&self) -> LaunchConfig {
+            LaunchConfig::new(self.grid, 32u32)
+        }
+        fn warp_program(&self, ctx: &CtaContext, _warp: u32) -> Program {
+            vec![Op::Load(MemAccess::scalar(0, ctx.cta * 4, 4))]
+        }
+    }
+
+    #[test]
+    fn real_partition_is_clean_under_every_indexing() {
+        use cta_clustering::Indexing;
+        let grid = Dim3::plane(7, 5);
+        for indexing in [
+            Indexing::RowMajor,
+            Indexing::ColMajor,
+            Indexing::Tile {
+                tile_x: 3,
+                tile_y: 2,
+            },
+            Indexing::Custom((0..35).rev().collect()),
+        ] {
+            for m in [1u64, 4, 35, 40] {
+                let p = Partition::new(grid, m, indexing.clone()).unwrap();
+                let mut r = Report::new();
+                check_partition(&p, "t", &mut r);
+                assert_eq!(
+                    r.deny_count(),
+                    0,
+                    "{indexing:?} M={m}: {}",
+                    r.render_human()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn real_redirection_and_agents_are_clean() {
+        let cfg = arch::gtx570();
+        let probe = Probe {
+            grid: Dim3::plane(16, 10),
+        };
+        let p = Partition::y(probe.launch().grid, cfg.num_sms as u64).unwrap();
+        let rd = RedirectionKernel::new(probe.clone(), p.clone());
+        let agents = AgentKernel::with_partition(probe, &cfg, p)
+            .unwrap()
+            .with_active_agents(3)
+            .unwrap();
+        let mut r = Report::new();
+        check_redirection(&rd, "t/RD", &mut r);
+        check_agents(&agents, "t/CLU", &mut r);
+        check_agent_occupancy(&agents, &cfg, "t/CLU", &mut r);
+        assert_eq!(r.deny_count(), 0, "{}", r.render_human());
+        assert_eq!(r.subjects_checked(), 3);
+    }
+
+    /// A partition whose inverse only knows cluster 0: `assign` spreads
+    /// CTAs over 4 clusters but every cluster except 0 is empty — breaks
+    /// balance and inversion at once.
+    struct Degenerate {
+        total: u64,
+        clusters: u64,
+    }
+
+    impl PartitionMap for Degenerate {
+        fn total(&self) -> u64 {
+            self.total
+        }
+        fn num_clusters(&self) -> u64 {
+            self.clusters
+        }
+        fn assign(&self, v: u64) -> (u64, u64) {
+            (v % 3, v / 3)
+        }
+        fn invert(&self, w: u64, i: u64) -> u64 {
+            (i * 3 + w) % self.total
+        }
+        fn cluster_size(&self, i: u64) -> u64 {
+            if i == 0 {
+                self.total
+            } else {
+                0
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_partition_fires_all_partition_lints() {
+        let mut r = Report::new();
+        check_partition(
+            &Degenerate {
+                total: 12,
+                clusters: 4,
+            },
+            "neg",
+            &mut r,
+        );
+        assert!(r.has(&PARTITION_UNBALANCED));
+        assert!(r.has(&PARTITION_NOT_INVERSE));
+        // Coverage over the degenerate walk: cluster 0 holds all 12 once,
+        // others empty — so coverage alone passes; inversion/balance carry
+        // the failure. Force coverage with a duplicating inverse:
+        struct Dup;
+        impl PartitionMap for Dup {
+            fn total(&self) -> u64 {
+                4
+            }
+            fn num_clusters(&self) -> u64 {
+                2
+            }
+            fn assign(&self, v: u64) -> (u64, u64) {
+                (v % 2, v / 2)
+            }
+            fn invert(&self, w: u64, i: u64) -> u64 {
+                (i * 2 + w) & !1 // always even: 0 and 2 duplicated, 1 and 3 missed
+            }
+            fn cluster_size(&self, _i: u64) -> u64 {
+                2
+            }
+        }
+        let mut r2 = Report::new();
+        check_partition(&Dup, "neg", &mut r2);
+        assert!(r2.has(&PARTITION_COVERAGE));
+    }
+
+    struct BadRedirect;
+    impl Redirector for BadRedirect {
+        fn total(&self) -> u64 {
+            6
+        }
+        fn redirect(&self, u: u64) -> u64 {
+            u / 2 // collapses pairs: not a permutation
+        }
+    }
+
+    #[test]
+    fn broken_redirection_fires_cl011() {
+        let mut r = Report::new();
+        check_redirection(&BadRedirect, "neg", &mut r);
+        assert!(r.has(&REDIRECTION_NOT_PERMUTATION));
+        let d = r.diagnostics()[0].clone();
+        assert!(d.message.contains("executed 2 times"), "{}", d.message);
+    }
+
+    /// Agent schedule that ignores throttling: retired agents keep
+    /// working, so CTAs are emitted twice.
+    struct LeakySchedule;
+    impl AgentSchedule for LeakySchedule {
+        fn num_sms(&self) -> usize {
+            2
+        }
+        fn max_agents(&self) -> u32 {
+            2
+        }
+        fn active_agents(&self) -> u32 {
+            1
+        }
+        fn original_total(&self) -> u64 {
+            8
+        }
+        fn cluster_size(&self, _sm: usize) -> u64 {
+            4
+        }
+        fn tasks_of(&self, sm_id: usize, agent_id: u64) -> Vec<u64> {
+            if agent_id >= 2 {
+                return Vec::new();
+            }
+            // Every agent (even throttled-out agent 1) walks the whole
+            // cluster.
+            (0..4).map(|w| sm_id as u64 * 4 + w).collect()
+        }
+    }
+
+    #[test]
+    fn throttle_leak_fires_cl012_and_cl013() {
+        let mut r = Report::new();
+        check_agents(&LeakySchedule, "neg", &mut r);
+        assert!(r.has(&AGENT_THROTTLE_LEAK));
+        assert!(r.has(&AGENT_COVERAGE));
+    }
+
+    /// Schedule with an unrepaired out-of-range throttle.
+    struct OverThrottled;
+    impl AgentSchedule for OverThrottled {
+        fn num_sms(&self) -> usize {
+            1
+        }
+        fn max_agents(&self) -> u32 {
+            4
+        }
+        fn active_agents(&self) -> u32 {
+            9
+        }
+        fn original_total(&self) -> u64 {
+            9
+        }
+        fn cluster_size(&self, _sm: usize) -> u64 {
+            9
+        }
+        fn tasks_of(&self, _sm: usize, agent_id: u64) -> Vec<u64> {
+            (agent_id..9).step_by(9).collect()
+        }
+    }
+
+    #[test]
+    fn out_of_range_throttle_fires_cl026() {
+        let mut r = Report::new();
+        check_agents(&OverThrottled, "neg", &mut r);
+        assert!(r.has(&THROTTLE_EXCEEDS_OCCUPANCY));
+        // Coverage is fine (each CTA once), so CL012 stays quiet.
+        assert!(!r.has(&AGENT_COVERAGE));
+    }
+
+    #[test]
+    fn examples_elide_beyond_cap() {
+        let msg = examples((0..10).map(|i| format!("e{i}")).collect());
+        assert!(msg.contains("e0; e1; e2; and 7 more"));
+    }
+}

@@ -1,0 +1,49 @@
+//! Agreement test: the statically derived locality category (walked
+//! warp programs, no timing model) must match the dynamic one (the same
+//! profiler fed from a traced simulation run) for the 23 Table 2 apps.
+//!
+//! The two feeds observe the same accesses in different interleavings
+//! (static is CTA-major; the simulator interleaves by cycle), so this
+//! test is the proof that the classification is order-robust on the
+//! suite the paper evaluates. One architecture suffices — the
+//! quantification is data-driven (paper §3.2); Kepler is the preset the
+//! Figure 3 harness profiles on.
+
+use cluster_bench::runner::SharedKernel;
+use cta_analyzer::StaticProfile;
+use gpu_sim::{arch, Simulation};
+use locality::CategoryProfiler;
+
+/// Reference line size the static profile is defined over.
+const LINE_BYTES: u64 = 128;
+
+#[test]
+fn static_and_dynamic_categories_agree_on_table2() {
+    let mut disagreements = Vec::new();
+    let base = arch::tesla_k40();
+    for w in gpu_kernels::suite::table2_suite(base.arch) {
+        let kernel = SharedKernel::new(w);
+        let info = kernel.info();
+        let cfg = base.prefer_l1(gpu_sim::KernelSpec::launch(&kernel).smem_per_cta);
+
+        let static_cat = StaticProfile::collect(&kernel, &cfg).category;
+
+        let mut dynamic = CategoryProfiler::with_line_bytes(LINE_BYTES);
+        Simulation::new(cfg.clone(), &kernel)
+            .run_traced(&mut dynamic)
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", info.abbr, cfg.name));
+        let dynamic_cat = dynamic.classify();
+
+        if static_cat != dynamic_cat {
+            disagreements.push(format!(
+                "{}/{}: static {static_cat}, dynamic {dynamic_cat}",
+                info.abbr, cfg.name
+            ));
+        }
+    }
+    assert!(
+        disagreements.is_empty(),
+        "static vs dynamic category disagreements:\n{}",
+        disagreements.join("\n")
+    );
+}

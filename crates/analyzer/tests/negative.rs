@@ -1,0 +1,80 @@
+//! Seeded negative tests at the driver level: deliberately broken
+//! workloads and mismatched configurations must make the lints that the
+//! module-level unit tests cannot reach (construction failures,
+//! cross-config occupancy disagreement) fire through the same entry
+//! points the `analyze` bin uses.
+
+use cta_analyzer::diag::{lint_by_code, Report};
+use cta_analyzer::{analyze_workload, transform};
+use cta_clustering::{AgentKernel, Indexing, Partition};
+use gpu_kernels::{PaperCategory, PartitionHint, Workload, WorkloadInfo};
+use gpu_sim::{arch, CtaContext, Dim3, KernelSpec, LaunchConfig, MemAccess, Op, Program};
+
+/// A workload whose block is too large for any Table 1 preset (64 warps
+/// against 48–64 warp slots with 21 registers per thread), so the agent
+/// transform's occupancy probe must fail.
+#[derive(Debug, Clone)]
+struct Unschedulable;
+
+impl KernelSpec for Unschedulable {
+    fn name(&self) -> String {
+        "unschedulable".into()
+    }
+    fn launch(&self) -> LaunchConfig {
+        let mut l = LaunchConfig::new(Dim3::linear(30), 2048u32);
+        l.regs_per_thread = 64;
+        l
+    }
+    fn warp_program(&self, ctx: &CtaContext, _warp: u32) -> Program {
+        vec![Op::Load(MemAccess::coalesced(0, ctx.cta * 128, 32, 4))]
+    }
+}
+
+impl Workload for Unschedulable {
+    fn info(&self) -> WorkloadInfo {
+        WorkloadInfo {
+            abbr: "XX",
+            full_name: "unschedulable fixture",
+            description: "negative-test fixture",
+            category: PaperCategory::Streaming,
+            warps_per_cta: 64,
+            partition: PartitionHint::Y,
+            opt_agents: [1, 1, 1, 1],
+            regs: [64, 64, 64, 64],
+            smem: 0,
+            source: "test",
+        }
+    }
+}
+
+#[test]
+fn unschedulable_workload_fires_cl004() {
+    let mut r = Report::new();
+    analyze_workload(Box::new(Unschedulable), &arch::gtx570(), &mut r);
+    assert!(
+        r.has(lint_by_code("CL004").unwrap()),
+        "construction failure must be reported:\n{}",
+        r.render_human()
+    );
+    assert!(r.deny_count() > 0);
+}
+
+#[test]
+fn cross_config_agents_fire_cl014() {
+    // Agents built for the 15-SM GTX570 audited against the 16-SM
+    // GTX980: the grid is no longer SMs x MAX_AGENTS and the occupancy
+    // bound differs.
+    let built_on = arch::gtx570();
+    let audited_on = arch::gtx980();
+    let w = gpu_kernels::suite::by_abbr("MM", built_on.arch).unwrap();
+    let partition =
+        Partition::new(w.launch().grid, built_on.num_sms as u64, Indexing::RowMajor).unwrap();
+    let agents = AgentKernel::with_partition(w, &built_on, partition).unwrap();
+    let mut r = Report::new();
+    transform::check_agent_occupancy(&agents, &audited_on, "neg", &mut r);
+    assert!(
+        r.has(lint_by_code("CL014").unwrap()),
+        "cross-config audit must flag the mismatch:\n{}",
+        r.render_human()
+    );
+}

@@ -1,0 +1,117 @@
+//! Property tests: the analyzer's static verdicts must agree with the
+//! runtime behavior of the transforms they describe, over random grids,
+//! cluster counts and every indexing variant.
+
+use cta_analyzer::diag::Report;
+use cta_analyzer::transform;
+use cta_clustering::{Indexing, Partition};
+use gpu_sim::Dim3;
+use proptest::prelude::*;
+
+/// Runtime ground truth: exhaustively checks Eq. 3–5 on `p` the way the
+/// redirection/agent kernels consume it — round-trips, balance, coverage.
+fn runtime_invariants_hold(p: &Partition) -> bool {
+    let total = p.total();
+    let m = p.num_clusters();
+    // Balance (Eq. 5).
+    let small = total / m;
+    let extra = total % m;
+    let mut sum = 0;
+    for i in 0..m {
+        let expect = small + u64::from(i < extra);
+        if p.cluster_size(i) != expect {
+            return false;
+        }
+        sum += p.cluster_size(i);
+    }
+    if sum != total {
+        return false;
+    }
+    // Mutual inversion + coverage, both directions (f(v) = (w, i)).
+    let mut covered = vec![false; total as usize];
+    for v in 0..total {
+        let (w, i) = p.assign(v);
+        if i >= m || w >= p.cluster_size(i) || p.invert(w, i) != v {
+            return false;
+        }
+    }
+    for i in 0..m {
+        for w in 0..p.cluster_size(i) {
+            let v = p.invert(w, i);
+            if v >= total
+                || p.assign(v) != (w, i)
+                || std::mem::replace(&mut covered[v as usize], true)
+            {
+                return false;
+            }
+        }
+    }
+    covered.into_iter().all(|c| c)
+}
+
+/// Deterministic permutation of `0..n` parameterized by `(mul, add)` —
+/// enough variety to exercise `Indexing::Custom` without an RNG inside
+/// the strategy output.
+fn permutation(n: u64, mul: u64, add: u64) -> Vec<u64> {
+    let mut order: Vec<u64> = (0..n).collect();
+    // A multiplicative shuffle: sort by a keyed mix of the id.
+    order.sort_by_key(|&v| (v.wrapping_mul(2 * mul + 1).wrapping_add(add)) % (2 * n + 1));
+    order
+}
+
+fn indexing_for(n: u64, kind: u8, a: u64, b: u64) -> Indexing {
+    match kind {
+        0 => Indexing::RowMajor,
+        1 => Indexing::ColMajor,
+        2 => Indexing::Tile {
+            tile_x: (a % 7 + 1) as u32,
+            tile_y: (b % 7 + 1) as u32,
+        },
+        _ => Indexing::Custom(permutation(n, a, b)),
+    }
+}
+
+proptest! {
+    #[test]
+    fn analyzer_partition_verdict_matches_runtime(
+        (nx, ny, m, kind, a, b) in (1u64..28, 1u64..28, 1u64..40, 0u8..4, 0u64..64, 0u64..64)
+    ) {
+        let grid = Dim3::new(nx as u32, ny as u32, 1);
+        let indexing = indexing_for(nx * ny, kind, a, b);
+        let p = match Partition::new(grid, m, indexing) {
+            Ok(p) => p,
+            // Construction refused the geometry; nothing to compare.
+            Err(_) => return Ok(()),
+        };
+
+        let mut report = Report::new();
+        transform::check_partition(&p, "prop", &mut report);
+        let static_clean = report.deny_count() == 0;
+        let runtime_clean = runtime_invariants_hold(&p);
+
+        prop_assert!(
+            static_clean == runtime_clean,
+            "static {static_clean} vs runtime {runtime_clean}: grid {nx}x{ny} m {m} kind {kind} a {a} b {b}\n{}",
+            report.render_human()
+        );
+        prop_assert!(
+            static_clean,
+            "real Partition must verify cleanly: {}",
+            report.render_human()
+        );
+    }
+
+    #[test]
+    fn clamp_is_idempotent_and_in_range(
+        (active, max) in (0u32..2000, 0u32..64)
+    ) {
+        let c = cta_clustering::clamp_active_agents(active, max);
+        prop_assert!(c >= 1);
+        prop_assert!(c <= max.max(1));
+        prop_assert_eq!(c, cta_clustering::clamp_active_agents(c, max));
+        // In-range requests pass through untouched.
+        if (1..=max.max(1)).contains(&active) {
+            prop_assert_eq!(c, active);
+        }
+    }
+}

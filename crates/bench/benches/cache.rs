@@ -72,5 +72,11 @@ fn bench_set_hash(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_hit_path, bench_miss_path, bench_write_evict, bench_set_hash);
+criterion_group!(
+    benches,
+    bench_hit_path,
+    bench_miss_path,
+    bench_write_evict,
+    bench_set_hash
+);
 criterion_main!(benches);

@@ -13,7 +13,13 @@ fn bench_assign_invert(c: &mut Criterion) {
     for (name, indexing) in [
         ("row_major", Indexing::RowMajor),
         ("col_major", Indexing::ColMajor),
-        ("tile_4x4", Indexing::Tile { tile_x: 4, tile_y: 4 }),
+        (
+            "tile_4x4",
+            Indexing::Tile {
+                tile_x: 4,
+                tile_y: 4,
+            },
+        ),
     ] {
         let p = Partition::new(grid, m, indexing).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(name), &p, |b, p| {

@@ -10,22 +10,37 @@
 use cluster_bench::par::{self, par_map};
 use cluster_bench::report::{ratio, Table};
 use cluster_bench::{configured_threads, RunClock};
-use cta_clustering::{AgentKernel, Indexing, Partition};
+use cta_clustering::{AgentKernel, ClusterError, Indexing, Partition};
 use gpu_kernels::{MatrixMul, Syrk};
 use gpu_sim::{arch, KernelSpec, Simulation};
 
 const INDEXINGS: [(&str, Indexing); 4] = [
     ("row-major (Y-P)", Indexing::RowMajor),
     ("col-major (X-P)", Indexing::ColMajor),
-    ("tile 2x2", Indexing::Tile { tile_x: 2, tile_y: 2 }),
-    ("tile 4x4", Indexing::Tile { tile_x: 4, tile_y: 4 }),
+    (
+        "tile 2x2",
+        Indexing::Tile {
+            tile_x: 2,
+            tile_y: 2,
+        },
+    ),
+    (
+        "tile 4x4",
+        Indexing::Tile {
+            tile_x: 4,
+            tile_y: 4,
+        },
+    ),
 ];
 
-fn main() {
+fn main() -> Result<(), ClusterError> {
     let cfg = arch::gtx570().prefer_l1(8192);
     let threads = configured_threads();
     let clock = RunClock::start(threads);
-    println!("CTA indexing ablation on {} (agent-based clustering)", cfg.name);
+    println!(
+        "CTA indexing ablation on {} (agent-based clustering)",
+        cfg.name
+    );
     println!();
 
     let kernels: Vec<(&str, Box<dyn KernelClone>)> = vec![
@@ -43,15 +58,22 @@ fn main() {
                 .chain(INDEXINGS.iter().map(move |(_, ix)| (k, Some(ix.clone()))))
         })
         .collect();
-    let stats = par_map(&jobs, threads, |(k, indexing)| {
+    let stats: Vec<gpu_sim::RunStats> = par_map(&jobs, threads, |(k, indexing)| {
         let t0 = std::time::Instant::now();
         let s = match indexing {
             None => kernels[*k].1.run_baseline(&cfg),
             Some(ix) => kernels[*k].1.run_clustered(&cfg, ix.clone()),
         };
         par::record_busy(t0.elapsed());
-        s
-    });
+        s.map_err(|e| {
+            ClusterError::harness(format!(
+                "{} with indexing {:?}: {e}",
+                kernels[*k].0, indexing
+            ))
+        })
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
 
     let per_kernel = 1 + INDEXINGS.len();
     for (k, (name, _)) in kernels.iter().enumerate() {
@@ -71,24 +93,32 @@ fn main() {
         println!();
     }
     println!("{}", clock.footer());
+    Ok(())
 }
 
 /// Object-safe helper so the two differently-typed kernels share the loop
 /// (`Sync` so the worker pool can share the table of kernels).
 trait KernelClone: Sync {
-    fn run_baseline(&self, cfg: &gpu_sim::GpuConfig) -> gpu_sim::RunStats;
-    fn run_clustered(&self, cfg: &gpu_sim::GpuConfig, indexing: Indexing) -> gpu_sim::RunStats;
+    fn run_baseline(&self, cfg: &gpu_sim::GpuConfig) -> Result<gpu_sim::RunStats, ClusterError>;
+    fn run_clustered(
+        &self,
+        cfg: &gpu_sim::GpuConfig,
+        indexing: Indexing,
+    ) -> Result<gpu_sim::RunStats, ClusterError>;
 }
 
 impl<K: KernelSpec + Clone + Sync> KernelClone for K {
-    fn run_baseline(&self, cfg: &gpu_sim::GpuConfig) -> gpu_sim::RunStats {
-        Simulation::new(cfg.clone(), self).run().expect("baseline")
+    fn run_baseline(&self, cfg: &gpu_sim::GpuConfig) -> Result<gpu_sim::RunStats, ClusterError> {
+        Ok(Simulation::new(cfg.clone(), self).run()?)
     }
-    fn run_clustered(&self, cfg: &gpu_sim::GpuConfig, indexing: Indexing) -> gpu_sim::RunStats {
-        let partition =
-            Partition::new(self.launch().grid, cfg.num_sms as u64, indexing).expect("partition");
-        let agents = AgentKernel::with_partition(self.clone(), cfg, partition).expect("agents");
-        let stats = Simulation::new(cfg.clone(), &agents).run().expect("clustered");
-        stats
+    fn run_clustered(
+        &self,
+        cfg: &gpu_sim::GpuConfig,
+        indexing: Indexing,
+    ) -> Result<gpu_sim::RunStats, ClusterError> {
+        let partition = Partition::new(self.launch().grid, cfg.num_sms as u64, indexing)?;
+        let agents = AgentKernel::with_partition(self.clone(), cfg, partition)?;
+        let stats = Simulation::new(cfg.clone(), &agents).run()?;
+        Ok(stats)
     }
 }

@@ -1,15 +1,17 @@
 //! Regenerates every table and figure in sequence (the full artifact
 //! run). Expect a few minutes in release mode.
 
+use cta_clustering::ClusterError;
 use std::process::Command;
 use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), ClusterError> {
     let t0 = Instant::now();
-    let exe_dir = std::env::current_exe()
-        .expect("own path")
+    let exe = std::env::current_exe()
+        .map_err(|e| ClusterError::harness(format!("cannot resolve own executable path: {e}")))?;
+    let exe_dir = exe
         .parent()
-        .expect("bin dir")
+        .ok_or_else(|| ClusterError::harness("executable path has no parent directory"))?
         .to_path_buf();
     for bin in [
         "table1_platforms",
@@ -20,10 +22,13 @@ fn main() {
         "fig13_cache",
     ] {
         println!("\n================ {bin} ================\n");
-        let status = Command::new(exe_dir.join(bin))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        assert!(status.success(), "{bin} failed");
+        let path = exe_dir.join(bin);
+        let status = Command::new(&path).status().map_err(|e| {
+            ClusterError::harness(format!("failed to launch {}: {e}", path.display()))
+        })?;
+        if !status.success() {
+            return Err(ClusterError::harness(format!("{bin} exited with {status}")));
+        }
     }
     // Each child bin reports its own busy-time speedup; the children all
     // read CLUSTER_BENCH_THREADS from this process's environment.
@@ -31,6 +36,11 @@ fn main() {
         "\ntotal elapsed {:.2}s wall across all bins ({} worker thread{} per bin)",
         t0.elapsed().as_secs_f64(),
         cluster_bench::configured_threads(),
-        if cluster_bench::configured_threads() == 1 { "" } else { "s" },
+        if cluster_bench::configured_threads() == 1 {
+            ""
+        } else {
+            "s"
+        },
     );
+    Ok(())
 }

@@ -17,7 +17,14 @@ fn main() {
         for panel in Panel::ALL {
             println!("--- {panel} ---");
             let mut t = Table::new(&[
-                "app", "RD", "CLU", "CLU+TOT", "+BPS", "PFH+TOT", "agents", "AC_OCP(B->T)",
+                "app",
+                "RD",
+                "CLU",
+                "CLU+TOT",
+                "+BPS",
+                "PFH+TOT",
+                "agents",
+                "AC_OCP(B->T)",
             ]);
             for app in eval.panel_apps(panel) {
                 t.row(vec![

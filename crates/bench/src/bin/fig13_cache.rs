@@ -15,8 +15,14 @@ fn main() {
         for panel in Panel::ALL {
             println!("--- {panel} ---");
             let mut t = Table::new(&[
-                "app", "L2 RD", "L2 CLU", "L2 CLU+TOT", "L2 +BPS", "L2 PFH+TOT",
-                "HT_RTE BSL", "HT_RTE CLU+TOT",
+                "app",
+                "L2 RD",
+                "L2 CLU",
+                "L2 CLU+TOT",
+                "L2 +BPS",
+                "L2 PFH+TOT",
+                "HT_RTE BSL",
+                "HT_RTE CLU+TOT",
             ]);
             for app in eval.panel_apps(panel) {
                 t.row(vec![
@@ -34,8 +40,14 @@ fn main() {
                 "G-M".into(),
                 format!("{:.2}", eval.geomean_l2(panel, Variant::Redirection)),
                 format!("{:.2}", eval.geomean_l2(panel, Variant::Clustering)),
-                format!("{:.2}", eval.geomean_l2(panel, Variant::ClusteringThrottled)),
-                format!("{:.2}", eval.geomean_l2(panel, Variant::ClusteringThrottledBypass)),
+                format!(
+                    "{:.2}",
+                    eval.geomean_l2(panel, Variant::ClusteringThrottled)
+                ),
+                format!(
+                    "{:.2}",
+                    eval.geomean_l2(panel, Variant::ClusteringThrottledBypass)
+                ),
                 format!("{:.2}", eval.geomean_l2(panel, Variant::PrefetchThrottled)),
                 "".into(),
                 "".into(),

@@ -4,18 +4,23 @@
 
 use cluster_bench::fig2;
 use cluster_bench::report::Table;
+use cta_clustering::ClusterError;
 
-fn main() {
+fn main() -> Result<(), ClusterError> {
     println!("Figure 2: exploiting inter-CTA reuse on the SM that holds CTA-0");
     println!("(A) default scheduling = temporal locality; (B) staggered = spatial locality");
     println!();
     for cfg in gpu_sim::arch::all_presets() {
-        let (default, staggered) = fig2::run_gpu(&cfg);
+        let (default, staggered) = fig2::run_gpu(&cfg)?;
         for panel in [&default, &staggered] {
             println!(
                 "--- {} {} ({} CTAs, observed SM {}; L1 ~{} cycles, L2 ~{} cycles) ---",
                 panel.gpu,
-                if panel.staggered { "(B) staggered" } else { "(A) default" },
+                if panel.staggered {
+                    "(B) staggered"
+                } else {
+                    "(A) default"
+                },
                 panel.ctas,
                 panel.observed_sm,
                 panel.l1_latency,
@@ -44,4 +49,5 @@ fn main() {
     }
     println!("paper shape: only (part of) the first turnaround pays the long");
     println!("latency; every later CTA on the same SM lands at the L1 plateau.");
+    Ok(())
 }

@@ -3,12 +3,13 @@
 
 use cluster_bench::fig3;
 use cluster_bench::report::{pct, Table};
+use cta_clustering::ClusterError;
 use gpu_sim::ArchGen;
 
-fn main() {
+fn main() -> Result<(), ClusterError> {
     println!("Figure 3: share of inter-CTA vs intra-CTA reuse (pre-L1 stream)");
     println!();
-    let bars = fig3::profile_suite(ArchGen::Kepler);
+    let bars = fig3::profile_suite(ArchGen::Kepler)?;
     let mut t = Table::new(&["app", "Inter_CTA", "Intra_CTA", "reuse rate"]);
     for b in &bars {
         t.row(vec![
@@ -24,4 +25,5 @@ fn main() {
         "average inter-CTA share: {} (paper: ~45%)",
         pct(fig3::average_inter_share(&bars))
     );
+    Ok(())
 }

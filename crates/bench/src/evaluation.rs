@@ -70,7 +70,11 @@ impl ArchEvaluation {
     /// Geometric-mean normalized L2 transactions of `variant` over the
     /// apps of `panel` (Figure 13's aggregate).
     pub fn geomean_l2(&self, panel: Panel, variant: Variant) -> f64 {
-        geometric_mean(self.panel_apps(panel).iter().map(|a| a.l2_norm(variant).max(1e-9)))
+        geometric_mean(
+            self.panel_apps(panel)
+                .iter()
+                .map(|a| a.l2_norm(variant).max(1e-9)),
+        )
     }
 
     /// The best clustering variant per app (how the paper summarizes its
@@ -102,7 +106,10 @@ pub fn evaluate_arch(cfg: &GpuConfig) -> ArchEvaluation {
 
 /// Runs the evaluation on all four Table 1 platforms.
 pub fn evaluate_all() -> Vec<ArchEvaluation> {
-    gpu_sim::arch::all_presets().iter().map(evaluate_arch).collect()
+    gpu_sim::arch::all_presets()
+        .iter()
+        .map(evaluate_arch)
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Figure 2 reproduction: the Listing 3 microbenchmark demonstrating
 //! temporal and spatial inter-CTA locality on L1.
 
+use cta_clustering::ClusterError;
 use gpu_kernels::Microbench;
 use gpu_sim::{GpuConfig, Simulation, TraceSink, VecSink};
 
@@ -44,24 +45,33 @@ impl MicrobenchPanel {
 
     /// CTAs slower than the L2 plateau (off-chip or hit-reserved).
     pub fn slow_class(&self) -> usize {
-        self.series.iter().filter(|p| p.cycles > self.l2_latency as u64).count()
+        self.series
+            .iter()
+            .filter(|p| p.cycles > self.l2_latency as u64)
+            .count()
     }
 }
 
 /// Runs the microbenchmark on `cfg` and extracts the per-CTA latency
 /// series of the SM that held CTA 0, as the paper's Figure 2 plots it.
-///
-/// # Panics
-///
-/// Panics if the simulation fails (the microbenchmark launch is always
-/// schedulable on the Table 1 presets).
-pub fn run_panel(cfg: &GpuConfig, turnarounds: u32, staggered: bool) -> MicrobenchPanel {
+pub fn run_panel(
+    cfg: &GpuConfig,
+    turnarounds: u32,
+    staggered: bool,
+) -> Result<MicrobenchPanel, ClusterError> {
     let mb = Microbench::for_gpu(cfg, turnarounds, staggered);
     let mut sink = VecSink::new();
     let stats = Simulation::new(cfg.clone(), &mb)
         .run_traced(&mut sink)
-        .expect("microbenchmark run");
-    let observed_sm = stats.sm_of(0).expect("CTA 0 ran");
+        .map_err(|e| {
+            ClusterError::harness(format!(
+                "microbenchmark run on {} (turnarounds {turnarounds}, staggered {staggered}): {e}",
+                cfg.name
+            ))
+        })?;
+    let observed_sm = stats
+        .sm_of(0)
+        .ok_or_else(|| ClusterError::harness(format!("CTA 0 never ran on {}", cfg.name)))?;
     let mut series: Vec<CtaLatency> = sink
         .events
         .iter()
@@ -72,7 +82,7 @@ pub fn run_panel(cfg: &GpuConfig, turnarounds: u32, staggered: bool) -> Microben
         })
         .collect();
     series.sort_by_key(|p| p.cta);
-    MicrobenchPanel {
+    Ok(MicrobenchPanel {
         gpu: cfg.name.clone(),
         staggered,
         ctas: mb.ctas,
@@ -80,20 +90,20 @@ pub fn run_panel(cfg: &GpuConfig, turnarounds: u32, staggered: bool) -> Microben
         series,
         l1_latency: cfg.timings.l1_hit,
         l2_latency: cfg.timings.l2_hit,
-    }
+    })
 }
 
 /// Convenience: both panels (default + staggered) for one GPU with the
 /// paper's turnaround counts (4 on Fermi/Kepler, 2 on Maxwell/Pascal).
-pub fn run_gpu(cfg: &GpuConfig) -> (MicrobenchPanel, MicrobenchPanel) {
+pub fn run_gpu(cfg: &GpuConfig) -> Result<(MicrobenchPanel, MicrobenchPanel), ClusterError> {
     let turnarounds = match cfg.arch {
         gpu_sim::ArchGen::Fermi | gpu_sim::ArchGen::Kepler => 4,
         _ => 2,
     };
-    (
-        run_panel(cfg, turnarounds, false),
-        run_panel(cfg, turnarounds, true),
-    )
+    Ok((
+        run_panel(cfg, turnarounds, false)?,
+        run_panel(cfg, turnarounds, true)?,
+    ))
 }
 
 /// A profiling sink counting L1-level vs L2-level read transactions, for
@@ -119,18 +129,23 @@ mod tests {
 
     #[test]
     fn temporal_panel_shape_on_fermi() {
-        let p = run_panel(&arch::gtx570(), 4, false);
+        let p = run_panel(&arch::gtx570(), 4, false).unwrap();
         // The observed SM runs about CTA_slots * turnarounds CTAs.
         assert!(p.series.len() >= 24, "got {}", p.series.len());
         // Figure 2-(A): most CTAs are at the L1 plateau; only (part of)
         // the first turnaround is slow.
-        assert!(p.l1_class() * 2 > p.series.len(), "l1={} of {}", p.l1_class(), p.series.len());
+        assert!(
+            p.l1_class() * 2 > p.series.len(),
+            "l1={} of {}",
+            p.l1_class(),
+            p.series.len()
+        );
         assert!(p.slow_class() <= p.series.len() / 3);
     }
 
     #[test]
     fn staggered_panel_still_reuses_spatially() {
-        let p = run_panel(&arch::gtx980(), 2, true);
+        let p = run_panel(&arch::gtx980(), 2, true).unwrap();
         // Figure 2-(B): only the first CTA misses; the de-aligned rest of
         // the first turnaround reuses its line.
         assert!(p.slow_class() <= p.series.len() / 4);
@@ -138,7 +153,7 @@ mod tests {
 
     #[test]
     fn cta_zero_always_observed() {
-        let p = run_panel(&arch::tesla_k40(), 4, false);
+        let p = run_panel(&arch::tesla_k40(), 4, false).unwrap();
         assert_eq!(p.series.first().map(|s| s.cta), Some(0));
     }
 }

@@ -1,6 +1,7 @@
 //! Figure 3 reproduction: the share of inter- vs intra-CTA reuse in the
 //! pre-L1 access stream of 33 applications.
 
+use cta_clustering::ClusterError;
 use gpu_sim::{ArchGen, Simulation};
 use locality::{ReuseProfiler, ReuseSummary};
 
@@ -20,7 +21,7 @@ pub struct ReuseBar {
 /// Profiles the full 33-app Figure 3 suite. The quantification is
 /// data-driven and scheduler/cache-independent (paper §3.2), so a single
 /// architecture's stream suffices; `arch` only selects default geometry.
-pub fn profile_suite(arch: ArchGen) -> Vec<ReuseBar> {
+pub fn profile_suite(arch: ArchGen) -> Result<Vec<ReuseBar>, ClusterError> {
     let cfg = gpu_sim::arch::preset_for(arch);
     gpu_kernels::suite::fig3_suite(arch)
         .into_iter()
@@ -29,14 +30,16 @@ pub fn profile_suite(arch: ArchGen) -> Vec<ReuseBar> {
             let mut profiler = ReuseProfiler::new();
             Simulation::new(cfg.clone(), &w)
                 .run_traced(&mut profiler)
-                .expect("profiling run");
+                .map_err(|e| {
+                    ClusterError::harness(format!("profiling {abbr} on {}: {e}", cfg.name))
+                })?;
             let summary = profiler.summary();
-            ReuseBar {
+            Ok(ReuseBar {
                 abbr,
                 inter: summary.inter_cta_share(),
                 intra: summary.intra_cta_share(),
                 summary,
-            }
+            })
         })
         .collect()
 }

@@ -57,7 +57,9 @@ pub fn configured_threads() -> usize {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Applies `f` to every item, using up to `threads` worker threads, and
@@ -142,8 +144,13 @@ pub fn evaluate_apps_par(
     workloads: Vec<Box<dyn gpu_kernels::Workload>>,
     threads: usize,
 ) -> Vec<crate::runner::AppEvaluation> {
-    let plans = vec![workloads.into_iter().map(|w| AppPlan::new(cfg, w)).collect()];
-    run_plans(&plans, threads).pop().expect("one plan row in, one out")
+    let plans = vec![workloads
+        .into_iter()
+        .map(|w| AppPlan::new(cfg, w))
+        .collect()];
+    run_plans(&plans, threads)
+        .pop()
+        .expect("one plan row in, one out")
 }
 
 /// The two-phase fan-out over prepared plans (outer index = architecture,
@@ -163,8 +170,10 @@ fn run_plans(plans: &[Vec<AppPlan>], threads: usize) -> Vec<Vec<crate::runner::A
 
     // Regroup phase-A stats per app (jobs were emitted app-major) and
     // pick each app's throttle winner.
-    let mut grouped_a: Vec<Vec<Vec<RunStats>>> =
-        plans.iter().map(|apps| apps.iter().map(|_| Vec::new()).collect()).collect();
+    let mut grouped_a: Vec<Vec<Vec<RunStats>>> = plans
+        .iter()
+        .map(|apps| apps.iter().map(|_| Vec::new()).collect())
+        .collect();
     for (&(ai, pi, _), stats) in jobs_a.iter().zip(stats_a) {
         grouped_a[ai][pi].push(stats);
     }
@@ -172,7 +181,10 @@ fn run_plans(plans: &[Vec<AppPlan>], threads: usize) -> Vec<Vec<crate::runner::A
         .iter()
         .zip(&grouped_a)
         .map(|(apps, stats)| {
-            apps.iter().zip(stats).map(|(plan, s)| plan.select_throttle(s)).collect()
+            apps.iter()
+                .zip(stats)
+                .map(|(plan, s)| plan.select_throttle(s))
+                .collect()
         })
         .collect();
 
@@ -184,14 +196,18 @@ fn run_plans(plans: &[Vec<AppPlan>], threads: usize) -> Vec<Vec<crate::runner::A
             apps.iter().enumerate().flat_map({
                 let chosen = &chosen;
                 move |(pi, plan)| {
-                    plan.phase_b(chosen[ai][pi].0).into_iter().map(move |req| (ai, pi, req))
+                    plan.phase_b(chosen[ai][pi].0)
+                        .into_iter()
+                        .map(move |req| (ai, pi, req))
                 }
             })
         })
         .collect();
     let stats_b = par_map(&jobs_b, threads, |&(ai, pi, req)| plans[ai][pi].run(req));
-    let mut grouped_b: Vec<Vec<Vec<RunStats>>> =
-        plans.iter().map(|apps| apps.iter().map(|_| Vec::new()).collect()).collect();
+    let mut grouped_b: Vec<Vec<Vec<RunStats>>> = plans
+        .iter()
+        .map(|apps| apps.iter().map(|_| Vec::new()).collect())
+        .collect();
     for (&(ai, pi, _), stats) in jobs_b.iter().zip(stats_b) {
         grouped_b[ai][pi].push(stats);
     }
@@ -271,7 +287,11 @@ mod tests {
         let items: Vec<u64> = (0..64).collect();
         for threads in [1, 2, 4, 7] {
             let out = par_map(&items, threads, |&x| x * x);
-            assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>(), "{threads} threads");
+            assert_eq!(
+                out,
+                items.iter().map(|&x| x * x).collect::<Vec<_>>(),
+                "{threads} threads"
+            );
         }
     }
 

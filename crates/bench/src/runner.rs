@@ -10,7 +10,9 @@
 
 use cta_clustering::{AgentKernel, BypassKernel, Framework, Partition, RedirectionKernel};
 use gpu_kernels::{PartitionHint, Workload};
-use gpu_sim::{ArrayTag, CtaContext, GpuConfig, KernelSpec, LaunchConfig, Program, RunStats, Simulation};
+use gpu_sim::{
+    ArrayTag, CtaContext, GpuConfig, KernelSpec, LaunchConfig, Program, RunStats, Simulation,
+};
 use std::sync::Arc;
 
 /// A cloneable handle to a boxed workload, so the clustering transforms
@@ -199,7 +201,10 @@ impl AppPlan {
 
     /// The requests that need the sweep-selected throttling degree.
     pub fn phase_b(&self, chosen_agents: u32) -> Vec<SimRequest> {
-        vec![SimRequest::Bypass(chosen_agents), SimRequest::Prefetch(chosen_agents)]
+        vec![
+            SimRequest::Bypass(chosen_agents),
+            SimRequest::Prefetch(chosen_agents),
+        ]
     }
 
     /// Runs one request to completion. Pure with respect to the plan:
@@ -207,21 +212,28 @@ impl AppPlan {
     pub fn run(&self, req: SimRequest) -> RunStats {
         let t0 = std::time::Instant::now();
         let stats = match req {
-            SimRequest::Baseline => {
-                Simulation::new(self.cfg.clone(), &self.kernel).run().expect("baseline run")
-            }
+            SimRequest::Baseline => Simulation::new(self.cfg.clone(), &self.kernel)
+                .run()
+                .expect("baseline run"),
             SimRequest::Redirection => {
                 let rd = RedirectionKernel::new(self.kernel.clone(), self.partition.clone());
-                let stats = Simulation::new(self.cfg.clone(), &rd).run().expect("RD run");
+                let stats = Simulation::new(self.cfg.clone(), &rd)
+                    .run()
+                    .expect("RD run");
                 stats
             }
-            SimRequest::Clustering => {
-                Simulation::new(self.cfg.clone(), &self.agents).run().expect("CLU run")
-            }
+            SimRequest::Clustering => Simulation::new(self.cfg.clone(), &self.agents)
+                .run()
+                .expect("CLU run"),
             SimRequest::Throttled(active) => {
-                let throttled =
-                    self.agents.clone().with_active_agents(active).expect("valid throttle");
-                let stats = Simulation::new(self.cfg.clone(), &throttled).run().expect("TOT run");
+                let throttled = self
+                    .agents
+                    .clone()
+                    .with_active_agents(active)
+                    .expect("valid throttle");
+                let stats = Simulation::new(self.cfg.clone(), &throttled)
+                    .run()
+                    .expect("TOT run");
                 stats
             }
             SimRequest::Bypass(active) => {
@@ -239,7 +251,9 @@ impl AppPlan {
                 .expect("bypass transform")
                 .with_active_agents(active)
                 .expect("valid throttle");
-                let stats = Simulation::new(self.cfg.clone(), &bypassed).run().expect("BPS run");
+                let stats = Simulation::new(self.cfg.clone(), &bypassed)
+                    .run()
+                    .expect("BPS run");
                 stats
             }
             SimRequest::Prefetch(active) => {
@@ -249,7 +263,9 @@ impl AppPlan {
                     .with_active_agents(active)
                     .expect("valid throttle")
                     .with_prefetch(2);
-                let stats = Simulation::new(self.cfg.clone(), &prefetching).run().expect("PFH run");
+                let stats = Simulation::new(self.cfg.clone(), &prefetching)
+                    .run()
+                    .expect("PFH run");
                 stats
             }
         };
@@ -292,7 +308,10 @@ impl AppPlan {
             (Variant::Redirection, a.next().expect("RD stats")),
             (Variant::Clustering, a.next().expect("CLU stats")),
             (Variant::ClusteringThrottled, tot_stats),
-            (Variant::ClusteringThrottledBypass, b.next().expect("BPS stats")),
+            (
+                Variant::ClusteringThrottledBypass,
+                b.next().expect("BPS stats"),
+            ),
             (Variant::PrefetchThrottled, b.next().expect("PFH stats")),
         ];
         AppEvaluation {
@@ -317,7 +336,12 @@ pub struct AppEvaluation {
 impl AppEvaluation {
     /// Stats of one variant.
     pub fn stats(&self, v: Variant) -> &RunStats {
-        &self.runs.iter().find(|(rv, _)| *rv == v).expect("variant present").1
+        &self
+            .runs
+            .iter()
+            .find(|(rv, _)| *rv == v)
+            .expect("variant present")
+            .1
     }
 
     /// Speedup of `v` over baseline.
@@ -340,7 +364,11 @@ pub fn evaluate_app(base_cfg: &GpuConfig, workload: Box<dyn Workload>) -> AppEva
     let plan = AppPlan::new(base_cfg, workload);
     let phase_a: Vec<RunStats> = plan.phase_a().into_iter().map(|r| plan.run(r)).collect();
     let chosen = plan.select_throttle(&phase_a);
-    let phase_b: Vec<RunStats> = plan.phase_b(chosen.0).into_iter().map(|r| plan.run(r)).collect();
+    let phase_b: Vec<RunStats> = plan
+        .phase_b(chosen.0)
+        .into_iter()
+        .map(|r| plan.run(r))
+        .collect();
     plan.assemble(phase_a, chosen, phase_b)
 }
 
@@ -364,7 +392,10 @@ mod tests {
     #[test]
     fn variant_labels_match_paper() {
         let labels: Vec<_> = Variant::ALL.iter().map(|v| v.label()).collect();
-        assert_eq!(labels, vec!["BSL", "RD", "CLU", "CLU+TOT", "CLU+TOT+BPS", "PFH+TOT"]);
+        assert_eq!(
+            labels,
+            vec!["BSL", "RD", "CLU", "CLU+TOT", "CLU+TOT+BPS", "PFH+TOT"]
+        );
     }
 
     #[test]
@@ -382,14 +413,24 @@ mod tests {
         let phase_a = plan.phase_a();
         assert_eq!(
             &phase_a[..3],
-            &[SimRequest::Baseline, SimRequest::Redirection, SimRequest::Clustering]
+            &[
+                SimRequest::Baseline,
+                SimRequest::Redirection,
+                SimRequest::Clustering
+            ]
         );
         assert_eq!(phase_a.len(), 3 + plan.candidates.len());
         // Candidates stay sorted and in range, including Table 2's optimum.
         assert!(plan.candidates.windows(2).all(|w| w[0] < w[1]));
-        assert!(plan.candidates.iter().all(|&c| c >= 1 && c <= plan.max_agents));
+        assert!(plan
+            .candidates
+            .iter()
+            .all(|&c| c >= 1 && c <= plan.max_agents));
         let opt = plan.info.opt_agents_for(plan.cfg.arch).min(plan.max_agents);
         assert!(plan.candidates.contains(&opt));
-        assert_eq!(plan.phase_b(2), vec![SimRequest::Bypass(2), SimRequest::Prefetch(2)]);
+        assert_eq!(
+            plan.phase_b(2),
+            vec![SimRequest::Bypass(2), SimRequest::Prefetch(2)]
+        );
     }
 }

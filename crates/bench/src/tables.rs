@@ -6,8 +6,18 @@ use gpu_sim::{occupancy, ArchGen};
 /// Renders the paper's Table 1: experiment platforms.
 pub fn table1() -> String {
     let mut t = Table::new(&[
-        "GPUs", "Architecture", "CC.", "SMs", "Warp slots", "CTA slots", "L1(KB)", "L1 line",
-        "L2(KB)", "L2 line", "Regs(K)", "SMem(KB)",
+        "GPUs",
+        "Architecture",
+        "CC.",
+        "SMs",
+        "Warp slots",
+        "CTA slots",
+        "L1(KB)",
+        "L1 line",
+        "L2(KB)",
+        "L2 line",
+        "Regs(K)",
+        "SMem(KB)",
     ]);
     for cfg in gpu_sim::arch::all_presets() {
         t.row(vec![
@@ -32,8 +42,16 @@ pub fn table1() -> String {
 /// per-architecture baseline CTAs/SM computed by the occupancy model.
 pub fn table2() -> String {
     let mut t = Table::new(&[
-        "abbr", "Application", "Category", "WP", "CTAs(F/K/M/P)", "Regs(F/K/M/P)", "SMem",
-        "Partition", "OptAgents(F/K/M/P)", "Ref",
+        "abbr",
+        "Application",
+        "Category",
+        "WP",
+        "CTAs(F/K/M/P)",
+        "Regs(F/K/M/P)",
+        "SMem",
+        "Partition",
+        "OptAgents(F/K/M/P)",
+        "Ref",
     ]);
     let archs = ArchGen::ALL;
     for w in gpu_kernels::suite::table2_suite(ArchGen::Fermi) {

@@ -43,8 +43,16 @@ fn parallel_results_are_identical_to_serial() {
             let (s, p) = (serial.stats(v), par.stats(v));
             // Spot-check the headline metrics with readable failures...
             assert_eq!(p.cycles, s.cycles, "{v} cycles, {threads} threads");
-            assert_eq!(p.l2_transactions(), s.l2_transactions(), "{v} L2 txns, {threads} threads");
-            assert_eq!(p.l1_hit_rate(), s.l1_hit_rate(), "{v} L1 hit rate, {threads} threads");
+            assert_eq!(
+                p.l2_transactions(),
+                s.l2_transactions(),
+                "{v} L2 txns, {threads} threads"
+            );
+            assert_eq!(
+                p.l1_hit_rate(),
+                s.l1_hit_rate(),
+                "{v} L1 hit rate, {threads} threads"
+            );
             // ...then require every counter to match exactly.
             assert_eq!(p, s, "{v} full stats, {threads} threads");
         }
@@ -57,8 +65,10 @@ fn parallel_results_are_identical_to_serial() {
 fn parallel_preserves_app_order() {
     let cfg = arch::gtx570();
     let abbrs = ["NW", "BS"];
-    let serial: Vec<AppEvaluation> =
-        abbrs.iter().map(|a| evaluate_app(&cfg, workload(a))).collect();
+    let serial: Vec<AppEvaluation> = abbrs
+        .iter()
+        .map(|a| evaluate_app(&cfg, workload(a)))
+        .collect();
     let par = evaluate_apps_par(&cfg, abbrs.iter().map(|a| workload(a)).collect(), 3);
     assert_eq!(par.len(), serial.len());
     for (p, s) in par.iter().zip(&serial) {

@@ -69,7 +69,11 @@ impl<K: KernelSpec> AgentKernel<K> {
     /// Returns [`ClusterError::ClusterSmMismatch`] unless the partition
     /// has exactly one cluster per SM, and propagates occupancy errors
     /// for unschedulable kernels.
-    pub fn with_partition(inner: K, cfg: &GpuConfig, partition: Partition) -> Result<Self, ClusterError> {
+    pub fn with_partition(
+        inner: K,
+        cfg: &GpuConfig,
+        partition: Partition,
+    ) -> Result<Self, ClusterError> {
         if partition.num_clusters() != cfg.num_sms as u64 {
             return Err(ClusterError::ClusterSmMismatch {
                 clusters: partition.num_clusters(),
@@ -151,6 +155,17 @@ impl<K: KernelSpec> AgentKernel<K> {
     /// `ACTIVE_AGENTS`: agents that execute tasks after throttling.
     pub fn active_agents(&self) -> u32 {
         self.active_agents
+    }
+
+    /// Prefetch depth: leading loads of the next task issued early
+    /// (0 = prefetching disabled).
+    pub fn prefetch_depth(&self) -> usize {
+        self.prefetch_depth
+    }
+
+    /// The architecture generation the transform was built against.
+    pub fn arch(&self) -> ArchGen {
+        self.arch
     }
 
     /// Tasks (original CTA ids) agent `agent_id` of SM `sm_id` executes,
@@ -244,7 +259,8 @@ impl<K: KernelSpec> KernelSpec for AgentKernel<K> {
             if self.prefetch_depth > 0 {
                 if let Some(&next) = tasks.get(k + 1) {
                     let next_ctx = CtaContext { cta: next, ..*ctx };
-                    self.inner.warp_program_into(&next_ctx, warp, &mut next_prog);
+                    self.inner
+                        .warp_program_into(&next_ctx, warp, &mut next_prog);
                     let prefetches: Vec<Op> = next_prog
                         .iter()
                         .filter_map(|op| match op {
@@ -292,7 +308,9 @@ mod tests {
     #[test]
     fn grid_is_sms_times_max_agents() {
         let cfg = arch::gtx570(); // 15 SMs, 8 CTA slots
-        let probe = Probe { grid: Dim3::linear(480) };
+        let probe = Probe {
+            grid: Dim3::linear(480),
+        };
         let a = AgentKernel::build(probe, &cfg).unwrap();
         assert_eq!(a.max_agents(), 8);
         assert_eq!(a.launch().num_ctas(), 15 * 8);
@@ -301,7 +319,9 @@ mod tests {
     #[test]
     fn tasks_cover_the_original_grid_exactly_once() {
         let cfg = arch::gtx570();
-        let probe = Probe { grid: Dim3::plane(16, 10) };
+        let probe = Probe {
+            grid: Dim3::plane(16, 10),
+        };
         let a = AgentKernel::build(probe, &cfg).unwrap();
         let mut all: Vec<u64> = Vec::new();
         for sm in 0..cfg.num_sms {
@@ -316,7 +336,9 @@ mod tests {
     #[test]
     fn throttling_redistributes_not_drops() {
         let cfg = arch::tesla_k40();
-        let probe = Probe { grid: Dim3::plane(8, 8) };
+        let probe = Probe {
+            grid: Dim3::plane(8, 8),
+        };
         let a = AgentKernel::build(probe, &cfg)
             .unwrap()
             .with_active_agents(2)
@@ -336,7 +358,9 @@ mod tests {
     #[test]
     fn invalid_throttle_rejected() {
         let cfg = arch::gtx570();
-        let probe = Probe { grid: Dim3::linear(64) };
+        let probe = Probe {
+            grid: Dim3::linear(64),
+        };
         let a = AgentKernel::build(probe, &cfg).unwrap();
         assert!(matches!(
             a.clone().with_active_agents(0),
@@ -348,11 +372,16 @@ mod tests {
     #[test]
     fn cluster_count_must_match_sms() {
         let cfg = arch::gtx570();
-        let probe = Probe { grid: Dim3::linear(64) };
+        let probe = Probe {
+            grid: Dim3::linear(64),
+        };
         let partition = Partition::y(Dim3::linear(64), 10).unwrap();
         assert!(matches!(
             AgentKernel::with_partition(probe, &cfg, partition),
-            Err(ClusterError::ClusterSmMismatch { clusters: 10, sms: 15 })
+            Err(ClusterError::ClusterSmMismatch {
+                clusters: 10,
+                sms: 15
+            })
         ));
     }
 
@@ -361,11 +390,15 @@ mod tests {
         // Run through the full simulator and verify, via the trace, that
         // the agent kernel touches the same address set as the original.
         let cfg = arch::gtx980(); // dynamic binding path
-        let probe = Probe { grid: Dim3::plane(10, 8) };
+        let probe = Probe {
+            grid: Dim3::plane(10, 8),
+        };
         let a = AgentKernel::build(probe.clone(), &cfg).unwrap();
 
         let mut sink = gpu_sim::VecSink::new();
-        Simulation::new(cfg.clone(), &a).run_traced(&mut sink).unwrap();
+        Simulation::new(cfg.clone(), &a)
+            .run_traced(&mut sink)
+            .unwrap();
         let mut touched: Vec<u64> = sink
             .events
             .iter()
@@ -380,19 +413,29 @@ mod tests {
     fn dynamic_binding_pays_atomic_overhead() {
         let cfg_maxwell = arch::gtx980();
         let cfg_kepler = arch::tesla_k40();
-        let probe = Probe { grid: Dim3::linear(128) };
+        let probe = Probe {
+            grid: Dim3::linear(128),
+        };
         let am = AgentKernel::build(probe.clone(), &cfg_maxwell).unwrap();
         let ak = AgentKernel::build(probe, &cfg_kepler).unwrap();
         let sm_stats = Simulation::new(cfg_maxwell, &am).run().unwrap();
         let k_stats = Simulation::new(cfg_kepler, &ak).run().unwrap();
-        assert!(sm_stats.memory.l2_atomic_txns > 0, "Maxwell agents bid via atomics");
-        assert_eq!(k_stats.memory.l2_atomic_txns, 0, "Kepler agents read warp slots");
+        assert!(
+            sm_stats.memory.l2_atomic_txns > 0,
+            "Maxwell agents bid via atomics"
+        );
+        assert_eq!(
+            k_stats.memory.l2_atomic_txns, 0,
+            "Kepler agents read warp slots"
+        );
     }
 
     #[test]
     fn prefetch_inserts_nonblocking_loads() {
         let cfg = arch::tesla_k40();
-        let probe = Probe { grid: Dim3::linear(128) };
+        let probe = Probe {
+            grid: Dim3::linear(128),
+        };
         let a = AgentKernel::build(probe, &cfg).unwrap().with_prefetch(1);
         let ctx = CtaContext {
             cta: 0,

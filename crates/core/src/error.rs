@@ -27,6 +27,17 @@ pub enum ClusterError {
     },
     /// An underlying simulation failed (framework probe runs).
     Sim(SimError),
+    /// A harness-level step failed (launching a child binary, resolving a
+    /// workload, extracting an expected measurement). The message carries
+    /// the full context of what was attempted.
+    Harness(String),
+}
+
+impl ClusterError {
+    /// Builds a [`ClusterError::Harness`] from any displayable context.
+    pub fn harness(msg: impl Into<String>) -> Self {
+        ClusterError::Harness(msg.into())
+    }
 }
 
 impl fmt::Display for ClusterError {
@@ -41,6 +52,7 @@ impl fmt::Display for ClusterError {
                 write!(f, "throttle degree {active} outside 1..={max}")
             }
             ClusterError::Sim(e) => write!(f, "probe simulation failed: {e}"),
+            ClusterError::Harness(msg) => write!(f, "harness failure: {msg}"),
         }
     }
 }
@@ -66,7 +78,10 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = ClusterError::ClusterSmMismatch { clusters: 10, sms: 15 };
+        let e = ClusterError::ClusterSmMismatch {
+            clusters: 10,
+            sms: 15,
+        };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains("15"));
         let e = ClusterError::from(SimError::InvalidConfig("x".into()));

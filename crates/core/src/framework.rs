@@ -15,9 +15,24 @@ use crate::agent::AgentKernel;
 use crate::bypass::BypassKernel;
 use crate::error::ClusterError;
 use crate::partition::Partition;
-use locality::{Category, CategoryProfiler, ReuseProfiler, ReuseSummary, Signature, TagReuseProfiler};
+use locality::{
+    Category, CategoryProfiler, ReuseProfiler, ReuseSummary, Signature, TagReuseProfiler,
+};
 
-use gpu_sim::{AccessEvent, ArrayTag, GpuConfig, KernelSpec, Simulation, TraceSink};
+use gpu_sim::{occupancy, AccessEvent, ArrayTag, GpuConfig, KernelSpec, Simulation, TraceSink};
+
+/// Clamps a requested `ACTIVE_AGENTS` into the valid throttle range
+/// `1..=max_agents`.
+///
+/// This is the single source of truth for how out-of-range throttle
+/// requests are repaired: [`Framework::apply`] clamps plans through it
+/// instead of trusting callers, and the `cta-analyzer` `CL026` lint
+/// reports exactly the values this function would change. Keeping both
+/// sides on one function guarantees the static verdict and the runtime
+/// behaviour agree.
+pub fn clamp_active_agents(active: u32, max_agents: u32) -> u32 {
+    active.clamp(1, max_agents.max(1))
+}
 
 /// The partition axis selected by the framework.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -122,6 +137,20 @@ impl Framework {
         &self.cfg
     }
 
+    /// The occupancy-derived `MAX_AGENTS` bound for `kernel` on this
+    /// GPU — the upper limit every `ACTIVE_AGENTS` request is validated
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates occupancy errors for unschedulable kernels.
+    pub fn max_agents_for<K>(&self, kernel: &K) -> Result<u32, ClusterError>
+    where
+        K: KernelSpec + ?Sized,
+    {
+        Ok(occupancy(&self.cfg, &kernel.launch())?.ctas_per_sm)
+    }
+
     /// Runs the categorization probes on `kernel` (Figure 11, blue
     /// stages): one traced baseline run plus one redirection probe per
     /// axis.
@@ -198,7 +227,9 @@ impl Framework {
     where
         K: KernelSpec + Clone,
     {
-        let partition = plan.axis.partition(kernel.launch().grid, self.cfg.num_sms as u64)?;
+        let partition = plan
+            .axis
+            .partition(kernel.launch().grid, self.cfg.num_sms as u64)?;
         let base = AgentKernel::with_partition(kernel.clone(), &self.cfg, partition)?;
         let max = base.max_agents();
         let mut best = (max, u64::MAX);
@@ -223,19 +254,27 @@ impl Framework {
 
     /// Assembles the transformed kernel according to `plan`.
     ///
+    /// An out-of-range `plan.active_agents` is not trusted: it is
+    /// repaired through [`clamp_active_agents`] against the
+    /// occupancy-derived `MAX_AGENTS` (the same rule the `cta-analyzer`
+    /// `CL026` lint reports on), so a plan tuned for one architecture
+    /// degrades gracefully instead of failing on another.
+    ///
     /// # Errors
     ///
-    /// Propagates construction failures (cluster/SM mismatch, throttle
-    /// range).
+    /// Propagates construction failures (cluster/SM mismatch, occupancy).
     pub fn apply<K>(&self, kernel: K, plan: &Plan) -> Result<Box<dyn KernelSpec>, ClusterError>
     where
         K: KernelSpec + Clone + 'static,
     {
-        let partition = plan.axis.partition(kernel.launch().grid, self.cfg.num_sms as u64)?;
+        let partition = plan
+            .axis
+            .partition(kernel.launch().grid, self.cfg.num_sms as u64)?;
         let bypassed = BypassKernel::new(kernel, plan.bypass.clone());
         let mut agents = AgentKernel::with_partition(bypassed, &self.cfg, partition)?;
         if let Some(active) = plan.active_agents {
-            agents = agents.with_active_agents(active)?;
+            let clamped = clamp_active_agents(active, agents.max_agents());
+            agents = agents.with_active_agents(clamped)?;
         }
         if plan.prefetch > 0 {
             agents = agents.with_prefetch(plan.prefetch);
@@ -344,9 +383,35 @@ mod tests {
         let fw = Framework::new(arch::tesla_k40());
         let (optimized, plan) = fw.optimize(RowShared).unwrap();
         assert!(plan.exploit_locality);
-        let stats = Simulation::new(arch::tesla_k40(), &optimized).run().unwrap();
+        let stats = Simulation::new(arch::tesla_k40(), &optimized)
+            .run()
+            .unwrap();
         // All original work executed: same number of shared+private loads.
         assert!(stats.instructions > 0);
+    }
+
+    #[test]
+    fn apply_clamps_out_of_range_throttle() {
+        let fw = Framework::new(arch::gtx570());
+        let max = fw.max_agents_for(&RowShared).unwrap();
+        let analysis = fw.analyze(&RowShared).unwrap();
+        let mut plan = fw.plan(&analysis);
+        // A plan tuned on a bigger GPU must degrade gracefully, not fail.
+        plan.active_agents = Some(max + 100);
+        let k = fw.apply(RowShared, &plan).unwrap();
+        assert!(k.name().contains(&format!("x{max}/{max}")));
+        // Zero is repaired up to one active agent.
+        plan.active_agents = Some(0);
+        let k = fw.apply(RowShared, &plan).unwrap();
+        assert!(k.name().contains(&format!("x1/{max}")));
+    }
+
+    #[test]
+    fn clamp_matches_analyzer_rule() {
+        assert_eq!(clamp_active_agents(0, 8), 1);
+        assert_eq!(clamp_active_agents(5, 8), 5);
+        assert_eq!(clamp_active_agents(9, 8), 8);
+        assert_eq!(clamp_active_agents(3, 0), 1);
     }
 
     #[test]

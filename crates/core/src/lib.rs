@@ -67,6 +67,6 @@ pub use agent::AgentKernel;
 pub use bind::{rr_binding, BindingScheme};
 pub use bypass::BypassKernel;
 pub use error::ClusterError;
-pub use framework::{Analysis, Axis, Framework, Plan};
+pub use framework::{clamp_active_agents, Analysis, Axis, Framework, Plan};
 pub use partition::{Indexing, Partition};
 pub use redirect::RedirectionKernel;

@@ -64,9 +64,11 @@ impl Indexing {
                 let _ = tiles_x;
                 above + left + in_tile_y * width_here + in_tile_x
             }
-            Indexing::Custom(order) => {
-                order.iter().position(|&o| o == v).expect("custom order covers the grid") as u64
-            }
+            Indexing::Custom(order) => order
+                .iter()
+                .position(|&o| o == v)
+                .expect("custom order covers the grid")
+                as u64,
         }
     }
 
@@ -256,7 +258,9 @@ impl Partition {
 
     /// All CTAs of cluster `i`, in execution order.
     pub fn cluster(&self, i: u64) -> Vec<u64> {
-        (0..self.cluster_size(i)).map(|w| self.invert(w, i)).collect()
+        (0..self.cluster_size(i))
+            .map(|w| self.invert(w, i))
+            .collect()
     }
 }
 
@@ -292,7 +296,10 @@ mod tests {
         for indexing in [
             Indexing::RowMajor,
             Indexing::ColMajor,
-            Indexing::Tile { tile_x: 3, tile_y: 2 },
+            Indexing::Tile {
+                tile_x: 3,
+                tile_y: 2,
+            },
             Indexing::Custom((0..35).rev().collect()),
         ] {
             for m in [1u64, 2, 3, 5, 8, 35, 40] {
@@ -326,7 +333,15 @@ mod tests {
     #[test]
     fn tile_indexing_orders_tiles_first() {
         // 4x4 grid, 2x2 tiles: first tile is {0,1,4,5}.
-        let p = Partition::new(Dim3::plane(4, 4), 4, Indexing::Tile { tile_x: 2, tile_y: 2 }).unwrap();
+        let p = Partition::new(
+            Dim3::plane(4, 4),
+            4,
+            Indexing::Tile {
+                tile_x: 2,
+                tile_y: 2,
+            },
+        )
+        .unwrap();
         assert_eq!(p.cluster(0), vec![0, 1, 4, 5]);
         assert_eq!(p.cluster(1), vec![2, 3, 6, 7]);
         assert_eq!(p.cluster(2), vec![8, 9, 12, 13]);
@@ -335,7 +350,15 @@ mod tests {
     #[test]
     fn tile_indexing_handles_clipped_edges() {
         // 5x3 grid with 2x2 tiles: ragged right column and bottom row.
-        let p = Partition::new(Dim3::plane(5, 3), 1, Indexing::Tile { tile_x: 2, tile_y: 2 }).unwrap();
+        let p = Partition::new(
+            Dim3::plane(5, 3),
+            1,
+            Indexing::Tile {
+                tile_x: 2,
+                tile_y: 2,
+            },
+        )
+        .unwrap();
         let order = p.cluster(0);
         let mut sorted = order.clone();
         sorted.sort_unstable();
@@ -349,7 +372,15 @@ mod tests {
         assert!(Partition::y(Dim3::plane(0, 2), 2).is_err());
         assert!(Partition::y(Dim3::plane(2, 2), 0).is_err());
         assert!(Partition::new(Dim3::new(2, 2, 2), 2, Indexing::RowMajor).is_err());
-        assert!(Partition::new(Dim3::plane(2, 2), 2, Indexing::Tile { tile_x: 0, tile_y: 1 }).is_err());
+        assert!(Partition::new(
+            Dim3::plane(2, 2),
+            2,
+            Indexing::Tile {
+                tile_x: 0,
+                tile_y: 1
+            }
+        )
+        .is_err());
         assert!(Partition::new(Dim3::plane(2, 2), 2, Indexing::Custom(vec![0, 1, 2])).is_err());
         assert!(Partition::new(Dim3::plane(2, 2), 2, Indexing::Custom(vec![0, 1, 2, 2])).is_err());
     }

@@ -133,7 +133,9 @@ mod tests {
 
     #[test]
     fn redirection_is_a_permutation() {
-        let probe = Probe { grid: Dim3::plane(3, 2) };
+        let probe = Probe {
+            grid: Dim3::plane(3, 2),
+        };
         let p = Partition::y(probe.launch().grid, 2).unwrap();
         let rd = RedirectionKernel::new(probe, p);
         let mut targets: Vec<u64> = (0..6).map(|u| rd.redirect(u)).collect();
@@ -145,7 +147,9 @@ mod tests {
     fn under_strict_rr_same_cluster_lands_on_same_sm() {
         // Under u % M placement, cluster members are u = i, i+M, i+2M...
         // which all redirect into cluster i's task list in order.
-        let probe = Probe { grid: Dim3::plane(3, 2) };
+        let probe = Probe {
+            grid: Dim3::plane(3, 2),
+        };
         let p = Partition::y(probe.launch().grid, 2).unwrap();
         let rd = RedirectionKernel::new(probe, p);
         // Cluster 0 tasks are v=0,1,2; they are executed by u=0,2,4.
@@ -160,7 +164,9 @@ mod tests {
 
     #[test]
     fn program_is_original_ctas_program() {
-        let probe = Probe { grid: Dim3::plane(3, 2) };
+        let probe = Probe {
+            grid: Dim3::plane(3, 2),
+        };
         let p = Partition::y(probe.launch().grid, 2).unwrap();
         let rd = RedirectionKernel::new(probe.clone(), p);
         let prog = rd.warp_program(&ctx(2), 0);
@@ -171,7 +177,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "partition must cover")]
     fn grid_mismatch_panics() {
-        let probe = Probe { grid: Dim3::plane(3, 2) };
+        let probe = Probe {
+            grid: Dim3::plane(3, 2),
+        };
         let p = Partition::y(Dim3::plane(4, 4), 2).unwrap();
         let _ = RedirectionKernel::new(probe, p);
     }

@@ -199,7 +199,10 @@ impl Cache {
         let tick = self.tick;
         let tag = line_addr / self.cfg.line_bytes as u64;
         let range = self.set_range(line_addr);
-        if let Some(line) = self.lines[range.clone()].iter_mut().find(|l| l.valid && l.tag == tag) {
+        if let Some(line) = self.lines[range.clone()]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
             line.lru = tick;
             if line.fill_done > now {
                 self.stats.read_reserved += 1;
@@ -270,7 +273,10 @@ impl Cache {
     pub fn fill(&mut self, line_addr: u64, ready_at: u64) {
         let tag = line_addr / self.cfg.line_bytes as u64;
         let range = self.set_range(line_addr);
-        if let Some(line) = self.lines[range].iter_mut().find(|l| l.valid && l.tag == tag) {
+        if let Some(line) = self.lines[range]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
             line.fill_done = ready_at;
         }
         self.inflight.push(Reverse(ready_at));
@@ -324,7 +330,10 @@ impl Cache {
     fn mark_dirty(&mut self, line_addr: u64) {
         let tag = line_addr / self.cfg.line_bytes as u64;
         let range = self.set_range(line_addr);
-        if let Some(line) = self.lines[range].iter_mut().find(|l| l.valid && l.tag == tag) {
+        if let Some(line) = self.lines[range]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
             line.dirty = true;
         }
     }

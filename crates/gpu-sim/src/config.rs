@@ -57,14 +57,19 @@ impl CacheConfig {
                 self.line_bytes
             )));
         }
-        if !self.size_bytes.is_multiple_of(self.line_bytes * self.associativity) {
+        if !self
+            .size_bytes
+            .is_multiple_of(self.line_bytes * self.associativity)
+        {
             return Err(SimError::InvalidConfig(format!(
                 "{what}: capacity {} not divisible by {}x{}",
                 self.size_bytes, self.line_bytes, self.associativity
             )));
         }
         if self.mshr_entries == 0 {
-            return Err(SimError::InvalidConfig(format!("{what}: zero MSHR entries")));
+            return Err(SimError::InvalidConfig(format!(
+                "{what}: zero MSHR entries"
+            )));
         }
         Ok(())
     }
@@ -135,7 +140,12 @@ impl ArchGen {
     }
 
     /// All four generations, in release order.
-    pub const ALL: [ArchGen; 4] = [ArchGen::Fermi, ArchGen::Kepler, ArchGen::Maxwell, ArchGen::Pascal];
+    pub const ALL: [ArchGen; 4] = [
+        ArchGen::Fermi,
+        ArchGen::Kepler,
+        ArchGen::Maxwell,
+        ArchGen::Pascal,
+    ];
 }
 
 impl fmt::Display for ArchGen {
@@ -267,7 +277,11 @@ impl fmt::Display for GpuConfig {
         write!(
             f,
             "{} ({}, CC {}.{}, {} SMs)",
-            self.name, self.arch, self.compute_capability.0, self.compute_capability.1, self.num_sms
+            self.name,
+            self.arch,
+            self.compute_capability.0,
+            self.compute_capability.1,
+            self.num_sms
         )
     }
 }

@@ -102,7 +102,10 @@ impl<'k> Simulation<'k> {
         self.run_impl(Some(sink))
     }
 
-    fn run_impl<'s>(&'s mut self, sink: Option<&'s mut dyn TraceSink>) -> Result<RunStats, SimError> {
+    fn run_impl<'s>(
+        &'s mut self,
+        sink: Option<&'s mut dyn TraceSink>,
+    ) -> Result<RunStats, SimError> {
         self.cfg.validate()?;
         let launch = self.kernel.launch();
         launch.validate()?;
@@ -259,7 +262,9 @@ impl<'a> Runner<'a> {
 
     fn retire_cta(&mut self, sm_id: usize, slot: u32, now: u64) {
         let sm = &mut self.sms[sm_id];
-        let resident = sm.ctas[slot as usize].take().expect("retiring a resident CTA");
+        let resident = sm.ctas[slot as usize]
+            .take()
+            .expect("retiring a resident CTA");
         self.placements.push(CtaPlacement {
             cta: resident.cta,
             sm_id,
@@ -311,7 +316,9 @@ impl<'a> Runner<'a> {
         program.clear();
         self.program_pool.push(program);
         let done = {
-            let cta = sm.ctas[slot as usize].as_mut().expect("warp belongs to a resident CTA");
+            let cta = sm.ctas[slot as usize]
+                .as_mut()
+                .expect("warp belongs to a resident CTA");
             cta.warps_done += 1;
             cta.warps_done == cta.warps_total
         };
@@ -347,7 +354,10 @@ impl<'a> Runner<'a> {
                 .iter()
                 .position(|c| c.as_ref().is_some_and(|c| c.barrier_count > 0))
             {
-                let cta = self.sms[sm_id].ctas[slot].as_ref().expect("checked above").cta;
+                let cta = self.sms[sm_id].ctas[slot]
+                    .as_ref()
+                    .expect("checked above")
+                    .cta;
                 return Err(SimError::BarrierDeadlock { cta, sm_id });
             }
             return Ok(());
@@ -356,7 +366,9 @@ impl<'a> Runner<'a> {
         // A warp whose program is exhausted retires at its readiness time
         // (covers loads still in flight) without consuming an issue slot.
         {
-            let ws = self.sms[sm_id].warps[warp_idx].as_ref().expect("issuable warp");
+            let ws = self.sms[sm_id].warps[warp_idx]
+                .as_ref()
+                .expect("issuable warp");
             if ws.pc >= ws.program.len() {
                 self.retire_warp(sm_id, warp_idx, ready);
                 return Ok(());
@@ -456,7 +468,8 @@ impl<'a> Runner<'a> {
         }
         let achieved_occupancy = occ_integral as f64
             / (cycles as f64 * self.cfg.warp_slots as f64 * self.cfg.num_sms as f64);
-        self.placements.sort_by_key(|p| (p.dispatched, p.sm_id, p.slot));
+        self.placements
+            .sort_by_key(|p| (p.dispatched, p.sm_id, p.slot));
         RunStats {
             kernel: self.kernel.name(),
             gpu: self.cfg.name.clone(),
@@ -633,8 +646,8 @@ mod tests {
     #[test]
     fn strict_rr_places_cta_modulo_sm() {
         let cfg = arch::gtx570();
-        let mut sim =
-            Simulation::new(cfg.clone(), &SharedLine).with_scheduler(Box::new(StrictRoundRobin::new()));
+        let mut sim = Simulation::new(cfg.clone(), &SharedLine)
+            .with_scheduler(Box::new(StrictRoundRobin::new()));
         let stats = sim.run().unwrap();
         for cta in 0..15u64 {
             assert_eq!(stats.sm_of(cta), Some(cta as usize % cfg.num_sms));
@@ -662,18 +675,30 @@ mod tests {
         }
         fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
             vec![
-                Op::Load(MemAccess::coalesced(0, (ctx.cta * 2 + warp as u64) * 128, 32, 4)),
+                Op::Load(MemAccess::coalesced(
+                    0,
+                    (ctx.cta * 2 + warp as u64) * 128,
+                    32,
+                    4,
+                )),
                 Op::Barrier,
                 Op::Compute(10),
                 Op::Barrier,
-                Op::Store(MemAccess::coalesced(1, 0x20_0000 + (ctx.cta * 2 + warp as u64) * 128, 32, 4)),
+                Op::Store(MemAccess::coalesced(
+                    1,
+                    0x20_0000 + (ctx.cta * 2 + warp as u64) * 128,
+                    32,
+                    4,
+                )),
             ]
         }
     }
 
     #[test]
     fn barriers_release_and_kernel_finishes() {
-        let stats = Simulation::new(arch::tesla_k40(), &WithBarrier).run().unwrap();
+        let stats = Simulation::new(arch::tesla_k40(), &WithBarrier)
+            .run()
+            .unwrap();
         assert_eq!(stats.placements.len(), 8);
         assert!(stats.memory.l2_write_txns > 0);
     }
@@ -700,7 +725,9 @@ mod tests {
 
     #[test]
     fn uneven_barriers_release_after_warp_exit() {
-        let stats = Simulation::new(arch::gtx570(), &UnevenBarriers).run().unwrap();
+        let stats = Simulation::new(arch::gtx570(), &UnevenBarriers)
+            .run()
+            .unwrap();
         assert_eq!(stats.placements.len(), 1);
     }
 
@@ -722,7 +749,9 @@ mod tests {
 
     #[test]
     fn temporal_inter_cta_reuse_hits_l1() {
-        let stats = Simulation::new(arch::gtx570(), &TwoTurnarounds).run().unwrap();
+        let stats = Simulation::new(arch::gtx570(), &TwoTurnarounds)
+            .run()
+            .unwrap();
         // 240 loads; at most ~15 compulsory misses (one per SM) plus a few
         // hit-reserved. Everything else must be an L1 hit.
         assert!(stats.l1.read_hits + stats.l1.read_reserved >= 240 - 16);
@@ -779,7 +808,9 @@ mod tests {
 
     #[test]
     fn achieved_occupancy_in_unit_range() {
-        let stats = Simulation::new(arch::gtx1080(), &WithBarrier).run().unwrap();
+        let stats = Simulation::new(arch::gtx1080(), &WithBarrier)
+            .run()
+            .unwrap();
         assert!(stats.achieved_occupancy > 0.0);
         assert!(stats.achieved_occupancy <= 1.0);
     }
@@ -854,9 +885,7 @@ mod tests {
             }
             fn warp_program(&self, _ctx: &CtaContext, _warp: u32) -> Program {
                 vec![
-                    Op::Load(
-                        MemAccess::coalesced(0, 0, 32, 4).with_cache_op(CacheOp::PrefetchL1),
-                    ),
+                    Op::Load(MemAccess::coalesced(0, 0, 32, 4).with_cache_op(CacheOp::PrefetchL1)),
                     Op::Compute(2000), // plenty of time for the fill
                     Op::Load(MemAccess::coalesced(0, 0, 32, 4)),
                 ]

@@ -89,7 +89,11 @@ pub fn run_stats_csv<'a>(runs: impl IntoIterator<Item = &'a RunStats>) -> String
 }
 
 /// Renders a generic `(x, y)` series (e.g. a Figure 2 panel) as CSV.
-pub fn series_csv(x_name: &str, y_name: &str, points: impl IntoIterator<Item = (u64, u64)>) -> String {
+pub fn series_csv(
+    x_name: &str,
+    y_name: &str,
+    points: impl IntoIterator<Item = (u64, u64)>,
+) -> String {
     let mut out = csv_row([x_name, y_name]);
     for (x, y) in points {
         let _ = write!(out, "{}", csv_row([x.to_string(), y.to_string()]));

@@ -132,7 +132,9 @@ impl MemAccess {
         MemAccess {
             tag,
             cache_op: CacheOp::CacheAll,
-            addrs: (0..lanes).map(|l| base + (l as u64) * bytes_per_lane as u64).collect(),
+            addrs: (0..lanes)
+                .map(|l| base + (l as u64) * bytes_per_lane as u64)
+                .collect(),
             bytes_per_lane,
         }
     }
@@ -317,9 +319,15 @@ mod tests {
     #[test]
     fn launch_validation() {
         assert!(LaunchConfig::new(1u32, 32u32).validate().is_ok());
-        assert!(LaunchConfig::new(Dim3::new(0, 1, 1), 32u32).validate().is_err());
-        assert!(LaunchConfig::new(1u32, Dim3::new(0, 0, 0)).validate().is_err());
-        assert!(LaunchConfig::new(1u32, Dim3::new(2048, 1, 1)).validate().is_err());
+        assert!(LaunchConfig::new(Dim3::new(0, 1, 1), 32u32)
+            .validate()
+            .is_err());
+        assert!(LaunchConfig::new(1u32, Dim3::new(0, 0, 0))
+            .validate()
+            .is_err());
+        assert!(LaunchConfig::new(1u32, Dim3::new(2048, 1, 1))
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -73,6 +73,7 @@ pub mod sched;
 mod sm;
 mod stats;
 mod trace;
+pub mod walk;
 
 pub use cache::{Cache, CacheStats, ReadOutcome, WriteOutcome};
 pub use coalesce::{coalesce_lines, coalesce_lines_into, coalescing_degree};

@@ -125,7 +125,10 @@ impl MemorySystem {
             ReadOutcome::Hit => (start + self.timings.l2_hit as u64, Level::L2),
             ReadOutcome::HitReserved { ready_at } => {
                 // Piggybacks on an in-flight DRAM fill issued by another SM.
-                (ready_at.max(start + self.timings.l2_hit as u64), Level::Dram)
+                (
+                    ready_at.max(start + self.timings.l2_hit as u64),
+                    Level::Dram,
+                )
             }
             ReadOutcome::Miss {
                 mshr_wait,

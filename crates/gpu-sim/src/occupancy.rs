@@ -137,7 +137,9 @@ mod tests {
     #[test]
     fn smem_bound() {
         let cfg = arch::gtx570(); // 48KB smem
-        let l = LaunchConfig::new(16u32, 64u32).with_regs(8).with_smem(20 * 1024);
+        let l = LaunchConfig::new(16u32, 64u32)
+            .with_regs(8)
+            .with_smem(20 * 1024);
         let o = occupancy(&cfg, &l).unwrap();
         assert_eq!(o.ctas_per_sm, 2);
         assert_eq!(o.limiter, OccupancyLimiter::SharedMemory);
@@ -149,7 +151,10 @@ mod tests {
         let too_many_regs = LaunchConfig::new(1u32, 1024u32).with_regs(64);
         assert!(matches!(
             occupancy(&cfg, &too_many_regs),
-            Err(SimError::Unschedulable { resource: "registers", .. })
+            Err(SimError::Unschedulable {
+                resource: "registers",
+                ..
+            })
         ));
         let too_much_smem = LaunchConfig::new(1u32, 32u32).with_smem(1 << 20);
         assert!(occupancy(&cfg, &too_much_smem).is_err());

@@ -38,7 +38,10 @@ impl HardwareLike {
     /// Panics if `window == 0` or `swap_prob` is outside `[0, 1]`.
     pub fn with_perturbation(seed: u64, window: usize, swap_prob: f64) -> Self {
         assert!(window > 0, "window must be at least 1");
-        assert!((0.0..=1.0).contains(&swap_prob), "swap_prob must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&swap_prob),
+            "swap_prob must be in [0, 1]"
+        );
         HardwareLike {
             seed,
             rng: StdRng::seed_from_u64(seed),
@@ -91,8 +94,15 @@ mod tests {
         let mut s = HardwareLike::new(1);
         s.reset(1000);
         let got: Vec<_> = std::iter::from_fn(|| s.next_for_sm(0, 0)).collect();
-        let in_place = got.iter().enumerate().filter(|(i, &c)| *i as u64 == c).count();
-        assert!(in_place > 500, "should be mostly RR, got {in_place}/1000 in place");
+        let in_place = got
+            .iter()
+            .enumerate()
+            .filter(|(i, &c)| *i as u64 == c)
+            .count();
+        assert!(
+            in_place > 500,
+            "should be mostly RR, got {in_place}/1000 in place"
+        );
         assert!(in_place < 1000, "must not be strict RR");
     }
 

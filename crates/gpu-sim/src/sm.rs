@@ -75,8 +75,12 @@ impl SmState {
         SmState {
             id,
             clock: 0,
-            l1_sectors: (0..cfg.l1_sectors).map(|_| Cache::new(sector_cfg.clone())).collect(),
-            warps: (0..(max_ctas * warps_per_cta) as usize).map(|_| None).collect(),
+            l1_sectors: (0..cfg.l1_sectors)
+                .map(|_| Cache::new(sector_cfg.clone()))
+                .collect(),
+            warps: (0..(max_ctas * warps_per_cta) as usize)
+                .map(|_| None)
+                .collect(),
             ctas: (0..max_ctas as usize).map(|_| None).collect(),
             dispatch_count: 0,
             pending_dispatch: Vec::new(),

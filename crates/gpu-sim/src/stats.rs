@@ -78,7 +78,10 @@ impl RunStats {
 
     /// SM id that executed the given CTA, if it ran.
     pub fn sm_of(&self, cta: u64) -> Option<usize> {
-        self.placements.iter().find(|p| p.cta == cta).map(|p| p.sm_id)
+        self.placements
+            .iter()
+            .find(|p| p.cta == cta)
+            .map(|p| p.sm_id)
     }
 
     /// All CTAs that ran on `sm_id`, in dispatch order.

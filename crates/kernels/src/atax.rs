@@ -84,16 +84,34 @@ impl KernelSpec for Atax {
         let mut prog = Program::new();
         // tmp = A * x over this panel: x segment broadcast, A panel walked.
         prog.push(read_words(TAG_X, col0, PANEL_WORDS as u32));
-        prog.extend(panel_reads(TAG_A, row0, self.row_words(), col0, PANEL_WORDS, 32));
+        prog.extend(panel_reads(
+            TAG_A,
+            row0,
+            self.row_words(),
+            col0,
+            PANEL_WORDS,
+            32,
+        ));
         prog.push(Op::Compute(6));
         // Partial tmp for the row block (one coalesced store per warp).
         prog.push(write_words(TAG_TMP, row0, 32));
         prog.push(Op::Barrier);
         // y += A' * tmp over the same panel: re-walk the panel.
-        prog.extend(panel_reads(TAG_A, row0, self.row_words(), col0, PANEL_WORDS / 2, 32));
+        prog.extend(panel_reads(
+            TAG_A,
+            row0,
+            self.row_words(),
+            col0,
+            PANEL_WORDS / 2,
+            32,
+        ));
         prog.push(Op::Compute(6));
         if warp == 0 {
-            prog.push(write_words(TAG_Y, (bx as u64 * self.grid_y as u64 + by as u64) * PANEL_WORDS, PANEL_WORDS as u32));
+            prog.push(write_words(
+                TAG_Y,
+                (bx as u64 * self.grid_y as u64 + by as u64) * PANEL_WORDS,
+                PANEL_WORDS as u32,
+            ));
         } else {
             prog.push(Op::Compute(1));
         }
@@ -158,7 +176,10 @@ mod tests {
         let a = Atax::new(2, 2);
         for w in 0..8 {
             assert_eq!(
-                a.warp_program(&ctx(0), w).iter().filter(|o| o.is_barrier()).count(),
+                a.warp_program(&ctx(0), w)
+                    .iter()
+                    .filter(|o| o.is_barrier())
+                    .count(),
                 1
             );
         }

@@ -87,7 +87,11 @@ impl KernelSpec for Backprop {
             for r in 0..2u64 {
                 let row = bx as u64 * 16 + warp as u64 * 2 + r;
                 let col = by as u64 * 16;
-                prog.push(read_words(TAG_WEIGHTS, row * self.weight_row_words() + col, 16));
+                prog.push(read_words(
+                    TAG_WEIGHTS,
+                    row * self.weight_row_words() + col,
+                    16,
+                ));
             }
             prog.push(Op::Compute(8));
             prog.push(Op::Barrier);

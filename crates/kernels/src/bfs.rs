@@ -68,7 +68,10 @@ impl Bfs {
 
 impl KernelSpec for Bfs {
     fn name(&self) -> String {
-        format!("BFS(grid={},v{},d{})", self.grid, self.vertices, self.degree)
+        format!(
+            "BFS(grid={},v{},d{})",
+            self.grid, self.vertices, self.degree
+        )
     }
 
     fn launch(&self) -> LaunchConfig {
@@ -164,7 +167,9 @@ mod tests {
                 _ => None,
             })
             .flatten()
-            .map(|a| a - crate::common::array_base(TAG_VISITED) + crate::common::array_base(TAG_EDGES))
+            .map(|a| {
+                a - crate::common::array_base(TAG_VISITED) + crate::common::array_base(TAG_EDGES)
+            })
             .collect();
         assert_eq!(reads.len(), writes.len());
     }

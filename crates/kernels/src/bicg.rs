@@ -83,13 +83,27 @@ impl KernelSpec for Bicg {
         let mut prog = Program::new();
         // q = A * p: p segment broadcast, panel walked.
         prog.push(read_words(TAG_P, col0, PANEL_WORDS as u32));
-        prog.extend(panel_reads(TAG_A, row0, self.row_words(), col0, PANEL_WORDS, 32));
+        prog.extend(panel_reads(
+            TAG_A,
+            row0,
+            self.row_words(),
+            col0,
+            PANEL_WORDS,
+            32,
+        ));
         prog.push(Op::Compute(5));
         prog.push(write_words(TAG_Q, row0, 32));
         prog.push(Op::Barrier);
         // s = A' * r: r indexed by the row block.
         prog.push(read_words(TAG_R, row0 / 8, PANEL_WORDS as u32));
-        prog.extend(panel_reads(TAG_A, row0, self.row_words(), col0, PANEL_WORDS / 2, 32));
+        prog.extend(panel_reads(
+            TAG_A,
+            row0,
+            self.row_words(),
+            col0,
+            PANEL_WORDS / 2,
+            32,
+        ));
         prog.push(Op::Compute(5));
         if warp == 0 {
             prog.push(write_words(
@@ -140,8 +154,12 @@ mod tests {
     fn two_phases_write_different_vectors() {
         let b = Bicg::new(2, 2);
         let p = b.warp_program(&ctx(0), 0);
-        assert!(p.iter().any(|op| matches!(op, Op::Store(a) if a.tag == TAG_Q)));
-        assert!(p.iter().any(|op| matches!(op, Op::Store(a) if a.tag == TAG_S)));
+        assert!(p
+            .iter()
+            .any(|op| matches!(op, Op::Store(a) if a.tag == TAG_Q)));
+        assert!(p
+            .iter()
+            .any(|op| matches!(op, Op::Store(a) if a.tag == TAG_S)));
     }
 
     #[test]

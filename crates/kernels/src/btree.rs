@@ -159,7 +159,10 @@ mod tests {
         let l0 = level_words(&b, 0, 3);
         let l1 = level_words(&b, 5, 3);
         let shared = l0.intersection(&l1).count();
-        assert!(shared < l0.len() / 2, "leaves should diverge, shared={shared}");
+        assert!(
+            shared < l0.len() / 2,
+            "leaves should diverge, shared={shared}"
+        );
     }
 
     #[test]

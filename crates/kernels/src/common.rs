@@ -12,12 +12,22 @@ pub const fn array_base(tag: ArrayTag) -> u64 {
 /// A coalesced warp read of `lanes` consecutive 4-byte words starting at
 /// word `word` of array `tag`.
 pub fn read_words(tag: ArrayTag, word: u64, lanes: u32) -> Op {
-    Op::Load(MemAccess::coalesced(tag, array_base(tag) + word * 4, lanes, 4))
+    Op::Load(MemAccess::coalesced(
+        tag,
+        array_base(tag) + word * 4,
+        lanes,
+        4,
+    ))
 }
 
 /// A coalesced warp store of `lanes` consecutive 4-byte words.
 pub fn write_words(tag: ArrayTag, word: u64, lanes: u32) -> Op {
-    Op::Store(MemAccess::coalesced(tag, array_base(tag) + word * 4, lanes, 4))
+    Op::Store(MemAccess::coalesced(
+        tag,
+        array_base(tag) + word * 4,
+        lanes,
+        4,
+    ))
 }
 
 /// A column access into a row-major matrix: lane `l` reads word
@@ -64,7 +74,14 @@ pub fn scatter_words(tag: ArrayTag, indices: &[u64]) -> Op {
 /// architectures a panel of `words >= 8` covers its fetch exactly and no
 /// sharing is left, which is why the paper's cache-line gains vanish on
 /// Maxwell/Pascal.
-pub fn panel_reads(tag: ArrayTag, row0: u64, row_words: u64, col0: u64, words: u64, lanes: u32) -> Vec<Op> {
+pub fn panel_reads(
+    tag: ArrayTag,
+    row0: u64,
+    row_words: u64,
+    col0: u64,
+    words: u64,
+    lanes: u32,
+) -> Vec<Op> {
     (0..words)
         .map(|j| read_column(tag, row0, row_words, col0 + j, lanes))
         .collect()

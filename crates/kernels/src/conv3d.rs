@@ -96,7 +96,11 @@ impl KernelSpec for Conv3d {
         }
         prog.push(Op::Barrier);
         let row = by as u64 * 8 + warp as u64;
-        prog.push(write_words(TAG_OUT, row * self.row_words() + bx as u64 * 32, 32));
+        prog.push(write_words(
+            TAG_OUT,
+            row * self.row_words() + bx as u64 * 32,
+            32,
+        ));
         prog
     }
 }
@@ -134,7 +138,9 @@ mod tests {
     #[test]
     fn misaligned_rows_share_lines_with_bx_neighbour() {
         let c = Conv3d::new(4, 2, 1);
-        let shared = in_lines(&c, 0, 128).intersection(&in_lines(&c, 1, 128)).count();
+        let shared = in_lines(&c, 0, 128)
+            .intersection(&in_lines(&c, 1, 128))
+            .count();
         assert!(shared > 0);
     }
 

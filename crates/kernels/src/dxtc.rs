@@ -99,7 +99,10 @@ mod tests {
         // register-sensitive on Fermi: 63*64 = 4032 -> 32K/4032 = 8.
         let cfg = arch::gtx570();
         let d = Dxtc::for_arch(ArchGen::Fermi);
-        assert_eq!(gpu_sim::occupancy(&cfg, &d.launch()).unwrap().ctas_per_sm, 8);
+        assert_eq!(
+            gpu_sim::occupancy(&cfg, &d.launch()).unwrap().ctas_per_sm,
+            8
+        );
     }
 
     #[test]

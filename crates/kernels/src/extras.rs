@@ -64,7 +64,9 @@ impl KernelSpec for ExtraApp {
     }
 
     fn launch(&self) -> LaunchConfig {
-        LaunchConfig::new(self.grid, self.threads).with_regs(self.info.regs[0]).with_smem(self.info.smem)
+        LaunchConfig::new(self.grid, self.threads)
+            .with_regs(self.info.regs[0])
+            .with_smem(self.info.smem)
     }
 
     fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
@@ -99,12 +101,24 @@ impl KernelSpec for ExtraApp {
             let row0 = bx as u64 * self.threads as u64 + warp as u64 * 32;
             let row_words = self.grid.y as u64 * self.panel_words;
             let col0 = by as u64 * self.panel_words;
-            prog.extend(panel_reads(TAG_PANEL, row0, row_words, col0, self.panel_words, 32));
+            prog.extend(panel_reads(
+                TAG_PANEL,
+                row0,
+                row_words,
+                col0,
+                self.panel_words,
+                32,
+            ));
         }
         // Irregular gathers.
         for g in 0..self.gathers as u64 {
             let addrs: Vec<u64> = (0..32u64)
-                .map(|lane| mix_range(self.seed ^ (ctx.cta * 131 + warp as u64 * 37 + g * 7 + lane), 1 << 14))
+                .map(|lane| {
+                    mix_range(
+                        self.seed ^ (ctx.cta * 131 + warp as u64 * 37 + g * 7 + lane),
+                        1 << 14,
+                    )
+                })
                 .collect();
             prog.push(gather_words(TAG_IRREG, &addrs));
         }
@@ -268,7 +282,9 @@ mod tests {
     #[test]
     fn launches_validate_everywhere() {
         for e in all_extras() {
-            e.launch().validate().unwrap_or_else(|err| panic!("{}: {err}", e.info.abbr));
+            e.launch()
+                .validate()
+                .unwrap_or_else(|err| panic!("{}: {err}", e.info.abbr));
         }
     }
 
@@ -292,7 +308,9 @@ mod tests {
     fn streaming_presets_have_no_table() {
         for app in [sp(), sla()] {
             let p = app.warp_program(&ctx(0), 0);
-            assert!(p.iter().all(|op| op.access().map(|a| a.tag != TAG_TABLE).unwrap_or(true)));
+            assert!(p
+                .iter()
+                .all(|op| op.access().map(|a| a.tag != TAG_TABLE).unwrap_or(true)));
         }
     }
 

@@ -94,7 +94,9 @@ impl KernelSpec for Histogram {
         }
         // Merge pass: re-read this CTA's sub-histogram.
         prog.push(Op::Barrier);
-        let indices: Vec<u64> = (0..32).map(|l| (ctx.cta % 16) * 64 + warp as u64 * 8 + l % 8).collect();
+        let indices: Vec<u64> = (0..32)
+            .map(|l| (ctx.cta % 16) * 64 + warp as u64 * 8 + l % 8)
+            .collect();
         prog.push(gather_words(TAG_BINS, &indices));
         prog
     }

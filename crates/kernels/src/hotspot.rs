@@ -173,7 +173,10 @@ mod tests {
                 .collect::<std::collections::BTreeSet<_>>()
         };
         let shared = words(0).intersection(&words(1)).count();
-        assert!(shared > 0, "halo columns must be shared between bx=0 and bx=1");
+        assert!(
+            shared > 0,
+            "halo columns must be shared between bx=0 and bx=1"
+        );
     }
 
     #[test]

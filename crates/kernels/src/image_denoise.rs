@@ -89,14 +89,22 @@ impl KernelSpec for ImageDenoise {
         for r in r0..r1 {
             let row = by as u64 * 8 + r; // apron folded into the base offset
             let col = bx as u64 * 8;
-            prog.push(read_words(TAG_IMAGE, row * self.image_row_words() + col, window_cols as u32));
+            prog.push(read_words(
+                TAG_IMAGE,
+                row * self.image_row_words() + col,
+                window_cols as u32,
+            ));
             prog.push(Op::Compute(10));
         }
         prog.push(Op::Barrier);
         // Each warp writes half the 8x8 output tile (4 rows of 8).
         for r in 0..4u64 {
             let row = by as u64 * 8 + warp as u64 * 4 + r;
-            prog.push(write_words(TAG_OUTPUT, row * self.grid_x as u64 * 8 + bx as u64 * 8, 8));
+            prog.push(write_words(
+                TAG_OUTPUT,
+                row * self.grid_x as u64 * 8 + bx as u64 * 8,
+                8,
+            ));
         }
         prog
     }

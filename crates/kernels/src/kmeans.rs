@@ -87,8 +87,7 @@ impl KernelSpec for Kmeans {
         let mut prog = Program::new();
         let threads_per_cta = 256u64;
         for c in 0..self.chunks as u64 {
-            let point0 = ((ctx.cta * self.chunks as u64 + c) * threads_per_cta
-                + warp as u64 * 32)
+            let point0 = ((ctx.cta * self.chunks as u64 + c) * threads_per_cta + warp as u64 * 32)
                 * self.features as u64;
             // Stream this chunk's 32 points per warp (feature-major rows,
             // coalesced per feature plane).

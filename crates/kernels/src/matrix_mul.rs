@@ -98,15 +98,27 @@ impl KernelSpec for MatrixMul {
             // Warp `w` stages row `w` of the A and B tiles into shared
             // memory (each a coalesced 32-word line).
             let a_row = by as u64 * TILE + warp as u64;
-            prog.push(read_words(TAG_A, a_row * self.a_row_words() + kt * TILE, 32));
+            prog.push(read_words(
+                TAG_A,
+                a_row * self.a_row_words() + kt * TILE,
+                32,
+            ));
             let b_row = kt * TILE + warp as u64;
-            prog.push(read_words(TAG_B, b_row * self.b_row_words() + bx as u64 * TILE, 32));
+            prog.push(read_words(
+                TAG_B,
+                b_row * self.b_row_words() + bx as u64 * TILE,
+                32,
+            ));
             prog.push(Op::Barrier);
             prog.push(Op::Compute(24)); // 2*TILE FMAs per thread per tile
             prog.push(Op::Barrier);
         }
         let c_row = by as u64 * TILE + warp as u64;
-        prog.push(write_words(TAG_C, c_row * self.b_row_words() + bx as u64 * TILE, 32));
+        prog.push(write_words(
+            TAG_C,
+            c_row * self.b_row_words() + bx as u64 * TILE,
+            32,
+        ));
         prog
     }
 }

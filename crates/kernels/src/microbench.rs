@@ -114,9 +114,15 @@ mod tests {
         let cfg = arch::gtx570();
         let mb = Microbench::for_gpu(&cfg, 4, false);
         let mut sink = VecSink::new();
-        let stats = Simulation::new(cfg.clone(), &mb).run_traced(&mut sink).unwrap();
+        let stats = Simulation::new(cfg.clone(), &mb)
+            .run_traced(&mut sink)
+            .unwrap();
         assert_eq!(stats.placements.len(), 480);
-        let slow = sink.events.iter().filter(|e| e.latency > cfg.timings.l2_hit as u64).count();
+        let slow = sink
+            .events
+            .iter()
+            .filter(|e| e.latency > cfg.timings.l2_hit as u64)
+            .count();
         let fast = sink
             .events
             .iter()

@@ -84,13 +84,27 @@ impl KernelSpec for Mvt {
         let mut prog = Program::new();
         // Phase 1: x1 += A * y1.
         prog.push(read_words(TAG_Y1, col0, PANEL_WORDS as u32));
-        prog.extend(panel_reads(TAG_A, row0, self.row_words(), col0, PANEL_WORDS, 32));
+        prog.extend(panel_reads(
+            TAG_A,
+            row0,
+            self.row_words(),
+            col0,
+            PANEL_WORDS,
+            32,
+        ));
         prog.push(Op::Compute(6));
         prog.push(write_words(TAG_X1, row0, 32));
         prog.push(Op::Barrier);
         // Phase 2: x2 += A' * y2 over the same panel.
         prog.push(read_words(TAG_Y2, row0 / 8, PANEL_WORDS as u32));
-        prog.extend(panel_reads(TAG_A, row0, self.row_words(), col0, PANEL_WORDS, 32));
+        prog.extend(panel_reads(
+            TAG_A,
+            row0,
+            self.row_words(),
+            col0,
+            PANEL_WORDS,
+            32,
+        ));
         prog.push(Op::Compute(6));
         if warp == 0 {
             prog.push(write_words(

@@ -160,7 +160,9 @@ mod tests {
         let n = Nbody::new(4, 2, 1);
         // CTAs 0 and 1 share by=0 (row-major).
         assert_eq!(pos_words(&n, 0).intersection(&pos_words(&n, 1)).count(), 0);
-        let shared = pos_lines(&n, 0, 128).intersection(&pos_lines(&n, 1, 128)).count();
+        let shared = pos_lines(&n, 0, 128)
+            .intersection(&pos_lines(&n, 1, 128))
+            .count();
         assert!(shared > 0, "128B lines interleave cyclic bodies");
     }
 
@@ -170,10 +172,18 @@ mod tests {
         // CTA; a 128B line spans four records = four adjacent-bx CTAs.
         let n = Nbody::new(8, 2, 1);
         let l32: usize = (0..7)
-            .map(|c| pos_lines(&n, c, 32).intersection(&pos_lines(&n, c + 1, 32)).count())
+            .map(|c| {
+                pos_lines(&n, c, 32)
+                    .intersection(&pos_lines(&n, c + 1, 32))
+                    .count()
+            })
             .sum();
         let l128: usize = (0..7)
-            .map(|c| pos_lines(&n, c, 128).intersection(&pos_lines(&n, c + 1, 128)).count())
+            .map(|c| {
+                pos_lines(&n, c, 128)
+                    .intersection(&pos_lines(&n, c + 1, 128))
+                    .count()
+            })
             .sum();
         assert_eq!(l32, 0, "32B lines are CTA-private");
         assert!(l128 > 0, "128B lines are shared");
@@ -183,6 +193,11 @@ mod tests {
     fn groups_are_disjoint() {
         let n = Nbody::new(2, 2, 1);
         // CTA 0 (by=0) and CTA 2 (by=1) touch different body groups.
-        assert_eq!(pos_lines(&n, 0, 128).intersection(&pos_lines(&n, 2, 128)).count(), 0);
+        assert_eq!(
+            pos_lines(&n, 0, 128)
+                .intersection(&pos_lines(&n, 2, 128))
+                .count(),
+            0
+        );
     }
 }

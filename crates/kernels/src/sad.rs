@@ -78,7 +78,11 @@ impl KernelSpec for Sad {
             prog.push(read_words(TAG_REF, word, 32));
             prog.push(Op::Compute(8));
         }
-        prog.push(write_words(TAG_SAD, (ctx.cta * 2 + warp as u64) * self.positions as u64, self.positions.min(32)));
+        prog.push(write_words(
+            TAG_SAD,
+            (ctx.cta * 2 + warp as u64) * self.positions as u64,
+            self.positions.min(32),
+        ));
         prog
     }
 }

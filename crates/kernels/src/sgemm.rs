@@ -88,21 +88,33 @@ impl KernelSpec for Sgemm {
             // shared by every CTA in the grid column. Warp w stages 4 rows.
             for r in 0..4u64 {
                 let row = kt * 16 + warp as u64 * 4 + r;
-                prog.push(read_words(TAG_B, row * self.b_row_words() + bx as u64 * 32, 32));
+                prog.push(read_words(
+                    TAG_B,
+                    row * self.b_row_words() + bx as u64 * 32,
+                    32,
+                ));
             }
             // A strip for this CTA's 128 output rows (streaming): warp w
             // reads its 32 rows' k-column strip, divergence folded into a
             // coalesced panel read of the pre-transposed A (Parboil stores
             // A column-major for exactly this reason).
             let a_row = by as u64 * 128 + warp as u64 * 32;
-            prog.push(read_words(TAG_A, a_row * self.a_row_words() / 16 + kt * 32, 32));
+            prog.push(read_words(
+                TAG_A,
+                a_row * self.a_row_words() / 16 + kt * 32,
+                32,
+            ));
             prog.push(Op::Barrier);
             prog.push(Op::Compute(20));
             prog.push(Op::Barrier);
         }
         // C strip store.
         let c_row = by as u64 * 128 + warp as u64 * 32;
-        prog.push(write_words(TAG_C, c_row * self.b_row_words() / 4 + bx as u64 * 32, 32));
+        prog.push(write_words(
+            TAG_C,
+            c_row * self.b_row_words() / 4 + bx as u64 * 32,
+            32,
+        ));
         prog
     }
 }
@@ -133,10 +145,16 @@ mod tests {
         // Table 2 "CTAs": 7/9/12/8. Fermi: 32K/(33*128)=7 CTAs.
         let cfg = arch::gtx570();
         let s = Sgemm::for_arch(ArchGen::Fermi);
-        assert_eq!(gpu_sim::occupancy(&cfg, &s.launch()).unwrap().ctas_per_sm, 7);
+        assert_eq!(
+            gpu_sim::occupancy(&cfg, &s.launch()).unwrap().ctas_per_sm,
+            7
+        );
         let cfg = arch::tesla_k40();
         let s = Sgemm::for_arch(ArchGen::Kepler);
-        assert_eq!(gpu_sim::occupancy(&cfg, &s.launch()).unwrap().ctas_per_sm, 9);
+        assert_eq!(
+            gpu_sim::occupancy(&cfg, &s.launch()).unwrap().ctas_per_sm,
+            9
+        );
     }
 
     #[test]

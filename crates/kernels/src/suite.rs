@@ -3,7 +3,7 @@
 use crate::extras;
 use crate::info::Workload;
 use crate::{
-    Atax, Backprop, Bfs, Bicg, BlackScholes, BTree, Conv3d, Dct, Dxtc, Histogram, Hotspot,
+    Atax, BTree, Backprop, Bfs, Bicg, BlackScholes, Conv3d, Dct, Dxtc, Histogram, Hotspot,
     ImageDenoise, Kmeans, MatrixMul, MonteCarlo, Mvt, NeedlemanWunsch, NeuralNet, Sad, Sgemm,
     Syr2k, Syrk,
 };
@@ -73,7 +73,9 @@ pub fn fig3_suite(arch: ArchGen) -> Vec<Box<dyn Workload>> {
 /// (case-insensitive). Returns `None` for unknown abbreviations.
 pub fn by_abbr(abbr: &str, arch: ArchGen) -> Option<Box<dyn Workload>> {
     let target = abbr.to_ascii_uppercase();
-    table2_suite(arch).into_iter().find(|w| w.info().abbr == target)
+    table2_suite(arch)
+        .into_iter()
+        .find(|w| w.info().abbr == target)
 }
 
 #[cfg(test)]

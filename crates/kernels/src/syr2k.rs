@@ -81,8 +81,22 @@ impl KernelSpec for Syr2k {
         let mut prog = Program::new();
         // A*B' pass then B*A' pass: each walks both input panels.
         for pass in 0..2 {
-            prog.extend(panel_reads(TAG_A, row0, self.row_words(), col0, PANEL_WORDS, 32));
-            prog.extend(panel_reads(TAG_B, row0, self.row_words(), col0, PANEL_WORDS, 32));
+            prog.extend(panel_reads(
+                TAG_A,
+                row0,
+                self.row_words(),
+                col0,
+                PANEL_WORDS,
+                32,
+            ));
+            prog.extend(panel_reads(
+                TAG_B,
+                row0,
+                self.row_words(),
+                col0,
+                PANEL_WORDS,
+                32,
+            ));
             prog.push(Op::Compute(10));
             let _ = pass;
         }

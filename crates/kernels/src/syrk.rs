@@ -85,7 +85,14 @@ impl KernelSpec for Syrk {
         // A walked twice (A and A-transpose contributions of the rank-k
         // update read the same row panel).
         for pass in 0..2 {
-            prog.extend(panel_reads(TAG_A, row0, self.row_words(), col0, PANEL_WORDS, 32));
+            prog.extend(panel_reads(
+                TAG_A,
+                row0,
+                self.row_words(),
+                col0,
+                PANEL_WORDS,
+                32,
+            ));
             prog.push(Op::Compute(8));
             let _ = pass;
         }

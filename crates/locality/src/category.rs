@@ -127,7 +127,10 @@ impl CategoryProfiler {
     ///
     /// Panics unless `line_bytes` is a power of two.
     pub fn with_line_bytes(line_bytes: u64) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         CategoryProfiler {
             line_bytes,
             words: HashMap::new(),
@@ -404,7 +407,9 @@ mod tests {
         let mut p = CategoryProfiler::new();
         // Divergent gathers with accidental cross-CTA sharing.
         for cta in 0..8u64 {
-            let addrs: Vec<u64> = (0..32u64).map(|l| ((l * 2654435761 + cta * 97) % 64) * 512).collect();
+            let addrs: Vec<u64> = (0..32u64)
+                .map(|l| ((l * 2654435761 + cta * 97) % 64) * 512)
+                .collect();
             feed(&mut p, cta, 0, &addrs, false);
         }
         assert_eq!(p.classify(), Category::Data);

@@ -27,10 +27,12 @@
 
 mod category;
 mod distance;
+mod feed;
 mod profiler;
 mod tags;
 
 pub use category::{classify, Category, CategoryProfiler, Signature};
 pub use distance::ReuseDistance;
+pub use feed::StaticFeed;
 pub use profiler::{ReuseProfiler, ReuseScope, ReuseSummary};
 pub use tags::{TagReuseProfiler, TagSummary};

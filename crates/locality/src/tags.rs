@@ -79,7 +79,9 @@ impl TagReuseProfiler {
         let mut v: Vec<ArrayTag> = self
             .tags
             .iter()
-            .filter(|(_, s)| s.accesses >= min_accesses && (s.reuses as f64) < 0.02 * s.accesses as f64)
+            .filter(|(_, s)| {
+                s.accesses >= min_accesses && (s.reuses as f64) < 0.02 * s.accesses as f64
+            })
             .map(|(&t, _)| t)
             .collect();
         v.sort_unstable();
@@ -137,8 +139,20 @@ mod tests {
     fn separates_streaming_from_reused_tags() {
         let mut p = TagReuseProfiler::new();
         for cta in 0..4u64 {
-            feed(&mut p, 0, cta, &(0..32).map(|l| cta * 128 + l * 4).collect::<Vec<_>>(), false);
-            feed(&mut p, 1, cta, &(0..32).map(|l| l * 4).collect::<Vec<_>>(), false);
+            feed(
+                &mut p,
+                0,
+                cta,
+                &(0..32).map(|l| cta * 128 + l * 4).collect::<Vec<_>>(),
+                false,
+            );
+            feed(
+                &mut p,
+                1,
+                cta,
+                &(0..32).map(|l| l * 4).collect::<Vec<_>>(),
+                false,
+            );
         }
         assert_eq!(p.summary(0).reuses, 0);
         assert_eq!(p.summary(1).reuses, 96);

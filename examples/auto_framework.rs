@@ -40,7 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             analysis.category.to_string(),
             plan.axis.to_string(),
             plan.exploit_locality,
-            plan.active_agents.map_or("max".to_string(), |a| a.to_string()),
+            plan.active_agents
+                .map_or("max".to_string(), |a| a.to_string()),
             stats.speedup_vs(&baseline),
             100.0 * stats.l2_txns_vs(&baseline),
         );

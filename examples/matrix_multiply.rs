@@ -34,8 +34,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mm = MatrixMul::new(10, 10, 10);
     let partition = || Partition::y(mm.launch().grid, cfg.num_sms as u64).expect("valid");
 
-    println!("== Redirection vs agents under three GigaThread models ({}) ==", cfg.name);
-    println!("{:<14} {:>12} {:>12} {:>12}", "scheduler", "baseline", "redirection", "agents");
+    println!(
+        "== Redirection vs agents under three GigaThread models ({}) ==",
+        cfg.name
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "scheduler", "baseline", "redirection", "agents"
+    );
     for sched_name in ["strict-rr", "hardware-like", "randomized"] {
         let make = || -> Box<dyn gpu_sim::sched::CtaScheduler> {
             match sched_name {
@@ -44,11 +50,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 _ => Box::new(Randomized::new(7)),
             }
         };
-        let base = Simulation::new(cfg.clone(), &mm).with_scheduler(make()).run()?;
+        let base = Simulation::new(cfg.clone(), &mm)
+            .with_scheduler(make())
+            .run()?;
         let rd = RedirectionKernel::new(mm.clone(), partition());
-        let rd_stats = Simulation::new(cfg.clone(), &rd).with_scheduler(make()).run()?;
+        let rd_stats = Simulation::new(cfg.clone(), &rd)
+            .with_scheduler(make())
+            .run()?;
         let agents = AgentKernel::with_partition(mm.clone(), &cfg, partition())?;
-        let ag_stats = Simulation::new(cfg.clone(), &agents).with_scheduler(make()).run()?;
+        let ag_stats = Simulation::new(cfg.clone(), &agents)
+            .with_scheduler(make())
+            .run()?;
         println!(
             "{:<14} {:>11}c {:>11.2}x {:>11.2}x",
             sched_name,

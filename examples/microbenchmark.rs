@@ -5,12 +5,13 @@
 //! Run with: `cargo run --release --example microbenchmark`
 
 use cluster_bench::fig2;
+use cta_clustering::ClusterError;
 
-fn main() {
+fn main() -> Result<(), ClusterError> {
     println!("Listing 3 microbenchmark: inter-CTA reuse on L1 (paper Figure 2)");
     println!();
     for cfg in gpu_sim::arch::all_presets() {
-        let (default, staggered) = fig2::run_gpu(&cfg);
+        let (default, staggered) = fig2::run_gpu(&cfg)?;
         println!(
             "{:<10} default:   {:>3}/{:<3} CTAs at L1 plateau, {:>2} slow (temporal reuse)",
             cfg.name,
@@ -37,4 +38,5 @@ fn main() {
     }
     println!("only (part of) the first turnaround pays DRAM latency; later CTAs");
     println!("on the same SM hit in L1 — inter-CTA locality is harvestable there.");
+    Ok(())
 }

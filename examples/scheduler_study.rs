@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("CTA placement under three GigaThread models ({})", cfg.name);
     println!();
     for (name, mut sched) in [
-        ("strict-rr", Box::new(StrictRoundRobin::new()) as Box<dyn CtaScheduler>),
+        (
+            "strict-rr",
+            Box::new(StrictRoundRobin::new()) as Box<dyn CtaScheduler>,
+        ),
         ("hardware-like", Box::new(HardwareLike::new(11))),
         ("randomized (GTX750Ti)", Box::new(Randomized::new(11))),
     ] {

@@ -10,7 +10,7 @@ use gpu_sim::{arch, Simulation};
 fn observation1_temporal_locality_on_every_arch() {
     // Figure 2-(A): subsequent turnarounds hit L1 on all four platforms.
     for cfg in arch::all_presets() {
-        let (default, _) = fig2::run_gpu(&cfg);
+        let (default, _) = fig2::run_gpu(&cfg).unwrap();
         let total = default.series.len();
         assert!(
             default.l1_class() * 2 >= total,
@@ -41,7 +41,7 @@ fn observation2_spatial_locality_with_staggering() {
     // Figure 2-(B): de-aligned concurrent CTAs still reuse the line the
     // first one fetched.
     for cfg in arch::all_presets() {
-        let (_, staggered) = fig2::run_gpu(&cfg);
+        let (_, staggered) = fig2::run_gpu(&cfg).unwrap();
         assert!(
             staggered.slow_class() <= staggered.series.len() / 4,
             "{}: {} slow of {}",
@@ -65,7 +65,10 @@ fn observation3_workload_distribution_is_imbalanced() {
     assert_eq!(stats.ctas_per_sm.iter().sum::<u64>(), 240);
     let min = *stats.ctas_per_sm.iter().min().unwrap();
     let max = *stats.ctas_per_sm.iter().max().unwrap();
-    assert!(max > min, "hardware-like scheduler must imbalance: {min}..{max}");
+    assert!(
+        max > min,
+        "hardware-like scheduler must imbalance: {min}..{max}"
+    );
 }
 
 #[test]
@@ -88,7 +91,10 @@ fn observation3_first_wave_depends_on_scheduler_model() {
     let matches = (0..cfg.num_sms as u64)
         .filter(|&c| rnd.sm_of(c) == Some(c as usize % cfg.num_sms))
         .count();
-    assert!(matches < cfg.num_sms, "randomized must break u % M placement");
+    assert!(
+        matches < cfg.num_sms,
+        "randomized must break u % M placement"
+    );
 }
 
 #[test]
@@ -100,5 +106,8 @@ fn gtx750ti_preset_runs_the_microbenchmark() {
         .with_scheduler(Box::new(Randomized::new(50)))
         .run()
         .unwrap();
-    assert_eq!(stats.placements.len(), (cfg.num_sms as u32 * cfg.cta_slots * 2) as usize);
+    assert_eq!(
+        stats.placements.len(),
+        (cfg.num_sms as u32 * cfg.cta_slots * 2) as usize
+    );
 }

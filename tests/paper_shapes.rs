@@ -49,7 +49,10 @@ fn cache_line_sharing_vanishes_on_short_line_archs() {
 
 #[test]
 fn algorithm_app_gains_on_both_generations() {
-    for (cfg, arch_gen) in [(arch::gtx570(), ArchGen::Fermi), (arch::gtx980(), ArchGen::Maxwell)] {
+    for (cfg, arch_gen) in [
+        (arch::gtx570(), ArchGen::Fermi),
+        (arch::gtx980(), ArchGen::Maxwell),
+    ] {
         let w = suite::by_abbr("NN", arch_gen).unwrap();
         let eval = evaluate_app(&cfg, w);
         assert!(

@@ -98,7 +98,12 @@ impl Bencher {
         ns.sort_unstable();
         let median = ns[ns.len() / 2];
         let (min, max) = (ns[0], ns[ns.len() - 1]);
-        println!("{id:<44} time: [{} {} {}]", fmt_ns(min), fmt_ns(median), fmt_ns(max));
+        println!(
+            "{id:<44} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max)
+        );
     }
 }
 
@@ -152,7 +157,8 @@ impl<'c> BenchmarkGroup<'c> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = format!("{}/{}", self.name, id.into().id);
-        self.criterion.run_one(&id, self.sample_size, &mut |b| f(b, input));
+        self.criterion
+            .run_one(&id, self.sample_size, &mut |b| f(b, input));
         self
     }
 

@@ -265,7 +265,10 @@ macro_rules! prop_assert_eq {
         if !(l == r) {
             return ::std::result::Result::Err(::std::format!(
                 "assertion failed: {} == {} (left: {:?}, right: {:?})",
-                stringify!($left), stringify!($right), l, r
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
             ));
         }
     }};
