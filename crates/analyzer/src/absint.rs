@@ -1,0 +1,640 @@
+//! Abstract interpretation of the partition/binding arithmetic.
+//!
+//! The transform passes ([`crate::transform`]) check partition
+//! invariants *concretely*, on the grids the suite launches. This pass
+//! proves the same algebra **symbolically over the whole u64 domain**:
+//! for every grid size `|V| ≤ u64::MAX` and cluster count `M`, the
+//! chunked partitioning of Eqs. 4–5 and its Eq. 7 inversion compose to
+//! the identity in both directions (`CL120` when unprovable), and every
+//! intermediate of the shipped code fits its machine type (`CL121`).
+//!
+//! # The domain
+//!
+//! Values are multivariate polynomials with integer coefficients over
+//! **nonnegative integer atoms**. Each branch of
+//! [`Partition::assign`](cta_clustering::Partition::assign) /
+//! [`Partition::invert`](cta_clustering::Partition::invert) gets a
+//! *branch context* that defines every constrained quantity from a set
+//! of free atoms using Euclid quotient–remainder decomposition plus
+//! fresh slack atoms for strict bounds — e.g. branch C (the tail
+//! clusters) uses free atoms `{wC, dq, iC, r, dM}` with
+//!
+//! ```text
+//! q := wC + 1 + dq          (the remainder wC is < the divisor q)
+//! M := r + iC + 1 + dM      (the quotient iC is ≤ M - r - 1)
+//! off := iC·q + wC          (quotient–remainder form of the offset)
+//! o := r·(q+1) + off        (the branch guard o ≥ boundary)
+//! V := M·q + r              (Euclid on |V| and M)
+//! ```
+//!
+//! Every concrete execution of the branch corresponds to some
+//! assignment of the free atoms, so a proof over the atoms covers the
+//! full u64 domain. Three judgment forms close the obligations:
+//!
+//! * **Zero** — the polynomial normalizes to 0 (identities),
+//! * **Nonneg** — every coefficient is ≥ 0, hence the value is ≥ 0 for
+//!   all atom assignments (ranges, branch guards, cast losslessness),
+//! * **Negative** — every coefficient ≤ 0 with a negative constant
+//!   term, hence the value is < 0 everywhere (dead-branch proofs: the
+//!   `small == 0` arm of `assign` contradicts `o < |V|`).
+//!
+//! The judgments are sufficient, not complete — but they discharge
+//! every obligation of the hardened arithmetic, and they *fail* on the
+//! two seeded regressions [`ArithModel`] can re-introduce: dropping the
+//! Eq. 7 `min` correction (caught as a nonzero identity residual,
+//! `CL120`) and evaluating the inversion intermediate in u64 (caught as
+//! an unboundable intermediate, `CL121`, which is why the shipped code
+//! widens to u128).
+
+use crate::diag::{Lint, Report, BINDING_IDENTITY_UNPROVEN, BINDING_OVERFLOW};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A monomial: sorted `(atom, power)` pairs; empty = the constant term.
+type Monomial = Vec<(&'static str, u32)>;
+
+/// A multivariate polynomial with integer coefficients over
+/// nonnegative integer atoms.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct Poly(BTreeMap<Monomial, i64>);
+
+/// The polynomial `k`.
+fn c(k: i64) -> Poly {
+    let mut p = Poly::default();
+    if k != 0 {
+        p.0.insert(Vec::new(), k);
+    }
+    p
+}
+
+/// The polynomial consisting of one atom.
+fn v(name: &'static str) -> Poly {
+    let mut p = Poly::default();
+    p.0.insert(vec![(name, 1)], 1);
+    p
+}
+
+impl Poly {
+    fn insert(&mut self, mono: Monomial, coef: i64) {
+        if coef == 0 {
+            return;
+        }
+        let e = self.0.entry(mono.clone()).or_insert(0);
+        *e += coef;
+        if *e == 0 {
+            self.0.remove(&mono);
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// All coefficients ≥ 0 ⇒ the value is ≥ 0 for every assignment of
+    /// the (nonnegative) atoms.
+    fn is_nonneg(&self) -> bool {
+        self.0.values().all(|&c| c >= 0)
+    }
+
+    /// Constant term < 0 and every coefficient ≤ 0 ⇒ the value is < 0
+    /// everywhere.
+    fn is_negative(&self) -> bool {
+        self.0.get(&Vec::new()).copied().unwrap_or(0) < 0 && self.0.values().all(|&c| c <= 0)
+    }
+
+    /// Substitutes `rep` for every occurrence of atom `name`.
+    fn subst(&self, name: &str, rep: &Poly) -> Poly {
+        let mut out = Poly::default();
+        for (mono, &coef) in &self.0 {
+            let power = mono
+                .iter()
+                .find(|(a, _)| *a == name)
+                .map(|&(_, p)| p)
+                .unwrap_or(0);
+            let rest: Monomial = mono.iter().filter(|(a, _)| *a != name).copied().collect();
+            let mut term = Poly::default();
+            term.insert(rest, coef);
+            for _ in 0..power {
+                term = term * rep.clone();
+            }
+            for (m, c) in term.0 {
+                out.insert(m, c);
+            }
+        }
+        out
+    }
+}
+
+impl Add for Poly {
+    type Output = Poly;
+    fn add(self, rhs: Poly) -> Poly {
+        let mut out = self;
+        for (m, c) in rhs.0 {
+            out.insert(m, c);
+        }
+        out
+    }
+}
+
+impl Sub for Poly {
+    type Output = Poly;
+    fn sub(self, rhs: Poly) -> Poly {
+        let mut out = self;
+        for (m, c) in rhs.0 {
+            out.insert(m, -c);
+        }
+        out
+    }
+}
+
+impl Mul for Poly {
+    type Output = Poly;
+    fn mul(self, rhs: Poly) -> Poly {
+        let mut out = Poly::default();
+        for (ma, &ca) in &self.0 {
+            for (mb, &cb) in &rhs.0 {
+                let mut mono: BTreeMap<&'static str, u32> = ma.iter().copied().collect();
+                for &(a, p) in mb {
+                    *mono.entry(a).or_insert(0) += p;
+                }
+                out.insert(mono.into_iter().collect(), ca * cb);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return f.write_str("0");
+        }
+        for (n, (mono, coef)) in self.0.iter().enumerate() {
+            let mag = coef.abs();
+            if n == 0 {
+                if *coef < 0 {
+                    f.write_str("-")?;
+                }
+            } else if *coef < 0 {
+                f.write_str(" - ")?;
+            } else {
+                f.write_str(" + ")?;
+            }
+            let mut wrote = false;
+            if mag != 1 || mono.is_empty() {
+                write!(f, "{mag}")?;
+                wrote = true;
+            }
+            for &(a, p) in mono {
+                if wrote {
+                    f.write_str("*")?;
+                }
+                f.write_str(a)?;
+                if p > 1 {
+                    write!(f, "^{p}")?;
+                }
+                wrote = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A branch context: definitions of constrained atoms over free atoms.
+/// Definitions are resolved at insertion, so every stored definition —
+/// and hence every [`Ctx::resolve`] result — mentions free atoms only.
+#[derive(Debug, Default)]
+struct Ctx {
+    defs: Vec<(&'static str, Poly)>,
+}
+
+impl Ctx {
+    fn define(&mut self, name: &'static str, p: Poly) {
+        let resolved = self.resolve(p);
+        self.defs.push((name, resolved));
+    }
+
+    fn resolve(&self, p: Poly) -> Poly {
+        let mut out = p;
+        for (name, def) in &self.defs {
+            out = out.subst(name, def);
+        }
+        out
+    }
+}
+
+/// Judgment form an obligation is closed under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Goal {
+    /// The polynomial must normalize to zero.
+    Zero,
+    /// Every coefficient must be ≥ 0.
+    Nonneg,
+    /// Every coefficient ≤ 0 with a negative constant term.
+    Negative,
+}
+
+struct Obligation {
+    name: String,
+    lint: &'static Lint,
+    goal: Goal,
+    poly: Poly,
+}
+
+/// Resolves `p` in `cx` and appends it as an obligation.
+fn ob(out: &mut Vec<Obligation>, cx: &Ctx, name: String, lint: &'static Lint, goal: Goal, p: Poly) {
+    out.push(Obligation {
+        name,
+        lint,
+        goal,
+        poly: cx.resolve(p),
+    });
+}
+
+/// Which arithmetic the pass verifies: the shipped code, or one of the
+/// seeded regressions the negative-path tests (and fixtures) use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArithModel {
+    /// The shipped arithmetic: Eq. 7 with the `min` correction,
+    /// inversion intermediates widened to u128.
+    #[default]
+    Hardened,
+    /// Eq. 7 without the `min(|V|%M − i, 0)` correction — the naive
+    /// reading of the paper's formula. Breaks inversion for tail
+    /// clusters (`CL120`).
+    UncorrectedInversion,
+    /// The inversion intermediate `i·(|V|/M + 1) + w` evaluated in u64 —
+    /// the pre-hardening code. Overflows near the top of the domain
+    /// (`CL121`), which is why the shipped code widens to u128.
+    NarrowIntermediate,
+}
+
+/// One obligation the engine could not discharge.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Obligation name (branch and property).
+    pub obligation: String,
+    /// Stable code of the lint the failure reports under.
+    pub code: &'static str,
+    /// The residual polynomial that blocked the judgment.
+    pub residual: String,
+}
+
+/// Result of one verification run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Names of discharged obligations, in order.
+    pub proved: Vec<String>,
+    /// Obligations that could not be discharged.
+    pub failures: Vec<Failure>,
+}
+
+/// Branch A of `assign`: head clusters, `o < boundary`. Free atoms
+/// `{wA, dq, iA, dr, dM}`; position `o = iA·(q+1) + wA` with `wA ≤ q`
+/// and `iA < r`.
+fn branch_a(model: ArithModel, out: &mut Vec<Obligation>) {
+    let mut cx = Ctx::default();
+    cx.define("r", v("iA") + c(1) + v("dr"));
+    cx.define("M", v("r") + c(1) + v("dM"));
+    cx.define("q", v("wA") + v("dq"));
+    cx.define("V", v("M") * v("q") + v("r"));
+    cx.define("boundary", v("r") * (v("q") + c(1)));
+    cx.define("o", v("iA") * (v("q") + c(1)) + v("wA"));
+    // i = iA < r: the saturating subtraction's zero arm (every model
+    // agrees here — the correction term is 0).
+    cx.define("o_inv", v("iA") * (v("q") + c(1)) + v("wA"));
+
+    ob(
+        out,
+        &cx,
+        "assign:A/inverse identity f⁻¹(f(o)) = o".into(),
+        &BINDING_IDENTITY_UNPROVEN,
+        Goal::Zero,
+        v("o_inv") - v("o"),
+    );
+    ob(
+        out,
+        &cx,
+        "assign:A/saturating-sub zero arm: i < |V|%M".into(),
+        &BINDING_IDENTITY_UNPROVEN,
+        Goal::Nonneg,
+        v("r") - c(1) - v("iA"),
+    );
+    ob(
+        out,
+        &cx,
+        "assign:A/forward identity: f⁻¹ image lands back in branch A".into(),
+        &BINDING_IDENTITY_UNPROVEN,
+        Goal::Nonneg,
+        v("boundary") - c(1) - v("o"),
+    );
+    ob(
+        out,
+        &cx,
+        "assign:A/position in range: o < |V|".into(),
+        &BINDING_OVERFLOW,
+        Goal::Nonneg,
+        v("V") - c(1) - v("o"),
+    );
+    ob(
+        out,
+        &cx,
+        "assign:A/cluster coordinate in range: w ≤ |V|/M".into(),
+        &BINDING_OVERFLOW,
+        Goal::Nonneg,
+        v("q") - v("wA"),
+    );
+    if model == ArithModel::Hardened {
+        ob(
+            out,
+            &cx,
+            "assign:A/inversion result fits u64: f⁻¹(w,i) < |V|".into(),
+            &BINDING_OVERFLOW,
+            Goal::Nonneg,
+            v("V") - c(1) - v("o_inv"),
+        );
+    }
+}
+
+/// Branch C of `assign`: tail clusters, `o ≥ boundary` with
+/// `|V|/M ≥ 1`. Free atoms `{wC, dq, iC, r, dM}`; the offset past the
+/// boundary is `off = iC·q + wC` with `wC < q` and `iC ≤ M - r - 1`.
+fn branch_c(model: ArithModel, out: &mut Vec<Obligation>) {
+    let mut cx = Ctx::default();
+    cx.define("q", v("wC") + c(1) + v("dq"));
+    cx.define("M", v("r") + v("iC") + c(1) + v("dM"));
+    cx.define("V", v("M") * v("q") + v("r"));
+    cx.define("boundary", v("r") * (v("q") + c(1)));
+    cx.define("off", v("iC") * v("q") + v("wC"));
+    cx.define("o", v("boundary") + v("off"));
+    cx.define("i", v("r") + v("iC"));
+    // Eq. 7 with i ≥ r: correction subtracts i − r — unless the model
+    // drops it.
+    let correction = match model {
+        ArithModel::UncorrectedInversion => c(0),
+        _ => v("i") - v("r"),
+    };
+    cx.define("o_inv", v("i") * (v("q") + c(1)) + v("wC") - correction);
+
+    ob(
+        out,
+        &cx,
+        "assign:C/inverse identity f⁻¹(f(o)) = o".into(),
+        &BINDING_IDENTITY_UNPROVEN,
+        Goal::Zero,
+        v("o_inv") - v("o"),
+    );
+    ob(
+        out,
+        &cx,
+        "assign:C/saturating-sub live arm: i ≥ |V|%M".into(),
+        &BINDING_IDENTITY_UNPROVEN,
+        Goal::Nonneg,
+        v("i") - v("r"),
+    );
+    ob(
+        out,
+        &cx,
+        "assign:C/forward identity: f⁻¹ image lands back in branch C".into(),
+        &BINDING_IDENTITY_UNPROVEN,
+        Goal::Nonneg,
+        v("o") - v("boundary"),
+    );
+    ob(
+        out,
+        &cx,
+        "assign:C/cluster index in range: i < M".into(),
+        &BINDING_OVERFLOW,
+        Goal::Nonneg,
+        v("M") - c(1) - v("i"),
+    );
+    ob(
+        out,
+        &cx,
+        "assign:C/position in range: o < |V|".into(),
+        &BINDING_OVERFLOW,
+        Goal::Nonneg,
+        v("V") - c(1) - v("o"),
+    );
+    ob(
+        out,
+        &cx,
+        "assign:C/boundary cast lossless: boundary ≤ |V|".into(),
+        &BINDING_OVERFLOW,
+        Goal::Nonneg,
+        v("V") - v("boundary"),
+    );
+    if model == ArithModel::NarrowIntermediate {
+        // u64::MAX modeled as V + dU (any value ≥ |V|): the u64
+        // intermediate i·(q+1) + w must stay under it — it does not.
+        cx.define("U", v("V") + v("dU"));
+        ob(
+            out,
+            &cx,
+            "assign:C/u64 inversion intermediate i*(q+1)+w fits u64".into(),
+            &BINDING_OVERFLOW,
+            Goal::Nonneg,
+            v("U") - (v("i") * (v("q") + c(1)) + v("wC")),
+        );
+    } else {
+        ob(
+            out,
+            &cx,
+            "assign:C/inversion result fits u64: f⁻¹(w,i) < |V|".into(),
+            &BINDING_OVERFLOW,
+            Goal::Nonneg,
+            v("V") - c(1) - v("o_inv"),
+        );
+    }
+}
+
+/// Branch B of `assign` (`o ≥ boundary` with `|V|/M = 0`): provably
+/// unreachable. With `q = 0`, Euclid gives `V = r` and the boundary is
+/// `r·1 = V`, so the guard `o ≥ boundary` contradicts `o < |V|`.
+fn branch_b_dead(out: &mut Vec<Obligation>) {
+    let mut cx = Ctx::default();
+    cx.define("q", c(0));
+    cx.define("M", v("r") + c(1) + v("dM"));
+    cx.define("V", v("M") * v("q") + v("r"));
+    cx.define("boundary", v("r") * (v("q") + c(1)));
+    cx.define("o", v("boundary") + v("s"));
+    out.push(Obligation {
+        name: "assign:B/branch is dead: guard contradicts o < |V|".into(),
+        lint: &BINDING_IDENTITY_UNPROVEN,
+        goal: Goal::Negative,
+        poly: cx.resolve(v("V") - c(1) - v("o")),
+    });
+}
+
+/// RR-binding (Eq. 8): `u = w·M + i` is the quotient–remainder form of
+/// `u` by `M`, so binding and unbinding compose to the identity and the
+/// recomposition equals a value that already fit u64.
+fn rr(out: &mut Vec<Obligation>) {
+    let mut cx = Ctx::default();
+    cx.define("m", v("i") + c(1) + v("dm"));
+    cx.define("u", v("w") * v("m") + v("i"));
+    ob(
+        out,
+        &cx,
+        "rr/unbind(bind(u)) = u".into(),
+        &BINDING_IDENTITY_UNPROVEN,
+        Goal::Zero,
+        (v("w") * v("m") + v("i")) - v("u"),
+    );
+    ob(
+        out,
+        &cx,
+        "rr/remainder in range: i < m".into(),
+        &BINDING_IDENTITY_UNPROVEN,
+        Goal::Nonneg,
+        v("m") - c(1) - v("i"),
+    );
+    ob(
+        out,
+        &cx,
+        "rr/recomposition fits u64: w*m + i = u".into(),
+        &BINDING_OVERFLOW,
+        Goal::Zero,
+        (v("w") * v("m") + v("i")) - v("u"),
+    );
+}
+
+/// Verifies the binding arithmetic under `model`, returning every
+/// discharged obligation and every failure.
+pub fn verify(model: ArithModel) -> Outcome {
+    let mut obligations = Vec::new();
+    branch_a(model, &mut obligations);
+    branch_b_dead(&mut obligations);
+    branch_c(model, &mut obligations);
+    rr(&mut obligations);
+
+    let mut out = Outcome {
+        proved: Vec::new(),
+        failures: Vec::new(),
+    };
+    for ob in obligations {
+        let ok = match ob.goal {
+            Goal::Zero => ob.poly.is_zero(),
+            Goal::Nonneg => ob.poly.is_nonneg(),
+            Goal::Negative => ob.poly.is_negative(),
+        };
+        if ok {
+            out.proved.push(ob.name);
+        } else {
+            out.failures.push(Failure {
+                obligation: ob.name,
+                code: ob.lint.code,
+                residual: ob.poly.to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Runs the hardened-arithmetic proof and reports any undischarged
+/// obligation (none expected) into `report`.
+pub fn check(report: &mut Report) {
+    // One subject per verified unit: the three assign branches and rr.
+    for _ in 0..4 {
+        report.note_subject();
+    }
+    let outcome = verify(ArithModel::Hardened);
+    for f in outcome.failures {
+        let lint = crate::diag::lint_by_code(f.code).expect("failure carries a declared lint");
+        report.emit(
+            lint,
+            "binding-arithmetic",
+            format!("{}: residual {}", f.obligation, f.residual),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polynomial_normalization() {
+        let p = (v("a") + v("b")) * (v("a") - v("b"));
+        assert_eq!(p, v("a") * v("a") - v("b") * v("b"));
+        assert!((p.clone() - p).is_zero());
+        assert_eq!((v("a") * c(2) + c(3) - v("b")).to_string(), "3 + 2*a - b");
+    }
+
+    #[test]
+    fn substitution_expands_powers() {
+        let p = v("x") * v("x") + v("x");
+        let q = p.subst("x", &(v("y") + c(1)));
+        // (y+1)^2 + (y+1) = y^2 + 3y + 2
+        assert_eq!(q, v("y") * v("y") + c(3) * v("y") + c(2));
+    }
+
+    #[test]
+    fn hardened_arithmetic_is_fully_proved() {
+        let out = verify(ArithModel::Hardened);
+        assert!(out.failures.is_empty(), "undischarged: {:?}", out.failures);
+        assert!(out.proved.len() >= 15, "{:?}", out.proved);
+        assert!(out.proved.iter().any(|n| n.contains("branch is dead")));
+    }
+
+    #[test]
+    fn uncorrected_inversion_fails_the_identity() {
+        let out = verify(ArithModel::UncorrectedInversion);
+        // The identity breaks, and as a consequence the uncorrected
+        // result also escapes the u64 position range.
+        let f = out
+            .failures
+            .iter()
+            .find(|f| f.code == "CL120")
+            .expect("identity must be unprovable");
+        assert!(f.obligation.contains("assign:C"), "{}", f.obligation);
+        // The residual is exactly the dropped correction, i − r = iC.
+        assert_eq!(f.residual, "iC");
+        assert!(
+            out.failures
+                .iter()
+                .all(|f| f.obligation.contains("assign:C")),
+            "{:?}",
+            out.failures
+        );
+    }
+
+    #[test]
+    fn narrow_intermediate_fails_the_u64_bound() {
+        let out = verify(ArithModel::NarrowIntermediate);
+        assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
+        let f = &out.failures[0];
+        assert_eq!(f.code, "CL121");
+        assert!(f.obligation.contains("intermediate"), "{}", f.obligation);
+        // The counterexample direction: the residual goes negative as
+        // iC grows — precisely the overflow the u128 widening removes.
+        assert!(f.residual.contains("- iC"), "{}", f.residual);
+    }
+
+    #[test]
+    fn check_is_clean_and_counts_subjects() {
+        let mut r = Report::new();
+        check(&mut r);
+        assert_eq!(r.deny_count(), 0, "{}", r.render_human());
+        assert_eq!(r.subjects_checked(), 4);
+    }
+
+    /// The symbolic branch contexts agree with the concrete partition on
+    /// grids at the top of the u64 domain — the region the proptests in
+    /// `tests/properties.rs` sample and no concrete sweep could cover.
+    #[test]
+    fn symbolic_proof_matches_concrete_extremes() {
+        use cta_clustering::Partition;
+        use gpu_sim::Dim3;
+        let grid = Dim3::plane(u32::MAX, u32::MAX);
+        let total = grid.count();
+        for m in [1, 2, (total / 2) + 1, total - 1, total] {
+            let p = Partition::y(grid, m).unwrap();
+            for v in [0, 1, total / 2, total - 2, total - 1] {
+                let (w, i) = p.assign(v);
+                assert_eq!(p.invert(w, i), v, "M={m} v={v}");
+            }
+        }
+    }
+}

@@ -1,20 +1,30 @@
 //! `analyze`: sweep the static analysis over the full Figure 3 suite on
-//! every architecture preset and report findings.
+//! every architecture preset and report findings. The sweep includes the
+//! concurrency verifier: happens-before race checking inside the
+//! per-workload passes, bounded model checking of the binding protocol
+//! per preset, and the symbolic proof of the binding arithmetic.
 //!
 //! ```text
 //! cargo run --release -p cta-analyzer --bin analyze [-- OPTIONS]
 //!
-//!   --json           emit the machine-readable report instead of text
-//!   --arch NAME      only sweep presets whose name contains NAME
-//!   --app ABBR       only analyze the workload with this abbreviation
-//!   --list-lints     print the lint registry and exit
+//!   --json             emit the machine-readable report instead of text
+//!   --arch NAME        only sweep presets whose name contains NAME
+//!   --app ABBR         only analyze the workload with this abbreviation
+//!   --filter SUBSTR    only analyze workloads whose abbreviation
+//!                      contains SUBSTR (case-insensitive)
+//!   --threads N        worker threads (default 4); the report is
+//!                      byte-identical for every N
+//!   --verify-protocol  run only the protocol model checker and the
+//!                      binding-arithmetic proof (the concurrency gate)
+//!   --list-lints       print the lint registry and exit
 //! ```
 //!
-//! Exits with status 1 on any deny-level finding (the CI gate), 2 on
-//! usage errors.
+//! Exit status: **0** when the sweep is clean or carries only warnings,
+//! **1** on any deny-level finding (the CI gate), **2** on usage or
+//! internal errors (bad flags, no matching preset, a worker panic).
 
 use cta_analyzer::diag::Report;
-use cta_analyzer::{analyze_workload, render_json, LINTS};
+use cta_analyzer::{absint, analyze_workload, modelcheck, render_json, LINTS};
 use gpu_sim::{arch, GpuConfig};
 use std::process::ExitCode;
 
@@ -22,6 +32,9 @@ struct Options {
     json: bool,
     arch_filter: Vec<String>,
     app_filter: Vec<String>,
+    app_substr: Vec<String>,
+    threads: usize,
+    verify_protocol: bool,
     list_lints: bool,
 }
 
@@ -30,6 +43,9 @@ fn parse_args() -> Result<Options, String> {
         json: false,
         arch_filter: Vec::new(),
         app_filter: Vec::new(),
+        app_substr: Vec::new(),
+        threads: 4,
+        verify_protocol: false,
         list_lints: false,
     };
     let mut args = std::env::args().skip(1);
@@ -37,6 +53,7 @@ fn parse_args() -> Result<Options, String> {
         match a.as_str() {
             "--json" => opts.json = true,
             "--list-lints" => opts.list_lints = true,
+            "--verify-protocol" => opts.verify_protocol = true,
             "--arch" => {
                 let v = args.next().ok_or("--arch needs a value")?;
                 opts.arch_filter.push(v.to_lowercase());
@@ -45,20 +62,50 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--app needs a value")?;
                 opts.app_filter.push(v.to_uppercase());
             }
+            "--filter" => {
+                let v = args.next().ok_or("--filter needs a value")?;
+                opts.app_substr.push(v.to_uppercase());
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                opts.threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads: `{v}` is not a number"))?;
+                if opts.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
     Ok(opts)
 }
 
-/// Analyzes one preset's share of the sweep into a fresh report.
-fn analyze_preset(cfg: &GpuConfig, app_filter: &[String]) -> Report {
+/// One unit of sweep work. Jobs are executed in parallel but merged in
+/// job order, so the report is independent of the thread count.
+enum Job {
+    /// All pass families over one workload (by Figure 3 suite position)
+    /// on one preset.
+    Workload { preset: usize, index: usize },
+    /// Bounded model checking of the binding protocol on one preset.
+    Protocol { preset: usize },
+    /// Symbolic proof of the partition/binding arithmetic (global).
+    Arithmetic,
+}
+
+fn run_job(job: &Job, presets: &[GpuConfig]) -> Report {
     let mut report = Report::new();
-    for w in gpu_kernels::suite::fig3_suite(cfg.arch) {
-        if !app_filter.is_empty() && !app_filter.iter().any(|a| a == w.info().abbr) {
-            continue;
+    match job {
+        Job::Workload { preset, index } => {
+            let cfg = &presets[*preset];
+            let w = gpu_kernels::suite::fig3_suite(cfg.arch)
+                .into_iter()
+                .nth(*index)
+                .expect("job was built from the suite listing");
+            analyze_workload(w, cfg, &mut report);
         }
-        analyze_workload(w, cfg, &mut report);
+        Job::Protocol { preset } => modelcheck::check_arch(&presets[*preset], &mut report),
+        Job::Arithmetic => absint::check(&mut report),
     }
     report
 }
@@ -97,20 +144,75 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    // One worker per preset; merge in preset order so the report (and its
-    // JSON rendering) is deterministic regardless of finish order.
-    let reports: Vec<Report> = std::thread::scope(|scope| {
-        let handles: Vec<_> = presets
-            .iter()
-            .map(|cfg| scope.spawn(|| analyze_preset(cfg, &opts.app_filter)))
+    let keep = |abbr: &str| {
+        let upper = abbr.to_uppercase();
+        (opts.app_filter.is_empty() || opts.app_filter.contains(&upper))
+            && (opts.app_substr.is_empty() || opts.app_substr.iter().any(|s| upper.contains(s)))
+    };
+
+    let mut jobs: Vec<Job> = Vec::new();
+    for (pi, cfg) in presets.iter().enumerate() {
+        if !opts.verify_protocol {
+            for (wi, w) in gpu_kernels::suite::fig3_suite(cfg.arch)
+                .into_iter()
+                .enumerate()
+            {
+                if keep(w.info().abbr) {
+                    jobs.push(Job::Workload {
+                        preset: pi,
+                        index: wi,
+                    });
+                }
+            }
+        }
+        jobs.push(Job::Protocol { preset: pi });
+    }
+    jobs.push(Job::Arithmetic);
+
+    // Round-robin the jobs across the workers; each worker reports
+    // (job index, report) so the merge below is by job order, making
+    // the output byte-identical for any worker count. Worker panics are
+    // caught per job (`thread::scope` would otherwise re-raise them at
+    // the implicit join) and downgraded to the internal-error exit.
+    let workers = opts.threads.min(jobs.len());
+    let per_worker: Vec<Vec<(usize, Option<Report>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let jobs = &jobs;
+                let presets = &presets;
+                scope.spawn(move || {
+                    jobs.iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|(i, job)| {
+                            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                run_job(job, presets)
+                            }));
+                            (i, r.ok())
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("analysis worker panicked"))
+            .map(|h| h.join().expect("worker panics are caught per job"))
             .collect()
     });
+
+    let mut indexed: Vec<(usize, Option<Report>)> = per_worker.into_iter().flatten().collect();
+    if indexed.iter().any(|(_, r)| r.is_none()) {
+        eprintln!("analyze: internal error: an analysis worker panicked");
+        return ExitCode::from(2);
+    }
+    let mut indexed: Vec<(usize, Report)> = indexed
+        .drain(..)
+        .map(|(i, r)| (i, r.expect("checked above")))
+        .collect();
+    indexed.sort_by_key(|(i, _)| *i);
     let mut report = Report::new();
-    for r in reports {
+    for (_, r) in indexed {
         report.merge(r);
     }
 

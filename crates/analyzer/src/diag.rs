@@ -170,6 +170,53 @@ declare_lints! {
         "CL033", "plan-prefetch-on-exploitable", Deny,
         "plan enables prefetching although locality is exploitable"
     },
+    /// Two warps of one CTA conflict on a word with no ordering barrier.
+    /// Warn by default: the suite's irregular kernels (BFS visited
+    /// flags, HST bin scatters) model real benign idempotent races.
+    INTRA_CTA_RACE = {
+        "CL101", "intra-cta-race", Warn,
+        "unordered conflicting accesses to one word within a CTA"
+    },
+    /// CTAs of one launch conflict on a word with no inter-CTA ordering.
+    CROSS_CTA_CONFLICT = {
+        "CL102", "cross-cta-conflict", Warn,
+        "conflicting accesses to one word from different CTAs"
+    },
+    /// The agent counter word is touched by a non-atomic access.
+    UNSYNCED_COUNTER_ACCESS = {
+        "CL103", "unsynced-counter-access", Deny,
+        "agent counter word accessed without an atomic"
+    },
+    /// Warps of one CTA execute different barrier counts.
+    BARRIER_DIVERGENCE = {
+        "CL104", "barrier-divergence", Deny,
+        "warps of one CTA reach different numbers of barriers"
+    },
+    /// The model checker found a reachable deadlock.
+    PROTOCOL_DEADLOCK = {
+        "CL110", "protocol-deadlock", Deny,
+        "agent protocol can reach a state where no agent can step"
+    },
+    /// The model checker found a task consumed zero or multiple times.
+    PROTOCOL_EXACTLY_ONCE = {
+        "CL111", "protocol-exactly-once", Deny,
+        "agent protocol can drop or duplicate a task"
+    },
+    /// The model checker found an agent that can be starved forever.
+    PROTOCOL_STARVATION = {
+        "CL112", "protocol-starvation", Deny,
+        "an active agent can terminate without draining its task stride"
+    },
+    /// The abstract interpreter could not prove f⁻¹∘f = id.
+    BINDING_IDENTITY_UNPROVEN = {
+        "CL120", "binding-identity-unproven", Deny,
+        "symbolic proof of assign/invert identity failed"
+    },
+    /// Binding arithmetic can overflow u64 on the symbolic domain.
+    BINDING_OVERFLOW = {
+        "CL121", "binding-overflow", Deny,
+        "partition/binding arithmetic can overflow the u64 domain"
+    },
 }
 
 /// Looks a lint up by its stable code.

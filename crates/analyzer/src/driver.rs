@@ -5,7 +5,7 @@
 
 use crate::diag::{Report, THROTTLE_CLAMPED, TRANSFORM_CONSTRUCTION_FAILED};
 use crate::profile::StaticProfile;
-use crate::{ir, plan as plan_audit, transform};
+use crate::{hb, ir, plan as plan_audit, transform};
 use cluster_bench::runner::{hinted_partition, SharedKernel};
 use cta_clustering::{
     clamp_active_agents, AgentKernel, Axis, BypassKernel, Plan, RedirectionKernel,
@@ -135,8 +135,25 @@ pub fn analyze_workload(workload: Box<dyn Workload>, base_cfg: &GpuConfig, repor
         ),
     }
 
+    // Pass families 2 + 4a over the prefetching variant, fused into one
+    // walk (program generation dominates walk cost for agent kernels).
+    // The happens-before pass sees the full binding protocol here — the
+    // atomic ticket and broadcast barrier on Maxwell/Pascal presets —
+    // stacked on the inner kernel's access stream; the inserted
+    // prefetches are non-binding and invisible to it.
     let prefetching = throttled.with_prefetch(PREFETCH_DEPTH);
-    ir::check_kernel(&prefetching, &cfg, &format!("{base}/PFH+TOT"), report);
+    let mut ir_pass = ir::IrPass::new();
+    // The agent variant's write/atomic set is the inner kernel's plus the
+    // protocol's ticket counter; reads outside it cannot race.
+    let mut written = profile.written_tags().to_vec();
+    written.push(cta_clustering::protocol::COUNTER_TAG);
+    let mut hb_pass = hb::HbPass::new().with_written_tags(written);
+    gpu_sim::walk::each_warp_program_on(&prefetching, &cfg, |ctx, warp, prog| {
+        ir_pass.visit(ctx, warp, prog);
+        hb_pass.visit(ctx, warp, prog);
+    });
+    ir_pass.finish(&format!("{base}/PFH+TOT"), report);
+    hb_pass.finish(&format!("{base}/PFH+TOT"), report);
 
     // Pass family 3: audit the plan the framework stack would execute.
     let plan_category = paper_to_category(info.category, profile.category);
@@ -162,6 +179,9 @@ pub fn analyze_arch(base_cfg: &GpuConfig) -> Report {
     for w in gpu_kernels::suite::fig3_suite(base_cfg.arch) {
         analyze_workload(w, base_cfg, &mut report);
     }
+    // Pass family 4b: bounded model checking of the binding protocol
+    // under this architecture's binding mode.
+    crate::modelcheck::check_arch(base_cfg, &mut report);
     report
 }
 

@@ -10,8 +10,7 @@ use crate::diag::{
     Report, BYPASS_ON_REUSED_LINE, DUPLICATE_PREFETCH, PATHOLOGICAL_DIVERGENCE,
     PREFETCH_AFTER_LAST_USE, PREFETCH_NEVER_USED,
 };
-use gpu_sim::{walk, ArrayTag, CacheOp, GpuConfig, KernelSpec, Op};
-use std::collections::HashMap;
+use gpu_sim::{walk, ArrayTag, CacheOp, FxHashMap, GpuConfig, KernelSpec, Op};
 
 /// Reference line size (128-byte Fermi/Kepler L1 line).
 const LINE_BYTES: u64 = 128;
@@ -27,9 +26,9 @@ const DIVERGENCE_FLOOR: f64 = 2.0;
 #[derive(Debug, Default)]
 struct IrStats {
     /// Demand-read touches per (tag, line) — across the whole kernel.
-    line_touches: HashMap<(ArrayTag, u64), u32>,
+    line_touches: FxHashMap<(ArrayTag, u64), u32>,
     /// Bypassed-load touches per (tag, line).
-    bypass_touches: HashMap<(ArrayTag, u64), u32>,
+    bypass_touches: FxHashMap<(ArrayTag, u64), u32>,
     /// Prefetches with no later demand and no earlier demand either.
     prefetch_never_used: u64,
     /// Prefetches issued after the line's last demand access.
@@ -47,66 +46,72 @@ struct IrStats {
     txns: u64,
 }
 
-/// Walks `kernel` and emits the IR lints onto `report` under `subject`.
-pub fn check_kernel<K: KernelSpec + ?Sized>(
-    kernel: &K,
-    cfg: &GpuConfig,
-    subject: &str,
-    report: &mut Report,
-) {
-    report.note_subject();
-    let mut stats = IrStats::default();
+/// The streaming IR linter: feed it warp programs in walk order
+/// ([`visit`](IrPass::visit)), then [`finish`](IrPass::finish) to emit
+/// findings. The driver fuses this pass with others over one walk.
+#[derive(Debug, Default)]
+pub struct IrPass {
+    stats: IrStats,
     // Per-program scratch, recycled across warps: op-indexed event lists.
-    let mut demand_pos: HashMap<(ArrayTag, u64), Vec<usize>> = HashMap::new();
-    let mut prefetch_pos: Vec<(usize, ArrayTag, u64)> = Vec::new();
-    let mut last_prefetch: HashMap<(ArrayTag, u64), usize> = HashMap::new();
-    let mut lines_scratch: Vec<u64> = Vec::new();
+    demand_pos: FxHashMap<(ArrayTag, u64), Vec<usize>>,
+    prefetch_pos: Vec<(usize, ArrayTag, u64)>,
+    last_prefetch: FxHashMap<(ArrayTag, u64), usize>,
+    lines_scratch: Vec<u64>,
+}
 
-    walk::each_warp_program_on(kernel, cfg, |ctx, _warp, prog| {
-        demand_pos.clear();
-        prefetch_pos.clear();
+impl IrPass {
+    /// A fresh pass.
+    pub fn new() -> Self {
+        IrPass::default()
+    }
+
+    /// Feeds one warp program (walk order: CTA-major, warp-minor).
+    pub fn visit(&mut self, ctx: &gpu_sim::CtaContext, _warp: u32, prog: &gpu_sim::Program) {
+        let stats = &mut self.stats;
+        self.demand_pos.clear();
+        self.prefetch_pos.clear();
         for (idx, op) in prog.iter().enumerate() {
             let access = match op.access() {
                 Some(a) => a,
                 None => continue,
             };
-            lines_scratch.clear();
+            self.lines_scratch.clear();
             for &addr in &access.addrs {
                 let line = addr / LINE_BYTES;
-                if !lines_scratch.contains(&line) {
-                    lines_scratch.push(line);
+                if !self.lines_scratch.contains(&line) {
+                    self.lines_scratch.push(line);
                 }
             }
             let is_prefetch = matches!(op, Op::Load(a) if a.cache_op == CacheOp::PrefetchL1);
             if is_prefetch {
-                for &line in &lines_scratch {
-                    prefetch_pos.push((idx, access.tag, line));
+                for &line in &self.lines_scratch {
+                    self.prefetch_pos.push((idx, access.tag, line));
                 }
                 continue;
             }
             // Demand access: coalescing accounting plus, for reads, the
             // global line-touch census feeding the bypass lint.
-            stats.txns += lines_scratch.len() as u64;
+            stats.txns += self.lines_scratch.len() as u64;
             stats.lanes += access.addrs.len() as u64;
             if let Op::Load(a) = op {
-                for &line in &lines_scratch {
+                for &line in &self.lines_scratch {
                     *stats.line_touches.entry((a.tag, line)).or_insert(0) += 1;
                     if a.cache_op == CacheOp::BypassL1 {
                         *stats.bypass_touches.entry((a.tag, line)).or_insert(0) += 1;
                     }
-                    demand_pos.entry((a.tag, line)).or_default().push(idx);
+                    self.demand_pos.entry((a.tag, line)).or_default().push(idx);
                 }
             }
         }
         // Prefetch life-cycle per warp program.
-        last_prefetch.clear();
-        for &(idx, tag, line) in &prefetch_pos {
+        self.last_prefetch.clear();
+        for &(idx, tag, line) in &self.prefetch_pos {
             stats.prefetches += 1;
             let key = (tag, line);
-            let demands = demand_pos.get(&key);
+            let demands = self.demand_pos.get(&key);
             let used_after = demands.map(|d| d.iter().any(|&p| p > idx)).unwrap_or(false);
             let used_before = demands.map(|d| d.iter().any(|&p| p < idx)).unwrap_or(false);
-            if let Some(&prev) = last_prefetch.get(&key) {
+            if let Some(&prev) = self.last_prefetch.get(&key) {
                 let demand_between = demands
                     .map(|d| d.iter().any(|&p| p > prev && p < idx))
                     .unwrap_or(false);
@@ -120,7 +125,7 @@ pub fn check_kernel<K: KernelSpec + ?Sized>(
                     });
                 }
             }
-            last_prefetch.insert(key, idx);
+            self.last_prefetch.insert(key, idx);
             if used_after {
                 continue;
             }
@@ -142,11 +147,32 @@ pub fn check_kernel<K: KernelSpec + ?Sized>(
                 });
             }
         }
-    });
+    }
 
+    /// Emits the pass's findings onto `report` under `subject`.
+    pub fn finish(self, subject: &str, report: &mut Report) {
+        report.note_subject();
+        finish_stats(self.stats, subject, report);
+    }
+}
+
+/// Walks `kernel` and emits the IR lints onto `report` under `subject`
+/// (standalone wrapper around [`IrPass`]).
+pub fn check_kernel<K: KernelSpec + ?Sized>(
+    kernel: &K,
+    cfg: &GpuConfig,
+    subject: &str,
+    report: &mut Report,
+) {
+    let mut pass = IrPass::new();
+    walk::each_warp_program_on(kernel, cfg, |ctx, warp, prog| pass.visit(ctx, warp, prog));
+    pass.finish(subject, report);
+}
+
+fn finish_stats(stats: IrStats, subject: &str, report: &mut Report) {
     // CL021: per-tag share of bypassed line touches landing on lines with
     // demand-read reuse (touched more than once overall).
-    let mut per_tag: HashMap<ArrayTag, (u64, u64)> = HashMap::new();
+    let mut per_tag: FxHashMap<ArrayTag, (u64, u64)> = FxHashMap::default();
     for (&(tag, line), &n) in &stats.bypass_touches {
         let entry = per_tag.entry(tag).or_insert((0, 0));
         entry.0 += u64::from(n);

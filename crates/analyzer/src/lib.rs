@@ -10,7 +10,7 @@
 //! category from the address streams, and reports violations through a
 //! rustc-style diagnostics framework with stable `CL0xx` codes.
 //!
-//! Three pass families:
+//! Six pass families:
 //!
 //! 1. **Transform invariants** ([`transform`]) — partition bijection,
 //!    balance and coverage; redirection permutation; agent-kernel
@@ -19,17 +19,32 @@
 //!    (never used / after last use / duplicate), pathological divergence.
 //! 3. **Plan audit** ([`plan`]) — the statically re-derived category vs
 //!    the plan's, exploit/bypass/prefetch consistency, throttle range.
+//! 4. **Happens-before races** ([`hb`]) — unordered conflicting accesses
+//!    within a CTA, cross-CTA conflicts, unsynchronized counter words,
+//!    barrier divergence, all over the same walked warp programs.
+//! 5. **Protocol model checking** ([`modelcheck`]) — a bounded model
+//!    checker over the agent binding protocol, proving deadlock-freedom,
+//!    exactly-once consumption and starvation-freedom for every
+//!    `(BindingMode, MAX_AGENTS, ACTIVE_AGENTS)` combination, with
+//!    replayable counterexample traces.
+//! 6. **Arithmetic proofs** ([`absint`]) — symbolic polynomial proofs
+//!    that the partition/binding closed forms are mutually inverse and
+//!    overflow-free over the entire `u64` domain.
 //!
 //! The `analyze` binary sweeps the full Figure 3 suite across all four
-//! architecture presets and exits nonzero on any deny-level finding.
+//! architecture presets, model-checks the protocol per preset, runs the
+//! arithmetic proofs, and exits nonzero on any deny-level finding.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod absint;
 pub mod diag;
 pub mod driver;
+pub mod hb;
 pub mod ir;
 pub mod json;
+pub mod modelcheck;
 pub mod plan;
 pub mod profile;
 pub mod transform;

@@ -1,0 +1,756 @@
+//! Bounded model checking of the agent-binding protocol.
+//!
+//! The agent transform's binding step (paper Listing 5) is a small
+//! concurrent protocol: persistent CTAs on one SM derive an agent id —
+//! a hardware slot on Fermi/Kepler, an atomic ticket plus shared-memory
+//! broadcast plus barrier on Maxwell/Pascal — and then consume their
+//! cluster's task stride. The happens-before pass ([`crate::hb`]) checks
+//! the op streams the transform actually emits; this pass checks the
+//! *protocol itself*, by exhaustively exploring every interleaving of an
+//! abstract state machine on small bounded configurations (≤3 SMs,
+//! ≤4 agents, ≤16 tasks) and proving three properties on each:
+//!
+//! 1. **Deadlock-freedom** — no reachable state where some thread is
+//!    stuck and cannot ever step again (`CL110`).
+//! 2. **Exactly-once consumption** — in every terminal state, every task
+//!    of every cluster is consumed by exactly one agent; a task consumed
+//!    twice is a duplication (`CL111`).
+//! 3. **Starvation-freedom** — no terminal state leaves a task
+//!    unconsumed (`CL112`).
+//!
+//! # Model
+//!
+//! Each agent CTA is two threads. The **leader** (thread 0 of Listing 5)
+//! bids for a ticket on the SM's global counter word, stores the ticket
+//! to shared memory, joins the CTA barrier and finally consumes the
+//! strided task list of the bound id. The **follower** (every other
+//! warp) joins the barrier and then reads the id out of shared memory.
+//! The id the CTA consumes with is the *follower's* view — the path that
+//! is vulnerable if the broadcast or barrier is wrong. Static-slot
+//! binding has no synchronization at all: agents start pre-bound to
+//! their hardware slot and the only reachable behaviour is consumption.
+//!
+//! SMs never interact — counter words are per-SM
+//! ([`cta_clustering::protocol::counter_addr`]), shared memory is
+//! per-CTA and clusters are disjoint — so each SM is explored
+//! separately. This is itself a (sound, trivial) partial-order
+//! reduction.
+//!
+//! # Partial-order reduction
+//!
+//! Within one SM, only the three counter transitions (`atomic-bid`, and
+//! the injected-bug split `ticket-read`/`ticket-write`) touch state
+//! shared between agents. Every other transition is CTA-local, commutes
+//! with every co-enabled transition of any other thread (barrier
+//! arrivals set disjoint bits; a shared-memory store and the follower
+//! read are never co-enabled because the read is barrier-ordered after
+//! the store), stays enabled until taken (enabling conditions are
+//! monotone), and is invisible to the checked properties (which only
+//! inspect end states). The state graph is acyclic — every transition
+//! strictly advances a program counter or the counter word. Under those
+//! conditions exploring a single enabled local transition as an ample
+//! set preserves all deadlocks and all terminal states, so the checker
+//! branches only on the counter transitions.
+//!
+//! # Bug injection and replay
+//!
+//! [`BugKnobs`] seed two classic protocol bugs: a **non-atomic ticket**
+//! (the bid decays into an unlocked read-modify-write, so two agents can
+//! bind the same id — duplicating that id's stride and starving the
+//! lost one) and a **skipped leader barrier** (the leader never joins,
+//! the followers wait forever — a deadlock). Every violation carries the
+//! exact interleaving that produced it as a [`Step`] trace, and
+//! [`replay`] re-executes a trace step by step — refusing any step the
+//! model does not enable — and returns the violation the end state
+//! exhibits. A tampered trace fails to replay.
+
+use crate::diag::{Report, PROTOCOL_DEADLOCK, PROTOCOL_EXACTLY_ONCE, PROTOCOL_STARVATION};
+use cta_clustering::protocol::{BindingMode, ProtocolSpec};
+use gpu_sim::{FxHashSet, GpuConfig};
+use std::fmt;
+
+/// SMs in the bounded model configurations.
+pub const MODEL_SMS: usize = 3;
+
+/// Largest `MAX_AGENTS` the bounded sweep explores.
+pub const MODEL_MAX_AGENTS: u32 = 4;
+
+/// Cluster sizes of the bounded model (deliberately distinct, none a
+/// multiple of the agent counts, 15 ≤ 16 tasks total).
+pub const MODEL_CLUSTERS: [u64; MODEL_SMS] = [6, 5, 4];
+
+/// Fault-injection switches. All-off checks the protocol as specified.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BugKnobs {
+    /// Replace the atomic ticket bid with an unlocked read + write pair,
+    /// letting two agents observe the same counter value.
+    pub non_atomic_ticket: bool,
+    /// Leaders skip the post-broadcast barrier, leaving followers
+    /// waiting on a barrier that can never complete.
+    pub skip_leader_barrier: bool,
+}
+
+/// Leader-thread program counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Lpc {
+    Bid,
+    BidWrite,
+    Store,
+    Barrier,
+    Wait,
+    Consume,
+    Done,
+}
+
+/// Follower-thread program counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Fpc {
+    Barrier,
+    Wait,
+    Read,
+    Done,
+}
+
+/// One agent CTA: two thread pcs plus its CTA-local storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Agent {
+    leader: Lpc,
+    follower: Fpc,
+    /// Ticket the leader bound (meaningful once past the bid).
+    ticket: u32,
+    /// Bug path: counter value read but not yet written back.
+    reg: u32,
+    /// Id the follower read out of shared memory (meaningful at `Done`).
+    fid: u32,
+    /// Shared-memory broadcast slot.
+    shared: Option<u32>,
+    /// Barrier arrival bits: 1 = leader, 2 = follower.
+    arrived: u8,
+}
+
+/// Protocol state of one SM.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    counter: u32,
+    agents: Vec<Agent>,
+}
+
+impl State {
+    fn init(spec: &ProtocolSpec) -> State {
+        let agents = (0..spec.max_agents)
+            .map(|slot| match spec.binding {
+                BindingMode::AtomicTicket => Agent {
+                    leader: Lpc::Bid,
+                    follower: Fpc::Barrier,
+                    ticket: 0,
+                    reg: 0,
+                    fid: 0,
+                    shared: None,
+                    arrived: 0,
+                },
+                // Static binding: the hardware slot is the id, every
+                // warp reads it directly — no protocol to run.
+                BindingMode::StaticSlot => Agent {
+                    leader: Lpc::Consume,
+                    follower: Fpc::Done,
+                    ticket: slot,
+                    reg: 0,
+                    fid: slot,
+                    shared: Some(slot),
+                    arrived: 3,
+                },
+            })
+            .collect();
+        State { counter: 0, agents }
+    }
+
+    fn terminal(&self) -> bool {
+        self.agents
+            .iter()
+            .all(|a| a.leader == Lpc::Done && a.follower == Fpc::Done)
+    }
+}
+
+/// One transition of the protocol state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Leader: `ticket = atomicAdd(&counter, 1)`.
+    AtomicBid,
+    /// Leader (bug): plain load of the counter into a register.
+    TicketRead,
+    /// Leader (bug): plain store of `reg + 1` back to the counter.
+    TicketWrite,
+    /// Leader: broadcast the ticket through shared memory.
+    StoreShared,
+    /// Leader: arrive at the CTA barrier.
+    LeaderArrive,
+    /// Leader (bug): fall through the barrier without arriving.
+    LeaderSkipBarrier,
+    /// Leader: pass the completed barrier.
+    LeaderRelease,
+    /// Follower: arrive at the CTA barrier.
+    FollowerArrive,
+    /// Follower: pass the completed barrier.
+    FollowerRelease,
+    /// Follower: read the broadcast id out of shared memory.
+    FollowerRead,
+    /// CTA: consume the bound id's task stride.
+    Consume,
+}
+
+impl Action {
+    fn name(self) -> &'static str {
+        match self {
+            Action::AtomicBid => "atomic-bid",
+            Action::TicketRead => "ticket-read",
+            Action::TicketWrite => "ticket-write",
+            Action::StoreShared => "store-shared",
+            Action::LeaderArrive => "leader-arrive",
+            Action::LeaderSkipBarrier => "leader-skip-barrier",
+            Action::LeaderRelease => "leader-release",
+            Action::FollowerArrive => "follower-arrive",
+            Action::FollowerRelease => "follower-release",
+            Action::FollowerRead => "follower-read",
+            Action::Consume => "consume",
+        }
+    }
+
+    /// Whether the transition touches state shared between agents (the
+    /// SM counter word). Only these need interleaving exploration.
+    fn is_global(self) -> bool {
+        matches!(
+            self,
+            Action::AtomicBid | Action::TicketRead | Action::TicketWrite
+        )
+    }
+}
+
+/// One trace entry: agent index plus the action it took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Step {
+    /// Agent (CTA) index within the SM.
+    pub agent: u32,
+    /// Transition taken.
+    pub action: Action,
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}:{}", self.agent, self.action.name())
+    }
+}
+
+/// Renders a counterexample trace on one line.
+pub fn render_trace(trace: &[Step]) -> String {
+    let mut out = String::new();
+    for (i, s) in trace.iter().enumerate() {
+        if i > 0 {
+            out.push_str(" \u{2192} ");
+        }
+        out.push_str(&s.to_string());
+    }
+    out
+}
+
+/// The property a violation breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A reachable state where some thread can never step again.
+    Deadlock,
+    /// A terminal state where some task is consumed more than once.
+    DuplicateConsumption,
+    /// A terminal state where some task is never consumed.
+    Starvation,
+}
+
+impl ViolationKind {
+    /// The lint this violation reports under.
+    pub fn lint(self) -> &'static crate::diag::Lint {
+        match self {
+            ViolationKind::Deadlock => &PROTOCOL_DEADLOCK,
+            ViolationKind::DuplicateConsumption => &PROTOCOL_EXACTLY_ONCE,
+            ViolationKind::Starvation => &PROTOCOL_STARVATION,
+        }
+    }
+}
+
+/// One counterexample: what broke, where, and the interleaving that
+/// reaches it (replayable with [`replay`]).
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Property violated.
+    pub kind: ViolationKind,
+    /// SM whose exploration found it.
+    pub sm: usize,
+    /// Human-readable account of the end state.
+    pub detail: String,
+    /// The exact interleaving from the initial state to the violation.
+    pub trace: Vec<Step>,
+}
+
+/// Result of model-checking one spec: every distinct violation kind
+/// found (first counterexample each, in deterministic DFS order).
+#[derive(Debug, Clone)]
+pub struct McResult {
+    /// Distinct states explored, summed over SMs.
+    pub states: u64,
+    /// Violations found (empty = all three properties proven on the
+    /// bounded configuration).
+    pub violations: Vec<Violation>,
+}
+
+/// Enumerates every enabled transition of `st`, in deterministic
+/// (agent, thread) order.
+fn enabled_steps(st: &State, knobs: &BugKnobs, out: &mut Vec<Step>) {
+    out.clear();
+    for (i, a) in st.agents.iter().enumerate() {
+        let i = i as u32;
+        match a.leader {
+            Lpc::Bid if knobs.non_atomic_ticket => out.push(Step {
+                agent: i,
+                action: Action::TicketRead,
+            }),
+            Lpc::Bid => out.push(Step {
+                agent: i,
+                action: Action::AtomicBid,
+            }),
+            Lpc::BidWrite => out.push(Step {
+                agent: i,
+                action: Action::TicketWrite,
+            }),
+            Lpc::Store => out.push(Step {
+                agent: i,
+                action: Action::StoreShared,
+            }),
+            Lpc::Barrier if knobs.skip_leader_barrier => out.push(Step {
+                agent: i,
+                action: Action::LeaderSkipBarrier,
+            }),
+            Lpc::Barrier => out.push(Step {
+                agent: i,
+                action: Action::LeaderArrive,
+            }),
+            Lpc::Wait if a.arrived == 3 => out.push(Step {
+                agent: i,
+                action: Action::LeaderRelease,
+            }),
+            Lpc::Consume if a.follower == Fpc::Done => out.push(Step {
+                agent: i,
+                action: Action::Consume,
+            }),
+            _ => {}
+        }
+        match a.follower {
+            Fpc::Barrier => out.push(Step {
+                agent: i,
+                action: Action::FollowerArrive,
+            }),
+            Fpc::Wait if a.arrived == 3 => out.push(Step {
+                agent: i,
+                action: Action::FollowerRelease,
+            }),
+            Fpc::Read => out.push(Step {
+                agent: i,
+                action: Action::FollowerRead,
+            }),
+            _ => {}
+        }
+    }
+}
+
+/// Applies one enabled step, returning the successor state.
+fn apply(st: &State, step: Step) -> State {
+    let mut next = st.clone();
+    let a = &mut next.agents[step.agent as usize];
+    match step.action {
+        Action::AtomicBid => {
+            a.ticket = next.counter;
+            next.counter += 1;
+            a.leader = Lpc::Store;
+        }
+        Action::TicketRead => {
+            a.reg = next.counter;
+            a.leader = Lpc::BidWrite;
+        }
+        Action::TicketWrite => {
+            a.ticket = a.reg;
+            next.counter = a.reg + 1;
+            a.leader = Lpc::Store;
+        }
+        Action::StoreShared => {
+            a.shared = Some(a.ticket);
+            a.leader = Lpc::Barrier;
+        }
+        Action::LeaderArrive => {
+            a.arrived |= 1;
+            a.leader = Lpc::Wait;
+        }
+        Action::LeaderSkipBarrier => a.leader = Lpc::Consume,
+        Action::LeaderRelease => a.leader = Lpc::Consume,
+        Action::FollowerArrive => {
+            a.arrived |= 2;
+            a.follower = Fpc::Wait;
+        }
+        Action::FollowerRelease => a.follower = Fpc::Read,
+        Action::FollowerRead => {
+            // A read before the broadcast store observes the cleared
+            // shared slot — id 0 — exactly like the real kernel.
+            a.fid = a.shared.unwrap_or(0);
+            a.follower = Fpc::Done;
+        }
+        Action::Consume => a.leader = Lpc::Done,
+    }
+    next
+}
+
+/// Evaluates an end state (no enabled transitions): a non-terminal end
+/// state is a deadlock; a terminal one has its task-consumption counts
+/// checked. One end state can break several properties at once (two
+/// agents bound to one id both duplicate that stride and starve the
+/// lost one), so every broken property is returned.
+fn evaluate_end(spec: &ProtocolSpec, sm: usize, st: &State) -> Vec<(ViolationKind, String)> {
+    if !st.terminal() {
+        let stuck: Vec<String> = st
+            .agents
+            .iter()
+            .enumerate()
+            .flat_map(|(i, a)| {
+                let mut v = Vec::new();
+                if a.leader != Lpc::Done {
+                    v.push(format!("agent {i} leader at {:?}", a.leader));
+                }
+                if a.follower != Fpc::Done {
+                    v.push(format!("agent {i} follower at {:?}", a.follower));
+                }
+                v
+            })
+            .collect();
+        return vec![(
+            ViolationKind::Deadlock,
+            format!("SM {sm}: no thread can step; stuck: {}", stuck.join(", ")),
+        )];
+    }
+    let cluster = spec.cluster_sizes[sm] as usize;
+    let mut counts = vec![0u32; cluster];
+    for a in &st.agents {
+        for w in spec.tasks_of(sm, u64::from(a.fid)) {
+            counts[w as usize] += 1;
+        }
+    }
+    let mut out = Vec::new();
+    if let Some(w) = counts.iter().position(|&c| c > 1) {
+        let ids: Vec<String> = st
+            .agents
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| spec.tasks_of(sm, u64::from(a.fid)).contains(&(w as u64)))
+            .map(|(i, a)| format!("agent {i} bound id {}", a.fid))
+            .collect();
+        out.push((
+            ViolationKind::DuplicateConsumption,
+            format!(
+                "SM {sm}: task {w} consumed {} times ({})",
+                counts[w],
+                ids.join(", ")
+            ),
+        ));
+    }
+    if let Some(w) = counts.iter().position(|&c| c == 0) {
+        out.push((
+            ViolationKind::Starvation,
+            format!(
+                "SM {sm}: task {w} never consumed (no agent bound id {})",
+                w as u64 % u64::from(spec.active_agents)
+            ),
+        ));
+    }
+    out
+}
+
+struct Explorer<'a> {
+    spec: &'a ProtocolSpec,
+    knobs: &'a BugKnobs,
+    sm: usize,
+    visited: FxHashSet<State>,
+    trace: Vec<Step>,
+    states: u64,
+    violations: Vec<Violation>,
+}
+
+impl Explorer<'_> {
+    fn dfs(&mut self, st: &State) {
+        if !self.visited.insert(st.clone()) {
+            return;
+        }
+        self.states += 1;
+        let mut steps = Vec::new();
+        enabled_steps(st, self.knobs, &mut steps);
+        if steps.is_empty() {
+            for (kind, detail) in evaluate_end(self.spec, self.sm, st) {
+                if !self.violations.iter().any(|v| v.kind == kind) {
+                    self.violations.push(Violation {
+                        kind,
+                        sm: self.sm,
+                        detail,
+                        trace: self.trace.clone(),
+                    });
+                }
+            }
+            return;
+        }
+        // Ample set: a local transition commutes with everything
+        // co-enabled and is invisible — explore it alone.
+        if let Some(&local) = steps.iter().find(|s| !s.action.is_global()) {
+            steps.clear();
+            steps.push(local);
+        }
+        for step in steps {
+            self.trace.push(step);
+            let next = apply(st, step);
+            self.dfs(&next);
+            self.trace.pop();
+        }
+    }
+}
+
+/// Model-checks `spec` under `knobs`, exploring every SM's full
+/// (reduced) interleaving space. `Err` on a malformed spec.
+pub fn check_spec(spec: &ProtocolSpec, knobs: &BugKnobs) -> Result<McResult, String> {
+    spec.validate()?;
+    let mut res = McResult {
+        states: 0,
+        violations: Vec::new(),
+    };
+    for sm in 0..spec.num_sms {
+        let mut ex = Explorer {
+            spec,
+            knobs,
+            sm,
+            visited: FxHashSet::default(),
+            trace: Vec::new(),
+            states: 0,
+            violations: Vec::new(),
+        };
+        ex.dfs(&State::init(spec));
+        res.states += ex.states;
+        res.violations.extend(ex.violations);
+    }
+    Ok(res)
+}
+
+/// Re-executes a counterexample trace step by step, refusing any step
+/// the model does not enable, and returns the violation the end state
+/// exhibits. `Err` if the trace is not a faithful execution or its end
+/// state shows no violation.
+pub fn replay(
+    spec: &ProtocolSpec,
+    knobs: &BugKnobs,
+    violation: &Violation,
+) -> Result<ViolationKind, String> {
+    spec.validate()?;
+    if violation.sm >= spec.num_sms {
+        return Err(format!("SM {} out of range", violation.sm));
+    }
+    let mut st = State::init(spec);
+    let mut enabled = Vec::new();
+    for (i, &step) in violation.trace.iter().enumerate() {
+        enabled_steps(&st, knobs, &mut enabled);
+        if !enabled.contains(&step) {
+            return Err(format!("step {i} ({step}) is not enabled"));
+        }
+        st = apply(&st, step);
+    }
+    enabled_steps(&st, knobs, &mut enabled);
+    if !enabled.is_empty() {
+        return Err("trace ends in a state with enabled transitions".into());
+    }
+    let broken = evaluate_end(spec, violation.sm, &st);
+    if broken.iter().any(|(k, _)| *k == violation.kind) {
+        Ok(violation.kind)
+    } else if let Some((k, _)) = broken.first() {
+        Ok(*k)
+    } else {
+        Err("trace end state violates no property".into())
+    }
+}
+
+/// The bounded spec the preset sweep checks for one (binding,
+/// `MAX_AGENTS`, `ACTIVE_AGENTS`) combination.
+pub fn model_spec(binding: BindingMode, max_agents: u32, active_agents: u32) -> ProtocolSpec {
+    ProtocolSpec {
+        binding,
+        num_sms: MODEL_SMS,
+        max_agents,
+        active_agents,
+        cluster_sizes: MODEL_CLUSTERS.to_vec(),
+    }
+}
+
+/// Model-checks every (`MAX_AGENTS`, `ACTIVE_AGENTS`) combination the
+/// bounded sweep admits under `cfg`'s binding mode, emitting one finding
+/// per violation (with its trace) into `report`.
+pub fn check_arch(cfg: &GpuConfig, report: &mut Report) {
+    let binding = BindingMode::of(cfg.arch);
+    for max_agents in 1..=MODEL_MAX_AGENTS {
+        for active in 1..=max_agents {
+            let spec = model_spec(binding, max_agents, active);
+            let subject = format!("protocol/{}/M{max_agents}A{active}", cfg.name);
+            report.note_subject();
+            let res =
+                check_spec(&spec, &BugKnobs::default()).expect("bounded model spec is well-formed");
+            for v in res.violations {
+                report.emit(
+                    v.kind.lint(),
+                    &subject,
+                    format!("{}; trace: {}", v.detail, render_trace(&v.trace)),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::arch;
+
+    fn atomic_spec(max: u32, active: u32) -> ProtocolSpec {
+        model_spec(BindingMode::AtomicTicket, max, active)
+    }
+
+    #[test]
+    fn clean_atomic_protocol_proves_all_three_properties() {
+        let res = check_spec(&atomic_spec(4, 3), &BugKnobs::default()).unwrap();
+        assert!(res.violations.is_empty(), "{:?}", res.violations);
+        assert!(
+            res.states > 100,
+            "expected real interleaving: {}",
+            res.states
+        );
+    }
+
+    #[test]
+    fn clean_static_protocol_proves_all_three_properties() {
+        let res = check_spec(
+            &model_spec(BindingMode::StaticSlot, 4, 2),
+            &BugKnobs::default(),
+        )
+        .unwrap();
+        assert!(res.violations.is_empty(), "{:?}", res.violations);
+    }
+
+    #[test]
+    fn throttled_agents_idle_without_starvation() {
+        // MAX_AGENTS 4, ACTIVE 1: three agents must bind idle tickets
+        // and the whole cluster still drains through agent id 0.
+        let res = check_spec(&atomic_spec(4, 1), &BugKnobs::default()).unwrap();
+        assert!(res.violations.is_empty(), "{:?}", res.violations);
+    }
+
+    #[test]
+    fn every_preset_combination_is_clean() {
+        let mut report = Report::new();
+        for cfg in arch::all_presets() {
+            check_arch(&cfg, &mut report);
+        }
+        assert_eq!(report.deny_count(), 0, "{}", report.render_human());
+        assert_eq!(
+            report.subjects_checked(),
+            4 * (1 + 2 + 3 + 4),
+            "one subject per (arch, MAX_AGENTS, ACTIVE_AGENTS) combination"
+        );
+    }
+
+    #[test]
+    fn non_atomic_ticket_duplicates_and_starves() {
+        let knobs = BugKnobs {
+            non_atomic_ticket: true,
+            ..BugKnobs::default()
+        };
+        let spec = atomic_spec(2, 2);
+        let res = check_spec(&spec, &knobs).unwrap();
+        let dup = res
+            .violations
+            .iter()
+            .find(|v| v.kind == ViolationKind::DuplicateConsumption)
+            .expect("unlocked ticket must duplicate a stride");
+        let starve = res
+            .violations
+            .iter()
+            .find(|v| v.kind == ViolationKind::Starvation)
+            .expect("the lost id's stride must starve");
+        assert_eq!(dup.kind.lint().code, "CL111");
+        assert_eq!(starve.kind.lint().code, "CL112");
+        // Both counterexamples replay to the violation they claim.
+        assert_eq!(
+            replay(&spec, &knobs, dup).unwrap(),
+            ViolationKind::DuplicateConsumption
+        );
+        assert_eq!(
+            replay(&spec, &knobs, starve).unwrap(),
+            ViolationKind::Starvation
+        );
+    }
+
+    #[test]
+    fn skipped_leader_barrier_deadlocks() {
+        let knobs = BugKnobs {
+            skip_leader_barrier: true,
+            ..BugKnobs::default()
+        };
+        let spec = atomic_spec(2, 2);
+        let res = check_spec(&spec, &knobs).unwrap();
+        let dl = res
+            .violations
+            .iter()
+            .find(|v| v.kind == ViolationKind::Deadlock)
+            .expect("unmatched barrier must deadlock the followers");
+        assert_eq!(dl.kind.lint().code, "CL110");
+        assert!(dl.detail.contains("follower"), "{}", dl.detail);
+        assert_eq!(replay(&spec, &knobs, dl).unwrap(), ViolationKind::Deadlock);
+    }
+
+    #[test]
+    fn tampered_traces_fail_replay() {
+        let knobs = BugKnobs {
+            skip_leader_barrier: true,
+            ..BugKnobs::default()
+        };
+        let spec = atomic_spec(2, 2);
+        let res = check_spec(&spec, &knobs).unwrap();
+        let dl = res.violations[0].clone();
+
+        // Truncating the trace leaves live transitions at the end.
+        let mut short = dl.clone();
+        short.trace.pop();
+        assert!(replay(&spec, &knobs, &short).is_err());
+
+        // Splicing in a step the model does not enable is refused.
+        let mut forged = dl.clone();
+        forged.trace[0] = Step {
+            agent: 0,
+            action: Action::FollowerRead,
+        };
+        assert!(replay(&spec, &knobs, &forged).is_err());
+
+        // Replaying under the wrong knobs diverges immediately.
+        assert!(replay(&spec, &BugKnobs::default(), &dl).is_err());
+    }
+
+    #[test]
+    fn counterexamples_are_deterministic() {
+        let knobs = BugKnobs {
+            non_atomic_ticket: true,
+            ..BugKnobs::default()
+        };
+        let a = check_spec(&atomic_spec(3, 3), &knobs).unwrap();
+        let b = check_spec(&atomic_spec(3, 3), &knobs).unwrap();
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.violations.len(), b.violations.len());
+        for (x, y) in a.violations.iter().zip(&b.violations) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.trace, y.trace);
+            assert_eq!(x.detail, y.detail);
+        }
+    }
+}

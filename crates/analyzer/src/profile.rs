@@ -2,9 +2,8 @@
 //! audit and the IR lints share, computed by walking warp programs with
 //! [`gpu_sim::walk`] — no timing model involved.
 
-use gpu_sim::{walk, ArrayTag, CacheOp, GpuConfig, KernelSpec, Op};
+use gpu_sim::{walk, ArrayTag, CacheOp, FxHashMap, FxHashSet, GpuConfig, KernelSpec, Op};
 use locality::{classify, Category, Signature, StaticFeed, TagReuseProfiler, TagSummary};
-use std::collections::{HashMap, HashSet};
 
 /// Reference line size the static analysis is defined over (the 128-byte
 /// Fermi/Kepler L1 line, where cache-line locality lives).
@@ -39,7 +38,9 @@ pub struct StaticProfile {
     /// Per-tag word-reuse summaries.
     tags: TagReuseProfiler,
     /// Per-tag line touch statistics.
-    line_stats: HashMap<ArrayTag, TagLineStats>,
+    line_stats: FxHashMap<ArrayTag, TagLineStats>,
+    /// Tags the kernel stores to or atomics, sorted.
+    written_tags: Vec<ArrayTag>,
     /// Demand accesses walked.
     pub accesses: u64,
 }
@@ -62,14 +63,18 @@ impl StaticProfile {
     pub fn collect<K: KernelSpec + ?Sized>(kernel: &K, cfg: &GpuConfig) -> Self {
         let mut category = StaticFeed::new(locality::CategoryProfiler::with_line_bytes(128));
         let mut tags = StaticFeed::new(TagReuseProfiler::new());
-        let mut line_stats: HashMap<ArrayTag, TagLineStats> = HashMap::new();
-        let mut seen_lines: HashSet<(ArrayTag, u64)> = HashSet::new();
+        let mut line_stats: FxHashMap<ArrayTag, TagLineStats> = FxHashMap::default();
+        let mut seen_lines: FxHashSet<(ArrayTag, u64)> = FxHashSet::default();
         let mut scratch: Vec<u64> = Vec::new();
+        let mut written: FxHashSet<ArrayTag> = FxHashSet::default();
 
         walk::each_warp_program_on(kernel, cfg, |ctx, warp, prog| {
             for op in prog {
                 category.op(ctx.cta, ctx.sm_id, warp, op);
                 tags.op(ctx.cta, ctx.sm_id, warp, op);
+                if let Op::Store(a) | Op::Atomic(a) = op {
+                    written.insert(a.tag);
+                }
                 // Line statistics: demand reads only.
                 if let Op::Load(a) = op {
                     if a.cache_op == CacheOp::PrefetchL1 {
@@ -95,11 +100,14 @@ impl StaticProfile {
 
         let accesses = category.issued();
         let category = category.into_inner();
+        let mut written_tags: Vec<ArrayTag> = written.into_iter().collect();
+        written_tags.sort_unstable();
         StaticProfile {
             signature: category.signature(),
             category: category.classify(),
             tags: tags.into_inner(),
             line_stats,
+            written_tags,
             accesses,
         }
     }
@@ -122,6 +130,12 @@ impl StaticProfile {
     /// All tags observed, sorted.
     pub fn tags(&self) -> Vec<ArrayTag> {
         self.tags.summaries().into_iter().map(|(t, _)| t).collect()
+    }
+
+    /// Tags the kernel stores to or atomics, sorted. A read of any other
+    /// tag cannot participate in a data race within this launch.
+    pub fn written_tags(&self) -> &[ArrayTag] {
+        &self.written_tags
     }
 
     /// Statically derived bypass candidates: heavily-accessed tags with

@@ -1,0 +1,98 @@
+//! Golden determinism for the `analyze` binary: the report must be
+//! byte-identical no matter how many worker threads execute the sweep,
+//! and the documented exit codes must hold.
+//!
+//! Keeps the sweep small (`--filter MM` restricts to the matrix-multiply
+//! workloads) so the test stays fast while still crossing every pass
+//! family: workload passes, the protocol model checker, and the
+//! binding-arithmetic proof all contribute subjects.
+
+use std::process::{Command, Output};
+
+fn analyze(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_analyze"))
+        .args(args)
+        .output()
+        .expect("spawn the analyze binary")
+}
+
+#[test]
+fn json_report_is_byte_identical_across_worker_counts() {
+    let golden = analyze(&[
+        "--filter",
+        "MM",
+        "--arch",
+        "gtx1080",
+        "--json",
+        "--threads",
+        "1",
+    ]);
+    assert!(
+        golden.status.success(),
+        "single-threaded sweep failed:\n{}",
+        String::from_utf8_lossy(&golden.stderr)
+    );
+    assert!(
+        !golden.stdout.is_empty(),
+        "the JSON report must not be empty"
+    );
+    let text = String::from_utf8(golden.stdout.clone()).expect("report is UTF-8");
+    assert!(
+        text.contains("\"lints\""),
+        "report is missing the lint registry section"
+    );
+
+    for threads in ["2", "8"] {
+        let out = analyze(&[
+            "--filter",
+            "MM",
+            "--arch",
+            "gtx1080",
+            "--json",
+            "--threads",
+            threads,
+        ]);
+        assert!(out.status.success(), "sweep failed with {threads} threads");
+        assert_eq!(
+            out.stdout, golden.stdout,
+            "report differs between 1 and {threads} worker threads"
+        );
+    }
+}
+
+#[test]
+fn human_report_is_byte_identical_across_worker_counts() {
+    let golden = analyze(&["--filter", "MM", "--arch", "gtx1080", "--threads", "1"]);
+    assert!(golden.status.success());
+    let out = analyze(&["--filter", "MM", "--arch", "gtx1080", "--threads", "8"]);
+    assert!(out.status.success());
+    assert_eq!(
+        out.stdout, golden.stdout,
+        "human-readable report differs between 1 and 8 worker threads"
+    );
+}
+
+#[test]
+fn concurrency_gate_is_clean_and_deterministic() {
+    let golden = analyze(&["--verify-protocol", "--json", "--threads", "1"]);
+    assert!(
+        golden.status.success(),
+        "the protocol gate must pass on every preset:\n{}",
+        String::from_utf8_lossy(&golden.stdout)
+    );
+    let out = analyze(&["--verify-protocol", "--json", "--threads", "8"]);
+    assert!(out.status.success());
+    assert_eq!(out.stdout, golden.stdout);
+}
+
+#[test]
+fn usage_errors_exit_with_code_two() {
+    let bad_flag = analyze(&["--bogus"]);
+    assert_eq!(bad_flag.status.code(), Some(2));
+
+    let no_preset = analyze(&["--arch", "no-such-gpu"]);
+    assert_eq!(no_preset.status.code(), Some(2));
+
+    let zero_threads = analyze(&["--threads", "0"]);
+    assert_eq!(zero_threads.status.code(), Some(2));
+}

@@ -4,7 +4,7 @@
 
 use cta_analyzer::diag::Report;
 use cta_analyzer::transform;
-use cta_clustering::{Indexing, Partition};
+use cta_clustering::{rr_binding, rr_unbinding, Indexing, Partition};
 use gpu_sim::Dim3;
 use proptest::prelude::*;
 
@@ -99,6 +99,135 @@ proptest! {
             "real Partition must verify cleanly: {}",
             report.render_human()
         );
+    }
+
+    /// Sampled round-trips on grids whose CTA count sits at the very top
+    /// of the u64 domain — exactly where the closed forms of Eqs. 4–7
+    /// need their u128 intermediates (the symbolic proof in
+    /// `cta_analyzer::absint` covers the same regime; this is its
+    /// concrete witness). Exhaustive checking is impossible here, so the
+    /// test drives `assign`/`invert` at the structural corners: id 0, the
+    /// `extra * big` big/small-cluster boundary, and `|V| - 1`.
+    #[test]
+    fn partition_round_trips_at_the_top_of_u64(
+        (dx, dy, msel, col, vsel) in
+            (0u32..9, 0u32..9, 0u8..7, 0u8..2, 0u8..8)
+    ) {
+        let col = col == 1;
+        let grid = Dim3::plane(u32::MAX - dx, u32::MAX - dy);
+        let total = grid.count();
+        let m = match msel {
+            0 => 1,
+            1 => 2,
+            2 => 3,
+            3 => total / 2 + 1, // small == 1, extra huge
+            4 => total - 1,     // one big cluster, the rest size 1
+            5 => total,         // every cluster size 1
+            _ => total / 3,
+        };
+        let p = if col { Partition::x(grid, m) } else { Partition::y(grid, m) }
+            .expect("huge plane grids are valid partitions");
+
+        let small = total / m;
+        let extra = total % m;
+        let boundary = u128::from(extra) * (u128::from(small) + 1);
+        let bnd = boundary.min(u128::from(total) - 1) as u64;
+        let v = match vsel {
+            0 => 0,
+            1 => 1,
+            2 => total - 1,
+            3 => total / 2,
+            4 => bnd.saturating_sub(1),
+            5 => bnd,
+            6 => (bnd + 1).min(total - 1),
+            _ => total - 2,
+        };
+
+        let (w, i) = p.assign(v);
+        prop_assert!(i < m, "cluster id out of range: v={v} -> (w={w}, i={i}), m={m}");
+        prop_assert!(
+            w < p.cluster_size(i),
+            "position out of range: v={v} -> (w={w}, i={i}), |C_i|={}",
+            p.cluster_size(i)
+        );
+        prop_assert_eq!(p.invert(w, i), v);
+    }
+
+    /// The other direction at the top of the domain: `f(f⁻¹(w, i)) = (w, i)`
+    /// for cluster coordinates sampled at the extra/small crossover and at
+    /// both ends of each cluster.
+    #[test]
+    fn inversion_round_trips_at_the_top_of_u64(
+        (dx, dy, msel, col, isel, wend) in
+            (0u32..9, 0u32..9, 0u8..5, 0u8..2, 0u8..5, 0u8..2)
+    ) {
+        let (col, wend) = (col == 1, wend == 1);
+        let grid = Dim3::plane(u32::MAX - dx, u32::MAX - dy);
+        let total = grid.count();
+        let m = match msel {
+            0 => 1,
+            1 => 2,
+            2 => total / 2 + 1,
+            3 => total - 1,
+            _ => total,
+        };
+        let p = if col { Partition::x(grid, m) } else { Partition::y(grid, m) }
+            .expect("huge plane grids are valid partitions");
+
+        let extra = total % m;
+        let i = match isel {
+            0 => 0,
+            1 => extra.saturating_sub(1).min(m - 1), // last big cluster
+            2 => extra.min(m - 1),                   // first small cluster
+            3 => m / 2,
+            _ => m - 1,
+        };
+        let sz = p.cluster_size(i);
+        if sz == 0 {
+            // Empty tail cluster (m == total with extra == 0 never hits
+            // this, but guard anyway): nothing to invert.
+            return Ok(());
+        }
+        let w = if wend { sz - 1 } else { 0 };
+
+        let v = p.invert(w, i);
+        prop_assert!(v < total, "f^-1({w}, {i}) = {v} escapes the grid");
+        prop_assert_eq!(p.assign(v), (w, i));
+    }
+
+    /// Round-robin binding (Eq. 6) and its inversion must agree right up
+    /// to `u64::MAX`, and the inversion must *refuse* coordinates whose
+    /// recomposition would wrap instead of aliasing them onto small ids.
+    #[test]
+    fn rr_binding_round_trips_at_the_top_of_u64(
+        (du, msel) in (0u64..4096, 0u8..6)
+    ) {
+        let u = u64::MAX - du;
+        let m = match msel {
+            0 => 1,
+            1 => 2,
+            2 => 3,
+            3 => u64::MAX,
+            4 => u / 2 + 1,
+            _ => 1 << 40,
+        };
+        let (w, i) = rr_binding(u, m);
+        prop_assert!(i < m);
+        prop_assert_eq!(rr_unbinding(w, i, m), Some(u));
+        // An in-cluster index at or beyond the stride is malformed.
+        prop_assert_eq!(rr_unbinding(w, m, m), None);
+    }
+
+    /// `rr_unbinding` on a window index past the top of the domain: for
+    /// any stride `m >= 2`, `w = u64::MAX / m + 1` recomposes past
+    /// `u64::MAX` for every residue, so the checked arithmetic must
+    /// report `None` rather than a wrapped id.
+    #[test]
+    fn rr_unbinding_refuses_overflow(
+        (m, iseed) in (2u64..u64::MAX, 0u64..u64::MAX)
+    ) {
+        let w = u64::MAX / m + 1;
+        prop_assert_eq!(rr_unbinding(w, iseed % m, m), None);
     }
 
     #[test]

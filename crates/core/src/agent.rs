@@ -18,19 +18,11 @@
 
 use crate::error::ClusterError;
 use crate::partition::Partition;
+use crate::protocol::{counter_addr, BindingMode, ProtocolSpec, BROADCAST_COST, COUNTER_TAG};
 use gpu_sim::{
     occupancy, ArchGen, CacheOp, CtaContext, GpuConfig, KernelSpec, LaunchConfig, MemAccess, Op,
     Program,
 };
-
-/// Extra issue latency modelling the agent-id bidding of dynamic-binding
-/// architectures (atomic round trip is modelled by a real `Op::Atomic`;
-/// this covers the shared-memory broadcast).
-const BROADCAST_COST: u32 = 12;
-
-/// Global-memory word holding the per-SM agent counter array
-/// (`global_counters[smid]` in Listing 5), placed in a dedicated tag.
-const COUNTER_TAG: u16 = u16::MAX;
 
 /// A kernel transformed by agent-based clustering.
 ///
@@ -182,6 +174,20 @@ impl<K: KernelSpec> AgentKernel<K> {
             .collect()
     }
 
+    /// Architecture-level description of this launch's agent protocol,
+    /// for the concurrency verifier (see [`crate::protocol`]).
+    pub fn protocol(&self) -> ProtocolSpec {
+        ProtocolSpec {
+            binding: BindingMode::of(self.arch),
+            num_sms: self.num_sms,
+            max_agents: self.max_agents,
+            active_agents: self.active_agents,
+            cluster_sizes: (0..self.partition.num_clusters())
+                .map(|i| self.partition.cluster_size(i))
+                .collect(),
+        }
+    }
+
     /// The agent id a CTA derives at run time: hardware warp-slot based
     /// on static-binding architectures, atomic-ticket based otherwise.
     fn agent_id(&self, ctx: &CtaContext) -> u64 {
@@ -227,7 +233,7 @@ impl<K: KernelSpec> KernelSpec for AgentKernel<K> {
             if warp == 0 {
                 out.push(Op::Atomic(MemAccess::scalar(
                     COUNTER_TAG,
-                    (u64::from(COUNTER_TAG) << 32) + ctx.sm_id as u64 * 4,
+                    counter_addr(ctx.sm_id),
                     4,
                 )));
             }

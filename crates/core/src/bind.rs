@@ -33,6 +33,30 @@ pub fn rr_binding(u: u64, m: u64) -> (u64, u64) {
     (u / m, u % m)
 }
 
+/// Inverse of [`rr_binding`]: recovers the new-kernel CTA id `u` from a
+/// cluster coordinate, `u = w * M + i`.
+///
+/// Returns `None` when the recomposition would overflow `u64` (a
+/// coordinate no launchable kernel can produce, but one the verifier's
+/// symbolic domain must still account for) or when `i >= m`.
+///
+/// # Examples
+///
+/// ```
+/// use cta_clustering::{rr_binding, rr_unbinding};
+/// assert_eq!(rr_unbinding(2, 0, 2), Some(4));
+/// assert_eq!(rr_unbinding(rr_binding(17, 5).0, rr_binding(17, 5).1, 5), Some(17));
+/// assert_eq!(rr_unbinding(u64::MAX, 1, 2), None); // w*M overflows
+/// assert_eq!(rr_unbinding(0, 3, 2), None); // i out of range
+/// ```
+pub fn rr_unbinding(w: u64, i: u64, m: u64) -> Option<u64> {
+    assert!(m > 0, "at least one cluster required");
+    if i >= m {
+        return None;
+    }
+    w.checked_mul(m)?.checked_add(i)
+}
+
 /// Which binding scheme a transform uses (for reporting).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BindingScheme {
@@ -76,5 +100,18 @@ mod tests {
     #[should_panic(expected = "at least one cluster")]
     fn zero_clusters_panics() {
         rr_binding(3, 0);
+    }
+
+    #[test]
+    fn unbinding_round_trips_and_rejects_overflow() {
+        for u in [0u64, 1, 4, 5, 1 << 40, u64::MAX] {
+            for m in [1u64, 2, 7, u64::MAX] {
+                let (w, i) = rr_binding(u, m);
+                assert_eq!(rr_unbinding(w, i, m), Some(u), "u={u} m={m}");
+            }
+        }
+        assert_eq!(rr_unbinding(u64::MAX / 2 + 1, 0, 2), None);
+        assert_eq!(rr_unbinding(u64::MAX, u64::MAX - 1, u64::MAX), None);
+        assert_eq!(rr_unbinding(1, 2, 2), None);
     }
 }

@@ -61,12 +61,14 @@ mod bypass;
 mod error;
 mod framework;
 mod partition;
+pub mod protocol;
 mod redirect;
 
 pub use agent::AgentKernel;
-pub use bind::{rr_binding, BindingScheme};
+pub use bind::{rr_binding, rr_unbinding, BindingScheme};
 pub use bypass::BypassKernel;
 pub use error::ClusterError;
 pub use framework::{clamp_active_agents, Analysis, Axis, Framework, Plan};
 pub use partition::{Indexing, Partition};
+pub use protocol::{BindingMode, ProtocolSpec};
 pub use redirect::RedirectionKernel;

@@ -229,14 +229,20 @@ impl Partition {
         let big = self.total / self.clusters + 1;
         let small = self.total / self.clusters;
         let extra = self.total % self.clusters;
-        let boundary = extra * big;
-        if o < boundary {
+        // extra * big = extra + extra * small <= extra + M * small = |V|,
+        // so the boundary actually fits u64 (the symbolic proof in
+        // cta_analyzer::absint::branch_c establishes this); the u128
+        // comparison keeps that bound out of the trusted base. Whenever
+        // the else-branches run, `o >= boundary` bounds the cast.
+        let boundary = u128::from(extra) * u128::from(big);
+        if u128::from(o) < boundary {
             (o % big, o / big)
         } else if small == 0 {
             // More clusters than CTAs: the tail clusters are empty.
-            (0, extra + (o - boundary))
+            (0, extra + (o - boundary as u64))
         } else {
-            ((o - boundary) % small, extra + (o - boundary) / small)
+            let off = o - boundary as u64;
+            (off % small, extra + off / small)
         }
     }
 
@@ -251,9 +257,14 @@ impl Partition {
         debug_assert!(w < self.cluster_size(i), "w={w} i={i}");
         let small = self.total / self.clusters;
         let extra = self.total % self.clusters;
-        // Eq. 7: v = i*(|V|/M + 1) + w + min(|V|%M - i, 0).
-        let o = i * (small + 1) + w - i.saturating_sub(extra);
-        self.indexing.cta_at(self.grid, o)
+        // Eq. 7: v = i*(|V|/M + 1) + w + min(|V|%M - i, 0). The product
+        // `i*(small+1)` overflows u64 for |V| near u64::MAX (e.g. M =
+        // |V|/2 makes it ~1.5|V|), so the whole expression is evaluated
+        // in u128; the final value is a valid position `o < |V|`.
+        let o = u128::from(i) * (u128::from(small) + 1) + u128::from(w)
+            - u128::from(i.saturating_sub(extra));
+        debug_assert!(o < u128::from(self.total));
+        self.indexing.cta_at(self.grid, o as u64)
     }
 
     /// All CTAs of cluster `i`, in execution order.

@@ -429,6 +429,7 @@ impl<'a> Runner<'a> {
                         warp: ws.warp,
                         tag: a.tag,
                         is_write: kind == AccessKind::Store,
+                        is_atomic: kind == AccessKind::Atomic,
                         bytes_per_lane: a.bytes_per_lane,
                         addrs: &a.addrs,
                         latency,

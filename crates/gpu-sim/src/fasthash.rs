@@ -1,0 +1,130 @@
+//! A fast, deterministic, non-cryptographic hasher for the analysis and
+//! profiling hot paths.
+//!
+//! The default `std` hasher (SipHash-1-3) is keyed and DoS-resistant,
+//! which none of our internal maps need: keys are word addresses, array
+//! tags and CTA ids derived from deterministic walks. Profiling the
+//! `cta-analyzer` sweep showed the per-word `HashMap` traffic of the
+//! locality profilers dominating wall-clock, most of it SipHash. This
+//! module provides the rustc-style multiply-rotate hash (the `FxHash`
+//! algorithm) as a drop-in replacement: one rotate, one xor and one
+//! multiply per 8-byte chunk, with a fixed (unkeyed) initial state so
+//! iteration-independent consumers stay deterministic across runs.
+//!
+//! Not suitable for untrusted input — every use site feeds
+//! analyzer-generated keys only.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the FxHash algorithm (`0x51_7c_c1_b7_27_22_0a_95` is
+/// `2^64 / phi` rounded to odd, the classic Fibonacci-hashing constant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc `FxHasher`: multiply-rotate over 8-byte chunks.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (fixed initial state, fully
+/// deterministic).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_spreading() {
+        assert_eq!(hash_of(42u64), hash_of(42u64));
+        assert_ne!(hash_of(1u64), hash_of(2u64));
+        // Consecutive keys must not collide (the map use case: word
+        // addresses are consecutive).
+        let hashes: std::collections::HashSet<u64> = (0u64..1000).map(hash_of).collect();
+        assert_eq!(hashes.len(), 1000);
+    }
+
+    #[test]
+    fn byte_tail_handling() {
+        assert_ne!(hash_of("abc"), hash_of("abd"));
+        assert_ne!(hash_of([1u8, 2, 3]), hash_of([1u8, 2, 3, 0]));
+    }
+
+    #[test]
+    fn maps_work() {
+        let mut m: FxHashMap<(u16, u64), u32> = FxHashMap::default();
+        m.insert((3, 17), 1);
+        *m.entry((3, 17)).or_insert(0) += 1;
+        assert_eq!(m[&(3, 17)], 2);
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(9));
+        assert!(!s.insert(9));
+    }
+}

@@ -66,6 +66,7 @@ mod dim;
 mod engine;
 mod error;
 pub mod export;
+pub mod fasthash;
 mod kernel;
 mod memory;
 mod occupancy;
@@ -81,6 +82,7 @@ pub use config::{ArchGen, CacheConfig, GpuConfig, MemoryTimings, WritePolicy};
 pub use dim::Dim3;
 pub use engine::Simulation;
 pub use error::SimError;
+pub use fasthash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use kernel::{ArrayTag, CacheOp, CtaContext, KernelSpec, LaunchConfig, MemAccess, Op, Program};
 pub use memory::{Level, MemoryStats, MemorySystem};
 pub use occupancy::{occupancy, Occupancy, OccupancyLimiter};

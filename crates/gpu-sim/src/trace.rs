@@ -23,6 +23,11 @@ pub struct AccessEvent<'a> {
     pub tag: ArrayTag,
     /// Whether this is a store.
     pub is_write: bool,
+    /// Whether this is a serializing read-modify-write (the agent
+    /// transform's id-bidding ticket op). Atomics are neither plain
+    /// reads nor plain writes: concurrency analyses treat them as
+    /// synchronization, so the trace must keep them distinguishable.
+    pub is_atomic: bool,
     /// Bytes per lane.
     pub bytes_per_lane: u32,
     /// Per-lane byte addresses.
@@ -67,6 +72,8 @@ pub struct OwnedAccessEvent {
     pub tag: ArrayTag,
     /// Whether this is a store.
     pub is_write: bool,
+    /// Whether this is a serializing read-modify-write.
+    pub is_atomic: bool,
     /// Bytes per lane.
     pub bytes_per_lane: u32,
     /// Per-lane byte addresses.
@@ -94,6 +101,7 @@ impl TraceSink for VecSink {
             warp: e.warp,
             tag: e.tag,
             is_write: e.is_write,
+            is_atomic: e.is_atomic,
             bytes_per_lane: e.bytes_per_lane,
             addrs: e.addrs.to_vec(),
             latency: e.latency,
@@ -124,6 +132,7 @@ mod tests {
             warp: 0,
             tag: 3,
             is_write: false,
+            is_atomic: false,
             bytes_per_lane: 4,
             addrs: &addrs,
             latency: 125,

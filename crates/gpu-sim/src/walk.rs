@@ -15,7 +15,59 @@
 //! simulation, so whole-suite sweeps stay cheap.
 
 use crate::config::GpuConfig;
-use crate::kernel::{CtaContext, KernelSpec, Program};
+use crate::kernel::{CtaContext, KernelSpec, MemAccess, Op, Program};
+
+/// How one op participates in synchronization and conflict analysis.
+///
+/// This is the view of the IR that concurrency passes (happens-before
+/// race detection in `cta-analyzer`) consume: every op is either a
+/// memory event on a location set (read / write / atomic
+/// read-modify-write), a CTA-wide barrier, or invisible (pure compute —
+/// including the agent transform's shared-memory broadcast delay, which
+/// carries no globally-visible location).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncOp<'a> {
+    /// A demand or prefetch read of the access's locations.
+    Read(&'a MemAccess),
+    /// A store to the access's locations.
+    Write(&'a MemAccess),
+    /// A serializing read-modify-write: both a conflict source against
+    /// plain accesses and a synchronization (release/acquire) point —
+    /// this is the agent protocol's id-bidding ticket op.
+    Atomic(&'a MemAccess),
+    /// CTA-wide `__syncthreads()`: joins all warps of the CTA.
+    Barrier,
+}
+
+impl<'a> SyncOp<'a> {
+    /// Classifies one op; `None` for ops with no synchronization or
+    /// memory semantics (compute delays).
+    pub fn classify(op: &'a Op) -> Option<Self> {
+        match op {
+            Op::Load(a) => Some(SyncOp::Read(a)),
+            Op::Store(a) => Some(SyncOp::Write(a)),
+            Op::Atomic(a) => Some(SyncOp::Atomic(a)),
+            Op::Barrier => Some(SyncOp::Barrier),
+            Op::Compute(_) => None,
+        }
+    }
+
+    /// The memory access carried by this sync op, if any.
+    pub fn access(&self) -> Option<&'a MemAccess> {
+        match self {
+            SyncOp::Read(a) | SyncOp::Write(a) | SyncOp::Atomic(a) => Some(a),
+            SyncOp::Barrier => None,
+        }
+    }
+}
+
+/// Iterates the synchronization-relevant ops of a warp program in issue
+/// order, with their op indices (compute delays are skipped).
+pub fn sync_ops(prog: &Program) -> impl Iterator<Item = (usize, SyncOp<'_>)> {
+    prog.iter()
+        .enumerate()
+        .filter_map(|(i, op)| SyncOp::classify(op).map(|s| (i, s)))
+}
 
 /// Iterator over the idealized-RR dispatch contexts of a launch.
 ///
@@ -89,6 +141,25 @@ mod tests {
                 4,
             ))]
         }
+    }
+
+    #[test]
+    fn sync_op_classification() {
+        let prog: Program = vec![
+            Op::Load(MemAccess::scalar(0, 0, 4)),
+            Op::Compute(7),
+            Op::Atomic(MemAccess::scalar(1, 64, 4)),
+            Op::Barrier,
+            Op::Store(MemAccess::scalar(2, 128, 4)),
+        ];
+        let evs: Vec<(usize, SyncOp)> = sync_ops(&prog).collect();
+        assert_eq!(evs.len(), 4, "compute is invisible");
+        assert!(matches!(evs[0], (0, SyncOp::Read(a)) if a.tag == 0));
+        assert!(matches!(evs[1], (2, SyncOp::Atomic(a)) if a.tag == 1));
+        assert!(matches!(evs[2], (3, SyncOp::Barrier)));
+        assert!(matches!(evs[3], (4, SyncOp::Write(a)) if a.tag == 2));
+        assert_eq!(evs[3].1.access().unwrap().addrs, vec![128]);
+        assert_eq!(SyncOp::Barrier.access(), None);
     }
 
     #[test]

@@ -1,8 +1,7 @@
 //! Locality-source classification: the five application categories of the
 //! paper's Figure 4, detected from the pre-L1 access stream.
 
-use gpu_sim::{AccessEvent, TraceSink};
-use std::collections::HashMap;
+use gpu_sim::{AccessEvent, FxHashMap, TraceSink};
 use std::fmt;
 
 /// The paper's five sources of inter-CTA locality (Figure 4).
@@ -94,8 +93,11 @@ struct LineInfo {
 #[derive(Debug)]
 pub struct CategoryProfiler {
     line_bytes: u64,
-    words: HashMap<u64, (u64, bool, bool)>, // word -> (first_cta, multi_cta, reused)
-    lines: HashMap<u64, LineInfo>,
+    words: FxHashMap<u64, (u64, bool, bool)>, // word -> (first_cta, multi_cta, reused)
+    lines: FxHashMap<u64, LineInfo>,
+    // Per-record scratch (reused to keep the hot path allocation-free).
+    seen_lines: Vec<u64>,
+    seen_words: Vec<u64>,
     word_accesses: u64,
     word_reuses: u64,
     word_inter: u64,
@@ -133,8 +135,10 @@ impl CategoryProfiler {
         );
         CategoryProfiler {
             line_bytes,
-            words: HashMap::new(),
-            lines: HashMap::new(),
+            words: FxHashMap::default(),
+            lines: FxHashMap::default(),
+            seen_lines: Vec::new(),
+            seen_words: Vec::new(),
             word_accesses: 0,
             word_reuses: 0,
             word_inter: 0,
@@ -236,9 +240,13 @@ impl TraceSink for CategoryProfiler {
         if e.is_write {
             self.stores += 1;
         }
-        // Coalescing accounting against the reference line size.
-        let mut seen_lines: Vec<u64> = Vec::with_capacity(4);
-        let mut seen_words: Vec<u64> = Vec::with_capacity(e.addrs.len());
+        // Coalescing accounting against the reference line size. The
+        // dedup scratch lives on `self` so the per-access hot path stays
+        // allocation-free.
+        let mut seen_lines = std::mem::take(&mut self.seen_lines);
+        let mut seen_words = std::mem::take(&mut self.seen_words);
+        seen_lines.clear();
+        seen_words.clear();
         for &addr in e.addrs {
             let line = addr / self.line_bytes;
             if !seen_lines.contains(&line) {
@@ -327,6 +335,8 @@ impl TraceSink for CategoryProfiler {
                 }
             }
         }
+        self.seen_lines = seen_lines;
+        self.seen_words = seen_words;
     }
 }
 
@@ -343,6 +353,7 @@ mod tests {
             warp,
             tag: 0,
             is_write,
+            is_atomic: false,
             bytes_per_lane: 4,
             addrs,
             latency: 1,

@@ -42,7 +42,10 @@ impl<S: TraceSink> StaticFeed<S> {
         self.issued
     }
 
-    /// Feeds one raw access.
+    /// Feeds one raw access. Atomics are fed with both `is_write` and
+    /// `is_atomic` set: they mutate their word (write-sharing for the
+    /// reuse profilers) while staying distinguishable as synchronization
+    /// for concurrency-aware sinks.
     #[allow(clippy::too_many_arguments)]
     pub fn access(
         &mut self,
@@ -51,6 +54,7 @@ impl<S: TraceSink> StaticFeed<S> {
         warp: u32,
         tag: ArrayTag,
         is_write: bool,
+        is_atomic: bool,
         bytes_per_lane: u32,
         addrs: &[u64],
     ) {
@@ -62,6 +66,7 @@ impl<S: TraceSink> StaticFeed<S> {
             warp,
             tag,
             is_write,
+            is_atomic,
             bytes_per_lane,
             addrs,
             latency: 1,
@@ -74,9 +79,10 @@ impl<S: TraceSink> StaticFeed<S> {
     /// barriers are skipped; prefetches carry no demand and are skipped
     /// too).
     pub fn op(&mut self, cta: u64, sm_id: usize, warp: u32, op: &Op) {
-        let (access, is_write) = match op {
-            Op::Load(a) => (a, false),
-            Op::Store(a) | Op::Atomic(a) => (a, true),
+        let (access, is_write, is_atomic) = match op {
+            Op::Load(a) => (a, false, false),
+            Op::Store(a) => (a, true, false),
+            Op::Atomic(a) => (a, true, true),
             Op::Compute(_) | Op::Barrier => return,
         };
         if access.cache_op == gpu_sim::CacheOp::PrefetchL1 {
@@ -88,6 +94,7 @@ impl<S: TraceSink> StaticFeed<S> {
             warp,
             access.tag,
             is_write,
+            is_atomic,
             access.bytes_per_lane,
             &access.addrs,
         );

@@ -233,6 +233,7 @@ mod tests {
             warp,
             tag: 0,
             is_write,
+            is_atomic: false,
             bytes_per_lane: 4,
             addrs: addrs.to_vec(),
             latency: 1,
@@ -249,6 +250,7 @@ mod tests {
             warp: ev.warp,
             tag: ev.tag,
             is_write: ev.is_write,
+            is_atomic: ev.is_atomic,
             bytes_per_lane: ev.bytes_per_lane,
             addrs: &ev.addrs,
             latency: ev.latency,

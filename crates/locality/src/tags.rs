@@ -5,7 +5,7 @@
 //! "we bypass the streaming accesses to L1 ... to prevent them from
 //! contending resources with the accesses that have inter-CTA reuse."
 
-use gpu_sim::{AccessEvent, ArrayTag, TraceSink};
+use gpu_sim::{AccessEvent, ArrayTag, FxHashMap, TraceSink};
 use std::collections::HashMap;
 
 /// Reuse statistics of one array tag.
@@ -51,8 +51,9 @@ impl TagSummary {
 /// ```
 #[derive(Debug, Default)]
 pub struct TagReuseProfiler {
-    words: HashMap<(ArrayTag, u64), u64>, // (tag, word) -> last toucher CTA + 1 (0 = unseen)
+    words: FxHashMap<(ArrayTag, u64), u64>, // (tag, word) -> last toucher CTA + 1 (0 = unseen)
     tags: HashMap<ArrayTag, TagSummary>,
+    seen: Vec<u64>, // per-record dedup scratch
 }
 
 impl TagReuseProfiler {
@@ -95,7 +96,8 @@ impl TraceSink for TagReuseProfiler {
         if e.is_write {
             entry.writes += e.addrs.len() as u64;
         }
-        let mut seen: Vec<u64> = Vec::with_capacity(e.addrs.len());
+        let mut seen = std::mem::take(&mut self.seen);
+        seen.clear();
         for &addr in e.addrs {
             let word = addr / 4;
             if seen.contains(&word) {
@@ -112,6 +114,7 @@ impl TraceSink for TagReuseProfiler {
             }
             *slot = e.cta + 1;
         }
+        self.seen = seen;
     }
 }
 
@@ -128,6 +131,7 @@ mod tests {
             warp: 0,
             tag,
             is_write,
+            is_atomic: false,
             bytes_per_lane: 4,
             addrs,
             latency: 1,
