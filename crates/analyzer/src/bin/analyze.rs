@@ -93,7 +93,26 @@ enum Job {
     Arithmetic,
 }
 
+/// Deterministic telemetry label for a job: stable across thread counts
+/// and job orderings, so the exported span table is byte-identical.
+fn job_label(job: &Job, presets: &[GpuConfig]) -> String {
+    match job {
+        Job::Workload { preset, index } => {
+            let cfg = &presets[*preset];
+            let abbr = gpu_kernels::suite::fig3_suite(cfg.arch)
+                .into_iter()
+                .nth(*index)
+                .map(|w| w.info().abbr)
+                .unwrap_or("?");
+            format!("analyze/{}/{}", cfg.name, abbr)
+        }
+        Job::Protocol { preset } => format!("modelcheck/{}", presets[*preset].name),
+        Job::Arithmetic => "absint/arithmetic".to_string(),
+    }
+}
+
 fn run_job(job: &Job, presets: &[GpuConfig]) -> Report {
+    let _job_span = cta_obs::span(job_label(job, presets));
     let mut report = Report::new();
     match job {
         Job::Workload { preset, index } => {
@@ -169,6 +188,8 @@ fn main() -> ExitCode {
     }
     jobs.push(Job::Arithmetic);
 
+    let root_span = cta_obs::span("bin/analyze");
+
     // Round-robin the jobs across the workers; each worker reports
     // (job index, report) so the merge below is by job order, making
     // the output byte-identical for any worker count. Worker panics are
@@ -220,6 +241,15 @@ fn main() -> ExitCode {
         println!("{}", render_json(&report));
     } else {
         print!("{}", report.render_human());
+    }
+
+    drop(root_span);
+    if let Some((jsonl, trace)) = cta_obs::export_global("analyze") {
+        eprintln!(
+            "telemetry: wrote {} and {}",
+            jsonl.display(),
+            trace.display()
+        );
     }
 
     if report.deny_count() > 0 {

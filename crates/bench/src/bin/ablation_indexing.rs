@@ -34,6 +34,10 @@ const INDEXINGS: [(&str, Indexing); 4] = [
 ];
 
 fn main() -> Result<(), ClusterError> {
+    cluster_bench::with_obs("ablation_indexing", run)
+}
+
+fn run() -> Result<(), ClusterError> {
     let cfg = arch::gtx570().prefer_l1(8192);
     let threads = configured_threads();
     let clock = RunClock::start(threads);

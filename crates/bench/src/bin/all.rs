@@ -6,6 +6,10 @@ use std::process::Command;
 use std::time::Instant;
 
 fn main() -> Result<(), ClusterError> {
+    cluster_bench::with_obs("all", run)
+}
+
+fn run() -> Result<(), ClusterError> {
     let t0 = Instant::now();
     let exe = std::env::current_exe()
         .map_err(|e| ClusterError::harness(format!("cannot resolve own executable path: {e}")))?;

@@ -7,6 +7,10 @@ use cluster_bench::report::{ratio, Table};
 use cluster_bench::{configured_threads, evaluate_matrix, Panel, RunClock, Variant};
 
 fn main() {
+    cluster_bench::with_obs("fig12_speedup", run)
+}
+
+fn run() {
     let threads = configured_threads();
     let clock = RunClock::start(threads);
     println!("Figure 12: normalized performance speedup and achieved occupancy");

@@ -5,6 +5,10 @@ use cluster_bench::report::{pct, Table};
 use cluster_bench::{configured_threads, evaluate_matrix, Panel, RunClock, Variant};
 
 fn main() {
+    cluster_bench::with_obs("fig13_cache", run)
+}
+
+fn run() {
     let threads = configured_threads();
     let clock = RunClock::start(threads);
     println!("Figure 13: normalized L2 cache transactions and L1 hit rates");

@@ -7,6 +7,10 @@ use cluster_bench::report::Table;
 use cta_clustering::ClusterError;
 
 fn main() -> Result<(), ClusterError> {
+    cluster_bench::with_obs("fig2_microbench", run)
+}
+
+fn run() -> Result<(), ClusterError> {
     println!("Figure 2: exploiting inter-CTA reuse on the SM that holds CTA-0");
     println!("(A) default scheduling = temporal locality; (B) staggered = spatial locality");
     println!();

@@ -7,6 +7,10 @@ use cta_clustering::ClusterError;
 use gpu_sim::ArchGen;
 
 fn main() -> Result<(), ClusterError> {
+    cluster_bench::with_obs("fig3_reuse", run)
+}
+
+fn run() -> Result<(), ClusterError> {
     println!("Figure 3: share of inter-CTA vs intra-CTA reuse (pre-L1 stream)");
     println!();
     let bars = fig3::profile_suite(ArchGen::Kepler)?;

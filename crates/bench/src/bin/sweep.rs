@@ -8,6 +8,10 @@ use cluster_bench::{configured_threads, evaluate_arch_par, RunClock, Variant};
 use gpu_sim::arch;
 
 fn main() {
+    cluster_bench::with_obs("sweep", run)
+}
+
+fn run() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "fermi".into());
     let cfg = match which.as_str() {
         "fermi" => arch::gtx570(),

@@ -26,8 +26,15 @@ static BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
 
 /// Adds `d` to the process-wide busy-time counter. Called by
 /// [`AppPlan::run`] around every simulation, on whichever thread runs it.
+///
+/// When telemetry is on, the same quantity lands on the recorder as
+/// `time/busy_ns` — a wall-clock metric, so it appears in the Chrome
+/// trace but is excluded from the deterministic JSONL export.
 pub fn record_busy(d: Duration) {
     BUSY_NANOS.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    if let Some(obs) = cta_obs::maybe_global() {
+        obs.counter("time/busy_ns", "", d.as_nanos() as u64);
+    }
 }
 
 /// Busy time accumulated so far.
@@ -91,7 +98,17 @@ where
         for _ in 0..threads.min(items.len()) {
             s.spawn(|| loop {
                 // Hold the queue lock only for the recv, not the work.
+                let wait_start = Instant::now();
                 let next = queue.lock().expect("queue lock").recv();
+                if let Some(obs) = cta_obs::maybe_global() {
+                    // Queue-wait vs busy: wall-clock, so `time/`-prefixed
+                    // (Chrome trace only, never the deterministic JSONL).
+                    obs.counter(
+                        "time/queue_wait_ns",
+                        "",
+                        wait_start.elapsed().as_nanos() as u64,
+                    );
+                }
                 match next {
                     Ok(i) => *slots[i].lock().expect("slot lock") = Some(f(&items[i])),
                     Err(_) => break,
@@ -241,6 +258,25 @@ pub fn evaluate_arch_par(cfg: &GpuConfig, threads: usize) -> ArchEvaluation {
 /// Parallel counterpart of [`crate::evaluate_all`].
 pub fn evaluate_all_par(threads: usize) -> Vec<ArchEvaluation> {
     evaluate_matrix(&gpu_sim::arch::all_presets(), threads)
+}
+
+/// Wraps a bin's body in a root telemetry span and, when `CLUSTER_OBS`
+/// is set, exports `<bin>.jsonl` (deterministic) and `<bin>.trace.json`
+/// (Chrome trace) on the way out. The export paths go to *stderr* so a
+/// bin's stdout stays byte-comparable across telemetry modes.
+pub fn with_obs<R>(bin: &str, f: impl FnOnce() -> R) -> R {
+    let result = {
+        let _root = cta_obs::span(format!("bin/{bin}"));
+        f()
+    };
+    if let Some((jsonl, trace)) = cta_obs::export_global(bin) {
+        eprintln!(
+            "telemetry: wrote {} and {}",
+            jsonl.display(),
+            trace.display()
+        );
+    }
+    result
 }
 
 /// Wall-clock + busy-time bracket for a bin's report footer.

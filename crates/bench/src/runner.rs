@@ -135,6 +135,22 @@ pub enum SimRequest {
     Prefetch(u32),
 }
 
+impl SimRequest {
+    /// Short telemetry label: `BSL`, `RD`, `CLU`, `TOT{n}`, `BPS{n}`,
+    /// `PFH{n}`. Throttle degrees are part of the label so every job of
+    /// a sweep gets its own span and metric scope.
+    pub fn label(&self) -> String {
+        match self {
+            SimRequest::Baseline => "BSL".into(),
+            SimRequest::Redirection => "RD".into(),
+            SimRequest::Clustering => "CLU".into(),
+            SimRequest::Throttled(n) => format!("TOT{n}"),
+            SimRequest::Bypass(n) => format!("BPS{n}"),
+            SimRequest::Prefetch(n) => format!("PFH{n}"),
+        }
+    }
+}
+
 /// One workload's prepared evaluation: the configured GPU, the hinted
 /// partition (computed once), the agent-kernel template, and the
 /// throttling candidate set. Every [`SimRequest`] runs off this shared,
@@ -209,32 +225,30 @@ impl AppPlan {
 
     /// Runs one request to completion. Pure with respect to the plan:
     /// the same request always yields the same [`RunStats`].
+    ///
+    /// The whole job runs inside a telemetry span named by its scope
+    /// (`{gpu}/{app}/{label}`, e.g. `GTX570/MM/CLU`), on whichever
+    /// thread executes it.
     pub fn run(&self, req: SimRequest) -> RunStats {
         let t0 = std::time::Instant::now();
+        let scope = format!("{}/{}/{}", self.cfg.name, self.info.abbr, req.label());
+        let _job = cta_obs::span(scope.clone());
         let stats = match req {
-            SimRequest::Baseline => Simulation::new(self.cfg.clone(), &self.kernel)
-                .run()
+            SimRequest::Baseline => self
+                .simulate(&self.kernel, req, &scope)
                 .expect("baseline run"),
             SimRequest::Redirection => {
                 let rd = RedirectionKernel::new(self.kernel.clone(), self.partition.clone());
-                let stats = Simulation::new(self.cfg.clone(), &rd)
-                    .run()
-                    .expect("RD run");
-                stats
+                self.simulate(&rd, req, &scope).expect("RD run")
             }
-            SimRequest::Clustering => Simulation::new(self.cfg.clone(), &self.agents)
-                .run()
-                .expect("CLU run"),
+            SimRequest::Clustering => self.simulate(&self.agents, req, &scope).expect("CLU run"),
             SimRequest::Throttled(active) => {
                 let throttled = self
                     .agents
                     .clone()
                     .with_active_agents(active)
                     .expect("valid throttle");
-                let stats = Simulation::new(self.cfg.clone(), &throttled)
-                    .run()
-                    .expect("TOT run");
-                stats
+                self.simulate(&throttled, req, &scope).expect("TOT run")
             }
             SimRequest::Bypass(active) => {
                 // Bypassing: streaming tags from the framework's probe.
@@ -251,10 +265,7 @@ impl AppPlan {
                 .expect("bypass transform")
                 .with_active_agents(active)
                 .expect("valid throttle");
-                let stats = Simulation::new(self.cfg.clone(), &bypassed)
-                    .run()
-                    .expect("BPS run");
-                stats
+                self.simulate(&bypassed, req, &scope).expect("BPS run")
             }
             SimRequest::Prefetch(active) => {
                 let prefetching = self
@@ -263,14 +274,48 @@ impl AppPlan {
                     .with_active_agents(active)
                     .expect("valid throttle")
                     .with_prefetch(2);
-                let stats = Simulation::new(self.cfg.clone(), &prefetching)
-                    .run()
-                    .expect("PFH run");
-                stats
+                self.simulate(&prefetching, req, &scope).expect("PFH run")
             }
         };
         crate::par::record_busy(t0.elapsed());
         stats
+    }
+
+    /// Runs one simulation, telemetry-aware. With `CLUSTER_OBS` off this
+    /// is exactly `Simulation::run` — the differential test pins that
+    /// figures are byte-identical either way. With it on, the run is
+    /// traced through a [`locality::ObsSink`] (trace sinks observe the
+    /// access stream, they cannot steer the simulation) and the
+    /// resulting [`RunStats`] counters are recorded under `scope`.
+    fn simulate<K: KernelSpec>(
+        &self,
+        kernel: &K,
+        req: SimRequest,
+        scope: &str,
+    ) -> Result<RunStats, gpu_sim::SimError> {
+        let mut sim = Simulation::new(self.cfg.clone(), kernel);
+        let Some(obs) = cta_obs::maybe_global() else {
+            return sim.run();
+        };
+        // Cluster attribution: the baseline knows which cluster a CTA's
+        // data *would* belong to from the hinted partition; clustered
+        // variants bind one cluster per SM (agents adopt the cluster of
+        // the SM they land on), so there the SM id is the cluster id.
+        let stats = if matches!(req, SimRequest::Baseline) {
+            let partition = self.partition.clone();
+            let mut sink =
+                locality::ObsSink::new(scope, move |cta, _sm| partition.assign(cta).0 as u32);
+            let stats = sim.run_traced(&mut sink)?;
+            sink.finish(obs);
+            stats
+        } else {
+            let mut sink = locality::ObsSink::new(scope, |_cta, sm| sm as u32);
+            let stats = sim.run_traced(&mut sink)?;
+            sink.finish(obs);
+            stats
+        };
+        stats.record_obs(obs, scope);
+        Ok(stats)
     }
 
     /// Picks the winning throttling degree from phase-A results

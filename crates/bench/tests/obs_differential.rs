@@ -1,0 +1,89 @@
+//! Differential test for the observability layer: turning telemetry on
+//! must not change a single byte of the figures. The fig12-style matrix
+//! is evaluated with recording off, then again with recording forced on
+//! (serially and across worker threads), and every `RunStats` and every
+//! rendered table cell must match exactly.
+//!
+//! One `#[test]` on purpose: `cta_obs::force_enable` is process-wide and
+//! irreversible, so the off-phase must run first and exactly once.
+
+use cluster_bench::report::{ratio, Table};
+use cluster_bench::{evaluate_apps_par, AppEvaluation, Variant};
+use gpu_sim::arch;
+
+fn workloads() -> Vec<Box<dyn gpu_kernels::Workload>> {
+    ["NW", "BS"]
+        .iter()
+        .map(|a| gpu_kernels::suite::by_abbr(a, gpu_sim::ArchGen::Fermi).expect("suite app"))
+        .collect()
+}
+
+/// Renders the fig12-style rows exactly as the bins do.
+fn render(evals: &[AppEvaluation]) -> String {
+    let mut t = Table::new(&["app", "RD", "CLU", "CLU+TOT", "+BPS", "PFH+TOT", "agents"]);
+    for eval in evals {
+        t.row(vec![
+            eval.info.abbr.to_string(),
+            ratio(eval.speedup(Variant::Redirection)),
+            ratio(eval.speedup(Variant::Clustering)),
+            ratio(eval.speedup(Variant::ClusteringThrottled)),
+            ratio(eval.speedup(Variant::ClusteringThrottledBypass)),
+            ratio(eval.speedup(Variant::PrefetchThrottled)),
+            eval.chosen_agents.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[test]
+fn telemetry_does_not_change_the_figures() {
+    let cfg = arch::gtx570();
+
+    // Phase 1: telemetry off (the test environment does not set
+    // CLUSTER_OBS; if a caller exported it anyway, the comparison
+    // below still must hold — it just degenerates to on-vs-on).
+    let off_serial = evaluate_apps_par(&cfg, workloads(), 1);
+    let off_par = evaluate_apps_par(&cfg, workloads(), 8);
+    let golden = render(&off_serial);
+    assert_eq!(render(&off_par), golden, "thread-count determinism (off)");
+
+    // Phase 2: telemetry on. Every simulation now streams through the
+    // ObsSink, emits per-SM counters, spans, and queue clocks.
+    cta_obs::force_enable();
+    let on_serial = evaluate_apps_par(&cfg, workloads(), 1);
+    let on_par = evaluate_apps_par(&cfg, workloads(), 8);
+
+    for (phase, on) in [("serial", &on_serial), ("8 threads", &on_par)] {
+        assert_eq!(on.len(), off_serial.len());
+        for (on_app, off_app) in on.iter().zip(&off_serial) {
+            assert_eq!(on_app.info.abbr, off_app.info.abbr);
+            assert_eq!(
+                on_app.chosen_agents, off_app.chosen_agents,
+                "{phase}: throttle choice"
+            );
+            for v in Variant::ALL {
+                assert_eq!(
+                    on_app.stats(v),
+                    off_app.stats(v),
+                    "{}: full stats, {phase}, telemetry on vs off",
+                    v
+                );
+            }
+        }
+        assert_eq!(render(on), golden, "{phase}: rendered figure bytes");
+    }
+
+    // And the recording that piggybacked on phase 2 must itself be a
+    // valid, conservation-clean export.
+    let snap = cta_obs::global().snapshot();
+    let jsonl = cta_obs::render_jsonl(&snap, "obs_differential");
+    cta_obs::validate(&jsonl).expect("phase-2 export validates");
+    assert!(
+        snap.counter_total("sim/l1_reads") > 0,
+        "instrumentation recorded cache traffic"
+    );
+    assert!(
+        snap.span_count("GTX570/NW/BSL") >= 2,
+        "each phase-2 evaluation opened a baseline span"
+    );
+}

@@ -189,8 +189,16 @@ impl Framework {
 
         let streaming_tags: Vec<ArrayTag> = sinks.tags.streaming_tags(64);
 
+        let category = sinks.category.classify();
+        if let Some(obs) = cta_obs::maybe_global() {
+            let name = kernel.name();
+            obs.counter("framework/classified", &format!("{name}/{category:?}"), 1);
+            obs.counter("framework/axis", &format!("{name}/{:?}", best.0), 1);
+            sinks.reuse.record_obs(obs, &name);
+        }
+
         Ok(Analysis {
-            category: sinks.category.classify(),
+            category,
             signature: sinks.category.signature(),
             reuse: sinks.reuse.summary(),
             axis: best.0,

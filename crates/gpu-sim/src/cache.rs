@@ -30,6 +30,9 @@ pub struct CacheStats {
     pub write_misses: u64,
     /// Lines invalidated by the write-evict policy.
     pub write_evictions: u64,
+    /// Valid lines replaced by an allocating miss (capacity/conflict
+    /// evictions; dirty or clean).
+    pub evictions: u64,
     /// Dirty lines written back on eviction.
     pub writebacks: u64,
     /// Misses that stalled for a free MSHR entry.
@@ -57,6 +60,7 @@ impl CacheStats {
         self.write_hits += other.write_hits;
         self.write_misses += other.write_misses;
         self.write_evictions += other.write_evictions;
+        self.evictions += other.evictions;
         self.writebacks += other.writebacks;
         self.mshr_stalls += other.mshr_stalls;
         self.mshr_wait_cycles += other.mshr_wait_cycles;
@@ -255,6 +259,9 @@ impl Cache {
             .min_by_key(|l| (l.valid, l.lru))
             .expect("associativity >= 1");
         let dirty_victim = victim.valid && victim.dirty;
+        if victim.valid {
+            self.stats.evictions += 1;
+        }
         if dirty_victim {
             self.stats.writebacks += 1;
         }
@@ -409,6 +416,8 @@ mod tests {
         assert!(!c.probe(0, 10));
         assert!(c.probe(peers[0], 10));
         assert!(c.probe(peers[1], 10));
+        // Only the replacement of line 0 displaced valid data.
+        assert_eq!(c.stats.evictions, 1);
     }
 
     #[test]

@@ -387,6 +387,7 @@ impl<'a> Runner<'a> {
             warps,
             l1_sectors,
             lsu_free,
+            bypassed_reads,
             ..
         } = sm;
         let ws = warps[warp_idx].as_mut().expect("issuable warp");
@@ -413,6 +414,7 @@ impl<'a> Runner<'a> {
                     l1_sectors,
                     &mut self.mem,
                     lsu_free,
+                    bypassed_reads,
                     a,
                     kind,
                     sector,
@@ -461,10 +463,15 @@ impl<'a> Runner<'a> {
         let mut l1 = CacheStats::default();
         let mut occ_integral = 0u64;
         let mut ctas_per_sm = Vec::with_capacity(self.sms.len());
+        let mut per_sm_l1 = Vec::with_capacity(self.sms.len());
+        let mut l1_bypass_per_sm = Vec::with_capacity(self.sms.len());
         for sm in &mut self.sms {
             sm.account_warps(cycles, 0);
             occ_integral += sm.occ_integral;
-            l1.absorb(&sm.l1_stats());
+            let sm_l1 = sm.l1_stats();
+            l1.absorb(&sm_l1);
+            per_sm_l1.push(sm_l1);
+            l1_bypass_per_sm.push(sm.bypassed_reads);
             ctas_per_sm.push(sm.dispatch_count);
         }
         let achieved_occupancy = occ_integral as f64
@@ -477,6 +484,8 @@ impl<'a> Runner<'a> {
             cycles,
             instructions: self.instructions,
             l1,
+            per_sm_l1,
+            l1_bypass_per_sm,
             l2: self.mem.l2_cache_stats(),
             memory: self.mem.stats,
             achieved_occupancy,
@@ -506,6 +515,7 @@ fn resolve_access(
     l1_sectors: &mut [Cache],
     mem: &mut MemorySystem,
     lsu_free: &mut u64,
+    bypassed_reads: &mut u64,
     access: &MemAccess,
     kind: AccessKind,
     sector: usize,
@@ -546,6 +556,7 @@ fn resolve_access(
             let bypass = access.cache_op == CacheOp::BypassL1 || !cfg.l1_enabled;
             let (latency, level) = if bypass {
                 coalesce_lines_into(access, cfg.l2.line_bytes, line_buf);
+                *bypassed_reads += line_buf.len() as u64;
                 let mut done = t;
                 let mut level = Level::L2;
                 for &line in line_buf.iter() {

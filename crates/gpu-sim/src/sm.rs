@@ -58,6 +58,9 @@ pub(crate) struct SmState {
     /// replays divergent accesses one line-transaction per cycle, which
     /// bounds how fast one SM can flood the memory system.
     pub lsu_free: u64,
+    /// L2-line transactions issued by loads that bypassed L1 (explicit
+    /// `BypassL1` cache op, or L1 disabled architecturally).
+    pub bypassed_reads: u64,
     /// Occupancy accounting: live warps right now.
     pub active_warps: u32,
     /// Integral of `active_warps` over time.
@@ -85,6 +88,7 @@ impl SmState {
             dispatch_count: 0,
             pending_dispatch: Vec::new(),
             lsu_free: 0,
+            bypassed_reads: 0,
             active_warps: 0,
             occ_integral: 0,
             occ_last_change: 0,

@@ -34,6 +34,12 @@ pub struct RunStats {
     pub instructions: u64,
     /// Aggregated L1 statistics over all SMs and sectors.
     pub l1: CacheStats,
+    /// L1 statistics per SM (sectors aggregated). Summing these equals
+    /// [`RunStats::l1`]; the telemetry conservation tests pin that.
+    pub per_sm_l1: Vec<CacheStats>,
+    /// Per-SM count of L2-line transactions issued by loads that bypassed
+    /// L1 (explicit `BypassL1` cache op, or L1 disabled).
+    pub l1_bypass_per_sm: Vec<u64>,
     /// Aggregated L2 cache-array statistics over all banks.
     pub l2: CacheStats,
     /// Device memory-system counters (L2/DRAM transactions).
@@ -92,6 +98,31 @@ impl RunStats {
             .map(|p| p.cta)
             .collect()
     }
+
+    /// Emits this run's telemetry onto a recorder: per-SM L1
+    /// hit/reserved/miss/eviction/bypass counters (keys `{scope}/smN`)
+    /// plus run-level cycle, instruction and L2-transaction counters
+    /// (key `{scope}`). Purely observational — reads `self`, mutates
+    /// nothing — so recording cannot perturb the simulation it reports
+    /// on.
+    pub fn record_obs(&self, obs: &cta_obs::Obs, scope: &str) {
+        for (i, sm) in self.per_sm_l1.iter().enumerate() {
+            let key = format!("{scope}/sm{i}");
+            obs.counter("sim/l1_reads", &key, sm.reads);
+            obs.counter("sim/l1_hits", &key, sm.read_hits);
+            obs.counter("sim/l1_reserved", &key, sm.read_reserved);
+            obs.counter("sim/l1_misses", &key, sm.read_misses);
+            obs.counter("sim/l1_evictions", &key, sm.evictions);
+            obs.counter(
+                "sim/l1_bypass",
+                &key,
+                self.l1_bypass_per_sm.get(i).copied().unwrap_or(0),
+            );
+        }
+        obs.counter("sim/cycles", scope, self.cycles);
+        obs.counter("sim/instructions", scope, self.instructions);
+        obs.counter("sim/l2_transactions", scope, self.l2_transactions());
+    }
 }
 
 /// Geometric mean of an iterator of positive ratios; the aggregation the
@@ -121,6 +152,8 @@ mod tests {
             cycles,
             instructions: 0,
             l1: CacheStats::default(),
+            per_sm_l1: vec![],
+            l1_bypass_per_sm: vec![],
             l2: CacheStats::default(),
             memory: MemoryStats {
                 l2_read_txns: l2_reads,

@@ -28,11 +28,13 @@
 mod category;
 mod distance;
 mod feed;
+mod obs_sink;
 mod profiler;
 mod tags;
 
 pub use category::{classify, Category, CategoryProfiler, Signature};
 pub use distance::ReuseDistance;
 pub use feed::StaticFeed;
+pub use obs_sink::ObsSink;
 pub use profiler::{ReuseProfiler, ReuseScope, ReuseSummary};
 pub use tags::{TagReuseProfiler, TagSummary};

@@ -154,6 +154,21 @@ impl ReuseProfiler {
         s
     }
 
+    /// Emits the profiler's classification decisions as telemetry
+    /// counters under `scope`: one `locality/reuse_*` counter per scope
+    /// class plus the access and word totals. The conservation law
+    /// `reuse_intra_warp + reuse_intra_cta + reuse_inter_cta <=
+    /// accesses` is pinned by the repo-root telemetry tests.
+    pub fn record_obs(&self, obs: &cta_obs::Obs, scope: &str) {
+        let s = self.summary();
+        obs.counter("locality/accesses", scope, s.accesses);
+        obs.counter("locality/reuse_intra_warp", scope, s.intra_warp);
+        obs.counter("locality/reuse_intra_cta", scope, s.intra_cta);
+        obs.counter("locality/reuse_inter_cta", scope, s.inter_cta);
+        obs.counter("locality/words", scope, s.words);
+        obs.counter("locality/words_multi_cta", scope, s.words_multi_cta);
+    }
+
     /// Per-word reuse scope shares `(intra_warp, intra_cta, inter_cta)`
     /// normalized to sum to 1.0 over all reuse (0s when no reuse).
     pub fn shares(&self) -> (f64, f64, f64) {

@@ -1,0 +1,99 @@
+//! End-to-end tests for the `obs-report` binary: the smoke export is
+//! byte-identical across worker-thread counts, the validator accepts
+//! what the smoke run emits and rejects tampered documents, and the
+//! documented exit codes hold.
+
+use std::process::{Command, Output};
+
+fn obs_report(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_obs-report"))
+        .args(args)
+        .output()
+        .expect("spawn obs-report")
+}
+
+#[test]
+fn smoke_jsonl_is_byte_identical_across_thread_counts() {
+    let golden = obs_report(&["--smoke", "--jsonl-stdout", "--threads", "1"]);
+    assert!(
+        golden.status.success(),
+        "single-threaded smoke failed:\n{}",
+        String::from_utf8_lossy(&golden.stderr)
+    );
+    let text = String::from_utf8(golden.stdout.clone()).expect("UTF-8");
+    cta_obs::validate(&text).expect("smoke export validates");
+    assert!(
+        text.contains("\"name\":\"sim/l1_reads\""),
+        "per-SM cache counters present"
+    );
+    assert!(
+        text.contains("\"name\":\"locality/reuse_distance\""),
+        "reuse-distance histograms present"
+    );
+    assert!(!text.contains("time/"), "wall-clock stays out of the JSONL");
+
+    for threads in ["2", "8"] {
+        let out = obs_report(&["--smoke", "--jsonl-stdout", "--threads", threads]);
+        assert!(out.status.success(), "smoke failed with {threads} threads");
+        assert_eq!(
+            out.stdout, golden.stdout,
+            "JSONL differs between 1 and {threads} worker threads"
+        );
+    }
+}
+
+#[test]
+fn check_accepts_valid_and_rejects_tampered_documents() {
+    let dir = std::env::temp_dir().join(format!("obs-report-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let run = obs_report(&["--smoke", "--out", dir.to_str().unwrap()]);
+    assert!(
+        run.status.success(),
+        "smoke run failed:\n{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let report = String::from_utf8_lossy(&run.stdout).to_string();
+    assert!(report.contains("## counters"), "report renders tables");
+    assert!(report.contains("sim/l1_reads"), "cache metrics in report");
+
+    let jsonl_path = dir.join("obs-report.jsonl");
+    let trace_path = dir.join("obs-report.trace.json");
+    let check = obs_report(&["--check", jsonl_path.to_str().unwrap()]);
+    assert!(check.status.success(), "written export must validate");
+
+    // The Chrome trace is a single well-formed JSON document.
+    let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+    let doc = cta_obs::parse_json(&trace).expect("trace parses");
+    assert!(doc.get("traceEvents").is_some(), "trace_event envelope");
+
+    // Tamper with a counter: the declared header counts no longer match.
+    let text = std::fs::read_to_string(&jsonl_path).expect("read export");
+    let tampered = text.replacen("\"t\":\"counter\"", "\"t\":\"bogus\"", 1);
+    let bad_path = dir.join("tampered.jsonl");
+    std::fs::write(&bad_path, tampered).expect("write tampered");
+    let bad = obs_report(&["--check", bad_path.to_str().unwrap()]);
+    assert_eq!(bad.status.code(), Some(1), "tampered export must fail");
+
+    // --input renders the same report from the file as --smoke printed.
+    let input = obs_report(&["--input", jsonl_path.to_str().unwrap()]);
+    assert!(input.status.success());
+    assert_eq!(String::from_utf8_lossy(&input.stdout), report);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn usage_errors_exit_with_code_two() {
+    assert_eq!(obs_report(&[]).status.code(), Some(2));
+    assert_eq!(obs_report(&["--bogus"]).status.code(), Some(2));
+    assert_eq!(
+        obs_report(&["--smoke", "--threads", "0"]).status.code(),
+        Some(2)
+    );
+    assert_eq!(
+        obs_report(&["--check", "/no/such/file.jsonl"])
+            .status
+            .code(),
+        Some(2)
+    );
+}

@@ -1,0 +1,152 @@
+//! Power-of-two-bucket histograms for logical quantities (reuse
+//! distances, latencies in cycles).
+//!
+//! Buckets are keyed by `floor(log2(sample)) + 1` with bucket 0 reserved
+//! for sample `0`, so bucket `i >= 1` covers `[2^(i-1), 2^i - 1]`. The
+//! bucketing is a pure function of the sample value, which makes
+//! histogram merging commutative — the property the deterministic
+//! exporter relies on when per-thread sinks are combined in any order.
+
+/// A log2-bucketed histogram over `u64` samples.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Hist {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded samples.
+    pub sum: u64,
+    /// Sparse buckets: `(bucket index, samples in bucket)`, kept sorted
+    /// by index.
+    buckets: Vec<(u8, u64)>,
+}
+
+/// The bucket a sample lands in: 0 for 0, otherwise `floor(log2(s)) + 1`.
+pub fn bucket_of(sample: u64) -> u8 {
+    (64 - sample.leading_zeros()) as u8
+}
+
+/// Inclusive value range `[lo, hi]` covered by a bucket index.
+pub fn bucket_range(bucket: u8) -> (u64, u64) {
+    match bucket {
+        0 => (0, 0),
+        64 => (1u64 << 63, u64::MAX),
+        b => (1u64 << (b - 1), (1u64 << b) - 1),
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        self.record_n(sample, 1);
+    }
+
+    /// Records `n` occurrences of `sample` at once — the flush path for
+    /// sinks that already hold `(value, count)` aggregates (e.g. an exact
+    /// reuse-distance histogram being folded into log2 buckets).
+    pub fn record_n(&mut self, sample: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.count += n;
+        self.sum = self.sum.saturating_add(sample.saturating_mul(n));
+        let b = bucket_of(sample);
+        match self.buckets.binary_search_by_key(&b, |&(i, _)| i) {
+            Ok(pos) => self.buckets[pos].1 += n,
+            Err(pos) => self.buckets.insert(pos, (b, n)),
+        }
+    }
+
+    /// Merges another histogram into this one (bucket-wise sum).
+    pub fn absorb(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for &(b, n) in &other.buckets {
+            match self.buckets.binary_search_by_key(&b, |&(i, _)| i) {
+                Ok(pos) => self.buckets[pos].1 += n,
+                Err(pos) => self.buckets.insert(pos, (b, n)),
+            }
+        }
+    }
+
+    /// The sparse `(bucket, count)` pairs, sorted by bucket index.
+    pub fn buckets(&self) -> &[(u8, u64)] {
+        &self.buckets
+    }
+
+    /// Total samples across buckets (equals [`Hist::count`] by
+    /// construction; exposed so tests can state the conservation law).
+    pub fn mass(&self) -> u64 {
+        self.buckets.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Mean sample value (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for b in [0u8, 1, 2, 7, 63, 64] {
+            let (lo, hi) = bucket_range(b);
+            assert_eq!(bucket_of(lo), b, "lo of bucket {b}");
+            assert_eq!(bucket_of(hi), b, "hi of bucket {b}");
+        }
+    }
+
+    #[test]
+    fn record_and_mass_conservation() {
+        let mut h = Hist::new();
+        for s in [0u64, 1, 1, 3, 900, u64::MAX] {
+            h.record(s);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.mass(), 6);
+        assert_eq!(h.buckets().iter().filter(|&&(b, _)| b == 1).count(), 1);
+    }
+
+    #[test]
+    fn absorb_is_commutative() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        for s in [1u64, 5, 5, 1024] {
+            a.record(s);
+        }
+        for s in [0u64, 7, 1 << 40] {
+            b.record(s);
+        }
+        let mut ab = a.clone();
+        ab.absorb(&b);
+        let mut ba = b.clone();
+        ba.absorb(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.mass(), 7);
+    }
+
+    #[test]
+    fn mean_of_empty_is_none() {
+        assert_eq!(Hist::new().mean(), None);
+        let mut h = Hist::new();
+        h.record(10);
+        h.record(20);
+        assert_eq!(h.mean(), Some(15.0));
+    }
+}

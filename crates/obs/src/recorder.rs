@@ -1,0 +1,327 @@
+//! The recorder: per-thread sinks behind a shared registry.
+//!
+//! Each thread records into its own sink — a counter map, a histogram
+//! map, and a bounded ring buffer of span events — so the hot path never
+//! contends on a shared lock (the same "each worker owns its slot"
+//! pattern as `cluster_bench::par`). A sink *is* mutex-protected, but the
+//! mutex is only ever contended at snapshot time, when the merging thread
+//! walks the registry; during recording the owning thread takes an
+//! uncontended lock.
+//!
+//! Wall-clock timestamps are captured for the Chrome exporter only; the
+//! deterministic JSONL exporter works purely off logical content
+//! (counter sums, histogram buckets, span structure), which is why
+//! snapshots merge byte-identically regardless of thread count.
+
+use crate::hist::Hist;
+use crate::snapshot::Snapshot;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default per-thread span-event ring capacity. Spans are recorded per
+/// job, not per access, so even the full figure matrix stays far below
+/// this; overflow drops the *oldest* events and is surfaced as a
+/// structured [`crate::ObsError::DroppedEvents`].
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// Whether a span event opens or closes a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Span opened.
+    Begin,
+    /// Span closed.
+    End,
+}
+
+/// One raw span event as recorded by a thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span label (unique per unit of work by convention, e.g.
+    /// `GTX570/MM/CLU`).
+    pub name: String,
+    /// Begin or end.
+    pub kind: SpanKind,
+    /// Nanoseconds since the recorder's epoch (monotonic).
+    pub ts_ns: u64,
+    /// Per-thread sequence number (strictly increasing).
+    pub seq: u64,
+}
+
+/// Everything one thread has recorded.
+#[derive(Debug, Default)]
+pub(crate) struct ThreadState {
+    pub counters: HashMap<(String, String), u64>,
+    pub hists: HashMap<(String, String), Hist>,
+    pub ring: VecDeque<SpanEvent>,
+    pub dropped: u64,
+    pub seq: u64,
+}
+
+/// One thread's sink: an index (registration order) plus its state.
+#[derive(Debug)]
+pub(crate) struct ThreadSink {
+    pub index: u32,
+    pub state: Mutex<ThreadState>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    id: u64,
+    capacity: usize,
+    epoch: Instant,
+    threads: Mutex<Vec<Arc<ThreadSink>>>,
+    next_thread: AtomicU32,
+}
+
+static NEXT_OBS_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// This thread's sinks, keyed by recorder id. A thread typically
+    /// talks to one recorder (the global one); tests may hold a few.
+    static SINKS: RefCell<Vec<(u64, Arc<ThreadSink>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A telemetry recorder. Cheap to clone (shared handle); all methods are
+/// `&self` and callable from any thread.
+#[derive(Debug, Clone)]
+pub struct Obs {
+    shared: Arc<Shared>,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Obs {
+    /// A recorder with the default ring capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// A recorder whose per-thread span rings hold `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Obs {
+            shared: Arc::new(Shared {
+                id: NEXT_OBS_ID.fetch_add(1, Ordering::Relaxed),
+                capacity: capacity.max(2),
+                epoch: Instant::now(),
+                threads: Mutex::new(Vec::new()),
+                next_thread: AtomicU32::new(0),
+            }),
+        }
+    }
+
+    fn with_state<R>(&self, f: impl FnOnce(&mut ThreadState, u64) -> R) -> R {
+        let sink = SINKS.with(|sinks| {
+            let mut sinks = sinks.borrow_mut();
+            if let Some((_, s)) = sinks.iter().find(|(id, _)| *id == self.shared.id) {
+                return Arc::clone(s);
+            }
+            let sink = Arc::new(ThreadSink {
+                index: self.shared.next_thread.fetch_add(1, Ordering::Relaxed),
+                state: Mutex::new(ThreadState::default()),
+            });
+            self.shared
+                .threads
+                .lock()
+                .expect("thread registry")
+                .push(Arc::clone(&sink));
+            sinks.push((self.shared.id, Arc::clone(&sink)));
+            sink
+        });
+        let ts_ns = self.shared.epoch.elapsed().as_nanos() as u64;
+        let mut state = sink.state.lock().expect("own sink");
+        f(&mut state, ts_ns)
+    }
+
+    /// Adds `delta` to the counter `(name, key)`.
+    ///
+    /// Counters are summed across threads at snapshot time, so any
+    /// attribution (scope, SM id, cluster id) belongs in `key`. Metric
+    /// names starting with `time/` hold wall-clock quantities and are
+    /// excluded from the deterministic JSONL export.
+    pub fn counter(&self, name: &str, key: &str, delta: u64) {
+        self.with_state(|state, _| {
+            *state
+                .counters
+                .entry((name.to_string(), key.to_string()))
+                .or_insert(0) += delta;
+        });
+    }
+
+    /// Records `sample` into the histogram `(name, key)`.
+    pub fn hist(&self, name: &str, key: &str, sample: u64) {
+        self.with_state(|state, _| {
+            state
+                .hists
+                .entry((name.to_string(), key.to_string()))
+                .or_default()
+                .record(sample);
+        });
+    }
+
+    /// Merges a pre-accumulated histogram into `(name, key)` — one call
+    /// per flush instead of one per sample, for sinks that aggregate
+    /// locally during a hot loop.
+    pub fn hist_absorb(&self, name: &str, key: &str, h: &Hist) {
+        self.with_state(|state, _| {
+            state
+                .hists
+                .entry((name.to_string(), key.to_string()))
+                .or_default()
+                .absorb(h);
+        });
+    }
+
+    /// Opens a span explicitly. Prefer [`Obs::span`]; use the explicit
+    /// form only where the region does not match a lexical scope.
+    pub fn span_begin(&self, name: &str) {
+        self.push_span(name, SpanKind::Begin);
+    }
+
+    /// Closes a span opened with [`Obs::span_begin`]. Mismatched or
+    /// missing ends are *not* panics: the merge reports them as
+    /// structured [`crate::ObsError`]s in the snapshot.
+    pub fn span_end(&self, name: &str) {
+        self.push_span(name, SpanKind::End);
+    }
+
+    fn push_span(&self, name: &str, kind: SpanKind) {
+        let capacity = self.shared.capacity;
+        self.with_state(|state, ts_ns| {
+            if state.ring.len() >= capacity {
+                state.ring.pop_front();
+                state.dropped += 1;
+            }
+            let seq = state.seq;
+            state.seq += 1;
+            state.ring.push_back(SpanEvent {
+                name: name.to_string(),
+                kind,
+                ts_ns,
+                seq,
+            });
+        });
+    }
+
+    /// Opens a span closed automatically when the guard drops.
+    pub fn span(&self, name: impl Into<String>) -> SpanGuard {
+        let name = name.into();
+        self.span_begin(&name);
+        SpanGuard {
+            obs: Some(self.clone()),
+            name,
+        }
+    }
+
+    /// Merges every thread's sink into a [`Snapshot`]. Non-destructive:
+    /// recording may continue afterwards (events recorded concurrently
+    /// with the merge land in later snapshots).
+    pub fn snapshot(&self) -> Snapshot {
+        let threads = self.shared.threads.lock().expect("thread registry");
+        let mut per_thread: Vec<(u32, ThreadState)> = threads
+            .iter()
+            .map(|sink| {
+                let s = sink.state.lock().expect("sink state");
+                (
+                    sink.index,
+                    ThreadState {
+                        counters: s.counters.clone(),
+                        hists: s.hists.clone(),
+                        ring: s.ring.clone(),
+                        dropped: s.dropped,
+                        seq: s.seq,
+                    },
+                )
+            })
+            .collect();
+        per_thread.sort_by_key(|(i, _)| *i);
+        Snapshot::merge(per_thread)
+    }
+}
+
+/// RAII guard for a span: ends it on drop. A disabled (no-op) guard is
+/// what the crate-level [`crate::span`] helper returns when telemetry is
+/// off.
+#[derive(Debug)]
+pub struct SpanGuard {
+    obs: Option<Obs>,
+    name: String,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing (telemetry disabled).
+    pub fn noop() -> Self {
+        SpanGuard {
+            obs: None,
+            name: String::new(),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(obs) = &self.obs {
+            obs.span_end(&self.name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_across_threads() {
+        let obs = Obs::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let obs = obs.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        obs.counter("sim/reads", "sm0", 1);
+                    }
+                });
+            }
+        });
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("sim/reads", "sm0"), 400);
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_and_counts() {
+        let obs = Obs::with_capacity(4);
+        for i in 0..6 {
+            obs.span_begin(&format!("s{i}"));
+            obs.span_end(&format!("s{i}"));
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap.dropped, 8); // 12 events into a 4-slot ring
+        assert!(snap
+            .errors
+            .iter()
+            .any(|e| matches!(e, crate::ObsError::DroppedEvents { .. })));
+    }
+
+    #[test]
+    fn guard_closes_span() {
+        let obs = Obs::new();
+        {
+            let _g = obs.span("job");
+            obs.counter("inside", "", 1);
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap.span_count("job"), 1);
+        assert!(snap.errors.is_empty());
+    }
+
+    #[test]
+    fn noop_guard_is_inert() {
+        let _g = SpanGuard::noop();
+    }
+}

@@ -1,0 +1,304 @@
+//! The ordered merge: per-thread sinks → one [`Snapshot`].
+//!
+//! Counters and histograms merge commutatively (key-wise sums), so the
+//! merged view is independent of thread count and scheduling order. Span
+//! events are reconstructed per thread, in recording order, into
+//! completed [`TraceSpan`]s; malformed streams (an `end` without a
+//! matching `begin`, a worker that never closed a span, a ring that
+//! overflowed) surface as structured [`ObsError`]s — never panics — so a
+//! buggy instrumentation site degrades the telemetry, not the run.
+
+use crate::hist::Hist;
+use crate::recorder::{SpanKind, ThreadState};
+use std::collections::BTreeMap;
+
+/// Aggregate view of all spans sharing a name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// Completed spans with this name.
+    pub count: u64,
+    /// Deepest nesting level any of them ran at (0 = top level).
+    pub max_depth: u32,
+}
+
+/// One completed span, with wall-clock bounds for the Chrome exporter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Span label.
+    pub name: String,
+    /// Recording thread (sink registration index).
+    pub thread: u32,
+    /// Begin, nanoseconds since the recorder epoch.
+    pub begin_ns: u64,
+    /// End, nanoseconds since the recorder epoch (`>= begin_ns`).
+    pub end_ns: u64,
+    /// Nesting depth at begin (0 = top level).
+    pub depth: u32,
+}
+
+/// A structured telemetry defect found during the merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObsError {
+    /// A span was opened but never closed by its worker.
+    UnbalancedBegin {
+        /// Recording thread.
+        thread: u32,
+        /// Span label.
+        name: String,
+    },
+    /// A span end arrived with no matching open span.
+    UnbalancedEnd {
+        /// Recording thread.
+        thread: u32,
+        /// Span label.
+        name: String,
+    },
+    /// A thread's ring overflowed and dropped its oldest events.
+    DroppedEvents {
+        /// Recording thread.
+        thread: u32,
+        /// Events overwritten.
+        count: u64,
+    },
+}
+
+impl ObsError {
+    /// Stable machine-readable kind label (JSONL `kind` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsError::UnbalancedBegin { .. } => "unbalanced_begin",
+            ObsError::UnbalancedEnd { .. } => "unbalanced_end",
+            ObsError::DroppedEvents { .. } => "dropped_events",
+        }
+    }
+
+    /// The span label the error refers to (empty for drops).
+    pub fn name(&self) -> &str {
+        match self {
+            ObsError::UnbalancedBegin { name, .. } | ObsError::UnbalancedEnd { name, .. } => name,
+            ObsError::DroppedEvents { .. } => "",
+        }
+    }
+}
+
+/// The merged, queryable state of a recorder at one point in time.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `(metric, key) → summed value` over all threads.
+    pub counters: BTreeMap<(String, String), u64>,
+    /// `(metric, key) → merged histogram` over all threads.
+    pub hists: BTreeMap<(String, String), Hist>,
+    /// Per-name span aggregates (deterministic across thread counts).
+    pub spans: BTreeMap<String, SpanAgg>,
+    /// Completed spans with timestamps, ordered `(thread, begin, seq)` —
+    /// the Chrome exporter's input. Not deterministic across runs.
+    pub trace: Vec<TraceSpan>,
+    /// Merge defects, sorted `(kind, name, thread)`.
+    pub errors: Vec<ObsError>,
+    /// Total ring-overflow drops across threads.
+    pub dropped: u64,
+}
+
+impl Snapshot {
+    /// Builds a snapshot from per-thread states (sorted by thread index).
+    pub(crate) fn merge(per_thread: Vec<(u32, ThreadState)>) -> Snapshot {
+        let mut snap = Snapshot::default();
+        for (thread, state) in per_thread {
+            for ((name, key), v) in state.counters {
+                *snap.counters.entry((name, key)).or_insert(0) += v;
+            }
+            for ((name, key), h) in state.hists {
+                snap.hists.entry((name, key)).or_default().absorb(&h);
+            }
+            if state.dropped > 0 {
+                snap.dropped += state.dropped;
+                snap.errors.push(ObsError::DroppedEvents {
+                    thread,
+                    count: state.dropped,
+                });
+            }
+            // Reconstruct this thread's span stream. Ring events are in
+            // recording order; seq gaps (from drops) are tolerated.
+            let mut stack: Vec<(String, u64)> = Vec::new();
+            for ev in state.ring {
+                match ev.kind {
+                    SpanKind::Begin => stack.push((ev.name, ev.ts_ns)),
+                    SpanKind::End => {
+                        match stack.iter().rposition(|(n, _)| *n == ev.name) {
+                            None => snap.errors.push(ObsError::UnbalancedEnd {
+                                thread,
+                                name: ev.name,
+                            }),
+                            Some(pos) => {
+                                // Anything opened above the match was
+                                // abandoned by its worker.
+                                for (name, _) in stack.drain(pos + 1..) {
+                                    snap.errors.push(ObsError::UnbalancedBegin { thread, name });
+                                }
+                                let (name, begin_ns) = stack.pop().expect("matched position");
+                                let depth = stack.len() as u32;
+                                let agg = snap.spans.entry(name.clone()).or_default();
+                                agg.count += 1;
+                                agg.max_depth = agg.max_depth.max(depth);
+                                snap.trace.push(TraceSpan {
+                                    name,
+                                    thread,
+                                    begin_ns,
+                                    end_ns: ev.ts_ns.max(begin_ns),
+                                    depth,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            for (name, _) in stack {
+                snap.errors.push(ObsError::UnbalancedBegin { thread, name });
+            }
+        }
+        snap.trace
+            .sort_by(|a, b| (a.thread, a.begin_ns, &a.name).cmp(&(b.thread, b.begin_ns, &b.name)));
+        snap.errors.sort_by(|a, b| {
+            (a.kind(), a.name(), thread_of(a)).cmp(&(b.kind(), b.name(), thread_of(b)))
+        });
+        snap
+    }
+
+    /// Summed counter value (0 when absent).
+    pub fn counter(&self, name: &str, key: &str) -> u64 {
+        self.counters
+            .get(&(name.to_string(), key.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sum of a metric's counter values over every key.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Merged histogram for `(name, key)`, if recorded.
+    pub fn hist(&self, name: &str, key: &str) -> Option<&Hist> {
+        self.hists.get(&(name.to_string(), key.to_string()))
+    }
+
+    /// Total sample mass of a histogram metric over every key.
+    pub fn hist_mass(&self, name: &str) -> u64 {
+        self.hists
+            .iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|(_, h)| h.mass())
+            .sum()
+    }
+
+    /// Completed spans with the given name.
+    pub fn span_count(&self, name: &str) -> u64 {
+        self.spans.get(name).map(|a| a.count).unwrap_or(0)
+    }
+}
+
+fn thread_of(e: &ObsError) -> u32 {
+    match e {
+        ObsError::UnbalancedBegin { thread, .. }
+        | ObsError::UnbalancedEnd { thread, .. }
+        | ObsError::DroppedEvents { thread, .. } => *thread,
+    }
+}
+
+#[cfg(test)]
+impl ObsError {
+    /// Test helper: the thread index regardless of variant.
+    pub(crate) fn thread_for_test(&self) -> u32 {
+        thread_of(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Obs, ObsError};
+
+    #[test]
+    fn nested_spans_get_depths() {
+        let obs = Obs::new();
+        {
+            let _outer = obs.span("outer");
+            let _inner = obs.span("inner");
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap.spans["outer"].max_depth, 0);
+        assert_eq!(snap.spans["inner"].max_depth, 1);
+        assert!(snap.errors.is_empty());
+    }
+
+    #[test]
+    fn unbalanced_begin_is_structured_error_not_panic() {
+        let obs = Obs::new();
+        obs.span_begin("leaked");
+        let snap = obs.snapshot();
+        assert_eq!(snap.span_count("leaked"), 0);
+        assert_eq!(
+            snap.errors,
+            vec![ObsError::UnbalancedBegin {
+                thread: snap.errors[0].thread_for_test(),
+                name: "leaked".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn unbalanced_end_is_structured_error_not_panic() {
+        let obs = Obs::new();
+        obs.span_end("phantom");
+        let snap = obs.snapshot();
+        assert!(matches!(
+            &snap.errors[..],
+            [ObsError::UnbalancedEnd { name, .. }] if name == "phantom"
+        ));
+    }
+
+    #[test]
+    fn interleaved_end_closes_match_and_reports_abandoned() {
+        let obs = Obs::new();
+        obs.span_begin("a");
+        obs.span_begin("b");
+        obs.span_end("a"); // b was abandoned
+        let snap = obs.snapshot();
+        assert_eq!(snap.span_count("a"), 1);
+        assert!(matches!(
+            &snap.errors[..],
+            [ObsError::UnbalancedBegin { name, .. }] if name == "b"
+        ));
+    }
+
+    #[test]
+    fn merged_trace_is_monotone_per_thread() {
+        let obs = Obs::new();
+        std::thread::scope(|s| {
+            for t in 0..3 {
+                let obs = obs.clone();
+                s.spawn(move || {
+                    for i in 0..20 {
+                        let _g = obs.span(format!("t{t}/job{i}"));
+                        std::hint::black_box(i);
+                    }
+                });
+            }
+        });
+        let snap = obs.snapshot();
+        assert!(snap.errors.is_empty());
+        // Within each thread, begins are non-decreasing and every span
+        // ends at or after it begins.
+        for w in snap.trace.windows(2) {
+            if w[0].thread == w[1].thread {
+                assert!(w[0].begin_ns <= w[1].begin_ns);
+            }
+        }
+        for t in &snap.trace {
+            assert!(t.end_ns >= t.begin_ns);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Golden-file test for the JSONL exporter: a fixed recording scenario
+//! must render byte-for-byte to the committed golden. Any intentional
+//! schema change has to touch the golden file in the same commit
+//! (regenerate with `UPDATE_GOLDEN=1 cargo test -p cta-obs --test
+//! golden_jsonl`), which is exactly the review speed-bump we want.
+
+use cta_obs::{render_jsonl, validate, Obs};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/scenario.jsonl");
+
+/// A fixed scenario exercising every line type: counters with multiple
+/// keys, histograms across bucket extremes, nested and repeated spans,
+/// an unbalanced span end (structured error), and wall-clock `time/`
+/// metrics that must stay out of the export.
+fn scenario() -> Obs {
+    let obs = Obs::new();
+    {
+        let _root = obs.span("bin/golden");
+        for (key, v) in [("sm0", 41u64), ("sm1", 1), ("sm0", 1)] {
+            obs.counter("sim/l1_hits", key, v);
+        }
+        obs.counter("sim/l1_misses", "sm0", 7);
+        obs.counter("framework/classified", "MM/InterCta", 1);
+        // Wall-clock metrics: Chrome-trace only, never in the JSONL.
+        obs.counter("time/busy_ns", "", 123_456_789);
+        obs.hist("time/queue_wait_ns", "", 17);
+
+        for sample in [0u64, 1, 2, 3, 127, 128, u64::MAX] {
+            obs.hist("locality/reuse_distance", "a/tag0/c0", sample);
+        }
+        obs.hist("locality/reuse_distance", "a/tag0/c1", 9);
+        {
+            let _job = obs.span("GTX570/MM/CLU");
+            obs.hist("sim/load_latency", "GTX570/MM/CLU", 400);
+        }
+        {
+            let _job = obs.span("GTX570/MM/CLU");
+        }
+    }
+    // A span end with no matching begin: reported as a structured
+    // error line, never a panic.
+    obs.span_end("orphan");
+    obs
+}
+
+#[test]
+fn exporter_matches_the_golden_file() {
+    let rendered = render_jsonl(&scenario().snapshot(), "golden");
+    validate(&rendered).expect("the golden scenario must validate");
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("rewrite golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "golden file missing; regenerate with UPDATE_GOLDEN=1 cargo test -p cta-obs --test golden_jsonl",
+    );
+    assert_eq!(
+        rendered, golden,
+        "JSONL export drifted from tests/golden/scenario.jsonl; if the \
+         schema change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_file_itself_validates() {
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden present");
+    let summary = validate(&golden).expect("committed golden validates");
+    assert!(summary.counters > 0 && summary.hists > 0 && summary.spans > 0);
+    assert_eq!(summary.errors, 1, "the orphan span-end error line");
+}

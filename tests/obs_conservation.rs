@@ -1,0 +1,201 @@
+//! Conservation laws binding the telemetry layer to the simulator: the
+//! per-SM counters the observability layer exports must sum exactly to
+//! the `RunStats` aggregates the figures are drawn from, cache outcomes
+//! must partition the accesses, and the reuse-distance histogram mass
+//! must equal the distinct-line read samples the trace actually carried.
+//! Anything less and the telemetry would *look* right while silently
+//! disagreeing with the numbers in the paper's tables.
+
+use cta_clustering::Partition;
+use gpu_sim::{arch, AccessEvent, ArchGen, Dim3, GpuConfig, Level, Simulation, TraceSink, VecSink};
+use locality::ObsSink;
+use proptest::prelude::*;
+
+fn workload(abbr: &str, arch: ArchGen) -> Box<dyn gpu_kernels::Workload> {
+    gpu_kernels::suite::by_abbr(abbr, arch).expect("suite app")
+}
+
+fn presets() -> Vec<(GpuConfig, ArchGen)> {
+    vec![
+        (arch::gtx570(), ArchGen::Fermi),
+        (arch::gtx980(), ArchGen::Maxwell),
+    ]
+}
+
+/// Per-SM L1 counters sum to the aggregate `RunStats.l1`, field by
+/// field, and per SM the read outcomes partition the reads. These are
+/// the exact sums `RunStats::record_obs` exports, so the telemetry can
+/// never drift from the figure data.
+#[test]
+fn per_sm_counters_sum_to_aggregates() {
+    for (cfg, gen) in presets() {
+        for abbr in ["NW", "BS", "KMN"] {
+            let w = workload(abbr, gen);
+            let stats = Simulation::new(cfg.clone(), &w).run().expect("run");
+            assert_eq!(stats.per_sm_l1.len(), cfg.num_sms, "{abbr}");
+            assert_eq!(stats.l1_bypass_per_sm.len(), cfg.num_sms);
+
+            let mut sum = gpu_sim::CacheStats::default();
+            for sm in &stats.per_sm_l1 {
+                sum.absorb(sm);
+                // Read outcomes partition the reads on every SM.
+                assert_eq!(
+                    sm.read_hits + sm.read_reserved + sm.read_misses,
+                    sm.reads,
+                    "{abbr} on {}: read outcomes must partition reads",
+                    cfg.name
+                );
+            }
+            assert_eq!(sum, stats.l1, "{abbr} on {}: per-SM L1 sums", cfg.name);
+        }
+    }
+}
+
+/// The trace sink's histogram mass equals an independent count of the
+/// samples the access stream carried: `sim/load_latency` counts read
+/// instructions, and per-(tag, cluster) reuse distances plus cold lines
+/// count distinct lines per read instruction.
+#[test]
+fn sink_histogram_mass_matches_the_trace() {
+    let cfg = arch::gtx570();
+    let w = workload("NW", ArchGen::Fermi);
+    let partition = Partition::y(w.launch().grid, cfg.num_sms as u64).expect("partition");
+
+    // Ground truth from the raw event stream.
+    let mut vec_sink = VecSink::new();
+    let stats_a = Simulation::new(cfg.clone(), &w)
+        .run_traced(&mut vec_sink)
+        .expect("run");
+    let mut reads = 0u64;
+    let mut line_samples = 0u64;
+    for e in &vec_sink.events {
+        if e.is_write || e.is_atomic {
+            continue;
+        }
+        reads += 1;
+        let mut lines: Vec<u64> = e.addrs.iter().map(|a| a / 128).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        line_samples += lines.len() as u64;
+    }
+
+    // Same deterministic run, telemetry sink this time.
+    let obs = cta_obs::Obs::new();
+    let p = partition.clone();
+    let mut sink = ObsSink::new("test", move |cta, _sm| p.assign(cta).0 as u32);
+    let stats_b = Simulation::new(cfg.clone(), &w)
+        .run_traced(&mut sink)
+        .expect("run");
+    assert_eq!(stats_a, stats_b, "tracing must not perturb the simulation");
+    sink.finish(&obs);
+
+    let snap = obs.snapshot();
+    let latency = snap.hist("sim/load_latency", "test").expect("latency hist");
+    assert_eq!(latency.count, reads, "one latency sample per read");
+    assert_eq!(
+        snap.counter("sim/served_l1", "test")
+            + snap.counter("sim/served_l2", "test")
+            + snap.counter("sim/served_dram", "test"),
+        reads,
+        "service levels partition the reads"
+    );
+    let dist_mass = snap.hist_mass("locality/reuse_distance");
+    let cold = snap.counter_total("locality/cold_lines");
+    assert_eq!(
+        dist_mass + cold,
+        line_samples,
+        "every distinct line per read is a reuse sample or a cold miss"
+    );
+}
+
+/// Feeding one synthetic event at the top of the address space through
+/// the sink must key it like any other — no overflow at the line or
+/// cluster boundaries.
+#[test]
+fn sink_handles_address_space_extremes() {
+    let obs = cta_obs::Obs::new();
+    let mut sink = ObsSink::new("edge", |cta, _| (cta % 7) as u32);
+    let addrs = [u64::MAX, u64::MAX - 4, 0];
+    sink.record(&AccessEvent {
+        time: 0,
+        sm_id: 0,
+        slot: 0,
+        cta: u64::from(u32::MAX),
+        warp: 0,
+        tag: u16::MAX,
+        is_write: false,
+        is_atomic: false,
+        bytes_per_lane: 4,
+        addrs: &addrs,
+        latency: u64::MAX,
+        served_by: Level::Dram,
+    });
+    sink.finish(&obs);
+    let snap = obs.snapshot();
+    let key = format!("edge/tag{}/c{}", u16::MAX, u64::from(u32::MAX) % 7);
+    // Lines u64::MAX/128 (twice, deduped) and 0: two cold lines.
+    assert_eq!(snap.counter("locality/cold_lines", &key), 2);
+    assert_eq!(snap.hist("sim/load_latency", "edge").unwrap().count, 1);
+}
+
+proptest! {
+    /// Splitting a counter stream across threads never changes the
+    /// merged totals: recording is commutative, so the snapshot is
+    /// independent of which worker observed which slice.
+    #[test]
+    fn counter_totals_are_split_invariant(
+        values in prop::collection::vec(0u64..1_000_000, 1..40),
+        split in 1usize..4,
+    ) {
+        let serial = cta_obs::Obs::new();
+        for (i, v) in values.iter().enumerate() {
+            serial.counter("law/x", &format!("k{}", i % 3), *v);
+        }
+        let sharded = cta_obs::Obs::new();
+        std::thread::scope(|scope| {
+            for chunk in values.chunks(values.len().div_ceil(split)) {
+                let offset = chunk.as_ptr() as usize - values.as_ptr() as usize;
+                let base = offset / std::mem::size_of::<u64>();
+                let sharded = &sharded;
+                scope.spawn(move || {
+                    for (j, v) in chunk.iter().enumerate() {
+                        sharded.counter("law/x", &format!("k{}", (base + j) % 3), *v);
+                    }
+                });
+            }
+        });
+        let (a, b) = (serial.snapshot(), sharded.snapshot());
+        prop_assert_eq!(&a.counters, &b.counters);
+        prop_assert_eq!(a.counter_total("law/x"), values.iter().sum::<u64>());
+    }
+
+    /// Histogram mass conservation under arbitrary bulk recording:
+    /// count equals the number of recorded samples and the bucket
+    /// masses sum to it, even at the u64 extremes.
+    #[test]
+    fn hist_mass_equals_samples(
+        samples in prop::collection::vec((0u64..u64::MAX, 1u64..50), 0..60),
+    ) {
+        let mut h = cta_obs::Hist::new();
+        for &(s, n) in &samples {
+            h.record_n(s, n);
+        }
+        let total: u64 = samples.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(h.count, total);
+        prop_assert_eq!(h.buckets().iter().map(|&(_, n)| n).sum::<u64>(), total);
+    }
+
+    /// Cluster keying at the grid-size extreme: a `u32::MAX`-wide grid
+    /// still assigns every boundary CTA to a valid cluster that inverts
+    /// back, so telemetry keys derived from it are well-defined.
+    #[test]
+    fn partition_keys_survive_u32_max_grids(m in 1u64..64) {
+        let grid = Dim3::plane(u32::MAX, 1);
+        let p = Partition::x(grid, m).unwrap();
+        for v in [0, 1, grid.count() / 2, grid.count() - 2, grid.count() - 1] {
+            let (w, i) = p.assign(v);
+            prop_assert!(i < m);
+            prop_assert_eq!(p.invert(w, i), v);
+        }
+    }
+}
