@@ -22,7 +22,7 @@ fn run_matrix(threads: usize) {
             .iter()
             .map(|a| gpu_kernels::suite::by_abbr(a, cfg.arch).expect("suite app"))
             .collect();
-        let evals = evaluate_apps_par(&cfg, workloads, threads);
+        let evals = evaluate_apps_par(&cfg, workloads, threads).expect("matrix evaluation");
         assert_eq!(evals.len(), APPS.len());
     }
 }

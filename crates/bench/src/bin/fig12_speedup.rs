@@ -5,18 +5,19 @@
 
 use cluster_bench::report::{ratio, Table};
 use cluster_bench::{configured_threads, evaluate_matrix, Panel, RunClock, Variant};
+use cta_clustering::ClusterError;
 
-fn main() {
+fn main() -> Result<(), ClusterError> {
     cluster_bench::with_obs("fig12_speedup", run)
 }
 
-fn run() {
+fn run() -> Result<(), ClusterError> {
     let threads = configured_threads();
     let clock = RunClock::start(threads);
     println!("Figure 12: normalized performance speedup and achieved occupancy");
     println!("series: BSL / RD / CLU / CLU+TOT / CLU+TOT+BPS / PFH+TOT (+AC_OCP delta)");
     println!();
-    for eval in evaluate_matrix(&gpu_sim::arch::all_presets(), threads) {
+    for eval in evaluate_matrix(&gpu_sim::arch::all_presets(), threads)? {
         println!("=== {} ===", eval.gpu);
         for panel in Panel::ALL {
             println!("--- {panel} ---");
@@ -66,4 +67,5 @@ fn run() {
     println!("  data/write/streaming: ~1.0x on every architecture");
     println!();
     println!("{}", clock.footer());
+    Ok(())
 }

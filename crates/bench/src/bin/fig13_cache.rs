@@ -3,18 +3,19 @@
 
 use cluster_bench::report::{pct, Table};
 use cluster_bench::{configured_threads, evaluate_matrix, Panel, RunClock, Variant};
+use cta_clustering::ClusterError;
 
-fn main() {
+fn main() -> Result<(), ClusterError> {
     cluster_bench::with_obs("fig13_cache", run)
 }
 
-fn run() {
+fn run() -> Result<(), ClusterError> {
     let threads = configured_threads();
     let clock = RunClock::start(threads);
     println!("Figure 13: normalized L2 cache transactions and L1 hit rates");
     println!("(L2 columns normalized to BSL = 1.00; HT_RTE = L1 read hit rate)");
     println!();
-    for eval in evaluate_matrix(&gpu_sim::arch::all_presets(), threads) {
+    for eval in evaluate_matrix(&gpu_sim::arch::all_presets(), threads)? {
         println!("=== {} ===", eval.gpu);
         for panel in Panel::ALL {
             println!("--- {panel} ---");
@@ -65,4 +66,5 @@ fn run() {
     println!("  cache-line: 81% / 71% / 34% / ~0%");
     println!();
     println!("{}", clock.footer());
+    Ok(())
 }

@@ -1,0 +1,198 @@
+//! Benchmarks the simulator core itself: wall-clock over the Figure 12
+//! request matrix, engine event accounting, and program-cache
+//! effectiveness, emitted as a single JSON document (`sim-core-bench/v1`)
+//! on stdout.
+//!
+//! Every run is checked against the engine's conservation laws
+//! (issues == instructions, one dispatch poll per CTA retirement, ...);
+//! any violation is reported on stderr and the process exits nonzero, so
+//! CI can gate on it.
+//!
+//! Usage:
+//!   sim_core [--reduced] [--before <seconds>] [--out <path>]
+//!
+//! `--reduced` runs a small Fermi-only subset (the CI smoke matrix).
+//! `--before` overrides the committed pre-rework baseline wall time the
+//! speedup is normalized against (full matrix, 1 thread).
+//! `--out` additionally writes the JSON to a file.
+
+use cluster_bench::{AppPlan, SimRequest};
+use cta_clustering::ClusterError;
+use gpu_sim::{EngineMetrics, GpuConfig, RunStats};
+use std::time::Instant;
+
+/// Wall-clock of the full request matrix at 1 thread on the cycle-stepped
+/// engine this bin's rework replaced (commit 2ceca1b, `fig12_speedup`).
+const BASELINE_COMMIT: &str = "2ceca1b";
+const BASELINE_WALL_S: f64 = 188.4;
+
+fn main() -> Result<(), ClusterError> {
+    cluster_bench::tune_allocator();
+    let mut reduced = false;
+    let mut verbose = false;
+    let mut before = BASELINE_WALL_S;
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--reduced" => reduced = true,
+            "--verbose" => verbose = true,
+            "--before" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| ClusterError::harness("--before needs a value"))?;
+                before = v
+                    .parse()
+                    .map_err(|e| ClusterError::harness(format!("--before {v:?}: {e}")))?;
+            }
+            "--out" => {
+                out_path = Some(
+                    args.next()
+                        .ok_or_else(|| ClusterError::harness("--out needs a path"))?,
+                );
+            }
+            other => {
+                return Err(ClusterError::harness(format!(
+                    "unknown argument {other:?}; usage: \
+                     sim_core [--reduced] [--verbose] [--before <s>] [--out <path>]"
+                )))
+            }
+        }
+    }
+
+    let configs: Vec<GpuConfig> = if reduced {
+        vec![gpu_sim::arch::gtx570()]
+    } else {
+        gpu_sim::arch::all_presets().to_vec()
+    };
+
+    let t0 = Instant::now();
+    let mut total = EngineMetrics::default();
+    let mut runs = 0u64;
+    let mut violations = 0u64;
+    let mut cache_hits = 0u64;
+    let mut cache_fills = 0u64;
+
+    // Serial on purpose: this bin measures the simulator core, not the
+    // worker pool, and serial metrics aggregate deterministically.
+    for cfg in &configs {
+        let workloads = if reduced {
+            ["NW", "BS", "HS"]
+                .iter()
+                .map(|a| {
+                    gpu_kernels::suite::by_abbr(a, cfg.arch)
+                        .ok_or_else(|| ClusterError::harness(format!("{a} not in suite")))
+                })
+                .collect::<Result<Vec<_>, _>>()?
+        } else {
+            gpu_kernels::suite::table2_suite(cfg.arch)
+        };
+        for workload in workloads {
+            let plan = AppPlan::new(cfg, workload);
+            let mut phase_a: Vec<RunStats> = Vec::new();
+            for req in plan.phase_a() {
+                phase_a.push(metered(
+                    &plan,
+                    req,
+                    verbose,
+                    &mut total,
+                    &mut runs,
+                    &mut violations,
+                )?);
+            }
+            let chosen = plan.select_throttle(&phase_a);
+            for req in plan.phase_b(chosen.0) {
+                metered(&plan, req, verbose, &mut total, &mut runs, &mut violations)?;
+            }
+            let (hits, fills) = plan.cache_counters();
+            cache_hits += hits;
+            cache_fills += fills;
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let skip_denom = total.issues + total.cycles_skipped;
+    let skip_ratio = if skip_denom > 0 {
+        total.cycles_skipped as f64 / skip_denom as f64
+    } else {
+        0.0
+    };
+    let cache_lookups = cache_hits + cache_fills;
+    let hit_rate = if cache_lookups > 0 {
+        cache_hits as f64 / cache_lookups as f64
+    } else {
+        0.0
+    };
+    let baseline = if reduced {
+        "null".to_string()
+    } else {
+        format!(
+            "{{\"commit\": \"{BASELINE_COMMIT}\", \"wall_s\": {BASELINE_WALL_S}, \"speedup\": {:.2}}}",
+            before / wall_s
+        )
+    };
+    let json = format!(
+        "{{\n  \"format\": \"sim-core-bench/v1\",\n  \"mode\": \"{mode}\",\n  \"runs\": {runs},\n  \"wall_s\": {wall_s:.2},\n  \"baseline\": {baseline},\n  \"conservation_violations\": {violations},\n  \"engine\": {{\n    \"events\": {events},\n    \"issues\": {issues},\n    \"cycles_skipped\": {skipped},\n    \"skip_ratio\": {skip_ratio:.4},\n    \"warps_dispatched\": {warps},\n    \"warp_retires\": {warp_retires},\n    \"cta_retires\": {cta_retires},\n    \"dispatch_polls\": {polls}\n  }},\n  \"program_cache\": {{\n    \"hits\": {cache_hits},\n    \"fills\": {cache_fills},\n    \"hit_rate\": {hit_rate:.4}\n  }}\n}}",
+        mode = if reduced { "reduced" } else { "full" },
+        events = total.events,
+        issues = total.issues,
+        skipped = total.cycles_skipped,
+        warps = total.warps_dispatched,
+        warp_retires = total.warp_retires,
+        cta_retires = total.cta_retires,
+        polls = total.dispatch_polls,
+    );
+    println!("{json}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, format!("{json}\n"))
+            .map_err(|e| ClusterError::harness(format!("writing {path}: {e}")))?;
+    }
+    if violations > 0 {
+        eprintln!("sim_core: {violations} conservation violation(s)");
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+/// One metered run: accumulates the engine metrics and checks the
+/// conservation laws, reporting (not aborting on) a violation so a
+/// single broken invariant doesn't mask others.
+fn metered(
+    plan: &AppPlan,
+    req: SimRequest,
+    verbose: bool,
+    total: &mut EngineMetrics,
+    runs: &mut u64,
+    violations: &mut u64,
+) -> Result<RunStats, ClusterError> {
+    let t0 = Instant::now();
+    let (stats, metrics) = plan.run_metered(req)?;
+    if verbose {
+        eprintln!(
+            "{}/{}/{}: {:.0}ms ({} issues)",
+            plan.cfg.name,
+            plan.info.abbr,
+            req.label(),
+            t0.elapsed().as_secs_f64() * 1e3,
+            metrics.issues,
+        );
+    }
+    if let Err(law) = metrics.check_conservation(&stats) {
+        eprintln!(
+            "conservation violation: {}/{}/{}: {law}",
+            plan.cfg.name,
+            plan.info.abbr,
+            req.label()
+        );
+        *violations += 1;
+    }
+    total.events += metrics.events;
+    total.issues += metrics.issues;
+    total.cycles_skipped += metrics.cycles_skipped;
+    total.warps_dispatched += metrics.warps_dispatched;
+    total.warp_retires += metrics.warp_retires;
+    total.cta_retires += metrics.cta_retires;
+    total.dispatch_polls += metrics.dispatch_polls;
+    *runs += 1;
+    Ok(stats)
+}

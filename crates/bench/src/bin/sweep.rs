@@ -5,13 +5,14 @@
 //! Usage: `cargo run --release -p cluster-bench --bin sweep -- [fermi|kepler|maxwell|pascal]`
 
 use cluster_bench::{configured_threads, evaluate_arch_par, RunClock, Variant};
+use cta_clustering::ClusterError;
 use gpu_sim::arch;
 
-fn main() {
+fn main() -> Result<(), ClusterError> {
     cluster_bench::with_obs("sweep", run)
 }
 
-fn run() {
+fn run() -> Result<(), ClusterError> {
     let which = std::env::args().nth(1).unwrap_or_else(|| "fermi".into());
     let cfg = match which.as_str() {
         "fermi" => arch::gtx570(),
@@ -26,7 +27,7 @@ fn run() {
     let threads = configured_threads();
     let clock = RunClock::start(threads);
     println!("=== {} ===", cfg.name);
-    for eval in &evaluate_arch_par(&cfg, threads).apps {
+    for eval in &evaluate_arch_par(&cfg, threads)?.apps {
         println!(
             "{:4} [{:12}] RD {:4.2}x CLU {:4.2}x TOT({}) {:4.2}x BPS {:4.2}x PFH {:4.2}x | L2 TOT {:4.2} | l1hr {:4.2}->{:4.2}",
             eval.info.abbr,
@@ -43,4 +44,5 @@ fn run() {
         );
     }
     println!("{}", clock.footer());
+    Ok(())
 }

@@ -2,6 +2,7 @@
 //! under all optimization variants on all four architectures.
 
 use crate::runner::{evaluate_app, AppEvaluation, Variant};
+use cta_clustering::ClusterError;
 use gpu_kernels::PaperCategory;
 use gpu_sim::{geometric_mean, ArchGen, GpuConfig};
 
@@ -92,20 +93,28 @@ impl ArchEvaluation {
 }
 
 /// Runs the full evaluation matrix for one GPU.
-pub fn evaluate_arch(cfg: &GpuConfig) -> ArchEvaluation {
+///
+/// # Errors
+///
+/// Propagates the first app-evaluation failure.
+pub fn evaluate_arch(cfg: &GpuConfig) -> Result<ArchEvaluation, ClusterError> {
     let apps = gpu_kernels::suite::table2_suite(cfg.arch)
         .into_iter()
         .map(|w| evaluate_app(cfg, w))
-        .collect();
-    ArchEvaluation {
+        .collect::<Result<_, _>>()?;
+    Ok(ArchEvaluation {
         gpu: cfg.name.clone(),
         arch: cfg.arch,
         apps,
-    }
+    })
 }
 
 /// Runs the evaluation on all four Table 1 platforms.
-pub fn evaluate_all() -> Vec<ArchEvaluation> {
+///
+/// # Errors
+///
+/// Propagates the first app-evaluation failure.
+pub fn evaluate_all() -> Result<Vec<ArchEvaluation>, ClusterError> {
     gpu_sim::arch::all_presets()
         .iter()
         .map(evaluate_arch)

@@ -28,6 +28,6 @@ pub mod tables;
 pub use evaluation::{evaluate_all, evaluate_arch, ArchEvaluation, Panel};
 pub use par::{
     configured_threads, evaluate_all_par, evaluate_apps_par, evaluate_arch_par, evaluate_matrix,
-    with_obs, RunClock,
+    tune_allocator, with_obs, RunClock,
 };
 pub use runner::{evaluate_app, AppEvaluation, AppPlan, SharedKernel, SimRequest, Variant};

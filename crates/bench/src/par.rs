@@ -15,6 +15,7 @@
 
 use crate::evaluation::ArchEvaluation;
 use crate::runner::{AppPlan, SimRequest};
+use cta_clustering::ClusterError;
 use gpu_sim::{GpuConfig, RunStats};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Mutex};
@@ -131,7 +132,14 @@ where
 /// for every app on every architecture); after the sweep winners are
 /// selected, phase B runs the two variants that depend on them
 /// (CLU+TOT+BPS and PFH+TOT).
-pub fn evaluate_matrix(cfgs: &[GpuConfig], threads: usize) -> Vec<ArchEvaluation> {
+///
+/// # Errors
+///
+/// Propagates the first [`AppPlan::run`] failure of either phase.
+pub fn evaluate_matrix(
+    cfgs: &[GpuConfig],
+    threads: usize,
+) -> Result<Vec<ArchEvaluation>, ClusterError> {
     // Plans are cheap (no simulation), so build them inline.
     let plans: Vec<Vec<AppPlan>> = cfgs
         .iter()
@@ -142,14 +150,15 @@ pub fn evaluate_matrix(cfgs: &[GpuConfig], threads: usize) -> Vec<ArchEvaluation
                 .collect()
         })
         .collect();
-    cfgs.iter()
-        .zip(run_plans(&plans, threads))
+    Ok(cfgs
+        .iter()
+        .zip(run_plans(&plans, threads)?)
         .map(|(cfg, apps)| ArchEvaluation {
             gpu: cfg.name.clone(),
             arch: cfg.arch,
             apps,
         })
-        .collect()
+        .collect())
 }
 
 /// Evaluates an explicit set of workloads on one GPU across `threads`
@@ -160,19 +169,26 @@ pub fn evaluate_apps_par(
     cfg: &GpuConfig,
     workloads: Vec<Box<dyn gpu_kernels::Workload>>,
     threads: usize,
-) -> Vec<crate::runner::AppEvaluation> {
+) -> Result<Vec<crate::runner::AppEvaluation>, ClusterError> {
     let plans = vec![workloads
         .into_iter()
         .map(|w| AppPlan::new(cfg, w))
         .collect()];
-    run_plans(&plans, threads)
+    Ok(run_plans(&plans, threads)?
         .pop()
-        .expect("one plan row in, one out")
+        .expect("one plan row in, one out"))
 }
 
 /// The two-phase fan-out over prepared plans (outer index = architecture,
 /// inner = app). Returns evaluations in the same shape and order.
-fn run_plans(plans: &[Vec<AppPlan>], threads: usize) -> Vec<Vec<crate::runner::AppEvaluation>> {
+///
+/// Each phase runs all its jobs to completion (the pool has no early
+/// cancellation), then surfaces the first error in job order so the
+/// reported failure is deterministic.
+fn run_plans(
+    plans: &[Vec<AppPlan>],
+    threads: usize,
+) -> Result<Vec<Vec<crate::runner::AppEvaluation>>, ClusterError> {
     // Phase A: flatten (arch, app, request) into one job list.
     let jobs_a: Vec<(usize, usize, SimRequest)> = plans
         .iter()
@@ -183,7 +199,9 @@ fn run_plans(plans: &[Vec<AppPlan>], threads: usize) -> Vec<Vec<crate::runner::A
             })
         })
         .collect();
-    let stats_a = par_map(&jobs_a, threads, |&(ai, pi, req)| plans[ai][pi].run(req));
+    let stats_a: Vec<RunStats> = par_map(&jobs_a, threads, |&(ai, pi, req)| plans[ai][pi].run(req))
+        .into_iter()
+        .collect::<Result<_, _>>()?;
 
     // Regroup phase-A stats per app (jobs were emitted app-major) and
     // pick each app's throttle winner.
@@ -220,7 +238,9 @@ fn run_plans(plans: &[Vec<AppPlan>], threads: usize) -> Vec<Vec<crate::runner::A
             })
         })
         .collect();
-    let stats_b = par_map(&jobs_b, threads, |&(ai, pi, req)| plans[ai][pi].run(req));
+    let stats_b: Vec<RunStats> = par_map(&jobs_b, threads, |&(ai, pi, req)| plans[ai][pi].run(req))
+        .into_iter()
+        .collect::<Result<_, _>>()?;
     let mut grouped_b: Vec<Vec<Vec<RunStats>>> = plans
         .iter()
         .map(|apps| apps.iter().map(|_| Vec::new()).collect())
@@ -230,7 +250,7 @@ fn run_plans(plans: &[Vec<AppPlan>], threads: usize) -> Vec<Vec<crate::runner::A
     }
 
     // Assemble in input order — identical to the serial path.
-    plans
+    Ok(plans
         .iter()
         .enumerate()
         .map(|(ai, apps)| {
@@ -245,26 +265,64 @@ fn run_plans(plans: &[Vec<AppPlan>], threads: usize) -> Vec<Vec<crate::runner::A
                 })
                 .collect()
         })
-        .collect()
+        .collect())
 }
 
 /// Parallel counterpart of [`crate::evaluate_arch`].
-pub fn evaluate_arch_par(cfg: &GpuConfig, threads: usize) -> ArchEvaluation {
-    evaluate_matrix(std::slice::from_ref(cfg), threads)
+///
+/// # Errors
+///
+/// Propagates the first [`AppPlan::run`] failure.
+pub fn evaluate_arch_par(cfg: &GpuConfig, threads: usize) -> Result<ArchEvaluation, ClusterError> {
+    Ok(evaluate_matrix(std::slice::from_ref(cfg), threads)?
         .pop()
-        .expect("one arch in, one evaluation out")
+        .expect("one arch in, one evaluation out"))
 }
 
 /// Parallel counterpart of [`crate::evaluate_all`].
-pub fn evaluate_all_par(threads: usize) -> Vec<ArchEvaluation> {
+///
+/// # Errors
+///
+/// Propagates the first [`AppPlan::run`] failure.
+pub fn evaluate_all_par(threads: usize) -> Result<Vec<ArchEvaluation>, ClusterError> {
     evaluate_matrix(&gpu_sim::arch::all_presets(), threads)
+}
+
+/// Tunes glibc's allocator for the harness's allocation pattern.
+///
+/// Each simulation allocates a handful of MB-scale slabs (cache arrays,
+/// CTA placements, profiler pages) that die with the run. Under glibc's
+/// defaults those exceed the mmap threshold, so every run pays
+/// mmap/munmap plus a page fault per touched page — measured at ~14% of
+/// `fig12_speedup` wall time as system time. Raising the mmap and trim
+/// thresholds keeps the slabs in the main arena, where the next run
+/// reuses the same already-faulted pages. No-op off glibc; values are
+/// per-process hints, not correctness-relevant.
+pub fn tune_allocator() {
+    #[cfg(target_env = "gnu")]
+    {
+        // From <malloc.h>: M_TRIM_THRESHOLD = -1, M_MMAP_THRESHOLD = -3.
+        extern "C" {
+            fn mallopt(param: core::ffi::c_int, value: core::ffi::c_int) -> core::ffi::c_int;
+        }
+        // SAFETY: mallopt only writes malloc's own tuning parameters;
+        // called once at bin startup before any worker threads exist.
+        unsafe {
+            mallopt(-1, 512 << 20);
+            mallopt(-3, 64 << 20);
+        }
+    }
 }
 
 /// Wraps a bin's body in a root telemetry span and, when `CLUSTER_OBS`
 /// is set, exports `<bin>.jsonl` (deterministic) and `<bin>.trace.json`
 /// (Chrome trace) on the way out. The export paths go to *stderr* so a
 /// bin's stdout stays byte-comparable across telemetry modes.
+///
+/// Also applies [`tune_allocator`], so every figure bin gets the
+/// allocator tuned the same way.
 pub fn with_obs<R>(bin: &str, f: impl FnOnce() -> R) -> R {
+    tune_allocator();
     let result = {
         let _root = cta_obs::span(format!("bin/{bin}"));
         f()

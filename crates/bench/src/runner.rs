@@ -8,49 +8,152 @@
 //! worker threads ([`crate::par`]) — and still assemble into exactly the
 //! [`AppEvaluation`] the serial path produces.
 
-use cta_clustering::{AgentKernel, BypassKernel, Framework, Partition, RedirectionKernel};
+use cta_clustering::{
+    AgentKernel, BypassKernel, ClusterError, Framework, Partition, RedirectionKernel,
+};
 use gpu_kernels::{PartitionHint, Workload};
 use gpu_sim::{
-    ArrayTag, CtaContext, GpuConfig, KernelSpec, LaunchConfig, Program, RunStats, Simulation,
+    ArrayTag, CtaContext, GpuConfig, KernelSpec, LaunchConfig, Op, Program, RunStats, Simulation,
 };
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Cross-variant program cache: one [`Arc<[Op]>`] per `(cta, warp)` of
+/// the original grid, filled on first request and replayed zero-copy by
+/// every variant of both evaluation phases. Suite programs depend only
+/// on the CTA id and warp index (pinned by
+/// `suite_programs_are_context_independent`), so a single canonical
+/// context serves all SMs, slots, and arrival orders.
+#[derive(Debug)]
+struct ProgramCache {
+    warps_per_cta: u32,
+    slots: Box<[OnceLock<Arc<[Op]>>]>,
+    hits: AtomicU64,
+    fills: AtomicU64,
+}
+
+impl ProgramCache {
+    fn new(launch: &LaunchConfig, warp_size: u32) -> ProgramCache {
+        let wpc = launch.warps_per_cta(warp_size.max(1));
+        let n = (launch.num_ctas() as usize).saturating_mul(wpc as usize);
+        ProgramCache {
+            warps_per_cta: wpc,
+            slots: (0..n).map(|_| OnceLock::new()).collect(),
+            hits: AtomicU64::new(0),
+            fills: AtomicU64::new(0),
+        }
+    }
+
+    /// The cached program of `(ctx.cta, warp)`, generating it under the
+    /// canonical context on first touch. Out-of-range requests (a warp
+    /// size smaller than the sizing default, probing past the grid)
+    /// return `None` and fall back to direct generation.
+    fn get_or_fill(&self, w: &dyn Workload, ctx: &CtaContext, warp: u32) -> Option<Arc<[Op]>> {
+        if warp >= self.warps_per_cta {
+            return None;
+        }
+        let idx = (ctx.cta as usize).checked_mul(self.warps_per_cta as usize)? + warp as usize;
+        let slot = self.slots.get(idx)?;
+        let mut filled = false;
+        let arc = slot.get_or_init(|| {
+            filled = true;
+            let canonical = CtaContext {
+                sm_id: 0,
+                slot: 0,
+                arrival: 0,
+                ..*ctx
+            };
+            w.warp_program(&canonical, warp).into()
+        });
+        // `get_or_init` runs the closure on exactly one thread per slot,
+        // so fills == distinct programs and hits == calls - fills: both
+        // are functions of the request set alone, independent of thread
+        // count or scheduling — safe for the deterministic JSONL export.
+        if filled {
+            self.fills.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(Arc::clone(arc))
+    }
+}
+
+/// Warp width the cache is sized with when no GPU is in scope (every
+/// Table 1 preset uses 32). A run with a narrower warp only loses cache
+/// coverage (`get_or_fill` bails out), never correctness.
+const DEFAULT_WARP_SIZE: u32 = 32;
 
 /// A cloneable handle to a boxed workload, so the clustering transforms
 /// (which need `Clone`) can wrap suite entries. Backed by `Arc` so the
 /// handle can cross thread boundaries in the parallel harness.
+///
+/// The handle also owns the per-app [`ProgramCache`]: every clone — and
+/// therefore every transform wrapping one — serves warp programs from
+/// the same shared arena through [`KernelSpec::warp_program_arc`].
 #[derive(Clone)]
-pub struct SharedKernel(Arc<dyn Workload>);
+pub struct SharedKernel {
+    inner: Arc<dyn Workload>,
+    cache: Arc<ProgramCache>,
+}
 
 impl SharedKernel {
-    /// Wraps a suite workload.
+    /// Wraps a suite workload, sizing the program cache for the default
+    /// warp width.
     pub fn new(w: Box<dyn Workload>) -> Self {
-        SharedKernel(Arc::from(w))
+        SharedKernel::with_warp_size(w, DEFAULT_WARP_SIZE)
+    }
+
+    /// Wraps a suite workload, sizing the program cache for `warp_size`.
+    pub fn with_warp_size(w: Box<dyn Workload>, warp_size: u32) -> Self {
+        let inner: Arc<dyn Workload> = Arc::from(w);
+        let cache = Arc::new(ProgramCache::new(&inner.launch(), warp_size));
+        SharedKernel { inner, cache }
     }
 
     /// The workload's Table 2 metadata.
     pub fn info(&self) -> gpu_kernels::WorkloadInfo {
-        self.0.info()
+        self.inner.info()
+    }
+
+    /// `(hits, fills)` of the program cache so far.
+    pub fn cache_counters(&self) -> (u64, u64) {
+        (
+            self.cache.hits.load(Ordering::Relaxed),
+            self.cache.fills.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Records the cache counters under `scope`. Only meaningful once
+    /// the totals are final for the scope (i.e. after every run of an
+    /// app), so that the export is thread-count independent.
+    fn record_cache_obs(&self, obs: &cta_obs::Obs, scope: &str) {
+        let (hits, fills) = self.cache_counters();
+        obs.counter("harness/program_cache_hits", scope, hits);
+        obs.counter("harness/program_cache_fills", scope, fills);
     }
 }
 
 impl std::fmt::Debug for SharedKernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SharedKernel({})", self.0.name())
+        write!(f, "SharedKernel({})", self.inner.name())
     }
 }
 
 impl KernelSpec for SharedKernel {
     fn name(&self) -> String {
-        self.0.name()
+        self.inner.name()
     }
     fn launch(&self) -> LaunchConfig {
-        self.0.launch()
+        self.inner.launch()
     }
     fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
-        self.0.warp_program(ctx, warp)
+        self.inner.warp_program(ctx, warp)
     }
     fn warp_program_into(&self, ctx: &CtaContext, warp: u32, out: &mut Program) {
-        self.0.warp_program_into(ctx, warp, out)
+        self.inner.warp_program_into(ctx, warp, out)
+    }
+    fn warp_program_arc(&self, ctx: &CtaContext, warp: u32) -> Option<Arc<[Op]>> {
+        self.cache.get_or_fill(&*self.inner, ctx, warp)
     }
 }
 
@@ -229,56 +332,89 @@ impl AppPlan {
     /// The whole job runs inside a telemetry span named by its scope
     /// (`{gpu}/{app}/{label}`, e.g. `GTX570/MM/CLU`), on whichever
     /// thread executes it.
-    pub fn run(&self, req: SimRequest) -> RunStats {
+    ///
+    /// # Errors
+    ///
+    /// Propagates transform-construction failures (invalid throttle
+    /// degree, bypass transform) and simulator failures as
+    /// [`ClusterError`] instead of panicking, so a bad request surfaces
+    /// as a report-able error at the harness boundary.
+    pub fn run(&self, req: SimRequest) -> Result<RunStats, ClusterError> {
         let t0 = std::time::Instant::now();
         let scope = format!("{}/{}/{}", self.cfg.name, self.info.abbr, req.label());
         let _job = cta_obs::span(scope.clone());
-        let stats = match req {
-            SimRequest::Baseline => self
-                .simulate(&self.kernel, req, &scope)
-                .expect("baseline run"),
+        let stats = self.with_kernel(req, |kernel| self.simulate(kernel, req, &scope))?;
+        crate::par::record_busy(t0.elapsed());
+        Ok(stats)
+    }
+
+    /// Like [`AppPlan::run`] but also returns the engine's event
+    /// accounting, for the `sim_core` bench bin and conservation gates.
+    /// Runs without telemetry sinks (the metrics themselves are the
+    /// instrument here).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AppPlan::run`].
+    pub fn run_metered(
+        &self,
+        req: SimRequest,
+    ) -> Result<(RunStats, gpu_sim::EngineMetrics), ClusterError> {
+        let t0 = std::time::Instant::now();
+        let out = self.with_kernel(req, |kernel| {
+            Simulation::new(self.cfg.clone(), kernel).run_metered()
+        })?;
+        crate::par::record_busy(t0.elapsed());
+        Ok(out)
+    }
+
+    /// `(hits, fills)` of this plan's program cache so far.
+    pub fn cache_counters(&self) -> (u64, u64) {
+        self.kernel.cache_counters()
+    }
+
+    /// Builds the transformed kernel a request calls for and hands it to
+    /// `f` — the one place the request → kernel mapping lives.
+    fn with_kernel<R>(
+        &self,
+        req: SimRequest,
+        f: impl FnOnce(&dyn KernelSpec) -> Result<R, gpu_sim::SimError>,
+    ) -> Result<R, ClusterError> {
+        Ok(match req {
+            SimRequest::Baseline => f(&self.kernel)?,
             SimRequest::Redirection => {
                 let rd = RedirectionKernel::new(self.kernel.clone(), self.partition.clone());
-                self.simulate(&rd, req, &scope).expect("RD run")
+                f(&rd)?
             }
-            SimRequest::Clustering => self.simulate(&self.agents, req, &scope).expect("CLU run"),
+            SimRequest::Clustering => f(&self.agents)?,
             SimRequest::Throttled(active) => {
-                let throttled = self
-                    .agents
-                    .clone()
-                    .with_active_agents(active)
-                    .expect("valid throttle");
-                self.simulate(&throttled, req, &scope).expect("TOT run")
+                let throttled = self.agents.clone().with_active_agents(active)?;
+                f(&throttled)?
             }
             SimRequest::Bypass(active) => {
                 // Bypassing: streaming tags from the framework's probe.
+                // The narrow probe suffices — the partition (axis) is the
+                // plan's own, so the full analyze() axis sweep would be
+                // three discarded simulations per request.
                 let fw = Framework::new(self.cfg.clone());
-                let tags: Vec<ArrayTag> = fw
-                    .analyze(&self.kernel)
-                    .map(|a| a.streaming_tags)
-                    .unwrap_or_default();
+                let tags: Vec<ArrayTag> = fw.streaming_tags(&self.kernel).unwrap_or_default();
                 let bypassed = AgentKernel::with_partition(
                     BypassKernel::new(self.kernel.clone(), tags),
                     &self.cfg,
                     self.partition.clone(),
-                )
-                .expect("bypass transform")
-                .with_active_agents(active)
-                .expect("valid throttle");
-                self.simulate(&bypassed, req, &scope).expect("BPS run")
+                )?
+                .with_active_agents(active)?;
+                f(&bypassed)?
             }
             SimRequest::Prefetch(active) => {
                 let prefetching = self
                     .agents
                     .clone()
-                    .with_active_agents(active)
-                    .expect("valid throttle")
+                    .with_active_agents(active)?
                     .with_prefetch(2);
-                self.simulate(&prefetching, req, &scope).expect("PFH run")
+                f(&prefetching)?
             }
-        };
-        crate::par::record_busy(t0.elapsed());
-        stats
+        })
     }
 
     /// Runs one simulation, telemetry-aware. With `CLUSTER_OBS` off this
@@ -287,9 +423,9 @@ impl AppPlan {
     /// traced through a [`locality::ObsSink`] (trace sinks observe the
     /// access stream, they cannot steer the simulation) and the
     /// resulting [`RunStats`] counters are recorded under `scope`.
-    fn simulate<K: KernelSpec>(
+    fn simulate(
         &self,
-        kernel: &K,
+        kernel: &dyn KernelSpec,
         req: SimRequest,
         scope: &str,
     ) -> Result<RunStats, gpu_sim::SimError> {
@@ -301,20 +437,22 @@ impl AppPlan {
         // data *would* belong to from the hinted partition; clustered
         // variants bind one cluster per SM (agents adopt the cluster of
         // the SM they land on), so there the SM id is the cluster id.
-        let stats = if matches!(req, SimRequest::Baseline) {
+        let (stats, metrics) = if matches!(req, SimRequest::Baseline) {
             let partition = self.partition.clone();
             let mut sink =
                 locality::ObsSink::new(scope, move |cta, _sm| partition.assign(cta).0 as u32);
-            let stats = sim.run_traced(&mut sink)?;
+            let out = sim.run_traced_metered(&mut sink)?;
             sink.finish(obs);
-            stats
+            out
         } else {
             let mut sink = locality::ObsSink::new(scope, |_cta, sm| sm as u32);
-            let stats = sim.run_traced(&mut sink)?;
+            let out = sim.run_traced_metered(&mut sink)?;
             sink.finish(obs);
-            stats
+            out
         };
         stats.record_obs(obs, scope);
+        metrics.record_obs(obs, scope);
+        debug_assert_eq!(metrics.check_conservation(&stats), Ok(()), "{scope}");
         Ok(stats)
     }
 
@@ -344,6 +482,14 @@ impl AppPlan {
         chosen: (u32, usize),
         phase_b: Vec<RunStats>,
     ) -> AppEvaluation {
+        // Both phases are complete here (serial and parallel paths
+        // alike), so the program-cache totals are final for this app —
+        // the one point where exporting them is thread-count
+        // deterministic.
+        if let Some(obs) = cta_obs::maybe_global() {
+            let scope = format!("{}/{}", self.cfg.name, self.info.abbr);
+            self.kernel.record_cache_obs(obs, &scope);
+        }
         let (chosen_agents, best_idx) = chosen;
         let tot_stats = phase_a[best_idx].clone();
         let mut a = phase_a.into_iter();
@@ -405,16 +551,27 @@ impl AppEvaluation {
 ///
 /// This is the legacy single-threaded path; [`crate::par`] runs the same
 /// [`SimRequest`]s across worker threads and produces identical results.
-pub fn evaluate_app(base_cfg: &GpuConfig, workload: Box<dyn Workload>) -> AppEvaluation {
+///
+/// # Errors
+///
+/// Propagates the first [`AppPlan::run`] failure.
+pub fn evaluate_app(
+    base_cfg: &GpuConfig,
+    workload: Box<dyn Workload>,
+) -> Result<AppEvaluation, ClusterError> {
     let plan = AppPlan::new(base_cfg, workload);
-    let phase_a: Vec<RunStats> = plan.phase_a().into_iter().map(|r| plan.run(r)).collect();
+    let phase_a: Vec<RunStats> = plan
+        .phase_a()
+        .into_iter()
+        .map(|r| plan.run(r))
+        .collect::<Result<_, _>>()?;
     let chosen = plan.select_throttle(&phase_a);
     let phase_b: Vec<RunStats> = plan
         .phase_b(chosen.0)
         .into_iter()
         .map(|r| plan.run(r))
-        .collect();
-    plan.assemble(phase_a, chosen, phase_b)
+        .collect::<Result<_, _>>()?;
+    Ok(plan.assemble(phase_a, chosen, phase_b))
 }
 
 #[cfg(test)]
@@ -425,7 +582,7 @@ mod tests {
     #[test]
     fn evaluate_small_app_produces_all_variants() {
         let w = gpu_kernels::suite::by_abbr("NW", gpu_sim::ArchGen::Fermi).unwrap();
-        let eval = evaluate_app(&arch::gtx570(), w);
+        let eval = evaluate_app(&arch::gtx570(), w).expect("NW evaluation");
         assert_eq!(eval.runs.len(), 6);
         assert!(eval.speedup(Variant::Baseline) == 1.0);
         assert!(eval.chosen_agents >= 1);
@@ -449,6 +606,86 @@ mod tests {
         assert_send_sync::<SharedKernel>();
         assert_send_sync::<AppPlan>();
         assert_send_sync::<SimRequest>();
+    }
+
+    /// The program cache's safety precondition: a suite workload's warp
+    /// programs may depend on the CTA id and warp index only, never on
+    /// where or when the CTA was placed. The cache generates each
+    /// program once under a canonical `(sm_id=0, slot=0, arrival=0)`
+    /// context and replays it for every placement.
+    #[test]
+    fn suite_programs_are_context_independent() {
+        for arch in [gpu_sim::ArchGen::Fermi, gpu_sim::ArchGen::Maxwell] {
+            for w in gpu_kernels::suite::table2_suite(arch) {
+                let launch = w.launch();
+                let wpc = launch.warps_per_cta(32);
+                let num_sms = 15;
+                // A spread of CTAs including the last one.
+                let ctas = [0, 1, launch.num_ctas() / 2, launch.num_ctas() - 1];
+                for &cta in &ctas {
+                    for warp in 0..wpc {
+                        let canonical = CtaContext {
+                            cta,
+                            sm_id: 0,
+                            slot: 0,
+                            arrival: 0,
+                            num_sms,
+                        };
+                        let perturbed = CtaContext {
+                            cta,
+                            sm_id: 7,
+                            slot: 3,
+                            arrival: 1234,
+                            num_sms,
+                        };
+                        assert_eq!(
+                            w.warp_program(&canonical, warp),
+                            w.warp_program(&perturbed, warp),
+                            "{} cta {cta} warp {warp}",
+                            w.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn program_cache_replays_generated_programs() {
+        let w = gpu_kernels::suite::by_abbr("NW", gpu_sim::ArchGen::Fermi).unwrap();
+        let kernel = SharedKernel::new(w);
+        let launch = kernel.launch();
+        let wpc = launch.warps_per_cta(32);
+        let ctx = |cta| CtaContext {
+            cta,
+            sm_id: 2,
+            slot: 1,
+            arrival: 99,
+            num_sms: 15,
+        };
+        // First pass fills, second pass hits; both match direct generation.
+        for pass in 0..2 {
+            for cta in 0..launch.num_ctas() {
+                for warp in 0..wpc {
+                    let arc = kernel
+                        .warp_program_arc(&ctx(cta), warp)
+                        .expect("cache covers the grid");
+                    assert_eq!(
+                        arc.as_ref(),
+                        kernel.warp_program(&ctx(cta), warp).as_slice(),
+                        "pass {pass} cta {cta} warp {warp}"
+                    );
+                }
+            }
+        }
+        let total = launch.num_ctas() * wpc as u64;
+        assert_eq!(kernel.cache_counters(), (total, total));
+        // Clones (as the transforms wrap them) share the same cache.
+        let clone = kernel.clone();
+        let _ = clone.warp_program_arc(&ctx(0), 0);
+        assert_eq!(kernel.cache_counters(), (total + 1, total));
+        // Out-of-range warp indices decline rather than alias a slot.
+        assert!(kernel.warp_program_arc(&ctx(0), wpc).is_none());
     }
 
     #[test]

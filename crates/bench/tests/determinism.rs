@@ -30,11 +30,12 @@ fn render(eval: &AppEvaluation) -> String {
 #[test]
 fn parallel_results_are_identical_to_serial() {
     let cfg = arch::gtx570();
-    let serial = evaluate_app(&cfg, workload("NW"));
+    let serial = evaluate_app(&cfg, workload("NW")).expect("serial evaluation");
     let serial_rendered = render(&serial);
 
     for threads in [2, 4] {
         let par = evaluate_apps_par(&cfg, vec![workload("NW")], threads)
+            .expect("parallel evaluation")
             .pop()
             .expect("one app evaluated");
 
@@ -67,9 +68,10 @@ fn parallel_preserves_app_order() {
     let abbrs = ["NW", "BS"];
     let serial: Vec<AppEvaluation> = abbrs
         .iter()
-        .map(|a| evaluate_app(&cfg, workload(a)))
+        .map(|a| evaluate_app(&cfg, workload(a)).expect("serial evaluation"))
         .collect();
-    let par = evaluate_apps_par(&cfg, abbrs.iter().map(|a| workload(a)).collect(), 3);
+    let par = evaluate_apps_par(&cfg, abbrs.iter().map(|a| workload(a)).collect(), 3)
+        .expect("parallel evaluation");
     assert_eq!(par.len(), serial.len());
     for (p, s) in par.iter().zip(&serial) {
         assert_eq!(p.info.abbr, s.info.abbr);

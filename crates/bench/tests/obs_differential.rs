@@ -42,16 +42,16 @@ fn telemetry_does_not_change_the_figures() {
     // Phase 1: telemetry off (the test environment does not set
     // CLUSTER_OBS; if a caller exported it anyway, the comparison
     // below still must hold — it just degenerates to on-vs-on).
-    let off_serial = evaluate_apps_par(&cfg, workloads(), 1);
-    let off_par = evaluate_apps_par(&cfg, workloads(), 8);
+    let off_serial = evaluate_apps_par(&cfg, workloads(), 1).expect("off/serial evaluation");
+    let off_par = evaluate_apps_par(&cfg, workloads(), 8).expect("off/parallel evaluation");
     let golden = render(&off_serial);
     assert_eq!(render(&off_par), golden, "thread-count determinism (off)");
 
     // Phase 2: telemetry on. Every simulation now streams through the
     // ObsSink, emits per-SM counters, spans, and queue clocks.
     cta_obs::force_enable();
-    let on_serial = evaluate_apps_par(&cfg, workloads(), 1);
-    let on_par = evaluate_apps_par(&cfg, workloads(), 8);
+    let on_serial = evaluate_apps_par(&cfg, workloads(), 1).expect("on/serial evaluation");
+    let on_par = evaluate_apps_par(&cfg, workloads(), 8).expect("on/parallel evaluation");
 
     for (phase, on) in [("serial", &on_serial), ("8 threads", &on_par)] {
         assert_eq!(on.len(), off_serial.len());

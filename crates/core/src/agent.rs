@@ -21,8 +21,24 @@ use crate::partition::Partition;
 use crate::protocol::{counter_addr, BindingMode, ProtocolSpec, BROADCAST_COST, COUNTER_TAG};
 use gpu_sim::{
     occupancy, ArchGen, CacheOp, CtaContext, GpuConfig, KernelSpec, LaunchConfig, MemAccess, Op,
-    Program,
+    Program, ProgramBuilder,
 };
+
+/// Collects the first `depth` L1-cacheable loads of `ops` as
+/// non-blocking `PrefetchL1` copies (the reshaped-order prefetch body,
+/// §4.3-(III)).
+fn collect_prefetches(ops: &[Op], depth: usize, out: &mut Vec<Op>) {
+    out.extend(
+        ops.iter()
+            .filter_map(|op| match op {
+                Op::Load(a) if a.cache_op == CacheOp::CacheAll => {
+                    Some(Op::Load(a.clone().with_cache_op(CacheOp::PrefetchL1)))
+                }
+                _ => None,
+            })
+            .take(depth),
+    );
+}
 
 /// A kernel transformed by agent-based clustering.
 ///
@@ -267,16 +283,8 @@ impl<K: KernelSpec> KernelSpec for AgentKernel<K> {
                     let next_ctx = CtaContext { cta: next, ..*ctx };
                     self.inner
                         .warp_program_into(&next_ctx, warp, &mut next_prog);
-                    let prefetches: Vec<Op> = next_prog
-                        .iter()
-                        .filter_map(|op| match op {
-                            Op::Load(a) if a.cache_op == CacheOp::CacheAll => {
-                                Some(Op::Load(a.clone().with_cache_op(CacheOp::PrefetchL1)))
-                            }
-                            _ => None,
-                        })
-                        .take(self.prefetch_depth)
-                        .collect();
+                    let mut prefetches: Vec<Op> = Vec::new();
+                    collect_prefetches(&next_prog, self.prefetch_depth, &mut prefetches);
                     let at = body.len().saturating_sub(1);
                     for (off, p) in prefetches.into_iter().enumerate() {
                         body.insert(at.min(body.len()) + off, p);
@@ -284,6 +292,81 @@ impl<K: KernelSpec> KernelSpec for AgentKernel<K> {
                 }
             }
             out.append(&mut body);
+        }
+    }
+
+    fn warp_program_build(&self, ctx: &CtaContext, warp: u32, out: &mut ProgramBuilder) {
+        // Same program as `warp_program_into`, but task bodies served
+        // from the inner kernel's shared-program cache replay as
+        // zero-copy segments instead of being regenerated per variant.
+        // Prefetches splice between segments exactly where the owned
+        // path inserts them: before the last op of the current task.
+        let agent_id = self.agent_id(ctx);
+        let throttled = agent_id >= self.active_agents as u64;
+        if self.arch.static_warp_slot_binding() {
+            if throttled {
+                return; // surplus static agent: empty program
+            }
+        } else {
+            if warp == 0 {
+                out.push(Op::Atomic(MemAccess::scalar(
+                    COUNTER_TAG,
+                    counter_addr(ctx.sm_id),
+                    4,
+                )));
+            }
+            out.push(Op::Compute(BROADCAST_COST));
+            out.push(Op::Barrier);
+            if throttled {
+                return; // surplus dynamic agent: binding prologue only
+            }
+        }
+        let tasks = self.tasks_of(ctx.sm_id, agent_id);
+        let mut scratch = Program::new();
+        let mut next_scratch = Program::new();
+        let mut prefetches: Vec<Op> = Vec::new();
+        for (k, &v) in tasks.iter().enumerate() {
+            prefetches.clear();
+            if self.prefetch_depth > 0 {
+                if let Some(&next) = tasks.get(k + 1) {
+                    let next_ctx = CtaContext { cta: next, ..*ctx };
+                    if let Some(arc) = self.inner.warp_program_arc(&next_ctx, warp) {
+                        collect_prefetches(&arc, self.prefetch_depth, &mut prefetches);
+                    } else {
+                        self.inner
+                            .warp_program_into(&next_ctx, warp, &mut next_scratch);
+                        collect_prefetches(&next_scratch, self.prefetch_depth, &mut prefetches);
+                    }
+                }
+            }
+            let task_ctx = CtaContext { cta: v, ..*ctx };
+            if let Some(arc) = self.inner.warp_program_arc(&task_ctx, warp) {
+                if prefetches.is_empty() {
+                    out.push_shared(&arc);
+                } else {
+                    let at = arc.len().saturating_sub(1);
+                    out.push_shared_range(&arc, 0, at);
+                    for p in prefetches.drain(..) {
+                        out.push(p);
+                    }
+                    out.push_shared_range(&arc, at, arc.len());
+                }
+            } else {
+                self.inner.warp_program_into(&task_ctx, warp, &mut scratch);
+                let at = scratch.len().saturating_sub(1);
+                for (i, op) in scratch.drain(..).enumerate() {
+                    if i == at {
+                        for p in prefetches.drain(..) {
+                            out.push(p);
+                        }
+                    }
+                    out.push(op);
+                }
+                // Empty task body: the owned path appends bare prefetches.
+                for p in prefetches.drain(..) {
+                    out.push(p);
+                }
+            }
         }
     }
 }
@@ -434,6 +517,85 @@ mod tests {
             k_stats.memory.l2_atomic_txns, 0,
             "Kepler agents read warp slots"
         );
+    }
+
+    /// Probe that serves its programs as shared slices (the cross-variant
+    /// program-cache path), with multi-op bodies so prefetch splicing has
+    /// interior structure to preserve.
+    #[derive(Debug, Clone)]
+    struct ArcProbe {
+        grid: Dim3,
+    }
+
+    impl KernelSpec for ArcProbe {
+        fn name(&self) -> String {
+            "arc-probe".into()
+        }
+        fn launch(&self) -> LaunchConfig {
+            LaunchConfig::new(self.grid, 64u32)
+        }
+        fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
+            vec![
+                Op::Load(MemAccess::scalar(0, (ctx.cta * 2 + warp as u64) * 4, 4)),
+                Op::Compute(3),
+                Op::Load(MemAccess::scalar(1, 0x1000 + ctx.cta * 4, 4)),
+            ]
+        }
+        fn warp_program_arc(&self, ctx: &CtaContext, warp: u32) -> Option<std::sync::Arc<[Op]>> {
+            Some(self.warp_program(ctx, warp).into())
+        }
+    }
+
+    /// The segment-building path must emit exactly the op sequence the
+    /// legacy generation path produces — across static (Kepler) and
+    /// dynamic (Maxwell) binding, prefetch off/on, throttled and active
+    /// agents, and inner kernels with and without shared programs.
+    #[test]
+    fn builder_path_matches_generated_program() {
+        let grid = Dim3::plane(8, 8);
+        for cfg in [arch::tesla_k40(), arch::gtx980()] {
+            for depth in [0usize, 1, 2] {
+                let kernels: Vec<Box<dyn KernelSpec>> = vec![
+                    Box::new(
+                        AgentKernel::build(ArcProbe { grid }, &cfg)
+                            .unwrap()
+                            .with_active_agents(2)
+                            .unwrap()
+                            .with_prefetch(depth),
+                    ),
+                    Box::new(
+                        AgentKernel::build(Probe { grid }, &cfg)
+                            .unwrap()
+                            .with_active_agents(2)
+                            .unwrap()
+                            .with_prefetch(depth),
+                    ),
+                ];
+                for a in &kernels {
+                    // Slot/arrival 0 and 1: active agents; 3: throttled on
+                    // both binding modes (active_agents = 2).
+                    for id in [0u64, 1, 3] {
+                        let ctx = CtaContext {
+                            cta: id,
+                            sm_id: 2,
+                            slot: id as u32,
+                            arrival: id,
+                            num_sms: cfg.num_sms,
+                        };
+                        for warp in 0..2 {
+                            let mut b = ProgramBuilder::default();
+                            a.warp_program_build(&ctx, warp, &mut b);
+                            assert_eq!(
+                                b.into_ops(),
+                                a.warp_program(&ctx, warp),
+                                "kernel {} ctx {id} warp {warp} depth {depth}",
+                                a.name(),
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

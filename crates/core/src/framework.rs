@@ -21,6 +21,10 @@ use locality::{
 
 use gpu_sim::{occupancy, AccessEvent, ArrayTag, GpuConfig, KernelSpec, Simulation, TraceSink};
 
+/// Minimum word accesses before an array's reuse rate is trusted enough
+/// to call it streaming (§4.3-(II) bypass candidate selection).
+const STREAMING_MIN_ACCESSES: u64 = 64;
+
 /// Clamps a requested `ACTIVE_AGENTS` into the valid throttle range
 /// `1..=max_agents`.
 ///
@@ -187,7 +191,7 @@ impl Framework {
             }
         }
 
-        let streaming_tags: Vec<ArrayTag> = sinks.tags.streaming_tags(64);
+        let streaming_tags: Vec<ArrayTag> = sinks.tags.streaming_tags(STREAMING_MIN_ACCESSES);
 
         let category = sinks.category.classify();
         if let Some(obs) = cta_obs::maybe_global() {
@@ -205,6 +209,27 @@ impl Framework {
             streaming_tags,
             baseline_l2: baseline.l2_transactions(),
         })
+    }
+
+    /// Runs only the bypass probe of the Figure 11 flow: one traced
+    /// baseline with the per-tag reuse profiler, returning the streaming
+    /// arrays worth routing around the L1. Exactly the
+    /// [`Analysis::streaming_tags`] field [`analyze`](Self::analyze)
+    /// would produce (the tag profiler observes the same deterministic
+    /// stream), at one simulation instead of three and one sink instead
+    /// of three — for callers like the benchmark harness that derive the
+    /// axis and category elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures as [`ClusterError::Sim`].
+    pub fn streaming_tags<K>(&self, kernel: &K) -> Result<Vec<ArrayTag>, ClusterError>
+    where
+        K: KernelSpec,
+    {
+        let mut tags = TagReuseProfiler::new();
+        Simulation::new(self.cfg.clone(), kernel).run_traced(&mut tags)?;
+        Ok(tags.streaming_tags(STREAMING_MIN_ACCESSES))
     }
 
     /// Derives the optimization plan from an analysis (Figure 5).

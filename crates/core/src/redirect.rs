@@ -95,6 +95,18 @@ impl<K: KernelSpec> KernelSpec for RedirectionKernel<K> {
         let redirected = CtaContext { cta: v, ..*ctx };
         self.inner.warp_program_into(&redirected, warp, out);
     }
+
+    fn warp_program_arc(
+        &self,
+        ctx: &CtaContext,
+        warp: u32,
+    ) -> Option<std::sync::Arc<[gpu_sim::Op]>> {
+        // The transform is a pure CTA-id remap, so a cached program for
+        // the redirected CTA replays zero-copy.
+        let v = self.redirect(ctx.cta);
+        let redirected = CtaContext { cta: v, ..*ctx };
+        self.inner.warp_program_arc(&redirected, warp)
+    }
 }
 
 #[cfg(test)]

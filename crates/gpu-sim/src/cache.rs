@@ -5,6 +5,13 @@
 //! SM actually fetches from DRAM; its siblings *hit reserved*: they match a
 //! line whose fill is still in flight and wait for it. This model
 //! reproduces that by timestamping fills.
+//!
+//! The line array is stored structure-of-arrays — parallel `tags`, `lru`,
+//! `fill_done` and `dirty` slabs indexed `set * associativity + way` — so
+//! the tag-match scan on the engine's hottest path walks one dense `u64`
+//! row per lookup instead of striding over four-field structs. Validity
+//! is folded into the tag slab ([`INVALID_TAG`]), which is unreachable as
+//! a real tag because tags are addresses divided by the line size.
 
 use crate::config::{CacheConfig, WritePolicy};
 use std::cmp::Reverse;
@@ -109,32 +116,38 @@ pub enum WriteOutcome {
     },
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    lru: u64,
-    /// Absolute cycle at which the line's data arrives; `0` once settled.
-    fill_done: u64,
-}
-
-const INVALID: Line = Line {
-    tag: 0,
-    valid: false,
-    dirty: false,
-    lru: 0,
-    fill_done: 0,
-};
+/// Tag-slab sentinel marking an invalid way. Unreachable as a real tag:
+/// tags are `line_addr / line_bytes` with `line_bytes >= 32`, so real
+/// tags never exceed `u64::MAX / 32`.
+const INVALID_TAG: u64 = u64::MAX;
 
 /// A single set-associative cache array (one L1 sector, or one L2 bank).
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
     num_sets: u64,
-    lines: Vec<Line>,
+    /// `num_sets - 1`, valid only when `pow2_sets`.
+    set_mask: u64,
+    pow2_sets: bool,
+    /// `log2(line_bytes)` — validated power-of-two, so the per-access
+    /// tag extraction is a shift, not a division.
+    line_shift: u32,
+    assoc: usize,
+    /// Per-way tags; [`INVALID_TAG`] marks an empty way.
+    tags: Box<[u64]>,
+    /// Per-way last-touch ticks. Invalidation (write-evict) keeps the
+    /// stamp, so a recently-invalidated way is a *worse* victim than a
+    /// never-used one — matching LRU over `(valid, lru)` pairs.
+    lru: Box<[u64]>,
+    /// Per-way fill-completion cycle; `u64::MAX` while the miss that
+    /// allocated the way has not been [`Cache::fill`]ed yet.
+    fill_done: Box<[u64]>,
+    /// Per-way dirty bits (write-back levels).
+    dirty: Box<[bool]>,
     tick: u64,
     /// Completion times of outstanding fills (MSHR occupancy), min-first.
+    /// Pruned lazily: retired entries linger until a miss actually finds
+    /// the heap at capacity, which is the only moment occupancy matters.
     inflight: BinaryHeap<Reverse<u64>>,
     /// Observable counters.
     pub stats: CacheStats,
@@ -150,11 +163,19 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         cfg.validate("cache").expect("valid cache config");
         let num_sets = cfg.num_sets() as u64;
-        let lines = vec![INVALID; (num_sets * cfg.associativity as u64) as usize];
+        let assoc = cfg.associativity as usize;
+        let lines = (num_sets as usize) * assoc;
         Cache {
-            cfg,
             num_sets,
-            lines,
+            set_mask: num_sets - 1,
+            pow2_sets: num_sets.is_power_of_two(),
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            assoc,
+            tags: vec![INVALID_TAG; lines].into_boxed_slice(),
+            lru: vec![0; lines].into_boxed_slice(),
+            fill_done: vec![0; lines].into_boxed_slice(),
+            dirty: vec![false; lines].into_boxed_slice(),
+            cfg,
             tick: 0,
             inflight: BinaryHeap::new(),
             stats: CacheStats::default(),
@@ -171,19 +192,47 @@ impl Cache {
     /// modulo indexing collapses the power-of-two row strides that
     /// dense-matrix kernels produce onto a handful of sets; NVIDIA
     /// hardware hashes higher address bits into the index to avoid
-    /// exactly that pathology.
+    /// exactly that pathology. Power-of-two set counts (every preset
+    /// geometry) reduce the final modulo to a mask.
+    #[inline]
     pub fn set_index(&self, line_addr: u64) -> u64 {
-        let ln = line_addr / self.cfg.line_bytes as u64;
+        self.set_of_tag(self.tag_of(line_addr))
+    }
+
+    /// The tag (line number) of a line address.
+    #[inline]
+    fn tag_of(&self, line_addr: u64) -> u64 {
+        line_addr >> self.line_shift
+    }
+
+    /// Set index for an already-extracted tag.
+    #[inline]
+    fn set_of_tag(&self, tag: u64) -> u64 {
         if self.num_sets == 1 {
             return 0;
         }
-        (ln.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % self.num_sets
+        let h = tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        if self.pow2_sets {
+            h & self.set_mask
+        } else {
+            h % self.num_sets
+        }
     }
 
-    fn set_range(&self, line_addr: u64) -> std::ops::Range<usize> {
-        let set = self.set_index(line_addr) as usize;
-        let a = self.cfg.associativity as usize;
-        set * a..(set + 1) * a
+    /// First slab index of the set holding the line with `tag`.
+    #[inline]
+    fn base_of_tag(&self, tag: u64) -> usize {
+        self.set_of_tag(tag) as usize * self.assoc
+    }
+
+    /// Way holding `tag` within the set at `base`, if resident. A tag
+    /// match implies validity ([`INVALID_TAG`] never equals a real tag).
+    #[inline]
+    fn find(&self, base: usize, tag: u64) -> Option<usize> {
+        self.tags[base..base + self.assoc]
+            .iter()
+            .position(|&t| t == tag)
+            .map(|way| base + way)
     }
 
     fn prune_inflight(&mut self, now: u64) {
@@ -195,23 +244,54 @@ impl Cache {
         }
     }
 
+    /// Admits a miss to the MSHRs, returning the structural-stall wait.
+    /// Retired fills are only pruned when the heap is nominally at
+    /// capacity: an under-capacity heap admits immediately whether or not
+    /// stale entries linger, so the outcomes are identical to eager
+    /// pruning.
+    fn mshr_admit(&mut self, now: u64) -> u64 {
+        let cap = self.cfg.mshr_entries as usize;
+        if self.inflight.len() >= cap {
+            self.prune_inflight(now);
+        }
+        if self.inflight.len() < cap {
+            return 0;
+        }
+        // Structural stall: the request waits for the earliest
+        // in-flight fill to retire and reuses its entry. The entry is
+        // popped (it has completed by the time the request proceeds),
+        // and the wait is bounded by one fill horizon so a burst of
+        // same-cycle misses shares the stall rather than chaining it
+        // (real hardware replays the instruction, it does not build an
+        // unbounded queue in front of the MSHRs).
+        let Reverse(earliest) = self.inflight.pop().expect("nonempty inflight");
+        // Drain everything that retires alongside it.
+        while let Some(&Reverse(t)) = self.inflight.peek() {
+            if t > earliest {
+                break;
+            }
+            self.inflight.pop();
+        }
+        let wait = earliest.saturating_sub(now);
+        self.stats.mshr_stalls += 1;
+        self.stats.mshr_wait_cycles += wait;
+        wait
+    }
+
     /// Presents a read of the line containing `line_addr` (already
     /// line-aligned by the coalescer).
     pub fn read(&mut self, line_addr: u64, now: u64) -> ReadOutcome {
         self.stats.reads += 1;
         self.tick += 1;
         let tick = self.tick;
-        let tag = line_addr / self.cfg.line_bytes as u64;
-        let range = self.set_range(line_addr);
-        if let Some(line) = self.lines[range.clone()]
-            .iter_mut()
-            .find(|l| l.valid && l.tag == tag)
-        {
-            line.lru = tick;
-            if line.fill_done > now {
+        let tag = self.tag_of(line_addr);
+        let base = self.base_of_tag(tag);
+        if let Some(i) = self.find(base, tag) {
+            self.lru[i] = tick;
+            if self.fill_done[i] > now {
                 self.stats.read_reserved += 1;
                 return ReadOutcome::HitReserved {
-                    ready_at: line.fill_done,
+                    ready_at: self.fill_done[i],
                 };
             }
             self.stats.read_hits += 1;
@@ -219,90 +299,74 @@ impl Cache {
         }
         // Miss: check MSHR availability, then pick a victim.
         self.stats.read_misses += 1;
-        self.prune_inflight(now);
-        let mshr_wait = if self.inflight.len() >= self.cfg.mshr_entries as usize {
-            // Structural stall: the request waits for the earliest
-            // in-flight fill to retire and reuses its entry. The entry is
-            // popped (it has completed by the time the request proceeds),
-            // and the wait is bounded by one fill horizon so a burst of
-            // same-cycle misses shares the stall rather than chaining it
-            // (real hardware replays the instruction, it does not build an
-            // unbounded queue in front of the MSHRs).
-            let Reverse(earliest) = self.inflight.pop().expect("nonempty inflight");
-            // Drain everything that retires alongside it.
-            while let Some(&Reverse(t)) = self.inflight.peek() {
-                if t > earliest {
-                    break;
-                }
-                self.inflight.pop();
-            }
-            let wait = earliest.saturating_sub(now);
-            self.stats.mshr_stalls += 1;
-            self.stats.mshr_wait_cycles += wait;
-            wait
-        } else {
-            0
-        };
-        let dirty_victim = self.install(range, tag, tick);
+        let mshr_wait = self.mshr_admit(now);
+        let (_, dirty_victim) = self.install(base, tag, tick);
         ReadOutcome::Miss {
             mshr_wait,
             dirty_victim,
         }
     }
 
-    /// Installs `tag` into the set covered by `range`, returning whether a
-    /// dirty line was evicted.
-    fn install(&mut self, range: std::ops::Range<usize>, tag: u64, tick: u64) -> bool {
-        let set = &mut self.lines[range];
-        let victim = set
-            .iter_mut()
-            .min_by_key(|l| (l.valid, l.lru))
-            .expect("associativity >= 1");
-        let dirty_victim = victim.valid && victim.dirty;
-        if victim.valid {
+    /// Installs `tag` into the set at `base`, returning the claimed slab
+    /// index and whether a dirty line was evicted. The victim is the
+    /// first way minimizing `(valid, lru)` — empty ways first (oldest
+    /// stamp winning), then true LRU.
+    fn install(&mut self, base: usize, tag: u64, tick: u64) -> (usize, bool) {
+        let mut victim = base;
+        let mut best = (self.tags[base] != INVALID_TAG, self.lru[base]);
+        if best != (false, 0) {
+            for i in base + 1..base + self.assoc {
+                let key = (self.tags[i] != INVALID_TAG, self.lru[i]);
+                if key < best {
+                    best = key;
+                    victim = i;
+                    if key == (false, 0) {
+                        // Nothing ranks below a never-used way, and ties
+                        // keep the first: this is the victim.
+                        break;
+                    }
+                }
+            }
+        }
+        let was_valid = self.tags[victim] != INVALID_TAG;
+        let dirty_victim = was_valid && self.dirty[victim];
+        if was_valid {
             self.stats.evictions += 1;
         }
         if dirty_victim {
             self.stats.writebacks += 1;
         }
-        *victim = Line {
-            tag,
-            valid: true,
-            dirty: false,
-            lru: tick,
-            fill_done: u64::MAX, // in flight until `fill` is called
-        };
-        dirty_victim
+        self.tags[victim] = tag;
+        self.dirty[victim] = false;
+        self.lru[victim] = tick;
+        self.fill_done[victim] = u64::MAX; // in flight until `fill` is called
+        (victim, dirty_victim)
     }
 
     /// Completes the fill started by a previous `Miss`, making the line's
     /// data available at absolute cycle `ready_at`.
     pub fn fill(&mut self, line_addr: u64, ready_at: u64) {
-        let tag = line_addr / self.cfg.line_bytes as u64;
-        let range = self.set_range(line_addr);
-        if let Some(line) = self.lines[range]
-            .iter_mut()
-            .find(|l| l.valid && l.tag == tag)
-        {
-            line.fill_done = ready_at;
+        let tag = self.tag_of(line_addr);
+        let base = self.base_of_tag(tag);
+        if let Some(i) = self.find(base, tag) {
+            self.fill_done[i] = ready_at;
         }
         self.inflight.push(Reverse(ready_at));
     }
 
     /// Presents a write of the line containing `line_addr`.
-    pub fn write(&mut self, line_addr: u64, now: u64) -> WriteOutcome {
+    pub fn write(&mut self, line_addr: u64, _now: u64) -> WriteOutcome {
         self.stats.writes += 1;
         self.tick += 1;
         let tick = self.tick;
-        let tag = line_addr / self.cfg.line_bytes as u64;
-        let range = self.set_range(line_addr);
+        let tag = self.tag_of(line_addr);
+        let base = self.base_of_tag(tag);
         match self.cfg.write_policy {
             WritePolicy::WriteEvict => {
-                let evicted = if let Some(line) = self.lines[range]
-                    .iter_mut()
-                    .find(|l| l.valid && l.tag == tag)
-                {
-                    line.valid = false;
+                let evicted = if let Some(i) = self.find(base, tag) {
+                    // Invalidate but keep the LRU stamp: the way ranks
+                    // behind never-used ways for the next victim choice.
+                    self.tags[i] = INVALID_TAG;
                     self.stats.write_evictions += 1;
                     true
                 } else {
@@ -311,55 +375,39 @@ impl Cache {
                 WriteOutcome::Forwarded { evicted }
             }
             WritePolicy::WriteBackAllocate => {
-                if let Some(line) = self.lines[range.clone()]
-                    .iter_mut()
-                    .find(|l| l.valid && l.tag == tag)
-                {
-                    line.dirty = true;
-                    line.lru = tick;
+                if let Some(i) = self.find(base, tag) {
+                    self.dirty[i] = true;
+                    self.lru[i] = tick;
                     self.stats.write_hits += 1;
-                    if line.fill_done > now {
-                        // Absorbed into an in-flight line; no extra traffic.
-                        return WriteOutcome::Absorbed;
-                    }
+                    // In-flight lines absorb the write too; the merge
+                    // happens when the fill arrives.
                     return WriteOutcome::Absorbed;
                 }
                 self.stats.write_misses += 1;
-                let dirty_victim = self.install(range, tag, tick);
+                let (i, dirty_victim) = self.install(base, tag, tick);
                 // Mark dirty immediately: the allocate fetch is accounted by
                 // the caller, after which the line holds the merged write.
-                self.mark_dirty(line_addr);
+                self.dirty[i] = true;
                 WriteOutcome::AllocateMiss { dirty_victim }
             }
-        }
-    }
-
-    fn mark_dirty(&mut self, line_addr: u64) {
-        let tag = line_addr / self.cfg.line_bytes as u64;
-        let range = self.set_range(line_addr);
-        if let Some(line) = self.lines[range]
-            .iter_mut()
-            .find(|l| l.valid && l.tag == tag)
-        {
-            line.dirty = true;
         }
     }
 
     /// Whether the line is currently resident with arrived data (test and
     /// probe helper; does not touch LRU state or statistics).
     pub fn probe(&self, line_addr: u64, now: u64) -> bool {
-        let tag = line_addr / self.cfg.line_bytes as u64;
-        let range = self.set_range(line_addr);
-        self.lines[range]
-            .iter()
-            .any(|l| l.valid && l.tag == tag && l.fill_done <= now)
+        let tag = self.tag_of(line_addr);
+        let base = self.base_of_tag(tag);
+        self.find(base, tag)
+            .is_some_and(|i| self.fill_done[i] <= now)
     }
 
     /// Invalidates all contents and outstanding fills; statistics are kept.
     pub fn flush(&mut self) {
-        for l in &mut self.lines {
-            *l = INVALID;
-        }
+        self.tags.fill(INVALID_TAG);
+        self.lru.fill(0);
+        self.fill_done.fill(0);
+        self.dirty.fill(false);
         self.inflight.clear();
     }
 }
@@ -440,6 +488,21 @@ mod tests {
     }
 
     #[test]
+    fn masked_set_index_matches_modulo() {
+        // Every preset geometry has power-of-two sets, so the hot path
+        // uses the mask; it must agree with the generic modulo on a dense
+        // address sweep.
+        let c = small(WritePolicy::WriteEvict);
+        assert!(c.pow2_sets);
+        for a in (0..4096u64).map(|i| i * 128) {
+            let ln = a / c.cfg.line_bytes as u64;
+            let h = ln.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+            assert_eq!(c.set_index(a), h % c.num_sets);
+            assert!(c.set_index(a) < c.num_sets);
+        }
+    }
+
+    #[test]
     fn write_evict_invalidates() {
         let mut c = small(WritePolicy::WriteEvict);
         c.read(0, 0);
@@ -450,6 +513,25 @@ mod tests {
         // Write to an absent line forwards without eviction.
         assert_eq!(c.write(4096, 2), WriteOutcome::Forwarded { evicted: false });
         assert_eq!(c.stats.write_evictions, 1);
+    }
+
+    #[test]
+    fn invalidated_way_ranks_behind_untouched_ways() {
+        // After a write-evict invalidation, the way keeps its LRU stamp:
+        // the next install in that set must prefer a never-used way (lru
+        // 0) over the freshly-invalidated one.
+        let mut c = small(WritePolicy::WriteEvict);
+        c.read(0, 0); // occupies one way of set(0)
+        c.fill(0, 0);
+        c.write(0, 1); // invalidates it, keeping its stamp
+        let peer = colliding(&c, 1)[0];
+        c.read(peer, 2); // installs into the *other* (never-used) way
+        c.fill(peer, 2);
+        c.read(0, 3); // refetch line 0: must not displace the peer
+        c.fill(0, 3);
+        assert!(c.probe(peer, 10));
+        assert!(c.probe(0, 10));
+        assert_eq!(c.stats.evictions, 0);
     }
 
     #[test]
@@ -484,6 +566,22 @@ mod tests {
             ReadOutcome::Miss { mshr_wait, .. } => assert_eq!(mshr_wait, 490),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn lazy_inflight_pruning_matches_eager() {
+        let mut c = small(WritePolicy::WriteEvict);
+        // Two fills that retire early; a later miss at capacity must see
+        // them as retired (pruned on demand) and pay no stall.
+        c.read(0, 0);
+        c.fill(0, 5);
+        c.read(128, 0);
+        c.fill(128, 6);
+        match c.read(256, 100) {
+            ReadOutcome::Miss { mshr_wait, .. } => assert_eq!(mshr_wait, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c.stats.mshr_stalls, 0);
     }
 
     #[test]

@@ -35,15 +35,37 @@ pub fn coalesce_lines_into(access: &MemAccess, line_bytes: u32, out: &mut Vec<u6
     debug_assert!(line_bytes.is_power_of_two());
     let mask = !(line_bytes as u64 - 1);
     out.clear();
+    let bpl = access.bytes_per_lane as u64;
+    // Fast path: consecutive equal-sized lanes — the shape
+    // [`MemAccess::coalesced`](crate::MemAccess::coalesced) builds and by
+    // far the most issued — cover one contiguous byte range, so the
+    // distinct lines are an arithmetic sequence and first-touch order is
+    // ascending line order. One compare per lane instead of the dedup
+    // scan; non-contiguous accesses fail the check on their first lane
+    // pair and fall through unchanged.
+    let addrs = &access.addrs;
+    if addrs.len() > 1 && addrs.windows(2).all(|w| w[1] == w[0].wrapping_add(bpl)) {
+        let first = addrs[0] & mask;
+        let last = (addrs[addrs.len() - 1] + bpl - 1) & mask;
+        let mut line = first;
+        loop {
+            out.push(line);
+            if line >= last {
+                break;
+            }
+            line += line_bytes as u64;
+        }
+        return;
+    }
     let mut push = |line: u64| {
         if !out.contains(&line) {
             out.push(line);
         }
     };
-    for &addr in &access.addrs {
+    for &addr in addrs {
         let first = addr & mask;
         push(first);
-        let last = (addr + access.bytes_per_lane as u64 - 1) & mask;
+        let last = (addr + bpl - 1) & mask;
         if last != first {
             push(last);
         }

@@ -7,6 +7,15 @@
 //! until the slowest transaction returns, so latency hiding across warps
 //! emerges naturally. SMs advance in global time order through a binary
 //! heap, which keeps the shared L2/DRAM state causally consistent.
+//!
+//! The engine is event-driven end to end: SMs expose their earliest wake
+//! time through per-SM lazily-cleaned heaps ([`SmState`]), the runner's
+//! global heap orders SMs by that time, and each step jumps the SM's
+//! issue clock straight to the event instead of polling idle cycles.
+//! [`EngineMetrics`] counts the events, issues and skipped cycles so the
+//! bench harness can assert the engine's conservation laws (every
+//! dispatched warp retires; every retired CTA is polled for exactly one
+//! replacement; issues equal retired instructions).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -18,6 +27,7 @@ use crate::error::SimError;
 use crate::kernel::{CacheOp, CtaContext, KernelSpec, MemAccess, Op};
 use crate::memory::{Level, MemorySystem};
 use crate::occupancy::occupancy;
+use crate::program::{Cursor, ProgramBuilder};
 use crate::sched::{CtaScheduler, HardwareLike};
 use crate::sm::{ResidentCta, SmState, WarpState};
 use crate::stats::{CtaPlacement, RunStats};
@@ -28,6 +38,71 @@ use crate::trace::{AccessEvent, TraceSink};
 const DISPATCH_LATENCY: u64 = 25;
 /// Default deterministic seed for the hardware-like scheduler.
 const DEFAULT_SEED: u64 = 0xC1A0_0017;
+
+/// Engine-internal event accounting for one run. Purely observational:
+/// the counters never feed back into simulated behavior, so metered and
+/// unmetered runs produce identical [`RunStats`].
+///
+/// The fields obey conservation laws the harness checks in CI:
+/// `issues == RunStats::instructions`, `warp_retires ==
+/// warps_dispatched`, and `dispatch_polls == cta_retires ==
+/// placements.len()` (every freed CTA slot is polled exactly once).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineMetrics {
+    /// SM wake events processed (one per engine step).
+    pub events: u64,
+    /// Warp instructions issued.
+    pub issues: u64,
+    /// Idle cycles the issue clocks jumped over instead of polling:
+    /// `Σ (event_time - sm_clock)` at issue, the cycles a cycle-stepped
+    /// engine would have spun through.
+    pub cycles_skipped: u64,
+    /// Warps that entered an SM with a non-empty program.
+    pub warps_dispatched: u64,
+    /// Warps that ran their program to completion.
+    pub warp_retires: u64,
+    /// CTAs retired (equals the number of placements reported).
+    pub cta_retires: u64,
+    /// GigaThread dispatch polls consumed from freed CTA slots.
+    pub dispatch_polls: u64,
+}
+
+impl EngineMetrics {
+    /// Emits the event counters onto a recorder under `{scope}` keys,
+    /// mirroring [`RunStats::record_obs`].
+    pub fn record_obs(&self, obs: &cta_obs::Obs, scope: &str) {
+        obs.counter("engine/events", scope, self.events);
+        obs.counter("engine/issues", scope, self.issues);
+        obs.counter("engine/cycles_skipped", scope, self.cycles_skipped);
+        obs.counter("engine/warps_dispatched", scope, self.warps_dispatched);
+        obs.counter("engine/warp_retires", scope, self.warp_retires);
+        obs.counter("engine/cta_retires", scope, self.cta_retires);
+        obs.counter("engine/dispatch_polls", scope, self.dispatch_polls);
+    }
+
+    /// Checks the engine's conservation laws against the finished run,
+    /// returning the first violated law as `Err(description)`.
+    ///
+    /// # Errors
+    ///
+    /// A static description of the violated law — which would indicate an
+    /// engine bug (lost warp, double-counted issue, leaked CTA slot).
+    pub fn check_conservation(&self, stats: &RunStats) -> Result<(), &'static str> {
+        if self.issues != stats.instructions {
+            return Err("issues != instructions");
+        }
+        if self.warp_retires != self.warps_dispatched {
+            return Err("warp_retires != warps_dispatched");
+        }
+        if self.cta_retires != stats.placements.len() as u64 {
+            return Err("cta_retires != placements");
+        }
+        if self.dispatch_polls != self.cta_retires {
+            return Err("dispatch_polls != cta_retires");
+        }
+        Ok(())
+    }
+}
 
 /// Configures and runs one kernel launch on one simulated GPU.
 ///
@@ -90,7 +165,7 @@ impl<'k> Simulation<'k> {
     /// Propagates configuration/launch validation failures and runtime
     /// [`SimError`]s (barrier deadlock, scheduler starvation).
     pub fn run(&mut self) -> Result<RunStats, SimError> {
-        self.run_impl(None)
+        self.run_impl(None).map(|(stats, _)| stats)
     }
 
     /// Runs the kernel, forwarding every global-memory access to `sink`.
@@ -99,13 +174,35 @@ impl<'k> Simulation<'k> {
     ///
     /// Same as [`run`](Self::run).
     pub fn run_traced(&mut self, sink: &mut dyn TraceSink) -> Result<RunStats, SimError> {
+        self.run_impl(Some(sink)).map(|(stats, _)| stats)
+    }
+
+    /// Runs the kernel and additionally returns the engine's event
+    /// accounting. The stats are identical to [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_metered(&mut self) -> Result<(RunStats, EngineMetrics), SimError> {
+        self.run_impl(None)
+    }
+
+    /// [`run_traced`](Self::run_traced) plus engine event accounting.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_traced_metered(
+        &mut self,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(RunStats, EngineMetrics), SimError> {
         self.run_impl(Some(sink))
     }
 
     fn run_impl<'s>(
         &'s mut self,
         sink: Option<&'s mut dyn TraceSink>,
-    ) -> Result<RunStats, SimError> {
+    ) -> Result<(RunStats, EngineMetrics), SimError> {
         self.cfg.validate()?;
         let launch = self.kernel.launch();
         launch.validate()?;
@@ -124,6 +221,7 @@ impl<'k> Simulation<'k> {
             placements: Vec::new(),
             line_buf: Vec::with_capacity(64),
             program_pool: Vec::new(),
+            metrics: EngineMetrics::default(),
         };
         runner.run(launch.num_ctas())
     }
@@ -152,13 +250,14 @@ struct Runner<'a> {
     /// Scratch for the coalescer: one buffer reused by every memory
     /// instruction of the run instead of a fresh `Vec` per access.
     line_buf: Vec<u64>,
-    /// Retired warps' program buffers, recycled into the next dispatch
-    /// via [`KernelSpec::warp_program_into`].
+    /// Retired warps' inline program buffers, recycled into the next
+    /// dispatch via [`ProgramBuilder::with_buffer`].
     program_pool: Vec<Vec<Op>>,
+    metrics: EngineMetrics,
 }
 
 impl<'a> Runner<'a> {
-    fn run(&mut self, total_ctas: u64) -> Result<RunStats, SimError> {
+    fn run(&mut self, total_ctas: u64) -> Result<(RunStats, EngineMetrics), SimError> {
         self.scheduler.reset(total_ctas);
         self.sms = (0..self.cfg.num_sms)
             .map(|i| SmState::new(i, self.cfg, self.max_ctas, self.warps_per_cta))
@@ -179,9 +278,10 @@ impl<'a> Runner<'a> {
         }
 
         let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-        for sm in &self.sms {
+        for sm in &mut self.sms {
             if let Some(t) = sm.next_event() {
-                heap.push(Reverse((t, sm.id)));
+                let id = sm.id;
+                heap.push(Reverse((t, id)));
             }
         }
 
@@ -194,6 +294,7 @@ impl<'a> Runner<'a> {
                 }
                 Some(_) => {}
             }
+            self.metrics.events += 1;
             self.step(sm_id)?;
             if let Some(next) = self.sms[sm_id].next_event() {
                 heap.push(Reverse((next, sm_id)));
@@ -206,7 +307,7 @@ impl<'a> Runner<'a> {
             });
         }
 
-        Ok(self.finish())
+        Ok((self.finish(), self.metrics))
     }
 
     /// Attempts to dispatch one CTA into the lowest free slot of `sm_id`.
@@ -227,22 +328,31 @@ impl<'a> Runner<'a> {
         let wpc = self.warps_per_cta;
         let mut live = 0u32;
         for w in 0..wpc {
-            let mut program = self.program_pool.pop().unwrap_or_default();
-            self.kernel.warp_program_into(&ctx, w, &mut program);
+            let buf = self.program_pool.pop().unwrap_or_default();
+            let mut builder = ProgramBuilder::with_buffer(buf);
+            self.kernel.warp_program_build(&ctx, w, &mut builder);
+            let (program, spare) = builder.finish();
+            if let Some(buf) = spare {
+                self.program_pool.push(buf);
+            }
             if program.is_empty() {
-                self.program_pool.push(program);
+                program.recycle(&mut self.program_pool);
                 continue;
             }
             live += 1;
-            self.sms[sm_id].warps[(slot * wpc + w) as usize] = Some(WarpState {
+            let idx = (slot * wpc + w) as usize;
+            self.sms[sm_id].warps[idx] = Some(WarpState {
                 cta_slot: slot,
                 warp: w,
                 program,
                 pc: 0,
+                cursor: Cursor::default(),
                 ready_at: now,
                 at_barrier: false,
             });
+            self.sms[sm_id].wake(now, idx as u32);
         }
+        self.metrics.warps_dispatched += live as u64;
         let sm = &mut self.sms[sm_id];
         sm.dispatch_count += 1;
         sm.ctas[slot as usize] = Some(ResidentCta {
@@ -273,7 +383,8 @@ impl<'a> Runner<'a> {
             retired: now,
         });
         self.horizon = self.horizon.max(now);
-        sm.pending_dispatch.push(now + DISPATCH_LATENCY);
+        self.metrics.cta_retires += 1;
+        sm.pending_dispatch.push(Reverse(now + DISPATCH_LATENCY));
     }
 
     /// Releases the barrier of the CTA in `slot` if every live warp has
@@ -291,14 +402,18 @@ impl<'a> Runner<'a> {
         let mut finished: Vec<usize> = Vec::new();
         for w in 0..wpc {
             let idx = (slot * wpc + w) as usize;
-            if let Some(ws) = sm.warps[idx].as_mut() {
-                if ws.at_barrier {
-                    ws.at_barrier = false;
-                    ws.ready_at = now + 1;
-                    if ws.pc >= ws.program.len() {
-                        finished.push(idx);
-                    }
-                }
+            let Some(ws) = sm.warps[idx].as_mut() else {
+                continue;
+            };
+            if !ws.at_barrier {
+                continue;
+            }
+            ws.at_barrier = false;
+            ws.ready_at = now + 1;
+            if ws.pc >= ws.program.len() {
+                finished.push(idx);
+            } else {
+                sm.ready.push(Reverse((now + 1, idx as u32)));
             }
         }
         for idx in finished {
@@ -311,10 +426,9 @@ impl<'a> Runner<'a> {
         let ws = sm.warps[warp_idx].take().expect("retiring a live warp");
         sm.account_warps(now, -1);
         self.horizon = self.horizon.max(now);
+        self.metrics.warp_retires += 1;
         let slot = ws.cta_slot;
-        let mut program = ws.program;
-        program.clear();
-        self.program_pool.push(program);
+        ws.program.recycle(&mut self.program_pool);
         let done = {
             let cta = sm.ctas[slot as usize]
                 .as_mut()
@@ -335,13 +449,15 @@ impl<'a> Runner<'a> {
         let Some(t_event) = self.sms[sm_id].next_event() else {
             return Ok(());
         };
-        // Dispatch polls that have come due.
-        loop {
-            let sm = &mut self.sms[sm_id];
-            let Some(pos) = sm.pending_dispatch.iter().position(|&t| t <= t_event) else {
+        // Dispatch polls that have come due. Drain order within one event
+        // cannot matter: every due poll dispatches at the same clamped
+        // time, and the scheduler hands out CTAs per-SM in sequence.
+        while let Some(&Reverse(due)) = self.sms[sm_id].pending_dispatch.peek() {
+            if due > t_event {
                 break;
-            };
-            let due = sm.pending_dispatch.swap_remove(pos);
+            }
+            self.sms[sm_id].pending_dispatch.pop();
+            self.metrics.dispatch_polls += 1;
             self.try_dispatch(sm_id, due.max(t_event));
         }
 
@@ -376,8 +492,10 @@ impl<'a> Runner<'a> {
         }
 
         let t = ready.max(self.sms[sm_id].clock);
+        self.metrics.cycles_skipped += t - self.sms[sm_id].clock;
         self.sms[sm_id].clock = t + 1;
         self.instructions += 1;
+        self.metrics.issues += 1;
         self.horizon = self.horizon.max(t + 1);
 
         // Split-borrow the SM so the warp, the L1 sectors and the shared
@@ -393,7 +511,8 @@ impl<'a> Runner<'a> {
         let ws = warps[warp_idx].as_mut().expect("issuable warp");
         let slot = ws.cta_slot;
         let sector = (slot as usize) % l1_sectors.len();
-        let op = &ws.program[ws.pc];
+        let op = ws.program.op_at(ws.cursor);
+        ws.cursor = ws.program.advance(ws.cursor);
         ws.pc += 1;
 
         enum Outcome {
@@ -446,6 +565,7 @@ impl<'a> Runner<'a> {
             Outcome::Ready(ready_at) => {
                 ws.ready_at = ready_at;
                 self.horizon = self.horizon.max(ready_at);
+                sm.ready.push(Reverse((ready_at, warp_idx as u32)));
             }
             Outcome::Barrier => {
                 ws.at_barrier = true;
@@ -653,6 +773,23 @@ mod tests {
         // The shared line gives L1 or L2 reuse: far fewer DRAM reads than
         // total line touches.
         assert!(stats.memory.dram_reads < 4 * 60 + 8);
+    }
+
+    #[test]
+    fn metered_run_obeys_conservation_laws() {
+        let mut sim = Simulation::new(arch::gtx570(), &SharedLine);
+        let (stats, metrics) = sim.run_metered().unwrap();
+        metrics.check_conservation(&stats).unwrap();
+        assert_eq!(metrics.issues, stats.instructions);
+        assert_eq!(metrics.warps_dispatched, 60);
+        assert_eq!(metrics.cta_retires, 60);
+        // Memory-bound single-warp CTAs leave long idle gaps the engine
+        // must jump over rather than poll through.
+        assert!(metrics.cycles_skipped > 0);
+        assert!(metrics.events >= metrics.issues + metrics.warp_retires);
+        // Metered and plain runs simulate identically.
+        let plain = Simulation::new(arch::gtx570(), &SharedLine).run().unwrap();
+        assert_eq!(plain, stats);
     }
 
     #[test]
@@ -935,5 +1072,40 @@ mod tests {
         }
         let stats = Simulation::new(arch::gtx1080(), &Tiny).run().unwrap();
         assert_eq!(stats.placements.len(), 2);
+    }
+
+    /// Segment-delivered programs execute identically to owned ones: a
+    /// kernel that hands the engine a shared `Arc<[Op]>` must produce the
+    /// same stats as one generating the same ops per warp.
+    struct SharedProgram(std::sync::Arc<[Op]>);
+    impl KernelSpec for SharedProgram {
+        fn name(&self) -> String {
+            "shared-line".into() // same name: stats must be identical
+        }
+        fn launch(&self) -> LaunchConfig {
+            LaunchConfig::new(60u32, 32u32)
+        }
+        fn warp_program(&self, ctx: &CtaContext, warp: u32) -> Program {
+            SharedLine.warp_program(ctx, warp)
+        }
+        fn warp_program_arc(&self, ctx: &CtaContext, _warp: u32) -> Option<std::sync::Arc<[Op]>> {
+            // Only CTA 0's program is position-independent here; deliver
+            // it shared and let every other CTA fall back to generation.
+            (ctx.cta == 0).then(|| self.0.clone())
+        }
+    }
+
+    #[test]
+    fn shared_segments_match_owned_programs() {
+        let cta0: std::sync::Arc<[Op]> = vec![
+            Op::Load(MemAccess::coalesced(0, 0, 32, 4)),
+            Op::Load(MemAccess::coalesced(1, 0x10_0000, 32, 4)),
+        ]
+        .into();
+        let owned = Simulation::new(arch::gtx570(), &SharedLine).run().unwrap();
+        let shared = Simulation::new(arch::gtx570(), &SharedProgram(cta0))
+            .run()
+            .unwrap();
+        assert_eq!(owned, shared);
     }
 }

@@ -12,6 +12,7 @@
 
 use crate::dim::Dim3;
 use crate::error::SimError;
+use crate::program::ProgramBuilder;
 
 /// Kernel launch configuration: grid/block geometry and per-CTA resource
 /// footprint (mirrors `kernel<<<grid, block>>>` plus the occupancy-relevant
@@ -269,6 +270,35 @@ pub trait KernelSpec {
     fn warp_program_into(&self, ctx: &CtaContext, warp: u32, out: &mut Program) {
         *out = self.warp_program(ctx, warp);
     }
+
+    /// The warp's whole program as a shared, immutable slice, when the
+    /// kernel can serve one — e.g. from a cross-variant program cache.
+    /// The engine prefers this over generation (zero-copy dispatch), and
+    /// wrapping transforms use it to replay inner programs instead of
+    /// regenerating them.
+    ///
+    /// The returned ops must be identical to what
+    /// [`warp_program`](Self::warp_program) would generate for the same
+    /// `(ctx, warp)`. The default is `None`: generate every time.
+    fn warp_program_arc(&self, ctx: &CtaContext, warp: u32) -> Option<std::sync::Arc<[Op]>> {
+        let _ = (ctx, warp);
+        None
+    }
+
+    /// Builds the warp's program into `out`, possibly referencing shared
+    /// cached segments (see [`ProgramBuilder`]). This is the engine's
+    /// dispatch path; the default delegates to
+    /// [`warp_program_into`](Self::warp_program_into) through the
+    /// builder's recycled inline buffer, so plain kernels behave exactly
+    /// as before. Transforms that concatenate inner programs override it
+    /// to splice in [`warp_program_arc`](Self::warp_program_arc) slices.
+    fn warp_program_build(&self, ctx: &CtaContext, warp: u32, out: &mut ProgramBuilder) {
+        if let Some(ops) = self.warp_program_arc(ctx, warp) {
+            out.push_shared(&ops);
+        } else {
+            self.warp_program_into(ctx, warp, out.inline_ops());
+        }
+    }
 }
 
 impl<K: KernelSpec + ?Sized> KernelSpec for &K {
@@ -284,6 +314,12 @@ impl<K: KernelSpec + ?Sized> KernelSpec for &K {
     fn warp_program_into(&self, ctx: &CtaContext, warp: u32, out: &mut Program) {
         (**self).warp_program_into(ctx, warp, out)
     }
+    fn warp_program_arc(&self, ctx: &CtaContext, warp: u32) -> Option<std::sync::Arc<[Op]>> {
+        (**self).warp_program_arc(ctx, warp)
+    }
+    fn warp_program_build(&self, ctx: &CtaContext, warp: u32, out: &mut ProgramBuilder) {
+        (**self).warp_program_build(ctx, warp, out)
+    }
 }
 
 impl<K: KernelSpec + ?Sized> KernelSpec for Box<K> {
@@ -298,6 +334,12 @@ impl<K: KernelSpec + ?Sized> KernelSpec for Box<K> {
     }
     fn warp_program_into(&self, ctx: &CtaContext, warp: u32, out: &mut Program) {
         (**self).warp_program_into(ctx, warp, out)
+    }
+    fn warp_program_arc(&self, ctx: &CtaContext, warp: u32) -> Option<std::sync::Arc<[Op]>> {
+        (**self).warp_program_arc(ctx, warp)
+    }
+    fn warp_program_build(&self, ctx: &CtaContext, warp: u32, out: &mut ProgramBuilder) {
+        (**self).warp_program_build(ctx, warp, out)
     }
 }
 

@@ -70,6 +70,7 @@ pub mod fasthash;
 mod kernel;
 mod memory;
 mod occupancy;
+mod program;
 pub mod sched;
 mod sm;
 mod stats;
@@ -80,11 +81,12 @@ pub use cache::{Cache, CacheStats, ReadOutcome, WriteOutcome};
 pub use coalesce::{coalesce_lines, coalesce_lines_into, coalescing_degree};
 pub use config::{ArchGen, CacheConfig, GpuConfig, MemoryTimings, WritePolicy};
 pub use dim::Dim3;
-pub use engine::Simulation;
+pub use engine::{EngineMetrics, Simulation};
 pub use error::SimError;
 pub use fasthash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use kernel::{ArrayTag, CacheOp, CtaContext, KernelSpec, LaunchConfig, MemAccess, Op, Program};
 pub use memory::{Level, MemoryStats, MemorySystem};
 pub use occupancy::{occupancy, Occupancy, OccupancyLimiter};
+pub use program::ProgramBuilder;
 pub use stats::{geometric_mean, CtaPlacement, RunStats};
 pub use trace::{AccessEvent, OwnedAccessEvent, TraceSink, VecSink};

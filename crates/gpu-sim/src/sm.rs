@@ -1,9 +1,24 @@
 //! Per-SM execution state: resident CTAs, warp contexts, the L1 sectors,
-//! and occupancy accounting.
+//! occupancy accounting, and the SM's event queues.
+//!
+//! The engine advances SMs strictly by next-event time. Each SM keeps
+//! two lazily-cleaned min-heaps instead of scanning its warp slots on
+//! every step: `ready` orders `(ready_at, warp_slot)` wake entries, and
+//! `pending_dispatch` orders the GigaThread dispatch polls owed to freed
+//! CTA slots. Heap entries are never removed eagerly — an entry is valid
+//! only if the warp it names is still live, not parked at a barrier, and
+//! still ready at exactly the recorded time; stale entries are popped on
+//! the next peek. Every warp state transition pushes a fresh entry, so
+//! the minimum valid entry always equals the scan-based minimum the
+//! cycle-stepped engine computed (the golden-stats differential pins
+//! this equivalence).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::cache::{Cache, CacheStats};
 use crate::config::{CacheConfig, GpuConfig};
-use crate::kernel::Program;
+use crate::program::{Cursor, WarpProgram};
 
 /// One resident warp's execution context.
 #[derive(Debug)]
@@ -13,9 +28,11 @@ pub(crate) struct WarpState {
     /// Warp index within its CTA.
     pub warp: u32,
     /// Remaining instruction stream.
-    pub program: Program,
+    pub program: WarpProgram,
     /// Next op index.
     pub pc: usize,
+    /// Segment cursor matching `pc` (segmented programs).
+    pub cursor: Cursor,
     /// Earliest cycle the next op may issue.
     pub ready_at: u64,
     /// Parked at a `__syncthreads()`.
@@ -48,12 +65,15 @@ pub(crate) struct SmState {
     /// Warp contexts, indexed by hardware warp slot
     /// (`cta_slot * warps_per_cta + warp`).
     pub warps: Vec<Option<WarpState>>,
+    /// Wake entries `(ready_at, warp_slot)`, min-first, lazily cleaned.
+    pub ready: BinaryHeap<Reverse<(u64, u32)>>,
     /// Resident CTAs, indexed by CTA slot.
     pub ctas: Vec<Option<ResidentCta>>,
     /// CTAs dispatched to this SM so far (the atomic-ticket value).
     pub dispatch_count: u64,
-    /// Times at which a freed slot owes the scheduler a dispatch poll.
-    pub pending_dispatch: Vec<u64>,
+    /// Times at which a freed slot owes the scheduler a dispatch poll,
+    /// min-first.
+    pub pending_dispatch: BinaryHeap<Reverse<u64>>,
     /// Next cycle the load/store unit can accept a transaction: the LSU
     /// replays divergent accesses one line-transaction per cycle, which
     /// bounds how fast one SM can flood the memory system.
@@ -84,9 +104,10 @@ impl SmState {
             warps: (0..(max_ctas * warps_per_cta) as usize)
                 .map(|_| None)
                 .collect(),
+            ready: BinaryHeap::new(),
             ctas: (0..max_ctas as usize).map(|_| None).collect(),
             dispatch_count: 0,
-            pending_dispatch: Vec::new(),
+            pending_dispatch: BinaryHeap::new(),
             lsu_free: 0,
             bypassed_reads: 0,
             active_warps: 0,
@@ -134,29 +155,46 @@ impl SmState {
         agg
     }
 
+    /// Records that warp slot `idx` (re)becomes issuable at `t`. Every
+    /// transition that sets a warp's `ready_at` must push an entry, or
+    /// the heap minimum falls behind the true state.
+    #[inline]
+    pub(crate) fn wake(&mut self, t: u64, idx: u32) {
+        self.ready.push(Reverse((t, idx)));
+    }
+
+    /// Pops stale wake entries until the top is valid: the warp is live,
+    /// not parked at a barrier, and still ready at exactly the recorded
+    /// time. Entries go stale when a warp issues (new `ready_at`), parks,
+    /// or retires; each entry is popped at most once, so cleaning is
+    /// amortized O(log warps) per state transition.
+    fn clean_ready(&mut self) {
+        while let Some(&Reverse((t, idx))) = self.ready.peek() {
+            let valid = self.warps[idx as usize]
+                .as_ref()
+                .is_some_and(|w| !w.at_barrier && w.ready_at == t);
+            if valid {
+                return;
+            }
+            self.ready.pop();
+        }
+    }
+
     /// Earliest ready time among issuable warps (not done, not at a
     /// barrier), with the warp-slot index as deterministic tiebreak.
-    pub(crate) fn next_issuable(&self) -> Option<(u64, usize)> {
-        let mut best: Option<(u64, usize)> = None;
-        for (i, w) in self.warps.iter().enumerate() {
-            if let Some(w) = w {
-                if !w.at_barrier {
-                    let key = (w.ready_at, i);
-                    if best.is_none_or(|b| key < b) {
-                        best = Some(key);
-                    }
-                }
-            }
-        }
-        best
+    pub(crate) fn next_issuable(&mut self) -> Option<(u64, usize)> {
+        self.clean_ready();
+        self.ready
+            .peek()
+            .map(|&Reverse((t, idx))| (t, idx as usize))
     }
 
     /// The SM's next event time: earliest of issuable-warp readiness
     /// (clamped by the issue clock) and pending dispatch polls. `None`
     /// when the SM has nothing to do.
-    pub(crate) fn next_event(&self) -> Option<u64> {
+    pub(crate) fn next_event(&mut self) -> Option<u64> {
         let issue = self.next_issuable().map(|(t, _)| t.max(self.clock));
-        let dispatch = self.pending_dispatch.iter().copied().min();
+        let dispatch = self.pending_dispatch.peek().map(|&Reverse(t)| t);
         match (issue, dispatch) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (Some(a), None) => Some(a),
@@ -170,6 +208,7 @@ impl SmState {
 mod tests {
     use super::*;
     use crate::arch;
+    use crate::program::Cursor;
 
     #[test]
     fn slot_and_sector_mapping() {
@@ -199,16 +238,40 @@ mod tests {
         let cfg = arch::gtx570();
         let mut sm = SmState::new(0, &cfg, 2, 1);
         assert_eq!(sm.next_event(), None);
-        sm.pending_dispatch.push(500);
+        sm.pending_dispatch.push(Reverse(500));
         assert_eq!(sm.next_event(), Some(500));
         sm.warps[0] = Some(WarpState {
             cta_slot: 0,
             warp: 0,
-            program: vec![crate::kernel::Op::Compute(1)],
+            program: WarpProgram::Owned(vec![crate::kernel::Op::Compute(1)]),
             pc: 0,
+            cursor: Cursor::default(),
             ready_at: 30,
             at_barrier: false,
         });
+        sm.wake(30, 0);
         assert_eq!(sm.next_event(), Some(30));
+    }
+
+    #[test]
+    fn stale_wake_entries_are_cleaned() {
+        let cfg = arch::gtx570();
+        let mut sm = SmState::new(0, &cfg, 2, 1);
+        sm.warps[0] = Some(WarpState {
+            cta_slot: 0,
+            warp: 0,
+            program: WarpProgram::Owned(vec![crate::kernel::Op::Compute(1)]),
+            pc: 0,
+            cursor: Cursor::default(),
+            ready_at: 40,
+            at_barrier: false,
+        });
+        sm.wake(10, 0); // stale: the warp has moved on to 40
+        sm.wake(40, 0);
+        sm.wake(25, 1); // stale: no warp in slot 1
+        assert_eq!(sm.next_issuable(), Some((40, 0)));
+        // Parked warps are not issuable even with a matching entry.
+        sm.warps[0].as_mut().unwrap().at_barrier = true;
+        assert_eq!(sm.next_issuable(), None);
     }
 }

@@ -1,7 +1,8 @@
 //! Locality-source classification: the five application categories of the
 //! paper's Figure 4, detected from the pre-L1 access stream.
 
-use gpu_sim::{AccessEvent, FxHashMap, TraceSink};
+use crate::wordmap::WordMap;
+use gpu_sim::{AccessEvent, TraceSink};
 use std::fmt;
 
 /// The paper's five sources of inter-CTA locality (Figure 4).
@@ -79,7 +80,19 @@ struct LineInfo {
     writer_cta: Option<u64>,
     multi_cta: bool,
     written_by_other: bool,
+    /// Read-touched (reads only feed the sharing signals).
     touched: bool,
+    /// Touched at all — the [`WordMap`] presence sentinel.
+    present: bool,
+}
+
+/// Per-word sharing state. `seen` is the [`WordMap`] presence sentinel
+/// ("touched before", the reuse predicate).
+#[derive(Debug, Default, Clone, Copy)]
+struct WordState {
+    first_cta: u64,
+    multi_cta: bool,
+    seen: bool,
 }
 
 /// Trace sink computing a [`Signature`] and deriving a [`Category`].
@@ -93,11 +106,15 @@ struct LineInfo {
 #[derive(Debug)]
 pub struct CategoryProfiler {
     line_bytes: u64,
-    words: FxHashMap<u64, (u64, bool, bool)>, // word -> (first_cta, multi_cta, reused)
-    lines: FxHashMap<u64, LineInfo>,
+    words: WordMap<WordState>,
+    lines: WordMap<LineInfo>,
     // Per-record scratch (reused to keep the hot path allocation-free).
     seen_lines: Vec<u64>,
     seen_words: Vec<u64>,
+    // Line-population counts, maintained incrementally so `signature`
+    // never scans the paged stores.
+    lines_touched: u64,
+    lines_interfered: u64,
     word_accesses: u64,
     word_reuses: u64,
     word_inter: u64,
@@ -135,10 +152,12 @@ impl CategoryProfiler {
         );
         CategoryProfiler {
             line_bytes,
-            words: FxHashMap::default(),
-            lines: FxHashMap::default(),
+            words: WordMap::default(),
+            lines: WordMap::default(),
             seen_lines: Vec::new(),
             seen_words: Vec::new(),
+            lines_touched: 0,
+            lines_interfered: 0,
             word_accesses: 0,
             word_reuses: 0,
             word_inter: 0,
@@ -154,8 +173,8 @@ impl CategoryProfiler {
 
     /// The computed signature so far.
     pub fn signature(&self) -> Signature {
-        let lines_touched = self.lines.len().max(1) as f64;
-        let interfered = self.lines.values().filter(|l| l.written_by_other).count() as f64;
+        let lines_touched = self.lines_touched.max(1) as f64;
+        let interfered = self.lines_interfered as f64;
         let line_inter_total = (self.line_inter_spatial + self.line_inter_word).max(1);
         Signature {
             word_inter_share: if self.word_reuses == 0 {
@@ -262,31 +281,29 @@ impl TraceSink for CategoryProfiler {
 
         for &word in &seen_words {
             self.word_accesses += 1;
-            let entry = self.words.entry(word).or_insert((e.cta, false, false));
-            if entry.0 != e.cta {
-                entry.1 = true;
+            let entry = self.words.slot(word);
+            if !entry.seen {
+                entry.first_cta = e.cta;
             }
-            if entry.2 || entry.0 != e.cta {
-                // Reuse (the word existed) — entry.2 marks "touched before".
+            if entry.first_cta != e.cta {
+                entry.multi_cta = true;
             }
-            if entry.2 {
+            if entry.seen {
                 self.word_reuses += 1;
-                if entry.1 {
+                if entry.multi_cta {
                     self.word_inter += 1;
                 }
             }
-            entry.2 = true;
+            entry.seen = true;
         }
 
         for &line in &seen_lines {
-            let info = self.lines.entry(line).or_insert(LineInfo {
-                first_cta: e.cta,
-                read_cta: None,
-                writer_cta: None,
-                multi_cta: false,
-                written_by_other: false,
-                touched: false,
-            });
+            let info = self.lines.slot(line);
+            if !info.present {
+                info.present = true;
+                info.first_cta = e.cta;
+                self.lines_touched += 1;
+            }
             // Only reads feed the sharing signals: write-sharing without
             // read reuse is not cache-line locality (it is at best the
             // write-related pattern, tracked below).
@@ -304,7 +321,7 @@ impl TraceSink for CategoryProfiler {
                     let word_shared = seen_words
                         .iter()
                         .filter(|w| **w / (self.line_bytes / 4) == line)
-                        .all(|w| self.words.get(w).map(|i| i.1).unwrap_or(false));
+                        .all(|w| self.words.get(*w).map(|s| s.multi_cta).unwrap_or(false));
                     if word_shared {
                         self.line_inter_word += 1;
                     } else {
@@ -317,8 +334,9 @@ impl TraceSink for CategoryProfiler {
                 // Write after a read by another CTA: the write-evict L1
                 // will invalidate that reader's line.
                 if let Some(reader) = info.read_cta {
-                    if reader != e.cta {
+                    if reader != e.cta && !info.written_by_other {
                         info.written_by_other = true;
+                        self.lines_interfered += 1;
                     }
                 }
                 info.writer_cta = Some(e.cta);
@@ -326,8 +344,9 @@ impl TraceSink for CategoryProfiler {
                 // Read after a write by another CTA: the produced data
                 // can never be served from the producer's L1.
                 if let Some(writer) = info.writer_cta {
-                    if writer != e.cta {
+                    if writer != e.cta && !info.written_by_other {
                         info.written_by_other = true;
+                        self.lines_interfered += 1;
                     }
                 }
                 if info.read_cta.is_none() {

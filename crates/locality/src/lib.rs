@@ -31,6 +31,7 @@ mod feed;
 mod obs_sink;
 mod profiler;
 mod tags;
+mod wordmap;
 
 pub use category::{classify, Category, CategoryProfiler, Signature};
 pub use distance::ReuseDistance;

@@ -10,8 +10,8 @@
 //! [`TraceSink`](gpu_sim::TraceSink) and never looks at latencies or
 //! placements.
 
+use crate::wordmap::WordMap;
 use gpu_sim::{AccessEvent, TraceSink};
-use std::collections::HashMap;
 
 /// The scope a reuse was classified into.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -38,6 +38,7 @@ struct WordInfo {
     /// "another CTA has touched this word".
     first_cta: u64,
     multi_cta: bool,
+    /// 0 means "never touched" (the [`WordMap`] presence sentinel).
     touches: u64,
 }
 
@@ -124,11 +125,17 @@ impl ReuseSummary {
 /// ```
 #[derive(Debug, Default)]
 pub struct ReuseProfiler {
-    words: HashMap<u64, WordInfo>,
+    words: WordMap<WordInfo>,
+    /// Maintained incrementally, including the word-population fields
+    /// (`words`, `words_multi_cta`, `words_reused`), so [`summary`]
+    /// [`Self::summary`] is O(1) instead of a scan.
     summary: ReuseSummary,
     /// Optional per-array filter: when set, only accesses with this tag
     /// are profiled.
     only_tag: Option<u16>,
+    /// Per-record lane-dedup scratch (reused so the per-access hot path
+    /// stays allocation-free).
+    seen_words: Vec<u64>,
 }
 
 impl ReuseProfiler {
@@ -147,11 +154,7 @@ impl ReuseProfiler {
 
     /// Finishes and returns the aggregate summary.
     pub fn summary(&self) -> ReuseSummary {
-        let mut s = self.summary;
-        s.words = self.words.len() as u64;
-        s.words_multi_cta = self.words.values().filter(|w| w.multi_cta).count() as u64;
-        s.words_reused = self.words.values().filter(|w| w.touches > 1).count() as u64;
-        s
+        self.summary
     }
 
     /// Emits the profiler's classification decisions as telemetry
@@ -194,7 +197,8 @@ impl TraceSink for ReuseProfiler {
         }
         // Deduplicate lanes within one warp instruction at word granularity
         // (a warp touching the same word in many lanes is one request).
-        let mut seen_words: Vec<u64> = Vec::with_capacity(e.addrs.len());
+        let mut seen_words = std::mem::take(&mut self.seen_words);
+        seen_words.clear();
         for &addr in e.addrs {
             let word = addr / 4;
             if seen_words.contains(&word) {
@@ -202,15 +206,17 @@ impl TraceSink for ReuseProfiler {
             }
             seen_words.push(word);
             self.summary.accesses += 1;
-            let info = self.words.entry(word).or_insert_with(|| WordInfo {
-                last: None,
-                first_cta: e.cta,
-                multi_cta: false,
-                touches: 0,
-            });
+            let info = self.words.slot(word);
+            if info.touches == 0 {
+                info.first_cta = e.cta;
+                self.summary.words += 1;
+            } else if info.touches == 1 {
+                self.summary.words_reused += 1;
+            }
             info.touches += 1;
-            if info.first_cta != e.cta {
+            if info.first_cta != e.cta && !info.multi_cta {
                 info.multi_cta = true;
+                self.summary.words_multi_cta += 1;
             }
             if let Some(prev) = info.last {
                 let scope = if prev.cta != e.cta {
@@ -231,6 +237,7 @@ impl TraceSink for ReuseProfiler {
                 warp: e.warp,
             });
         }
+        self.seen_words = seen_words;
     }
 }
 

@@ -5,8 +5,8 @@
 //! "we bypass the streaming accesses to L1 ... to prevent them from
 //! contending resources with the accesses that have inter-CTA reuse."
 
+use crate::wordmap::WordMap;
 use gpu_sim::{AccessEvent, ArrayTag, FxHashMap, TraceSink};
-use std::collections::HashMap;
 
 /// Reuse statistics of one array tag.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -51,8 +51,11 @@ impl TagSummary {
 /// ```
 #[derive(Debug, Default)]
 pub struct TagReuseProfiler {
-    words: FxHashMap<(ArrayTag, u64), u64>, // (tag, word) -> last toucher CTA + 1 (0 = unseen)
-    tags: HashMap<ArrayTag, TagSummary>,
+    /// Per-tag word map: word -> last toucher CTA + 1 (0 = unseen). Tags
+    /// are few (a handful of logical arrays), so a linear-scanned vec
+    /// beats hashing the composite `(tag, word)` key per lane.
+    words: Vec<(ArrayTag, WordMap<u64>)>,
+    tags: FxHashMap<ArrayTag, TagSummary>,
     seen: Vec<u64>, // per-record dedup scratch
 }
 
@@ -96,6 +99,13 @@ impl TraceSink for TagReuseProfiler {
         if e.is_write {
             entry.writes += e.addrs.len() as u64;
         }
+        let words = match self.words.iter().position(|(t, _)| *t == e.tag) {
+            Some(i) => &mut self.words[i].1,
+            None => {
+                self.words.push((e.tag, WordMap::default()));
+                &mut self.words.last_mut().expect("just pushed").1
+            }
+        };
         let mut seen = std::mem::take(&mut self.seen);
         seen.clear();
         for &addr in e.addrs {
@@ -105,7 +115,7 @@ impl TraceSink for TagReuseProfiler {
             }
             seen.push(word);
             entry.accesses += 1;
-            let slot = self.words.entry((e.tag, word)).or_insert(0);
+            let slot = words.slot(word);
             if *slot != 0 {
                 entry.reuses += 1;
                 if *slot != e.cta + 1 {

@@ -1,0 +1,106 @@
+//! Paged word-indexed storage for the stream profilers.
+//!
+//! The profilers key their state by *word index* (`addr / 4`), and the
+//! access streams they observe are overwhelmingly dense: a coalesced warp
+//! instruction touches 32 consecutive words, and successive instructions
+//! walk consecutive lines. A general-purpose hash map serves that pattern
+//! one cache miss per lane — on streaming kernels the map grows to
+//! millions of entries and the probe run costs more than the simulation
+//! it observes. `WordMap` stores values in fixed-size pages indexed by
+//! the high bits of the word index, so neighbouring words share cache
+//! lines, and memoizes the last page so the per-lane fast path is a
+//! compare plus an array index, no hashing at all.
+//!
+//! The map is insert-only and value slots are materialized eagerly per
+//! page: a freshly-created slot is `V::default()`, and callers encode
+//! presence in the value itself (every profiler already carries a
+//! "touched" sentinel). Aggregation results are therefore identical to a
+//! hash-map-backed implementation; only the memory layout differs.
+
+use gpu_sim::FxHashMap;
+
+/// log2 of the page size in words: 1024 words = 4 KiB of address space.
+const PAGE_SHIFT: u32 = 10;
+const PAGE_WORDS: usize = 1 << PAGE_SHIFT;
+const NO_PAGE: u32 = u32::MAX;
+
+/// Insert-only sparse array keyed by word index, paged for locality.
+#[derive(Debug)]
+pub(crate) struct WordMap<V> {
+    /// Page id (`word >> PAGE_SHIFT`) to index into `pages`.
+    index: FxHashMap<u64, u32>,
+    pages: Vec<Box<[V]>>,
+    /// Memoized resolution of the most recent `slot` call.
+    last_page: u64,
+    last_idx: u32,
+}
+
+impl<V: Default + Clone> Default for WordMap<V> {
+    fn default() -> Self {
+        WordMap {
+            index: FxHashMap::default(),
+            pages: Vec::new(),
+            last_page: 0,
+            last_idx: NO_PAGE,
+        }
+    }
+}
+
+impl<V: Default + Clone> WordMap<V> {
+    /// The value slot for `word`, creating its page on first touch.
+    #[inline]
+    pub(crate) fn slot(&mut self, word: u64) -> &mut V {
+        let page = word >> PAGE_SHIFT;
+        if self.last_idx == NO_PAGE || self.last_page != page {
+            let pages = &mut self.pages;
+            let idx = *self.index.entry(page).or_insert_with(|| {
+                pages.push(vec![V::default(); PAGE_WORDS].into_boxed_slice());
+                (pages.len() - 1) as u32
+            });
+            self.last_page = page;
+            self.last_idx = idx;
+        }
+        &mut self.pages[self.last_idx as usize][(word & (PAGE_WORDS as u64 - 1)) as usize]
+    }
+
+    /// Read-only probe: the slot for `word` if its page exists. A slot
+    /// that was never written reads as `V::default()` — callers
+    /// distinguish via their presence sentinel, exactly as they would
+    /// treat a hash-map miss.
+    #[inline]
+    pub(crate) fn get(&self, word: u64) -> Option<&V> {
+        let idx = *self.index.get(&(word >> PAGE_SHIFT))?;
+        Some(&self.pages[idx as usize][(word & (PAGE_WORDS as u64 - 1)) as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_persist_and_default() {
+        let mut m: WordMap<u64> = WordMap::default();
+        assert_eq!(m.get(7), None);
+        *m.slot(7) = 42;
+        assert_eq!(m.get(7), Some(&42));
+        // Same page, untouched slot: default, not absent.
+        assert_eq!(m.get(8), Some(&0));
+        // Different page.
+        assert_eq!(m.get(7 + (1 << 20)), None);
+        *m.slot(7 + (1 << 20)) = 9;
+        assert_eq!(m.get(7 + (1 << 20)), Some(&9));
+        // The memoized page still resolves correctly after switching back.
+        assert_eq!(*m.slot(7), 42);
+    }
+
+    #[test]
+    fn page_boundaries_do_not_alias() {
+        let mut m: WordMap<u32> = WordMap::default();
+        let last_of_page = (PAGE_WORDS - 1) as u64;
+        *m.slot(last_of_page) = 1;
+        *m.slot(last_of_page + 1) = 2;
+        assert_eq!(m.get(last_of_page), Some(&1));
+        assert_eq!(m.get(last_of_page + 1), Some(&2));
+    }
+}

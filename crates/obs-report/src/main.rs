@@ -94,7 +94,8 @@ fn smoke_run(threads: usize) -> String {
                 gpu_kernels::suite::by_abbr(abbr, cfg.arch).expect("smoke workload in the suite")
             })
             .collect();
-        let evals = cluster_bench::evaluate_apps_par(&cfg, workloads, threads);
+        let evals = cluster_bench::evaluate_apps_par(&cfg, workloads, threads)
+            .expect("smoke evaluation succeeds");
         assert_eq!(evals.len(), 2, "smoke evaluation covers both workloads");
     }
     render_jsonl(&cta_obs::global().snapshot(), BIN)

@@ -20,7 +20,7 @@ fn best_clustering(eval: &cluster_bench::AppEvaluation) -> f64 {
 fn cache_line_apps_win_big_on_fermi() {
     // Paper: cache-line locality is a 128B-line phenomenon; Fermi gains.
     let w = suite::by_abbr("ATX", ArchGen::Fermi).unwrap();
-    let eval = evaluate_app(&arch::gtx570(), w);
+    let eval = evaluate_app(&arch::gtx570(), w).expect("evaluation");
     assert!(
         eval.speedup(Variant::ClusteringThrottled) > 1.3,
         "ATX CLU+TOT on Fermi: {:.2}",
@@ -38,7 +38,7 @@ fn cache_line_sharing_vanishes_on_short_line_archs() {
     // Paper: "for Maxwell and Pascal, the 32B cache line is just one
     // fourth of a load of a warp, hence hardly any inter-CTA reuse".
     let w = suite::by_abbr("SYK", ArchGen::Pascal).unwrap();
-    let eval = evaluate_app(&arch::gtx1080(), w);
+    let eval = evaluate_app(&arch::gtx1080(), w).expect("evaluation");
     // No meaningful L2 reduction from pure clustering.
     assert!(
         eval.l2_norm(Variant::Clustering) > 0.85,
@@ -54,7 +54,7 @@ fn algorithm_app_gains_on_both_generations() {
         (arch::gtx980(), ArchGen::Maxwell),
     ] {
         let w = suite::by_abbr("NN", arch_gen).unwrap();
-        let eval = evaluate_app(&cfg, w);
+        let eval = evaluate_app(&cfg, w).expect("evaluation");
         assert!(
             best_clustering(&eval) > 1.15,
             "NN on {}: {:.2}",
@@ -70,7 +70,7 @@ fn streaming_apps_are_unaffected() {
     // Paper Figure 12 right panels: ~1.0x everywhere.
     for abbr in ["BS", "MON"] {
         let w = suite::by_abbr(abbr, ArchGen::Kepler).unwrap();
-        let eval = evaluate_app(&arch::tesla_k40(), w);
+        let eval = evaluate_app(&arch::tesla_k40(), w).expect("evaluation");
         let s = best_clustering(&eval);
         assert!(
             (0.9..1.15).contains(&s),
@@ -86,7 +86,7 @@ fn agents_beat_redirection_where_locality_exists() {
     // The core claim: SM-based binding is the robust scheme.
     for abbr in ["NN", "SYK"] {
         let w = suite::by_abbr(abbr, ArchGen::Fermi).unwrap();
-        let eval = evaluate_app(&arch::gtx570(), w);
+        let eval = evaluate_app(&arch::gtx570(), w).expect("evaluation");
         assert!(
             best_clustering(&eval) >= eval.speedup(Variant::Redirection) - 0.05,
             "{abbr}: agents {:.2} vs RD {:.2}",
@@ -100,7 +100,7 @@ fn agents_beat_redirection_where_locality_exists() {
 fn throttling_rescues_contention_bound_apps() {
     // Paper: S2K's optimum is 1 agent on Fermi/Kepler.
     let w = suite::by_abbr("S2K", ArchGen::Kepler).unwrap();
-    let eval = evaluate_app(&arch::tesla_k40(), w);
+    let eval = evaluate_app(&arch::tesla_k40(), w).expect("evaluation");
     assert!(
         eval.speedup(Variant::ClusteringThrottled) > eval.speedup(Variant::Clustering),
         "TOT {:.2} must beat CLU {:.2} for S2K",
@@ -115,7 +115,7 @@ fn l2_reduction_accompanies_speedup() {
     // Paper observation (5): "when the L2 transactions decline, the
     // overall performance improves".
     let w = suite::by_abbr("MVT", ArchGen::Fermi).unwrap();
-    let eval = evaluate_app(&arch::gtx570(), w);
+    let eval = evaluate_app(&arch::gtx570(), w).expect("evaluation");
     let tot = Variant::ClusteringThrottled;
     assert!(eval.speedup(tot) > 1.0);
     assert!(eval.l2_norm(tot) < 1.0);
