@@ -170,6 +170,15 @@ declare_lints! {
         "CL033", "plan-prefetch-on-exploitable", Deny,
         "plan enables prefetching although locality is exploitable"
     },
+    /// A cache geometry the engine cannot model sanely: a sector size
+    /// that does not divide the line size, an aggregated-tag array over a
+    /// non-power-of-two bank count, or a zero-set array. Caught at
+    /// plan-audit time so a bad config fails the analyze gate instead of
+    /// panicking inside the simulator.
+    DEGENERATE_CACHE_GEOMETRY = {
+        "CL034", "degenerate-cache-geometry", Deny,
+        "cache geometry is degenerate (sector/line split, ATA banking, or zero sets)"
+    },
     /// Two warps of one CTA conflict on a word with no ordering barrier.
     /// Warn by default: the suite's irregular kernels (BFS visited
     /// flags, HST bin scatters) model real benign idempotent races.

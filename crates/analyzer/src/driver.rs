@@ -55,6 +55,11 @@ pub fn analyze_workload(workload: Box<dyn Workload>, base_cfg: &GpuConfig, repor
     let grid = launch.grid;
     let m = cfg.num_sms as u64;
 
+    // Pass family 0: the cache geometry every variant below will run on
+    // must be modelable at all — a degenerate split fails here instead of
+    // panicking inside the engine's constructors.
+    plan_audit::check_cache_geometry(&cfg, &format!("{base}/geometry"), report);
+
     // Pass family 1a: partition invariants, both axes (the framework's
     // axis probe constructs both, so both must be sound).
     for axis in [Axis::Y, Axis::X] {

@@ -7,11 +7,13 @@
 //! inside the occupancy bound.
 
 use crate::diag::{
-    Report, PLAN_BYPASS_REUSED_TAG, PLAN_EXPLOITS_UNEXPLOITABLE, PLAN_PREFETCH_ON_EXPLOITABLE,
-    STATIC_CATEGORY_MISMATCH, THROTTLE_CLAMPED, THROTTLE_EXCEEDS_OCCUPANCY,
+    Report, DEGENERATE_CACHE_GEOMETRY, PLAN_BYPASS_REUSED_TAG, PLAN_EXPLOITS_UNEXPLOITABLE,
+    PLAN_PREFETCH_ON_EXPLOITABLE, STATIC_CATEGORY_MISMATCH, THROTTLE_CLAMPED,
+    THROTTLE_EXCEEDS_OCCUPANCY,
 };
 use crate::profile::StaticProfile;
 use cta_clustering::{clamp_active_agents, Plan};
+use gpu_sim::{CacheConfig, GpuConfig};
 
 /// A bypassed tag with at least this static word-reuse rate is flagged.
 const BYPASS_TAG_REUSE_MAX: f64 = 0.05;
@@ -115,6 +117,67 @@ pub fn audit(
     // CL032 through their per-tag reuse rates.
 }
 
+/// Audits the cache geometry a plan will run on, emitting CL034 for
+/// shapes the engine cannot model sanely: a sector size that does not
+/// evenly split the line (or splits it into more sectors than the `u32`
+/// state masks hold), an aggregated-tag array over a non-power-of-two
+/// bank/sector split, or an array whose size, line and associativity
+/// leave zero sets. The engine's constructors panic on these; the lint
+/// turns that panic into an analyze-gate failure at plan-audit time.
+pub fn check_cache_geometry(cfg: &GpuConfig, subject: &str, report: &mut Report) {
+    let mut check = |level: &str, c: &CacheConfig, split: u32, split_what: &str| {
+        // The engine carves the configured array into `split` equal
+        // sub-arrays (L1 CTA-slot sectors, L2 banks) before computing
+        // sets, so the degenerate-set check applies to the carved size.
+        let sub_bytes = c.size_bytes.checked_div(split).unwrap_or(0);
+        let line_cost = c.line_bytes.saturating_mul(c.associativity);
+        if split == 0 || line_cost == 0 || sub_bytes / line_cost == 0 {
+            report.emit(
+                &DEGENERATE_CACHE_GEOMETRY,
+                subject,
+                format!(
+                    "{level}: {sub_bytes}B per {split_what} holds zero sets \
+                     of {}B lines x {} ways",
+                    c.line_bytes, c.associativity
+                ),
+            );
+        }
+        if c.sector_bytes != 0 {
+            if !c.sector_bytes.is_power_of_two() || !c.line_bytes.is_multiple_of(c.sector_bytes) {
+                report.emit(
+                    &DEGENERATE_CACHE_GEOMETRY,
+                    subject,
+                    format!(
+                        "{level}: sector size {}B does not evenly split the {}B line",
+                        c.sector_bytes, c.line_bytes
+                    ),
+                );
+            } else if c.line_bytes / c.sector_bytes > 32 {
+                report.emit(
+                    &DEGENERATE_CACHE_GEOMETRY,
+                    subject,
+                    format!(
+                        "{level}: {} sectors per line exceed the 32-bit sector state masks",
+                        c.line_bytes / c.sector_bytes
+                    ),
+                );
+            }
+        }
+        if c.aggregated_tags && !split.is_power_of_two() {
+            report.emit(
+                &DEGENERATE_CACHE_GEOMETRY,
+                subject,
+                format!(
+                    "{level}: aggregated tag array over {split} {split_what}s \
+                     needs a power-of-two split"
+                ),
+            );
+        }
+    };
+    check("L1", &cfg.l1, cfg.l1_sectors, "sector array");
+    check("L2", &cfg.l2, cfg.timings.l2_banks, "bank");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +264,57 @@ mod tests {
         let mut r = Report::new();
         audit(&plan, &profile(), 8, "t", &mut r);
         assert!(r.has(&PLAN_PREFETCH_ON_EXPLOITABLE));
+    }
+
+    #[test]
+    fn sane_preset_geometries_pass_cl034() {
+        let mut r = Report::new();
+        for cfg in arch::all_presets() {
+            check_cache_geometry(&cfg, &cfg.name.clone(), &mut r);
+            check_cache_geometry(&arch::ata_variant(cfg), "ata", &mut r);
+        }
+        assert_eq!(r.deny_count(), 0, "{}", r.render_human());
+    }
+
+    #[test]
+    fn sector_not_dividing_line_fires_cl034() {
+        let mut cfg = arch::gtx570();
+        cfg.l1.sector_bytes = 48; // non-pow2, does not divide 128
+        let mut r = Report::new();
+        check_cache_geometry(&cfg, "t", &mut r);
+        assert!(r.has(&DEGENERATE_CACHE_GEOMETRY), "{}", r.render_human());
+    }
+
+    #[test]
+    fn oversplit_sectors_fire_cl034() {
+        let mut cfg = arch::gtx570();
+        cfg.l1.line_bytes = 128;
+        cfg.l1.sector_bytes = 2; // 64 sectors: exceeds the u32 masks
+        let mut r = Report::new();
+        check_cache_geometry(&cfg, "t", &mut r);
+        assert!(r.has(&DEGENERATE_CACHE_GEOMETRY));
+    }
+
+    #[test]
+    fn ata_over_non_pow2_banks_fires_cl034() {
+        let mut cfg = arch::gtx570(); // 6 L2 banks
+        cfg.l2.aggregated_tags = true;
+        let mut r = Report::new();
+        check_cache_geometry(&cfg, "t", &mut r);
+        assert!(r.has(&DEGENERATE_CACHE_GEOMETRY), "{}", r.render_human());
+        // The same flag over the power-of-two L1 sector split is fine.
+        let mut ok = Report::new();
+        check_cache_geometry(&arch::ata_variant(arch::gtx570()), "t", &mut ok);
+        assert_eq!(ok.deny_count(), 0);
+    }
+
+    #[test]
+    fn zero_set_config_fires_cl034() {
+        let mut cfg = arch::gtx570();
+        cfg.l1.size_bytes = 256; // under one 128B line x 4 ways
+        let mut r = Report::new();
+        check_cache_geometry(&cfg, "t", &mut r);
+        assert!(r.has(&DEGENERATE_CACHE_GEOMETRY), "{}", r.render_human());
     }
 
     #[test]

@@ -12,6 +12,8 @@ fn fermi_l1() -> CacheConfig {
         associativity: 4,
         mshr_entries: 32,
         write_policy: WritePolicy::WriteEvict,
+        sector_bytes: 0,
+        aggregated_tags: false,
     }
 }
 

@@ -9,9 +9,15 @@
 //! CI can gate on it.
 //!
 //! Usage:
-//!   sim_core [--reduced] [--before <seconds>] [--out <path>]
+//!   sim_core [--reduced] [--arch ata] [--check <path>] [--before <seconds>] [--out <path>]
 //!
 //! `--reduced` runs a small Fermi-only subset (the CI smoke matrix).
+//! `--arch ata` appends the aggregated-tag-array sweep: every Table 2
+//! app simulated under the stock Maxwell preset and its ATA variant,
+//! with both L1 and L2 hit rates in an `ata` JSON section.
+//! `--check` compares the fresh run against a committed
+//! `BENCH_sim_core.json` (run count, conservation violations, skip
+//! ratio) and exits nonzero on regression — the CI perf-smoke gate.
 //! `--before` overrides the committed pre-rework baseline wall time the
 //! speedup is normalized against (full matrix, 1 thread).
 //! `--out` additionally writes the JSON to a file.
@@ -20,6 +26,13 @@ use cluster_bench::{AppPlan, SimRequest};
 use cta_clustering::ClusterError;
 use gpu_sim::{EngineMetrics, GpuConfig, RunStats};
 use std::time::Instant;
+
+/// Largest skip-ratio drop tolerated by `--check` before it fails: the
+/// ratio is a structural property of the event-driven engine (fraction
+/// of cycles never stepped), deterministic for a fixed matrix, so any
+/// real movement beyond rounding noise means the engine regressed into
+/// cycle-stepping behavior.
+const SKIP_RATIO_TOLERANCE: f64 = 0.02;
 
 /// Wall-clock of the full request matrix at 1 thread on the cycle-stepped
 /// engine this bin's rework replaced (commit 2ceca1b, `fig12_speedup`).
@@ -30,13 +43,34 @@ fn main() -> Result<(), ClusterError> {
     cluster_bench::tune_allocator();
     let mut reduced = false;
     let mut verbose = false;
+    let mut ata_sweep = false;
     let mut before = BASELINE_WALL_S;
     let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--reduced" => reduced = true,
             "--verbose" => verbose = true,
+            "--arch" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| ClusterError::harness("--arch needs a value"))?;
+                match v.as_str() {
+                    "ata" => ata_sweep = true,
+                    other => {
+                        return Err(ClusterError::harness(format!(
+                            "unknown --arch {other:?}; the only modeled variant is \"ata\""
+                        )))
+                    }
+                }
+            }
+            "--check" => {
+                check_path = Some(
+                    args.next()
+                        .ok_or_else(|| ClusterError::harness("--check needs a path"))?,
+                );
+            }
             "--before" => {
                 let v = args
                     .next()
@@ -54,7 +88,8 @@ fn main() -> Result<(), ClusterError> {
             other => {
                 return Err(ClusterError::harness(format!(
                     "unknown argument {other:?}; usage: \
-                     sim_core [--reduced] [--verbose] [--before <s>] [--out <path>]"
+                     sim_core [--reduced] [--verbose] [--arch ata] [--check <path>] \
+                     [--before <s>] [--out <path>]"
                 )))
             }
         }
@@ -109,6 +144,62 @@ fn main() -> Result<(), ClusterError> {
             cache_fills += fills;
         }
     }
+    // Aggregated-tag-array sweep: every Table 2 app under the stock
+    // Maxwell preset and under its ATA variant (identical except
+    // `l1.aggregated_tags`), Baseline request, L1/L2 demand hit rates
+    // side by side. The sweep runs are metered like the matrix runs, so
+    // they obey the same conservation laws and count into `runs`.
+    let ata_json = if ata_sweep {
+        let base_cfg = gpu_sim::arch::gtx980();
+        let ata_cfg = gpu_sim::arch::ata_variant(base_cfg.clone());
+        let mut rows: Vec<String> = Vec::new();
+        let mut improved = 0u32;
+        let mut delta_sum = 0.0f64;
+        for workload in gpu_kernels::suite::table2_suite(base_cfg.arch) {
+            let base_plan = AppPlan::new(&base_cfg, workload);
+            let abbr = base_plan.info.abbr.to_string();
+            let twin = gpu_kernels::suite::by_abbr(&abbr, ata_cfg.arch)
+                .ok_or_else(|| ClusterError::harness(format!("{abbr} not in suite")))?;
+            let ata_plan = AppPlan::new(&ata_cfg, twin);
+            let base = metered(
+                &base_plan,
+                SimRequest::Baseline,
+                verbose,
+                &mut total,
+                &mut runs,
+                &mut violations,
+            )?;
+            let ata = metered(
+                &ata_plan,
+                SimRequest::Baseline,
+                verbose,
+                &mut total,
+                &mut runs,
+                &mut violations,
+            )?;
+            let (l1_base, l1_ata) = (base.l1.read_hit_rate(), ata.l1.read_hit_rate());
+            if l1_ata > l1_base {
+                improved += 1;
+            }
+            delta_sum += l1_ata - l1_base;
+            rows.push(format!(
+                "{{\"abbr\": \"{abbr}\", \"l1_base\": {l1_base:.4}, \"l1_ata\": {l1_ata:.4}, \
+                 \"l2_base\": {:.4}, \"l2_ata\": {:.4}}}",
+                base.l2.read_hit_rate(),
+                ata.l2.read_hit_rate(),
+            ));
+        }
+        let apps = rows.len();
+        format!(
+            "{{\n    \"base_arch\": \"{}\",\n    \"ata_arch\": \"{}\",\n    \"apps\": [\n      {}\n    ],\n    \"l1_improved\": {improved},\n    \"apps_total\": {apps},\n    \"mean_l1_delta\": {:.4}\n  }}",
+            base_cfg.name,
+            ata_cfg.name,
+            rows.join(",\n      "),
+            delta_sum / apps as f64,
+        )
+    } else {
+        "null".to_string()
+    };
     let wall_s = t0.elapsed().as_secs_f64();
 
     let skip_denom = total.issues + total.cycles_skipped;
@@ -132,7 +223,7 @@ fn main() -> Result<(), ClusterError> {
         )
     };
     let json = format!(
-        "{{\n  \"format\": \"sim-core-bench/v1\",\n  \"mode\": \"{mode}\",\n  \"runs\": {runs},\n  \"wall_s\": {wall_s:.2},\n  \"baseline\": {baseline},\n  \"conservation_violations\": {violations},\n  \"engine\": {{\n    \"events\": {events},\n    \"issues\": {issues},\n    \"cycles_skipped\": {skipped},\n    \"skip_ratio\": {skip_ratio:.4},\n    \"warps_dispatched\": {warps},\n    \"warp_retires\": {warp_retires},\n    \"cta_retires\": {cta_retires},\n    \"dispatch_polls\": {polls}\n  }},\n  \"program_cache\": {{\n    \"hits\": {cache_hits},\n    \"fills\": {cache_fills},\n    \"hit_rate\": {hit_rate:.4}\n  }}\n}}",
+        "{{\n  \"format\": \"sim-core-bench/v1\",\n  \"mode\": \"{mode}\",\n  \"runs\": {runs},\n  \"wall_s\": {wall_s:.2},\n  \"baseline\": {baseline},\n  \"conservation_violations\": {violations},\n  \"engine\": {{\n    \"events\": {events},\n    \"issues\": {issues},\n    \"cycles_skipped\": {skipped},\n    \"skip_ratio\": {skip_ratio:.4},\n    \"warps_dispatched\": {warps},\n    \"warp_retires\": {warp_retires},\n    \"cta_retires\": {cta_retires},\n    \"dispatch_polls\": {polls}\n  }},\n  \"program_cache\": {{\n    \"hits\": {cache_hits},\n    \"fills\": {cache_fills},\n    \"hit_rate\": {hit_rate:.4}\n  }},\n  \"ata\": {ata_json}\n}}",
         mode = if reduced { "reduced" } else { "full" },
         events = total.events,
         issues = total.issues,
@@ -147,11 +238,113 @@ fn main() -> Result<(), ClusterError> {
         std::fs::write(&path, format!("{json}\n"))
             .map_err(|e| ClusterError::harness(format!("writing {path}: {e}")))?;
     }
+    let mut check_failed = false;
+    if let Some(path) = &check_path {
+        let committed = std::fs::read_to_string(path)
+            .map_err(|e| ClusterError::harness(format!("reading {path}: {e}")))?;
+        check_failed = !diff_against_committed(
+            &committed,
+            path,
+            if reduced { "reduced" } else { "full" },
+            runs,
+            violations,
+            skip_ratio,
+        )?;
+    }
     if violations > 0 {
         eprintln!("sim_core: {violations} conservation violation(s)");
         std::process::exit(1);
     }
+    if check_failed {
+        std::process::exit(1);
+    }
     Ok(())
+}
+
+/// Compares the fresh run against a committed `sim-core-bench/v1`
+/// document and reports each criterion on stderr. Returns `false` (and
+/// logs `FAIL` lines) on any regression:
+///
+/// * the committed artifact itself must be violation-free and of the
+///   same mode — otherwise the comparison is meaningless;
+/// * the fresh run count must equal the committed one (the matrix
+///   changed without regenerating the artifact);
+/// * the fresh run must have zero conservation violations;
+/// * the skip ratio may not drop more than [`SKIP_RATIO_TOLERANCE`]
+///   below the committed value (the engine regressed toward
+///   cycle-stepping).
+///
+/// Wall-clock is deliberately *not* gated: CI machines vary too much
+/// for a hard threshold, and the skip ratio is the portable proxy.
+fn diff_against_committed(
+    committed: &str,
+    path: &str,
+    mode: &str,
+    runs: u64,
+    violations: u64,
+    skip_ratio: f64,
+) -> Result<bool, ClusterError> {
+    let field = |key: &str| {
+        json_number(committed, key)
+            .ok_or_else(|| ClusterError::harness(format!("{path}: missing \"{key}\"")))
+    };
+    let committed_mode = json_string(committed, "mode")
+        .ok_or_else(|| ClusterError::harness(format!("{path}: missing \"mode\"")))?;
+    let committed_runs = field("runs")? as u64;
+    let committed_violations = field("conservation_violations")? as u64;
+    let committed_skip = field("skip_ratio")?;
+    let mut ok = true;
+    let mut report = |pass: bool, msg: String| {
+        eprintln!(
+            "sim_core --check: {} {msg}",
+            if pass { "PASS" } else { "FAIL" }
+        );
+        ok &= pass;
+    };
+    report(
+        committed_violations == 0,
+        format!("committed artifact violation-free (has {committed_violations})"),
+    );
+    report(
+        committed_mode == mode,
+        format!("mode matches committed ({committed_mode:?} vs fresh {mode:?})"),
+    );
+    report(
+        runs == committed_runs,
+        format!("run count {runs} == committed {committed_runs}"),
+    );
+    report(
+        violations == 0,
+        format!("fresh violations == 0 (got {violations})"),
+    );
+    report(
+        skip_ratio >= committed_skip - SKIP_RATIO_TOLERANCE,
+        format!(
+            "skip ratio {skip_ratio:.4} within {SKIP_RATIO_TOLERANCE} of committed {committed_skip:.4}"
+        ),
+    );
+    Ok(ok)
+}
+
+/// First numeric value following `"key":` in a flat JSON document.
+/// Enough for the self-emitted `sim-core-bench/v1` format; not a general
+/// JSON parser (the workspace deliberately has no serde dependency).
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let rest = doc[doc.find(&pat)? + pat.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// First string value following `"key":` in a flat JSON document.
+fn json_string(doc: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let rest = doc[doc.find(&pat)? + pat.len()..]
+        .trim_start()
+        .strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
 }
 
 /// One metered run: accumulates the engine metrics and checks the

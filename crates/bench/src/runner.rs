@@ -395,9 +395,11 @@ impl AppPlan {
                 // Bypassing: streaming tags from the framework's probe.
                 // The narrow probe suffices — the partition (axis) is the
                 // plan's own, so the full analyze() axis sweep would be
-                // three discarded simulations per request.
+                // three discarded simulations per request. The static
+                // walk returns the identical tag set at program-
+                // generation cost instead of a full traced simulation.
                 let fw = Framework::new(self.cfg.clone());
-                let tags: Vec<ArrayTag> = fw.streaming_tags(&self.kernel).unwrap_or_default();
+                let tags: Vec<ArrayTag> = fw.streaming_tags_static(&self.kernel);
                 let bypassed = AgentKernel::with_partition(
                     BypassKernel::new(self.kernel.clone(), tags),
                     &self.cfg,

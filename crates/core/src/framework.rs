@@ -232,6 +232,35 @@ impl Framework {
         Ok(tags.streaming_tags(STREAMING_MIN_ACCESSES))
     }
 
+    /// [`streaming_tags`](Self::streaming_tags) computed by statically
+    /// walking the warp programs instead of simulating them.
+    ///
+    /// Produces the *same* tag set as the traced probe: the selection
+    /// reads only each tag's total word accesses and reuse count, and
+    /// both totals are order-independent functions of the access
+    /// multiset (`reuses = accesses - distinct words`). The timing
+    /// model never changes which accesses execute, so enumerating the
+    /// warp programs with [`gpu_sim::walk`] feeds the profiler the same
+    /// multiset the engine's trace would — at program-generation cost,
+    /// with no cache or latency simulation. `probe_equivalence` pins the
+    /// equality per-app; the figure byte-diffs pin it matrix-wide.
+    ///
+    /// Only valid for kernels without prefetch ops (the walk feeder
+    /// skips `PrefetchL1` loads, the engine traces them): the harness
+    /// probes the *baseline* kernel, which has none.
+    pub fn streaming_tags_static<K>(&self, kernel: &K) -> Vec<ArrayTag>
+    where
+        K: KernelSpec + ?Sized,
+    {
+        let mut tags = locality::StaticFeed::new(TagReuseProfiler::new());
+        gpu_sim::walk::each_warp_program_on(kernel, &self.cfg, |ctx, warp, prog| {
+            for op in prog {
+                tags.op(ctx.cta, ctx.sm_id, warp, op);
+            }
+        });
+        tags.into_inner().streaming_tags(STREAMING_MIN_ACCESSES)
+    }
+
     /// Derives the optimization plan from an analysis (Figure 5).
     pub fn plan(&self, analysis: &Analysis) -> Plan {
         let exploit = analysis.category.exploitable();
@@ -409,6 +438,29 @@ mod tests {
         assert!(!plan.exploit_locality);
         assert_eq!(plan.prefetch, 2);
         assert!(plan.bypass.is_empty());
+    }
+
+    #[test]
+    fn probe_equivalence() {
+        // The static walk must select exactly the tags the traced probe
+        // selects — the harness's bypass variant depends on the equality.
+        for cfg in [arch::gtx570(), arch::gtx980()] {
+            let fw = Framework::new(cfg);
+            for (name, dynamic, stat) in [
+                (
+                    "row-shared",
+                    fw.streaming_tags(&RowShared).unwrap(),
+                    fw.streaming_tags_static(&RowShared),
+                ),
+                (
+                    "stream",
+                    fw.streaming_tags(&Stream).unwrap(),
+                    fw.streaming_tags_static(&Stream),
+                ),
+            ] {
+                assert_eq!(dynamic, stat, "{name} on {}", fw.gpu().name);
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,8 @@ fn l1_cache(size_kb: u32, line: u32, mshr: u32) -> CacheConfig {
         associativity: 4,
         mshr_entries: mshr,
         write_policy: WritePolicy::WriteEvict,
+        sector_bytes: 0,
+        aggregated_tags: false,
     }
 }
 
@@ -26,7 +28,23 @@ fn l2_cache(size_kb: u32) -> CacheConfig {
         associativity: 16,
         mshr_entries: 128,
         write_policy: WritePolicy::WriteBackAllocate,
+        sector_bytes: 0,
+        aggregated_tags: false,
     }
+}
+
+/// The ATA-Cache variant of a preset: identical geometry and timings,
+/// but the L1 runs with [`CacheConfig::aggregated_tags`] — a compact
+/// ghost-tag array probed on every miss that steers insertion priority
+/// (recently-evicted tags re-enter at MRU, cold tags enter LIP-style).
+/// This models the aggregated-tag-array L1 of the ATA-Cache proposal as
+/// a fifth architecture in the bench matrix; at default configs it is
+/// never selected, so baseline figures are unaffected.
+pub fn ata_variant(base: GpuConfig) -> GpuConfig {
+    let mut cfg = base;
+    cfg.name = format!("{}-ATA", cfg.name);
+    cfg.l1.aggregated_tags = true;
+    cfg
 }
 
 /// GTX570 — Fermi, CC 2.0, 15 SMs, 48 warp slots, 8 CTA slots,
@@ -226,6 +244,20 @@ mod tests {
         for arch in ArchGen::ALL {
             assert_eq!(preset_for(arch).arch, arch);
         }
+    }
+
+    #[test]
+    fn ata_variant_only_flips_the_l1_tag_array() {
+        let base = gtx980();
+        let ata = ata_variant(gtx980());
+        assert_eq!(ata.name, "GTX980-ATA");
+        assert!(ata.l1.aggregated_tags);
+        assert!(!ata.l2.aggregated_tags);
+        ata.validate().expect("ATA variant must validate");
+        let mut back = ata.clone();
+        back.name = base.name.clone();
+        back.l1.aggregated_tags = false;
+        assert_eq!(back, base, "everything but name and the L1 flag matches");
     }
 
     #[test]

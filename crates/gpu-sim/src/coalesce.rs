@@ -57,6 +57,31 @@ pub fn coalesce_lines_into(access: &MemAccess, line_bytes: u32, out: &mut Vec<u6
         }
         return;
     }
+    // Second fast path: strictly increasing lanes — every strided access
+    // (the divergent shapes that dominate single runs) is sorted, just not
+    // contiguous. Ascending addresses make line numbers non-decreasing, so
+    // duplicates are adjacent and one `last()` compare replaces the
+    // quadratic dedup scan. A lane whose word straddles a line boundary
+    // would emit its second line out of order, so any straddle bails to
+    // the general path (e.g. 8B words at 28,30 against 32B lines must
+    // yield [0, 32], not [0, 32, 0]).
+    if addrs.len() > 1 && addrs.windows(2).all(|w| w[1] > w[0]) {
+        let mut ok = true;
+        for &addr in addrs {
+            let first = addr & mask;
+            if (addr + bpl - 1) & mask != first {
+                ok = false;
+                break;
+            }
+            if out.last() != Some(&first) {
+                out.push(first);
+            }
+        }
+        if ok {
+            return;
+        }
+        out.clear();
+    }
     let mut push = |line: u64| {
         if !out.contains(&line) {
             out.push(line);
@@ -129,6 +154,22 @@ mod tests {
         let divergent = MemAccess::strided(0, 0, 32, 256, 4);
         assert!(coalescing_degree(&coalesced, 128) > 30.0);
         assert!((coalescing_degree(&divergent, 128) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn increasing_lanes_dedup_without_scanning() {
+        // Sorted but non-contiguous: the increasing fast path must agree
+        // with the general dedup (adjacent duplicates collapse).
+        let a = MemAccess::gather(0, vec![0, 8, 40, 44, 100], 4);
+        assert_eq!(coalesce_lines(&a, 32), vec![0, 32, 96]);
+    }
+
+    #[test]
+    fn increasing_lanes_with_straddle_fall_back() {
+        // Lanes 28 and 30 both straddle the 32B boundary: the increasing
+        // fast path must bail so line 0 is not re-emitted after line 32.
+        let a = MemAccess::gather(0, vec![28, 30], 8);
+        assert_eq!(coalesce_lines(&a, 32), vec![0, 32]);
     }
 
     #[test]

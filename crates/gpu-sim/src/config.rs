@@ -30,12 +30,39 @@ pub struct CacheConfig {
     pub mshr_entries: u32,
     /// Write handling.
     pub write_policy: WritePolicy,
+    /// Sector size in bytes; `0` (the conventional value everywhere)
+    /// means unsectored — the sector is the whole line. When nonzero it
+    /// must be a power of two dividing `line_bytes` into at most 32
+    /// sectors (sector state is packed into per-line `u32` bitmasks).
+    pub sector_bytes: u32,
+    /// Aggregated-tag-array (ATA) variant: the cache keeps a compact
+    /// per-set ghost array of recently evicted tags, probed on every
+    /// miss *before* the data state is touched, and uses the probe to
+    /// pick the insertion priority (ghost hit → MRU, ghost miss →
+    /// LIP-style cold insert). Off by default; modeled architectures
+    /// opt in via [`crate::arch::ata_variant`].
+    pub aggregated_tags: bool,
 }
 
 impl CacheConfig {
     /// Number of sets implied by the geometry.
     pub fn num_sets(&self) -> u32 {
         self.size_bytes / (self.line_bytes * self.associativity)
+    }
+
+    /// The effective sector size: `sector_bytes`, or the full line when
+    /// unsectored (`sector_bytes == 0`).
+    pub fn effective_sector_bytes(&self) -> u32 {
+        if self.sector_bytes == 0 {
+            self.line_bytes
+        } else {
+            self.sector_bytes
+        }
+    }
+
+    /// Sectors per line (1 when unsectored).
+    pub fn sectors_per_line(&self) -> u32 {
+        self.line_bytes / self.effective_sector_bytes()
     }
 
     /// Validates internal consistency.
@@ -70,6 +97,22 @@ impl CacheConfig {
             return Err(SimError::InvalidConfig(format!(
                 "{what}: zero MSHR entries"
             )));
+        }
+        if self.sector_bytes != 0 {
+            if !self.sector_bytes.is_power_of_two()
+                || !self.line_bytes.is_multiple_of(self.sector_bytes)
+            {
+                return Err(SimError::InvalidConfig(format!(
+                    "{what}: sector size {} does not divide line size {}",
+                    self.sector_bytes, self.line_bytes
+                )));
+            }
+            if self.line_bytes / self.sector_bytes > 32 {
+                return Err(SimError::InvalidConfig(format!(
+                    "{what}: more than 32 sectors per line ({} / {})",
+                    self.line_bytes, self.sector_bytes
+                )));
+            }
         }
         Ok(())
     }
@@ -329,9 +372,42 @@ mod tests {
             associativity: 4,
             mshr_entries: 32,
             write_policy: WritePolicy::WriteEvict,
+            sector_bytes: 0,
+            aggregated_tags: false,
         };
         assert_eq!(c.num_sets(), 32);
+        assert_eq!(c.sectors_per_line(), 1);
+        assert_eq!(c.effective_sector_bytes(), 128);
         assert!(c.validate("test").is_ok());
+    }
+
+    #[test]
+    fn sector_geometry_is_validated() {
+        let base = CacheConfig {
+            size_bytes: 16 * 1024,
+            line_bytes: 128,
+            associativity: 4,
+            mshr_entries: 32,
+            write_policy: WritePolicy::WriteEvict,
+            sector_bytes: 32,
+            aggregated_tags: false,
+        };
+        assert!(base.validate("test").is_ok());
+        assert_eq!(base.sectors_per_line(), 4);
+
+        let mut c = base.clone();
+        c.sector_bytes = 48; // not a power of two
+        assert!(c.validate("test").is_err());
+
+        let mut c = base.clone();
+        c.sector_bytes = 256; // larger than the line
+        assert!(c.validate("test").is_err());
+
+        let mut c = base;
+        c.line_bytes = 4096;
+        c.size_bytes = 64 * 4096;
+        c.sector_bytes = 4; // 1024 sectors: exceeds the u32 mask
+        assert!(c.validate("test").is_err());
     }
 
     #[test]

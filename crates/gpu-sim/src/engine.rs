@@ -286,18 +286,31 @@ impl<'a> Runner<'a> {
         }
 
         while let Some(Reverse((t, sm_id))) = heap.pop() {
-            match self.sms[sm_id].next_event() {
+            let mut t_event = match self.sms[sm_id].next_event() {
                 None => continue, // stale entry; SM went idle
                 Some(actual) if actual > t => {
                     heap.push(Reverse((actual, sm_id)));
                     continue;
                 }
-                Some(_) => {}
-            }
-            self.metrics.events += 1;
-            self.step(sm_id)?;
-            if let Some(next) = self.sms[sm_id].next_event() {
-                heap.push(Reverse((next, sm_id)));
+                Some(actual) => actual,
+            };
+            // Step the popped SM for as long as it stays strictly ahead
+            // of every queued SM in the heap's `(time, sm)` order — a
+            // run of back-to-back events on one SM (the common case at
+            // high occupancy) costs one heap pop, not one per event.
+            loop {
+                self.metrics.events += 1;
+                self.step(sm_id, t_event)?;
+                let Some(next) = self.sms[sm_id].next_event() else {
+                    break;
+                };
+                if let Some(&Reverse(top)) = heap.peek() {
+                    if (next, sm_id) >= top {
+                        heap.push(Reverse((next, sm_id)));
+                        break;
+                    }
+                }
+                t_event = next;
             }
         }
 
@@ -443,12 +456,10 @@ impl<'a> Runner<'a> {
         }
     }
 
-    /// One engine step for `sm_id`: process due dispatch polls, then issue
-    /// (or retire) the earliest-ready warp.
-    fn step(&mut self, sm_id: usize) -> Result<(), SimError> {
-        let Some(t_event) = self.sms[sm_id].next_event() else {
-            return Ok(());
-        };
+    /// One engine step for `sm_id` at its next event time `t_event`
+    /// (the caller just computed it via [`SmState::next_event`]; passing
+    /// it in avoids recomputing the heap minimum).
+    fn step(&mut self, sm_id: usize, t_event: u64) -> Result<(), SimError> {
         // Dispatch polls that have come due. Drain order within one event
         // cannot matter: every due poll dispatches at the same clamped
         // time, and the scheduler hands out CTAs per-SM in sequence.
@@ -461,7 +472,15 @@ impl<'a> Runner<'a> {
             self.try_dispatch(sm_id, due.max(t_event));
         }
 
-        let Some((ready, warp_idx)) = self.sms[sm_id].next_issuable() else {
+        let next = self.sms[sm_id].next_issuable();
+        // Every path below invalidates the peeked wake entry — the warp
+        // issues (new `ready_at`), parks at a barrier, or retires — so
+        // popping it now saves the stale-entry check it would otherwise
+        // cost on the next heap cleaning.
+        if next.is_some() {
+            self.sms[sm_id].ready.pop();
+        }
+        let Some((ready, warp_idx)) = next else {
             // Only barrier-parked warps remain: with uniform per-CTA
             // programs this cannot happen, so it indicates a malformed
             // kernel.

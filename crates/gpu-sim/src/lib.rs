@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod addrdec;
 pub mod arch;
 mod cache;
 mod coalesce;
@@ -77,6 +78,7 @@ mod stats;
 mod trace;
 pub mod walk;
 
+pub use addrdec::{AddrDec, DecodedAddr, HashedIndex};
 pub use cache::{Cache, CacheStats, ReadOutcome, WriteOutcome};
 pub use coalesce::{coalesce_lines, coalesce_lines_into, coalescing_degree};
 pub use config::{ArchGen, CacheConfig, GpuConfig, MemoryTimings, WritePolicy};

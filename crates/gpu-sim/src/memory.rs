@@ -6,6 +6,7 @@
 //! DRAM-bound kernel speeds up when fewer transactions queue behind each
 //! other.
 
+use crate::addrdec::AddrDec;
 use crate::cache::{Cache, CacheStats, ReadOutcome, WriteOutcome};
 use crate::config::{CacheConfig, GpuConfig, MemoryTimings};
 
@@ -61,7 +62,8 @@ pub struct MemorySystem {
     bank_free: Vec<u64>,
     chan_free: Vec<u64>,
     timings: MemoryTimings,
-    line_bytes: u32,
+    /// Bank/channel interleave decoder at L2-line granularity.
+    dec: AddrDec,
     /// Observable counters.
     pub stats: MemoryStats,
 }
@@ -82,23 +84,21 @@ impl MemorySystem {
             banks,
             bank_free: vec![0; t.l2_banks as usize],
             chan_free: vec![0; t.dram_channels as usize],
-            line_bytes: cfg.l2.line_bytes,
+            dec: AddrDec::for_device(cfg.l2.line_bytes, t.l2_banks, t.dram_channels),
             timings: t,
             stats: MemoryStats::default(),
         }
     }
 
-    /// Bank selection with multiplicative hashing: real L2 slices hash
-    /// the address so that power-of-two strides (dense-matrix columns)
-    /// do not camp on a single bank.
+    /// Bank selection through the shared address decoder: real L2 slices
+    /// hash the address so that power-of-two strides (dense-matrix
+    /// columns) do not camp on a single bank.
     fn bank_of(&self, line_addr: u64) -> usize {
-        let ln = line_addr / self.line_bytes as u64;
-        ((ln.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 24) % self.banks.len() as u64) as usize
+        self.dec.bank(line_addr)
     }
 
     fn chan_of(&self, line_addr: u64) -> usize {
-        let ln = line_addr / self.line_bytes as u64;
-        ((ln.wrapping_mul(0xD1B5_4A32_D192_ED03) >> 24) % self.chan_free.len() as u64) as usize
+        self.dec.channel(line_addr)
     }
 
     /// Occupies the bank and returns the cycle at which it starts serving.
@@ -256,7 +256,7 @@ mod tests {
     #[test]
     fn bank_contention_queues() {
         let mut m = mem();
-        let line = m.line_bytes as u64;
+        let line = m.dec.line_bytes() as u64;
         // Find a second line hashing to bank 0 alongside line 0.
         let target = m.bank_of(0);
         let peer = (1u64..)

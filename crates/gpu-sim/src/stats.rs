@@ -100,11 +100,12 @@ impl RunStats {
     }
 
     /// Emits this run's telemetry onto a recorder: per-SM L1
-    /// hit/reserved/miss/eviction/bypass counters (keys `{scope}/smN`)
-    /// plus run-level cycle, instruction and L2-transaction counters
-    /// (key `{scope}`). Purely observational — reads `self`, mutates
-    /// nothing — so recording cannot perturb the simulation it reports
-    /// on.
+    /// hit/reserved/miss/eviction/bypass counters (keys `{scope}/smN`),
+    /// each eviction count split into clean vs dirty (writeback), plus
+    /// run-level cycle, instruction, L2-transaction and L2-eviction
+    /// counters (key `{scope}`). Purely observational — reads `self`,
+    /// mutates nothing — so recording cannot perturb the simulation it
+    /// reports on.
     pub fn record_obs(&self, obs: &cta_obs::Obs, scope: &str) {
         for (i, sm) in self.per_sm_l1.iter().enumerate() {
             let key = format!("{scope}/sm{i}");
@@ -113,6 +114,8 @@ impl RunStats {
             obs.counter("sim/l1_reserved", &key, sm.read_reserved);
             obs.counter("sim/l1_misses", &key, sm.read_misses);
             obs.counter("sim/l1_evictions", &key, sm.evictions);
+            obs.counter("sim/l1_evictions_clean", &key, sm.clean_evictions());
+            obs.counter("sim/l1_evictions_dirty", &key, sm.dirty_evictions());
             obs.counter(
                 "sim/l1_bypass",
                 &key,
@@ -122,6 +125,8 @@ impl RunStats {
         obs.counter("sim/cycles", scope, self.cycles);
         obs.counter("sim/instructions", scope, self.instructions);
         obs.counter("sim/l2_transactions", scope, self.l2_transactions());
+        obs.counter("sim/l2_evictions_clean", scope, self.l2.clean_evictions());
+        obs.counter("sim/l2_evictions_dirty", scope, self.l2.dirty_evictions());
     }
 }
 

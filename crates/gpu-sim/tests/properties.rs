@@ -1,0 +1,423 @@
+//! Property tests for the address decoder and the sectored cache kernel.
+//!
+//! The cache in `gpu-sim` is written for speed: packed way-state records,
+//! chunked branchless tag scans, a fill memo, sector-mask short circuits
+//! and an opt-in aggregated-tag (ghost array) insertion policy. None of
+//! that is allowed to change *what* the cache computes — only how fast.
+//! These tests pin the semantics against implementations with no tricks
+//! at all:
+//!
+//! * the decoder round-trips and never aliases two distinct lines onto
+//!   the same identity, and its power-of-two mask reduction is
+//!   bit-identical to the generic modulo it replaces;
+//! * the cache agrees, outcome-for-outcome and counter-for-counter, with
+//!   a naive reference model (a `Vec` of per-way structs, linear scans,
+//!   no memo) across random access programs over every geometry knob:
+//!   write policy, sectoring, associativity and aggregated tags.
+
+use gpu_sim::addrdec::LINE_HASH_MUL;
+use gpu_sim::{
+    AddrDec, Cache, CacheConfig, CacheStats, HashedIndex, ReadOutcome, WriteOutcome, WritePolicy,
+};
+use proptest::prelude::*;
+
+/// Deterministic per-case random stream (a 64-bit LCG): proptest drives
+/// the seed, the LCG stretches it into an access program.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        // Knuth's MMIX multiplier; high bits are well mixed.
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+}
+
+// ---------------------------------------------------------------------
+// Address decoder
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// `encode` inverts `decode` at sector granularity, and every decoded
+    /// field respects its dimension bound.
+    #[test]
+    fn addrdec_decode_encode_round_trip(
+        (line_exp, addr, sets_exp, sector_div_exp)
+            in (5u32..9, 0u64..1 << 40, 0u32..11, 0u32..3),
+    ) {
+        let line_bytes = 1u32 << line_exp;
+        let sector_bytes = line_bytes >> sector_div_exp;
+        let num_sets = 1u64 << sets_exp;
+        let d = AddrDec::for_cache(line_bytes, sector_bytes, num_sets);
+        let dec = d.decode(addr);
+        // The round trip recovers the sector base address exactly.
+        prop_assert_eq!(
+            d.encode(dec.tag, dec.sector),
+            addr & !(sector_bytes as u64 - 1)
+        );
+        prop_assert_eq!(dec.tag, addr >> line_exp);
+        prop_assert!(dec.set < num_sets);
+        prop_assert!(dec.sector < d.sectors_per_line());
+    }
+
+    /// Two distinct lines never alias: their decodes differ in the tag,
+    /// and `encode` is injective over `(tag, sector)`.
+    #[test]
+    fn addrdec_distinct_lines_never_alias(
+        (a, b) in (0u64..1 << 40, 0u64..1 << 40),
+    ) {
+        let d = AddrDec::for_cache(128, 32, 64);
+        let (da, db) = (d.decode(a), d.decode(b));
+        if a >> 7 != b >> 7 {
+            // Different lines: identity (the tag) must differ even when
+            // the hashed fields collide.
+            prop_assert!(da.tag != db.tag);
+            prop_assert!(d.encode(da.tag, da.sector) != d.encode(db.tag, db.sector));
+        } else {
+            prop_assert_eq!(da.tag, db.tag);
+            prop_assert_eq!((da.set, da.bank, da.channel), (db.set, db.bank, db.channel));
+        }
+    }
+
+    /// The power-of-two mask fast path is bit-identical to the generic
+    /// modulo reduction, for both hash shifts used in the hierarchy.
+    #[test]
+    fn addrdec_pow2_mask_matches_modulo(
+        (n_exp, key) in (0u32..17, 0u64..u64::MAX),
+    ) {
+        let n = 1u64 << n_exp;
+        let set_dim = HashedIndex::<LINE_HASH_MUL, 32>::new(n);
+        let bank_dim = HashedIndex::<LINE_HASH_MUL, 24>::new(n);
+        prop_assert_eq!(set_dim.index(key), (key.wrapping_mul(LINE_HASH_MUL) >> 32) % n);
+        prop_assert_eq!(bank_dim.index(key), (key.wrapping_mul(LINE_HASH_MUL) >> 24) % n);
+    }
+
+    /// Non-power-of-two dimensions stay in range and agree with the
+    /// plain modulo definition.
+    #[test]
+    fn addrdec_non_pow2_in_range(
+        (n, key) in (1u64..100, 0u64..u64::MAX),
+    ) {
+        let dim = HashedIndex::<LINE_HASH_MUL, 24>::new(n);
+        let idx = dim.index(key);
+        prop_assert!(idx < n);
+        if n > 1 {
+            prop_assert_eq!(idx, (key.wrapping_mul(LINE_HASH_MUL) >> 24) % n);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cache vs. naive reference model
+// ---------------------------------------------------------------------
+
+/// One way of the reference model: the same state the real cache packs
+/// into slabs, held as a plain struct with no sentinels.
+#[derive(Clone, Default)]
+struct RefWay {
+    tag: Option<u64>,
+    /// Last-touch tick; kept across invalidation, exactly like the slab.
+    lru: u64,
+    /// Fill horizon; `u64::MAX` while an allocation awaits its fill.
+    fill_done: u64,
+    valid: u32,
+    dirty: u32,
+}
+
+/// Straight-line reference implementation of the cache semantics:
+/// per-set `Vec`s, linear scans, no memo, no chunking, no short
+/// circuits. MSHR occupancy is not modeled — the differential driver
+/// keeps every program far below the configured MSHR capacity, so the
+/// real cache never stalls either and the outcomes stay comparable.
+struct RefCache {
+    dec: AddrDec,
+    assoc: usize,
+    full_mask: u32,
+    policy: WritePolicy,
+    aggregated: bool,
+    ways: Vec<RefWay>,
+    /// Ghost ring per set (aggregated-tag mode): last `assoc` evicted
+    /// tags, plus the ring cursor.
+    ghost: Vec<Option<u64>>,
+    ghost_cur: Vec<usize>,
+    tick: u64,
+    ata_probes: u64,
+    ata_hits: u64,
+    stats: CacheStats,
+}
+
+impl RefCache {
+    fn new(cfg: &CacheConfig) -> Self {
+        let num_sets = cfg.num_sets() as usize;
+        let assoc = cfg.associativity as usize;
+        RefCache {
+            dec: AddrDec::for_cache(
+                cfg.line_bytes,
+                cfg.effective_sector_bytes(),
+                num_sets as u64,
+            ),
+            assoc,
+            full_mask: (1u32 << cfg.sectors_per_line()) - 1,
+            policy: cfg.write_policy,
+            aggregated: cfg.aggregated_tags,
+            ways: vec![RefWay::default(); num_sets * assoc],
+            ghost: vec![None; num_sets * assoc],
+            ghost_cur: vec![0; num_sets],
+            tick: 0,
+            ata_probes: 0,
+            ata_hits: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn base(&self, tag: u64) -> usize {
+        self.dec.set_of_tag(tag) as usize * self.assoc
+    }
+
+    fn find(&self, base: usize, tag: u64) -> Option<usize> {
+        (base..base + self.assoc).find(|&i| self.ways[i].tag == Some(tag))
+    }
+
+    /// Victim: first way minimizing `(occupied, lru)`.
+    fn install(&mut self, base: usize, tag: u64, tick: u64, sectors: u32) -> (usize, bool) {
+        let mut victim = base;
+        for i in base + 1..base + self.assoc {
+            let key = (self.ways[i].tag.is_some(), self.ways[i].lru);
+            if key < (self.ways[victim].tag.is_some(), self.ways[victim].lru) {
+                victim = i;
+            }
+        }
+        // Ghost probe first (before any eviction is recorded), exactly
+        // like the real insertion path.
+        let stamp = if self.aggregated {
+            self.ata_probes += 1;
+            if self.ghost[base..base + self.assoc].contains(&Some(tag)) {
+                self.ata_hits += 1;
+                tick
+            } else {
+                1 // the cold LIP stamp
+            }
+        } else {
+            tick
+        };
+        let dirty_victim = self.ways[victim].tag.is_some() && self.ways[victim].dirty != 0;
+        if let Some(old) = self.ways[victim].tag {
+            self.stats.evictions += 1;
+            if self.aggregated {
+                let set = base / self.assoc;
+                let cur = self.ghost_cur[set];
+                self.ghost[base + cur] = Some(old);
+                self.ghost_cur[set] = (cur + 1) % self.assoc;
+            }
+        }
+        if dirty_victim {
+            self.stats.writebacks += 1;
+        }
+        self.ways[victim] = RefWay {
+            tag: Some(tag),
+            lru: stamp,
+            fill_done: u64::MAX,
+            valid: sectors,
+            dirty: 0,
+        };
+        (victim, dirty_victim)
+    }
+
+    fn read_sectors(&mut self, line_addr: u64, sectors: u32, now: u64) -> ReadOutcome {
+        self.stats.reads += 1;
+        self.tick += 1;
+        let tick = self.tick;
+        let tag = self.dec.tag(line_addr);
+        let base = self.base(tag);
+        if let Some(i) = self.find(base, tag) {
+            self.ways[i].lru = tick;
+            if sectors & !self.ways[i].valid != 0 {
+                // Tag hit, sector miss: fetch the absent sectors without
+                // an eviction, extending the fill horizon.
+                self.stats.read_misses += 1;
+                self.ways[i].valid |= sectors;
+                self.ways[i].fill_done = u64::MAX;
+                return ReadOutcome::Miss {
+                    mshr_wait: 0,
+                    dirty_victim: false,
+                };
+            }
+            if self.ways[i].fill_done > now {
+                self.stats.read_reserved += 1;
+                return ReadOutcome::HitReserved {
+                    ready_at: self.ways[i].fill_done,
+                };
+            }
+            self.stats.read_hits += 1;
+            return ReadOutcome::Hit;
+        }
+        self.stats.read_misses += 1;
+        let (_, dirty_victim) = self.install(base, tag, tick, sectors);
+        ReadOutcome::Miss {
+            mshr_wait: 0,
+            dirty_victim,
+        }
+    }
+
+    fn write_sectors(&mut self, line_addr: u64, sectors: u32) -> WriteOutcome {
+        self.stats.writes += 1;
+        self.tick += 1;
+        let tick = self.tick;
+        let tag = self.dec.tag(line_addr);
+        let base = self.base(tag);
+        match self.policy {
+            WritePolicy::WriteEvict => {
+                let evicted = if let Some(i) = self.find(base, tag) {
+                    self.ways[i].tag = None; // LRU stamp kept
+                    self.stats.write_evictions += 1;
+                    true
+                } else {
+                    false
+                };
+                WriteOutcome::Forwarded { evicted }
+            }
+            WritePolicy::WriteBackAllocate => {
+                if let Some(i) = self.find(base, tag) {
+                    self.ways[i].valid |= sectors;
+                    self.ways[i].dirty |= sectors;
+                    self.ways[i].lru = tick;
+                    self.stats.write_hits += 1;
+                    return WriteOutcome::Absorbed;
+                }
+                self.stats.write_misses += 1;
+                let (i, dirty_victim) = self.install(base, tag, tick, sectors);
+                self.ways[i].dirty = sectors;
+                WriteOutcome::AllocateMiss { dirty_victim }
+            }
+        }
+    }
+
+    fn fill(&mut self, line_addr: u64, ready_at: u64) {
+        let tag = self.dec.tag(line_addr);
+        if let Some(i) = self.find(self.base(tag), tag) {
+            self.ways[i].fill_done = ready_at;
+        }
+    }
+
+    fn probe(&self, line_addr: u64, now: u64) -> bool {
+        let tag = self.dec.tag(line_addr);
+        self.find(self.base(tag), tag).is_some_and(|i| {
+            self.ways[i].fill_done <= now && self.ways[i].valid & self.full_mask == self.full_mask
+        })
+    }
+}
+
+/// Drives the real cache and the reference model through the same random
+/// access program and asserts they never diverge: per-step outcomes,
+/// final counters, ATA counters, and residency probes over the whole
+/// touched range.
+fn differential_run(
+    policy: WritePolicy,
+    sectored: bool,
+    aggregated: bool,
+    assoc: u32,
+    seed: u64,
+    ops: usize,
+) -> Result<(), String> {
+    let cfg = CacheConfig {
+        size_bytes: 128 * assoc * 4, // always 4 sets, so lines collide
+        line_bytes: 128,
+        associativity: assoc,
+        // Far above the number of fills a program can put in flight:
+        // neither side ever stalls, so MSHR modeling stays out of the
+        // differential.
+        mshr_entries: 64,
+        write_policy: policy,
+        sector_bytes: if sectored { 32 } else { 0 },
+        aggregated_tags: aggregated,
+    };
+    let mut real = Cache::new(cfg.clone());
+    let mut model = RefCache::new(&cfg);
+    let mut rng = Lcg(seed.wrapping_mul(2).wrapping_add(1));
+    let lines = 12u64; // 12 lines over 4 sets: constant set pressure
+    let mut now = 0u64;
+    for step in 0..ops {
+        let r = rng.next();
+        let line = (r % lines) * 128;
+        let sectors = if sectored {
+            1 + ((r >> 8) % 15) as u32 // any nonempty subset of 4 sectors
+        } else {
+            0b1
+        };
+        now += (r >> 12) % 3;
+        if r & 0x70 != 0 {
+            // Read (7/8 of ops — reads dominate real streams and are the
+            // richer state machine: hit / reserved / sector miss / miss).
+            let a = real.read_sectors(line, sectors, now);
+            let b = model.read_sectors(line, sectors, now);
+            prop_assert!(
+                a == b,
+                "read outcome diverged at step {step}: {a:?} vs {b:?}"
+            );
+            if let ReadOutcome::Miss { .. } = a {
+                let ready = now + 1 + ((r >> 20) % 200);
+                real.fill(line, ready);
+                model.fill(line, ready);
+            }
+        } else {
+            let a = real.write_sectors(line, sectors, now);
+            let b = model.write_sectors(line, sectors);
+            prop_assert!(
+                a == b,
+                "write outcome diverged at step {step}: {a:?} vs {b:?}"
+            );
+            if let WriteOutcome::AllocateMiss { .. } = a {
+                let ready = now + 1 + ((r >> 20) % 200);
+                real.fill(line, ready);
+                model.fill(line, ready);
+            }
+        }
+    }
+    prop_assert_eq!(real.stats, model.stats);
+    prop_assert_eq!(real.ata_counters(), (model.ata_probes, model.ata_hits));
+    for l in 0..lines {
+        prop_assert!(
+            real.probe(l * 128, now + 1000) == model.probe(l * 128, now + 1000),
+            "residency diverged for line {l}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    /// The full knob matrix: write policy x sectoring x aggregated tags
+    /// x associativity (1 = direct mapped, 2 = early-exit scan,
+    /// 8 = chunked branchless scan), each against a fresh random program.
+    #[test]
+    fn cache_matches_reference_model(
+        (seed, assoc_sel, policy_sel, sector_sel, ata_sel)
+            in (0u64..u64::MAX, 0usize..3, 0u32..2, 0u32..2, 0u32..2),
+    ) {
+        let policy = if policy_sel == 0 {
+            WritePolicy::WriteEvict
+        } else {
+            WritePolicy::WriteBackAllocate
+        };
+        let assoc = [1u32, 2, 8][assoc_sel];
+        differential_run(policy, sector_sel == 1, ata_sel == 1, assoc, seed, 48)?;
+    }
+
+    /// The exact sectored L2 shape the modeled architectures run
+    /// (write-back, 16-way) with and without the aggregated-tag array.
+    #[test]
+    fn sectored_writeback_l2_shape_matches_reference(
+        (seed, ata_sel) in (0u64..u64::MAX, 0u32..2),
+    ) {
+        differential_run(
+            WritePolicy::WriteBackAllocate,
+            true,
+            ata_sel == 1,
+            16,
+            seed,
+            48,
+        )?;
+    }
+}
