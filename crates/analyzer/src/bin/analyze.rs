@@ -16,6 +16,12 @@
 //!                      byte-identical for every N
 //!   --verify-protocol  run only the protocol model checker and the
 //!                      binding-arithmetic proof (the concurrency gate)
+//!   --verify-costmodel re-simulate the full `sim_core` benchmark matrix
+//!                      (every preset × Table 2 app × variant, plus the
+//!                      ATA sweep) and check every measured L1 hit rate
+//!                      against the CL2xx cost model's static interval;
+//!                      any escape is a deny-level CL204
+//!   --explain CODE     print the long-form explanation of one lint
 //!   --list-lints       print the lint registry and exit
 //! ```
 //!
@@ -35,6 +41,8 @@ struct Options {
     app_substr: Vec<String>,
     threads: usize,
     verify_protocol: bool,
+    verify_costmodel: bool,
+    explain: Option<String>,
     list_lints: bool,
 }
 
@@ -46,6 +54,8 @@ fn parse_args() -> Result<Options, String> {
         app_substr: Vec::new(),
         threads: 4,
         verify_protocol: false,
+        verify_costmodel: false,
+        explain: None,
         list_lints: false,
     };
     let mut args = std::env::args().skip(1);
@@ -54,6 +64,11 @@ fn parse_args() -> Result<Options, String> {
             "--json" => opts.json = true,
             "--list-lints" => opts.list_lints = true,
             "--verify-protocol" => opts.verify_protocol = true,
+            "--verify-costmodel" => opts.verify_costmodel = true,
+            "--explain" => {
+                let v = args.next().ok_or("--explain needs a lint code or name")?;
+                opts.explain = Some(v);
+            }
             "--arch" => {
                 let v = args.next().ok_or("--arch needs a value")?;
                 opts.arch_filter.push(v.to_lowercase());
@@ -146,6 +161,23 @@ fn main() -> ExitCode {
             );
         }
         return ExitCode::SUCCESS;
+    }
+
+    if let Some(query) = &opts.explain {
+        return match cta_analyzer::explain::render(query) {
+            Some(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("analyze: no lint matches `{query}` (try --list-lints)");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    if opts.verify_costmodel {
+        return verify_costmodel();
     }
 
     let presets: Vec<GpuConfig> = arch::all_presets()
@@ -253,6 +285,64 @@ fn main() -> ExitCode {
     }
 
     if report.deny_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The CL2xx soundness gate: drives the exact benchmark matrix that
+/// `sim_core` commits as `BENCH_sim_core.json` (every preset × Table 2
+/// app × Figure 12 variant, plus the ATA sweep — 885 runs), walks each
+/// variant kernel through the abstract interpretation, and checks the
+/// simulator's measured L1 hit rate against the static `[lo, hi]`
+/// interval. Every escape is a deny-level CL204; exit is nonzero on any.
+fn verify_costmodel() -> ExitCode {
+    use cta_analyzer::costmodel;
+    use locality::AccessSummary;
+
+    let configs = arch::all_presets();
+    let mut report = Report::new();
+    let mut totals = cluster_bench::MatrixTotals::default();
+    let mut checked = 0u64;
+    let mut width_sum = 0.0f64;
+    let result = cluster_bench::drive_matrix(
+        &configs,
+        false,
+        true,
+        &mut totals,
+        &mut |plan, req, stats, _metrics, _elapsed| {
+            let subject = format!("{}/{}/{}", plan.cfg.name, plan.info.abbr, req.label());
+            // The request just simulated, so rebuilding its kernel for
+            // the static walk cannot fail.
+            let summary = plan
+                .with_variant_kernel(req, |k| AccessSummary::collect_on(k, &plan.cfg))
+                .expect("variant kernel was just simulated");
+            let iv = summary.hit_interval(&plan.cfg);
+            costmodel::check_measured(
+                &iv,
+                stats.l1.reads,
+                stats.l1.read_hit_rate(),
+                &subject,
+                &mut report,
+            );
+            checked += 1;
+            width_sum += iv.width();
+        },
+    );
+    if let Err(e) = result {
+        eprintln!("analyze: costmodel gate: {e}");
+        return ExitCode::from(2);
+    }
+    print!("{}", report.render_human());
+    let escapes = report.deny_count();
+    println!(
+        "costmodel gate: {checked} runs checked, {escapes} interval escapes, \
+         mean interval width {:.4}, {} conservation violations",
+        width_sum / checked.max(1) as f64,
+        totals.violations,
+    );
+    if escapes > 0 || totals.violations > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -226,6 +226,30 @@ declare_lints! {
         "CL121", "binding-overflow", Deny,
         "partition/binding arithmetic can overflow the u64 domain"
     },
+    /// The cost model proves the read working set thrashes the L1: even
+    /// the sound upper bound on the hit rate is near zero.
+    WORKING_SET_THRASHES = {
+        "CL201", "working-set-thrashes", Warn,
+        "read working set provably thrashes the L1 at this geometry"
+    },
+    /// Every cacheable read touches a distinct line, so no clustering
+    /// transform can convert a miss into a hit.
+    CLUSTERING_MISS_INVARIANT = {
+        "CL202", "clustering-miss-invariant", Warn,
+        "all reads are cold: clustering provably cannot change the miss count"
+    },
+    /// The kernel presents no cacheable reads at all: cache geometry is
+    /// irrelevant and only occupancy/latency effects remain.
+    OCCUPANCY_BOUND_GEOMETRY_IRRELEVANT = {
+        "CL203", "occupancy-bound-geometry-irrelevant", Warn,
+        "no cacheable reads: L1 geometry provably cannot affect this kernel"
+    },
+    /// A measured hit rate fell outside the statically derived interval,
+    /// or the modeled transaction count diverged from the simulator's.
+    COSTMODEL_UNSOUND = {
+        "CL204", "costmodel-unsound", Deny,
+        "measured hit rate escapes the static [lo, hi] interval"
+    },
 }
 
 /// Looks a lint up by its stable code.

@@ -124,6 +124,10 @@ pub fn analyze_workload(workload: Box<dyn Workload>, base_cfg: &GpuConfig, repor
     let profile = StaticProfile::collect(&kernel, &cfg);
     ir::check_kernel(&kernel, &cfg, &format!("{base}/BSL"), report);
 
+    // Pass family 5: the CL2xx cost model over the baseline stream at
+    // the harness's cache geometry.
+    crate::costmodel::check_kernel(&kernel, &cfg, &format!("{base}/costmodel"), report);
+
     let bypass_tags = profile.streaming_tags();
     match AgentKernel::with_partition(
         BypassKernel::new(kernel.clone(), bypass_tags.clone()),

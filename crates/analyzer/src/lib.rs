@@ -39,8 +39,10 @@
 #![warn(missing_debug_implementations)]
 
 pub mod absint;
+pub mod costmodel;
 pub mod diag;
 pub mod driver;
+pub mod explain;
 pub mod hb;
 pub mod ir;
 pub mod json;

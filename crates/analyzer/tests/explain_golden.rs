@@ -1,0 +1,31 @@
+//! Golden tests for `analyze --explain`: one code per lint family
+//! (CL0xx transforms/IR/plan, CL1xx concurrency/protocol, CL2xx cost
+//! model). The goldens pin the exact bytes the binary prints, so a
+//! wording or formatting change is a deliberate golden update, not an
+//! accident.
+
+use cta_analyzer::explain::render;
+
+fn check(query: &str, golden: &str) {
+    let rendered = render(query).unwrap_or_else(|| panic!("{query} must resolve"));
+    assert_eq!(
+        rendered, golden,
+        "--explain {query} drifted from its golden; \
+         regenerate crates/analyzer/tests/golden/ if intentional"
+    );
+}
+
+#[test]
+fn explain_cl012_matches_golden() {
+    check("CL012", include_str!("golden/explain_CL012.txt"));
+}
+
+#[test]
+fn explain_cl110_matches_golden() {
+    check("CL110", include_str!("golden/explain_CL110.txt"));
+}
+
+#[test]
+fn explain_cl202_matches_golden() {
+    check("CL202", include_str!("golden/explain_CL202.txt"));
+}

@@ -22,9 +22,9 @@
 //! speedup is normalized against (full matrix, 1 thread).
 //! `--out` additionally writes the JSON to a file.
 
-use cluster_bench::{AppPlan, SimRequest};
+use cluster_bench::matrix::{drive_matrix, MatrixTotals};
 use cta_clustering::ClusterError;
-use gpu_sim::{EngineMetrics, GpuConfig, RunStats};
+use gpu_sim::GpuConfig;
 use std::time::Instant;
 
 /// Largest skip-ratio drop tolerated by `--check` before it fails: the
@@ -102,118 +102,60 @@ fn main() -> Result<(), ClusterError> {
     };
 
     let t0 = Instant::now();
-    let mut total = EngineMetrics::default();
-    let mut runs = 0u64;
-    let mut violations = 0u64;
-    let mut cache_hits = 0u64;
-    let mut cache_fills = 0u64;
-
-    // Serial on purpose: this bin measures the simulator core, not the
-    // worker pool, and serial metrics aggregate deterministically.
-    for cfg in &configs {
-        let workloads = if reduced {
-            ["NW", "BS", "HS"]
+    let mut totals = MatrixTotals::default();
+    // The matrix enumeration itself lives in `cluster_bench::matrix` so
+    // the costmodel soundness gate (`analyze --verify-costmodel`) checks
+    // exactly the runs this bin commits; this bin only observes.
+    let ata = drive_matrix(
+        &configs,
+        reduced,
+        ata_sweep,
+        &mut totals,
+        &mut |plan, req, _stats, metrics, elapsed| {
+            if verbose {
+                eprintln!(
+                    "{}/{}/{}: {:.0}ms ({} issues)",
+                    plan.cfg.name,
+                    plan.info.abbr,
+                    req.label(),
+                    elapsed.as_secs_f64() * 1e3,
+                    metrics.issues,
+                );
+            }
+        },
+    )?;
+    let ata_json = match &ata {
+        Some(sweep) => {
+            let rows: Vec<String> = sweep
+                .rows
                 .iter()
-                .map(|a| {
-                    gpu_kernels::suite::by_abbr(a, cfg.arch)
-                        .ok_or_else(|| ClusterError::harness(format!("{a} not in suite")))
+                .map(|r| {
+                    format!(
+                        "{{\"abbr\": \"{}\", \"l1_base\": {:.4}, \"l1_ata\": {:.4}, \
+                         \"l2_base\": {:.4}, \"l2_ata\": {:.4}}}",
+                        r.abbr, r.l1_base, r.l1_ata, r.l2_base, r.l2_ata,
+                    )
                 })
-                .collect::<Result<Vec<_>, _>>()?
-        } else {
-            gpu_kernels::suite::table2_suite(cfg.arch)
-        };
-        for workload in workloads {
-            let plan = AppPlan::new(cfg, workload);
-            let mut phase_a: Vec<RunStats> = Vec::new();
-            for req in plan.phase_a() {
-                phase_a.push(metered(
-                    &plan,
-                    req,
-                    verbose,
-                    &mut total,
-                    &mut runs,
-                    &mut violations,
-                )?);
-            }
-            let chosen = plan.select_throttle(&phase_a);
-            for req in plan.phase_b(chosen.0) {
-                metered(&plan, req, verbose, &mut total, &mut runs, &mut violations)?;
-            }
-            let (hits, fills) = plan.cache_counters();
-            cache_hits += hits;
-            cache_fills += fills;
+                .collect();
+            format!(
+                "{{\n    \"base_arch\": \"{}\",\n    \"ata_arch\": \"{}\",\n    \"apps\": [\n      {}\n    ],\n    \"l1_improved\": {},\n    \"apps_total\": {},\n    \"mean_l1_delta\": {:.4}\n  }}",
+                sweep.base_arch,
+                sweep.ata_arch,
+                rows.join(",\n      "),
+                sweep.improved,
+                sweep.rows.len(),
+                sweep.mean_l1_delta,
+            )
         }
-    }
-    // Aggregated-tag-array sweep: every Table 2 app under the stock
-    // Maxwell preset and under its ATA variant (identical except
-    // `l1.aggregated_tags`), Baseline request, L1/L2 demand hit rates
-    // side by side. The sweep runs are metered like the matrix runs, so
-    // they obey the same conservation laws and count into `runs`.
-    let ata_json = if ata_sweep {
-        let base_cfg = gpu_sim::arch::gtx980();
-        let ata_cfg = gpu_sim::arch::ata_variant(base_cfg.clone());
-        let mut rows: Vec<String> = Vec::new();
-        let mut improved = 0u32;
-        let mut delta_sum = 0.0f64;
-        for workload in gpu_kernels::suite::table2_suite(base_cfg.arch) {
-            let base_plan = AppPlan::new(&base_cfg, workload);
-            let abbr = base_plan.info.abbr.to_string();
-            let twin = gpu_kernels::suite::by_abbr(&abbr, ata_cfg.arch)
-                .ok_or_else(|| ClusterError::harness(format!("{abbr} not in suite")))?;
-            let ata_plan = AppPlan::new(&ata_cfg, twin);
-            let base = metered(
-                &base_plan,
-                SimRequest::Baseline,
-                verbose,
-                &mut total,
-                &mut runs,
-                &mut violations,
-            )?;
-            let ata = metered(
-                &ata_plan,
-                SimRequest::Baseline,
-                verbose,
-                &mut total,
-                &mut runs,
-                &mut violations,
-            )?;
-            let (l1_base, l1_ata) = (base.l1.read_hit_rate(), ata.l1.read_hit_rate());
-            if l1_ata > l1_base {
-                improved += 1;
-            }
-            delta_sum += l1_ata - l1_base;
-            rows.push(format!(
-                "{{\"abbr\": \"{abbr}\", \"l1_base\": {l1_base:.4}, \"l1_ata\": {l1_ata:.4}, \
-                 \"l2_base\": {:.4}, \"l2_ata\": {:.4}}}",
-                base.l2.read_hit_rate(),
-                ata.l2.read_hit_rate(),
-            ));
-        }
-        let apps = rows.len();
-        format!(
-            "{{\n    \"base_arch\": \"{}\",\n    \"ata_arch\": \"{}\",\n    \"apps\": [\n      {}\n    ],\n    \"l1_improved\": {improved},\n    \"apps_total\": {apps},\n    \"mean_l1_delta\": {:.4}\n  }}",
-            base_cfg.name,
-            ata_cfg.name,
-            rows.join(",\n      "),
-            delta_sum / apps as f64,
-        )
-    } else {
-        "null".to_string()
+        None => "null".to_string(),
     };
     let wall_s = t0.elapsed().as_secs_f64();
 
-    let skip_denom = total.issues + total.cycles_skipped;
-    let skip_ratio = if skip_denom > 0 {
-        total.cycles_skipped as f64 / skip_denom as f64
-    } else {
-        0.0
-    };
-    let cache_lookups = cache_hits + cache_fills;
-    let hit_rate = if cache_lookups > 0 {
-        cache_hits as f64 / cache_lookups as f64
-    } else {
-        0.0
-    };
+    let (runs, violations) = (totals.runs, totals.violations);
+    let (cache_hits, cache_fills) = (totals.cache_hits, totals.cache_fills);
+    let total = &totals.engine;
+    let skip_ratio = totals.skip_ratio();
+    let hit_rate = totals.cache_hit_rate();
     let baseline = if reduced {
         "null".to_string()
     } else {
@@ -345,47 +287,4 @@ fn json_string(doc: &str, key: &str) -> Option<String> {
         .trim_start()
         .strip_prefix('"')?;
     Some(rest[..rest.find('"')?].to_string())
-}
-
-/// One metered run: accumulates the engine metrics and checks the
-/// conservation laws, reporting (not aborting on) a violation so a
-/// single broken invariant doesn't mask others.
-fn metered(
-    plan: &AppPlan,
-    req: SimRequest,
-    verbose: bool,
-    total: &mut EngineMetrics,
-    runs: &mut u64,
-    violations: &mut u64,
-) -> Result<RunStats, ClusterError> {
-    let t0 = Instant::now();
-    let (stats, metrics) = plan.run_metered(req)?;
-    if verbose {
-        eprintln!(
-            "{}/{}/{}: {:.0}ms ({} issues)",
-            plan.cfg.name,
-            plan.info.abbr,
-            req.label(),
-            t0.elapsed().as_secs_f64() * 1e3,
-            metrics.issues,
-        );
-    }
-    if let Err(law) = metrics.check_conservation(&stats) {
-        eprintln!(
-            "conservation violation: {}/{}/{}: {law}",
-            plan.cfg.name,
-            plan.info.abbr,
-            req.label()
-        );
-        *violations += 1;
-    }
-    total.events += metrics.events;
-    total.issues += metrics.issues;
-    total.cycles_skipped += metrics.cycles_skipped;
-    total.warps_dispatched += metrics.warps_dispatched;
-    total.warp_retires += metrics.warp_retires;
-    total.cta_retires += metrics.cta_retires;
-    total.dispatch_polls += metrics.dispatch_polls;
-    *runs += 1;
-    Ok(stats)
 }

@@ -20,12 +20,15 @@
 pub mod evaluation;
 pub mod fig2;
 pub mod fig3;
+pub mod matrix;
 pub mod par;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 pub mod tables;
 
 pub use evaluation::{evaluate_all, evaluate_arch, ArchEvaluation, Panel};
+pub use matrix::{drive_matrix, AtaSummary, MatrixTotals};
 pub use par::{
     configured_threads, evaluate_all_par, evaluate_apps_par, evaluate_arch_par, evaluate_matrix,
     tune_allocator, with_obs, RunClock,

@@ -282,8 +282,20 @@ impl AppPlan {
     /// transform reuses it.
     pub fn new(base_cfg: &GpuConfig, workload: Box<dyn Workload>) -> AppPlan {
         let kernel = SharedKernel::new(workload);
-        let info = kernel.info();
         let cfg = base_cfg.prefer_l1(kernel.launch().smem_per_cta);
+        AppPlan::build(cfg, kernel)
+    }
+
+    /// Prepares `workload` for evaluation on *exactly* `cfg` — no
+    /// `prefer_l1` adjustment. This is the DSE entry point: a sweep that
+    /// varies L1 geometry must see the geometry it asked for, not the
+    /// preset's preference heuristic.
+    pub fn with_config(cfg: GpuConfig, workload: Box<dyn Workload>) -> AppPlan {
+        AppPlan::build(cfg, SharedKernel::new(workload))
+    }
+
+    fn build(cfg: GpuConfig, kernel: SharedKernel) -> AppPlan {
+        let info = kernel.info();
         let partition = hinted_partition(&kernel, &cfg);
         let agents = AgentKernel::with_partition(kernel.clone(), &cfg, partition.clone())
             .expect("agent transform");
@@ -366,6 +378,42 @@ impl AppPlan {
         })?;
         crate::par::record_busy(t0.elapsed());
         Ok(out)
+    }
+
+    /// Like [`AppPlan::run_metered`] but under an explicit CTA-scheduler
+    /// model — the DSE harness sweeps scheduler policy as an axis.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AppPlan::run`].
+    pub fn run_metered_sched(
+        &self,
+        req: SimRequest,
+        scheduler: Box<dyn gpu_sim::sched::CtaScheduler>,
+    ) -> Result<(RunStats, gpu_sim::EngineMetrics), ClusterError> {
+        let t0 = std::time::Instant::now();
+        let out = self.with_kernel(req, |kernel| {
+            Simulation::new(self.cfg.clone(), kernel)
+                .with_scheduler(scheduler)
+                .run_metered()
+        })?;
+        crate::par::record_busy(t0.elapsed());
+        Ok(out)
+    }
+
+    /// Hands the transformed kernel a request calls for to `f` without
+    /// simulating — the static analyzer's cost model walks variant
+    /// kernels through this.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transform-construction failures.
+    pub fn with_variant_kernel<R>(
+        &self,
+        req: SimRequest,
+        f: impl FnOnce(&dyn KernelSpec) -> R,
+    ) -> Result<R, ClusterError> {
+        self.with_kernel(req, |kernel| Ok(f(kernel)))
     }
 
     /// `(hits, fills)` of this plan's program cache so far.

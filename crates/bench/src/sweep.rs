@@ -1,0 +1,617 @@
+//! Design-space exploration over cache geometry × scheduler policy ×
+//! clustering degree, pruned by the `CL2xx` cost model.
+//!
+//! The sweep simulates every point of a declarative configuration grid
+//! and reports the per-app Pareto front over `(cycles, L2 transactions)`.
+//! Before simulating, it consults the static cost model
+//! ([`locality::AccessSummary`]): when the model *proves* that L1
+//! geometry cannot affect a point's metrics — the L1 is write-evict and
+//! the variant kernel either performs no cacheable reads or touches
+//! every line exactly once — all points of that `(app, scheduler,
+//! agents)` group differing only in `(size, associativity)` are one
+//! equivalence class. One representative is simulated and its metrics
+//! are copied to the rest, so the pruned sweep's output (and therefore
+//! its Pareto front) is *identical* to the unpruned one by construction;
+//! CI byte-compares the two fronts to keep the proof honest.
+//!
+//! The proof obligation behind the class: with write-evict, stores never
+//! allocate, so L1 content is driven by reads alone; if every read
+//! names a distinct line, every read is a compulsory miss at *any*
+//! capacity/associativity (no reuse to retain, no same-line concurrency
+//! to reserve-hit on), so cache size and way count are dead axes.
+
+use crate::runner::{AppPlan, SimRequest};
+use cta_clustering::ClusterError;
+use gpu_sim::sched::{CtaScheduler, HardwareLike, Randomized, StrictRoundRobin};
+use gpu_sim::{GpuConfig, RunStats, WritePolicy};
+use locality::AccessSummary;
+
+/// Seed of the `hw` scheduler axis — the engine's default scheduler
+/// seed, so `sched = hw` reproduces `AppPlan::run_metered` exactly.
+const HW_SEED: u64 = 0xC1A0_0017;
+
+/// One scheduler-policy axis value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedAxis {
+    /// Deterministic strict round-robin dispatch.
+    Strict,
+    /// The hardware-like greedy model (engine default seed).
+    Hardware,
+    /// Uniformly randomized dispatch (fixed seed: still deterministic).
+    Random,
+}
+
+impl SchedAxis {
+    /// Stable label used in config files and JSON output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedAxis::Strict => "strict",
+            SchedAxis::Hardware => "hw",
+            SchedAxis::Random => "rand",
+        }
+    }
+
+    fn parse(s: &str) -> Result<SchedAxis, ClusterError> {
+        match s {
+            "strict" => Ok(SchedAxis::Strict),
+            "hw" => Ok(SchedAxis::Hardware),
+            "rand" => Ok(SchedAxis::Random),
+            other => Err(ClusterError::harness(format!(
+                "unknown scheduler {other:?}; expected strict, hw or rand"
+            ))),
+        }
+    }
+
+    fn instantiate(&self) -> Box<dyn CtaScheduler> {
+        match self {
+            SchedAxis::Strict => Box::new(StrictRoundRobin::new()),
+            SchedAxis::Hardware => Box::new(HardwareLike::new(HW_SEED)),
+            SchedAxis::Random => Box::new(Randomized::new(HW_SEED)),
+        }
+    }
+}
+
+/// One clustering-degree axis value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AgentsAxis {
+    /// Untransformed baseline kernel.
+    Baseline,
+    /// Clustered, throttled to the app's Table 2 optimum (clamped to
+    /// `MAX_AGENTS`).
+    Opt,
+    /// Clustered, throttled to a fixed degree (clamped to `MAX_AGENTS`).
+    Fixed(u32),
+}
+
+impl AgentsAxis {
+    /// Stable label used in config files and JSON output.
+    pub fn label(&self) -> String {
+        match self {
+            AgentsAxis::Baseline => "0".to_string(),
+            AgentsAxis::Opt => "opt".to_string(),
+            AgentsAxis::Fixed(n) => n.to_string(),
+        }
+    }
+
+    fn parse(s: &str) -> Result<AgentsAxis, ClusterError> {
+        if s == "opt" {
+            return Ok(AgentsAxis::Opt);
+        }
+        let n: u32 = s
+            .parse()
+            .map_err(|e| ClusterError::harness(format!("agents value {s:?}: {e}")))?;
+        Ok(if n == 0 {
+            AgentsAxis::Baseline
+        } else {
+            AgentsAxis::Fixed(n)
+        })
+    }
+
+    /// Resolves the axis to a [`SimRequest`] for one prepared plan.
+    fn request(&self, plan: &AppPlan) -> SimRequest {
+        match self {
+            AgentsAxis::Baseline => SimRequest::Baseline,
+            AgentsAxis::Opt => {
+                let opt = plan.info.opt_agents_for(plan.cfg.arch);
+                SimRequest::Throttled(opt.clamp(1, plan.max_agents))
+            }
+            AgentsAxis::Fixed(n) => SimRequest::Throttled((*n).clamp(1, plan.max_agents)),
+        }
+    }
+}
+
+/// The declarative sweep grid.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Base architecture preset name (e.g. `"GTX570"`).
+    pub arch: String,
+    /// Table 2 app abbreviations.
+    pub apps: Vec<String>,
+    /// L1 capacities, in KiB.
+    pub l1_size_kb: Vec<u32>,
+    /// L1 way counts.
+    pub l1_assoc: Vec<u32>,
+    /// Scheduler policies.
+    pub sched: Vec<SchedAxis>,
+    /// Clustering degrees.
+    pub agents: Vec<AgentsAxis>,
+}
+
+impl SweepSpec {
+    /// The built-in reduced grid CI smokes: Fermi, two apps, 3 × 2
+    /// geometries, two schedulers, baseline + opt clustering = 48 points.
+    pub fn reduced() -> SweepSpec {
+        SweepSpec {
+            arch: "GTX570".to_string(),
+            apps: vec!["NW".to_string(), "BS".to_string()],
+            l1_size_kb: vec![16, 32, 48],
+            l1_assoc: vec![2, 4],
+            sched: vec![SchedAxis::Strict, SchedAxis::Hardware],
+            agents: vec![AgentsAxis::Baseline, AgentsAxis::Opt],
+        }
+    }
+
+    /// Parses a `key = v1, v2, ...` config file. Blank lines and `#`
+    /// comments are ignored; every key is required exactly once.
+    ///
+    /// ```text
+    /// arch       = GTX570
+    /// apps       = NW, BS, HS
+    /// l1_size_kb = 16, 32, 48
+    /// l1_assoc   = 2, 4
+    /// sched      = strict, hw
+    /// agents     = 0, opt
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Malformed lines, unknown keys, duplicate or missing keys.
+    pub fn parse(text: &str) -> Result<SweepSpec, ClusterError> {
+        let mut arch: Option<String> = None;
+        let mut apps: Option<Vec<String>> = None;
+        let mut sizes: Option<Vec<u32>> = None;
+        let mut assocs: Option<Vec<u32>> = None;
+        let mut scheds: Option<Vec<SchedAxis>> = None;
+        let mut agents: Option<Vec<AgentsAxis>> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = idx + 1;
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                ClusterError::harness(format!("line {lineno}: expected `key = values`"))
+            })?;
+            let values: Vec<&str> = value.split(',').map(str::trim).collect();
+            if values.iter().any(|v| v.is_empty()) {
+                return Err(ClusterError::harness(format!(
+                    "line {lineno}: empty value in list"
+                )));
+            }
+            fn set<T>(
+                slot: &mut Option<T>,
+                parsed: T,
+                key: &str,
+                lineno: usize,
+            ) -> Result<(), ClusterError> {
+                if slot.is_some() {
+                    return Err(ClusterError::harness(format!(
+                        "line {lineno}: duplicate key {key:?}"
+                    )));
+                }
+                *slot = Some(parsed);
+                Ok(())
+            }
+            let numbers = |what: &str| {
+                values
+                    .iter()
+                    .map(|v| {
+                        v.parse::<u32>().map_err(|e| {
+                            ClusterError::harness(format!("line {lineno}: {what} {v:?}: {e}"))
+                        })
+                    })
+                    .collect::<Result<Vec<u32>, _>>()
+            };
+            match key.trim() {
+                "arch" => set(&mut arch, value.trim().to_string(), "arch", lineno)?,
+                "apps" => set(
+                    &mut apps,
+                    values.iter().map(|s| s.to_string()).collect(),
+                    "apps",
+                    lineno,
+                )?,
+                "l1_size_kb" => set(&mut sizes, numbers("l1_size_kb")?, "l1_size_kb", lineno)?,
+                "l1_assoc" => set(&mut assocs, numbers("l1_assoc")?, "l1_assoc", lineno)?,
+                "sched" => set(
+                    &mut scheds,
+                    values
+                        .iter()
+                        .map(|s| SchedAxis::parse(s))
+                        .collect::<Result<Vec<_>, _>>()?,
+                    "sched",
+                    lineno,
+                )?,
+                "agents" => set(
+                    &mut agents,
+                    values
+                        .iter()
+                        .map(|s| AgentsAxis::parse(s))
+                        .collect::<Result<Vec<_>, _>>()?,
+                    "agents",
+                    lineno,
+                )?,
+                other => {
+                    return Err(ClusterError::harness(format!(
+                        "line {lineno}: unknown key {other:?}"
+                    )))
+                }
+            }
+        }
+        let require = |name: &str| ClusterError::harness(format!("missing key {name:?}"));
+        Ok(SweepSpec {
+            arch: arch.ok_or_else(|| require("arch"))?,
+            apps: apps.ok_or_else(|| require("apps"))?,
+            l1_size_kb: sizes.ok_or_else(|| require("l1_size_kb"))?,
+            l1_assoc: assocs.ok_or_else(|| require("l1_assoc"))?,
+            sched: scheds.ok_or_else(|| require("sched"))?,
+            agents: agents.ok_or_else(|| require("agents"))?,
+        })
+    }
+
+    /// Total grid size.
+    pub fn num_points(&self) -> usize {
+        self.apps.len()
+            * self.l1_size_kb.len()
+            * self.l1_assoc.len()
+            * self.sched.len()
+            * self.agents.len()
+    }
+
+    /// Resolves the preset by (case-insensitive) name.
+    fn base_config(&self) -> Result<GpuConfig, ClusterError> {
+        gpu_sim::arch::all_presets()
+            .into_iter()
+            .find(|c| c.name.eq_ignore_ascii_case(&self.arch))
+            .ok_or_else(|| ClusterError::harness(format!("unknown arch preset {:?}", self.arch)))
+    }
+}
+
+/// The simulated metrics of one point (identical whether the point was
+/// simulated or copied from its equivalence-class representative).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointMetrics {
+    /// Elapsed kernel cycles.
+    pub cycles: u64,
+    /// Total L2 transactions.
+    pub l2_txns: u64,
+    /// Measured L1 read hit rate.
+    pub l1_hit_rate: f64,
+    /// Achieved occupancy.
+    pub occupancy: f64,
+}
+
+impl PointMetrics {
+    fn of(stats: &RunStats) -> PointMetrics {
+        PointMetrics {
+            cycles: stats.cycles,
+            l2_txns: stats.l2_transactions(),
+            l1_hit_rate: stats.l1.read_hit_rate(),
+            occupancy: stats.achieved_occupancy,
+        }
+    }
+
+    /// Pareto dominance on the minimized objectives `(cycles, l2_txns)`.
+    pub fn dominates(&self, other: &PointMetrics) -> bool {
+        self.cycles <= other.cycles
+            && self.l2_txns <= other.l2_txns
+            && (self.cycles < other.cycles || self.l2_txns < other.l2_txns)
+    }
+}
+
+/// One evaluated sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// App abbreviation.
+    pub app: String,
+    /// L1 capacity in KiB.
+    pub l1_size_kb: u32,
+    /// L1 way count.
+    pub l1_assoc: u32,
+    /// Scheduler label.
+    pub sched: &'static str,
+    /// Agents-axis label (`"0"`, `"opt"`, or a number).
+    pub agents: String,
+    /// The resolved request label (`"BSL"` or `"TOT{n}"`).
+    pub request: String,
+    /// Static hit-rate interval at this geometry.
+    pub model_lo: f64,
+    /// Static hit-rate interval at this geometry.
+    pub model_hi: f64,
+    /// Whether the metrics were copied from the class representative
+    /// instead of simulated.
+    pub pruned: bool,
+    /// Simulated (or copied) metrics.
+    pub metrics: PointMetrics,
+}
+
+/// Aggregate sweep outcome.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Every grid point, in deterministic enumeration order.
+    pub points: Vec<SweepPoint>,
+    /// Points actually simulated.
+    pub simulated: u64,
+    /// Points whose metrics were copied from a class representative.
+    pub pruned: u64,
+}
+
+impl SweepOutcome {
+    /// Fraction of points not simulated.
+    pub fn prune_rate(&self) -> f64 {
+        let total = self.simulated + self.pruned;
+        if total > 0 {
+            self.pruned as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Per-app Pareto fronts over `(cycles, l2_txns)`, apps in spec
+    /// order, each front sorted by ascending cycles then configuration
+    /// labels — fully deterministic, so two runs (pruned or not) of the
+    /// same grid produce byte-identical front JSON.
+    pub fn fronts(&self) -> Vec<(String, Vec<&SweepPoint>)> {
+        let mut apps: Vec<String> = Vec::new();
+        for p in &self.points {
+            if !apps.contains(&p.app) {
+                apps.push(p.app.clone());
+            }
+        }
+        apps.into_iter()
+            .map(|app| {
+                let candidates: Vec<&SweepPoint> =
+                    self.points.iter().filter(|p| p.app == app).collect();
+                let mut front: Vec<&SweepPoint> = candidates
+                    .iter()
+                    .filter(|p| !candidates.iter().any(|q| q.metrics.dominates(&p.metrics)))
+                    .copied()
+                    .collect();
+                front.sort_by(|a, b| {
+                    (
+                        a.metrics.cycles,
+                        a.metrics.l2_txns,
+                        a.l1_size_kb,
+                        a.l1_assoc,
+                    )
+                        .cmp(&(
+                            b.metrics.cycles,
+                            b.metrics.l2_txns,
+                            b.l1_size_kb,
+                            b.l1_assoc,
+                        ))
+                        .then_with(|| a.sched.cmp(b.sched))
+                        .then_with(|| a.agents.cmp(&b.agents))
+                });
+                (app, front)
+            })
+            .collect()
+    }
+}
+
+/// Builds the concrete [`GpuConfig`] of one geometry point.
+///
+/// # Errors
+///
+/// Propagates `GpuConfig::validate` for inconsistent geometry requests
+/// (capacity not divisible into whole sets, etc.).
+pub fn geometry_config(
+    base: &GpuConfig,
+    size_kb: u32,
+    assoc: u32,
+) -> Result<GpuConfig, ClusterError> {
+    let mut cfg = base.clone();
+    cfg.l1.size_bytes = size_kb * 1024;
+    cfg.l1.associativity = assoc;
+    cfg.name = format!("{}-L1-{size_kb}KB-{assoc}w", base.name);
+    cfg.validate()
+        .map_err(|e| ClusterError::harness(format!("geometry {size_kb}KB/{assoc}-way: {e}")))?;
+    Ok(cfg)
+}
+
+/// Whether the cost model proves L1 `(size, associativity)` to be dead
+/// axes for this access stream: write-evict L1 and either no cacheable
+/// reads at all or a fully cold read stream.
+pub fn geometry_is_dead_axis(summary: &AccessSummary, cfg: &GpuConfig) -> bool {
+    cfg.l1.write_policy == WritePolicy::WriteEvict
+        && (summary.reads() == 0 || summary.all_reads_cold(cfg.l1.write_policy))
+}
+
+/// Runs the sweep. When `prune` is set, geometry equivalence classes
+/// proven dead by the cost model simulate only one representative.
+///
+/// # Errors
+///
+/// Propagates preset/geometry/transform/simulation failures.
+pub fn run_sweep(spec: &SweepSpec, prune: bool) -> Result<SweepOutcome, ClusterError> {
+    let base = spec.base_config()?;
+    let mut points: Vec<SweepPoint> = Vec::with_capacity(spec.num_points());
+    let mut simulated = 0u64;
+    let mut pruned = 0u64;
+    let obs = cta_obs::maybe_global();
+    for app in &spec.apps {
+        // One plan per geometry: the plan owns the configured GPU and
+        // the program cache shared by its variants.
+        let mut plans: Vec<(u32, u32, AppPlan)> = Vec::new();
+        for &size_kb in &spec.l1_size_kb {
+            for &assoc in &spec.l1_assoc {
+                let cfg = geometry_config(&base, size_kb, assoc)?;
+                let workload = gpu_kernels::suite::by_abbr(app, cfg.arch)
+                    .ok_or_else(|| ClusterError::harness(format!("{app} not in suite")))?;
+                plans.push((size_kb, assoc, AppPlan::with_config(cfg, workload)));
+            }
+        }
+        for agents in &spec.agents {
+            // The variant's access stream is identical across geometries
+            // (same line size, same clamp — capacity never feeds the
+            // transform), so one abstract interpretation serves the
+            // whole class. The per-request label check below guards the
+            // clamp assumption.
+            let (_, _, first_plan) = &plans[0];
+            let class_req = agents.request(first_plan);
+            let summary = first_plan.with_variant_kernel(class_req, |k| {
+                AccessSummary::collect_on(k, &first_plan.cfg)
+            })?;
+            let class_dead = geometry_is_dead_axis(&summary, &first_plan.cfg);
+            for sched in &spec.sched {
+                let mut representative: Option<PointMetrics> = None;
+                for (size_kb, assoc, plan) in &plans {
+                    let req = agents.request(plan);
+                    let same_class = req.label() == class_req.label();
+                    let iv = summary.hit_interval(&plan.cfg);
+                    let (metrics, was_pruned) = match &representative {
+                        Some(rep) if prune && class_dead && same_class => {
+                            pruned += 1;
+                            (rep.clone(), true)
+                        }
+                        _ => {
+                            let (stats, _) = plan.run_metered_sched(req, sched.instantiate())?;
+                            simulated += 1;
+                            let m = PointMetrics::of(&stats);
+                            if class_dead && same_class {
+                                representative = Some(m.clone());
+                            }
+                            (m, false)
+                        }
+                    };
+                    if let Some(obs) = &obs {
+                        let scope = format!(
+                            "{app}/L1-{size_kb}KB-{assoc}w/{}/{}",
+                            sched.label(),
+                            agents.label()
+                        );
+                        obs.counter("dse/cycles", &scope, metrics.cycles);
+                        obs.counter("dse/l2_txns", &scope, metrics.l2_txns);
+                        obs.counter("dse/pruned", &scope, was_pruned as u64);
+                    }
+                    points.push(SweepPoint {
+                        app: app.clone(),
+                        l1_size_kb: *size_kb,
+                        l1_assoc: *assoc,
+                        sched: sched.label(),
+                        agents: agents.label(),
+                        request: req.label(),
+                        model_lo: iv.lo,
+                        model_hi: iv.hi,
+                        pruned: was_pruned,
+                        metrics,
+                    });
+                }
+            }
+        }
+    }
+    Ok(SweepOutcome {
+        points,
+        simulated,
+        pruned,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parses_and_round_trips() {
+        let spec = SweepSpec::parse(
+            "# comment\n\
+             arch = gtx570\n\
+             apps = NW, BS # trailing comment\n\
+             l1_size_kb = 16, 48\n\
+             l1_assoc = 4\n\
+             sched = strict, hw, rand\n\
+             agents = 0, opt, 3\n",
+        )
+        .expect("parse");
+        assert_eq!(spec.apps, vec!["NW", "BS"]);
+        assert_eq!(spec.l1_size_kb, vec![16, 48]);
+        assert_eq!(spec.sched.len(), 3);
+        assert_eq!(
+            spec.agents,
+            vec![AgentsAxis::Baseline, AgentsAxis::Opt, AgentsAxis::Fixed(3)]
+        );
+        // 2 apps x 2 sizes x 1 assoc x 3 scheds x 3 agent settings.
+        assert_eq!(spec.num_points(), 36);
+        spec.base_config().expect("preset resolves");
+    }
+
+    #[test]
+    fn spec_rejects_malformed_input() {
+        assert!(SweepSpec::parse("arch = gtx570").is_err(), "missing keys");
+        assert!(SweepSpec::parse("bogus = 1").is_err(), "unknown key");
+        assert!(
+            SweepSpec::parse("arch = a\narch = b").is_err(),
+            "duplicate key"
+        );
+        assert!(SweepSpec::parse("apps = NW,, BS").is_err(), "empty value");
+        assert!(SweepSpec::parse("sched = quantum").is_err(), "bad sched");
+    }
+
+    #[test]
+    fn geometry_config_rebuilds_and_validates() {
+        let base = gpu_sim::arch::gtx570();
+        let cfg = geometry_config(&base, 32, 4).expect("valid geometry");
+        assert_eq!(cfg.l1.size_bytes, 32 * 1024);
+        assert_eq!(cfg.l1.associativity, 4);
+        assert_eq!(cfg.l1.num_sets(), 64);
+        // 16 KiB does not divide into whole 128B x 3-way sets.
+        assert!(geometry_config(&base, 16, 3).is_err());
+    }
+
+    #[test]
+    fn pareto_dominance() {
+        let a = PointMetrics {
+            cycles: 100,
+            l2_txns: 50,
+            l1_hit_rate: 0.0,
+            occupancy: 0.0,
+        };
+        let b = PointMetrics {
+            cycles: 120,
+            l2_txns: 50,
+            l1_hit_rate: 0.0,
+            occupancy: 0.0,
+        };
+        let c = PointMetrics {
+            cycles: 90,
+            l2_txns: 60,
+            l1_hit_rate: 0.0,
+            occupancy: 0.0,
+        };
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&c) && !c.dominates(&a), "incomparable");
+        assert!(!a.dominates(&a), "never self-dominating");
+    }
+
+    #[test]
+    fn pruned_and_unpruned_sweeps_agree_exactly() {
+        // A deliberately tiny grid exercising both a prunable app and
+        // both schedulers; the full reduced grid runs in CI.
+        let spec = SweepSpec {
+            arch: "GTX570".to_string(),
+            apps: vec!["BS".to_string()],
+            l1_size_kb: vec![16, 48],
+            l1_assoc: vec![2],
+            sched: vec![SchedAxis::Strict],
+            agents: vec![AgentsAxis::Baseline],
+        };
+        let full = run_sweep(&spec, false).expect("unpruned");
+        let fast = run_sweep(&spec, true).expect("pruned");
+        assert_eq!(full.points.len(), fast.points.len());
+        for (a, b) in full.points.iter().zip(&fast.points) {
+            assert_eq!(a.metrics, b.metrics, "{}: metrics must match", a.app);
+            assert_eq!(a.request, b.request);
+        }
+        assert_eq!(full.pruned, 0);
+    }
+}

@@ -159,7 +159,7 @@ const NO_WAY: u32 = u32::MAX;
 /// LRU stamp of a LIP-style cold insert (aggregated-tag mode): below any
 /// live line's stamp, so an un-retouched cold line is the next victim,
 /// while still ranking above empty ways in the `(valid, lru)` order.
-const COLD_STAMP: u64 = 1;
+const COLD_STAMP: u32 = 1;
 
 /// Per-way fill/sector state, packed into one 16-byte record so a probe
 /// that needs any of it takes one cache-line touch instead of three.
@@ -193,10 +193,19 @@ pub struct Cache {
     full_mask: u32,
     /// Per-way tags; [`INVALID_TAG`] marks an empty way.
     tags: Box<[u64]>,
-    /// Per-way last-touch ticks. Invalidation (write-evict) keeps the
-    /// stamp, so a recently-invalidated way is a *worse* victim than a
-    /// never-used one — matching LRU over `(valid, lru)` pairs.
-    lru: Box<[u64]>,
+    /// Per-way last-touch ticks, packed to the low 32 bits of [`tick`]
+    /// (halving the slab the victim scan walks — the L2 banks keep
+    /// megabytes of stamps behind a hashed index). Recency comparisons
+    /// use wraparound-safe ages, `tick.wrapping_sub(stamp)`, so ordering
+    /// survives a 32-bit rollover as long as the live stamps span less
+    /// than 2^32 ticks — guaranteed trivially while `tick < u32::MAX`,
+    /// which a debug assertion pins for every simulated run.
+    /// Invalidation (write-evict) keeps the stamp, so a
+    /// recently-invalidated way is a *worse* victim than a never-used
+    /// one — matching LRU over `(valid, lru)` pairs.
+    ///
+    /// [`tick`]: Cache::tick
+    lru: Box<[u32]>,
     /// Per-way fill and sector state (see [`WayState`]).
     state: Box<[WayState]>,
     tick: u64,
@@ -389,11 +398,12 @@ impl Cache {
         debug_assert!(sectors != 0 && sectors & !self.full_mask == 0);
         self.stats.reads += 1;
         self.tick += 1;
+        debug_assert!(self.tick < u32::MAX as u64, "LRU stamp space exhausted");
         let tick = self.tick;
         let tag = self.dec.tag(line_addr);
         let base = self.base_of_tag(tag);
         if let Some(i) = self.find(base, tag) {
-            self.lru[i] = tick;
+            self.lru[i] = tick as u32;
             // The sector-state load is skipped entirely on unsectored
             // geometries (every resident line is whole, the short-circuit
             // keeps the `valid` slab off the hit path).
@@ -433,20 +443,24 @@ impl Cache {
 
     /// Installs `tag` into the set at `base` with the given sectors
     /// pending, returning the claimed slab index and whether a dirty line
-    /// was evicted. The victim is the first way minimizing `(valid, lru)`
-    /// — empty ways first (oldest stamp winning), then true LRU.
+    /// was evicted. The victim is the first way maximizing
+    /// `(empty, age)` with `age = tick - stamp` wraparound-safe — empty
+    /// ways first (oldest stamp winning), then true LRU; identical to
+    /// minimizing `(valid, lru)` while stamps fit the tick counter.
     fn install(&mut self, base: usize, tag: u64, tick: u64, sectors: u32) -> (usize, bool) {
+        let now = tick as u32;
+        let age = |stamp: u32| now.wrapping_sub(stamp);
         let mut victim = base;
-        let mut best = (self.tags[base] != INVALID_TAG, self.lru[base]);
-        if best != (false, 0) {
+        let mut best = (self.tags[base] == INVALID_TAG, age(self.lru[base]));
+        // A never-used way (empty, stamp 0) has the maximal age `now`:
+        // nothing ranks above it, and ties keep the first.
+        if best != (true, now) {
             for i in base + 1..base + self.assoc {
-                let key = (self.tags[i] != INVALID_TAG, self.lru[i]);
-                if key < best {
+                let key = (self.tags[i] == INVALID_TAG, age(self.lru[i]));
+                if key > best {
                     best = key;
                     victim = i;
-                    if key == (false, 0) {
-                        // Nothing ranks below a never-used way, and ties
-                        // keep the first: this is the victim.
+                    if key == (true, now) {
                         break;
                     }
                 }
@@ -455,9 +469,9 @@ impl Cache {
         // Aggregated-tag mode: probe the compact ghost array *before*
         // touching any data state, then record the eviction in it.
         let stamp = if self.cfg.aggregated_tags {
-            self.ata_stamp(base, tag, tick)
+            self.ata_stamp(base, tag, now)
         } else {
-            tick
+            now
         };
         let was_valid = self.tags[victim] != INVALID_TAG;
         let dirty_victim = was_valid && self.state[victim].dirty != 0;
@@ -485,7 +499,7 @@ impl Cache {
     /// evicted recently) and earns an MRU insert; a miss demotes the
     /// insert to the cold end (LIP), so one-touch streams displace each
     /// other instead of the resident working set.
-    fn ata_stamp(&mut self, base: usize, tag: u64, tick: u64) -> u64 {
+    fn ata_stamp(&mut self, base: usize, tag: u64, tick: u32) -> u32 {
         self.ata_probes += 1;
         if self.ghost_tags[base..base + self.assoc].contains(&tag) {
             self.ata_hits += 1;
@@ -535,6 +549,7 @@ impl Cache {
         debug_assert!(sectors != 0 && sectors & !self.full_mask == 0);
         self.stats.writes += 1;
         self.tick += 1;
+        debug_assert!(self.tick < u32::MAX as u64, "LRU stamp space exhausted");
         let tick = self.tick;
         let tag = self.dec.tag(line_addr);
         let base = self.base_of_tag(tag);
@@ -563,7 +578,7 @@ impl Cache {
                         self.state[i].valid |= sectors;
                     }
                     self.state[i].dirty |= sectors;
-                    self.lru[i] = tick;
+                    self.lru[i] = tick as u32;
                     self.stats.write_hits += 1;
                     return WriteOutcome::Absorbed;
                 }

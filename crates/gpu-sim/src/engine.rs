@@ -20,7 +20,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::cache::{Cache, CacheStats, ReadOutcome};
+use crate::cache::{Cache, CacheStats, ReadOutcome, WriteOutcome};
 use crate::coalesce::coalesce_lines_into;
 use crate::config::GpuConfig;
 use crate::error::SimError;
@@ -668,8 +668,27 @@ fn resolve_access(
             // buffer without blocking the warp.
             if cfg.l1_enabled && access.cache_op == CacheOp::CacheAll {
                 coalesce_lines_into(access, cfg.l1.line_bytes, line_buf);
+                let l1 = &mut l1_sectors[sector];
                 for &line in line_buf.iter() {
-                    l1_sectors[sector].write(line, t);
+                    match l1.write(line, t) {
+                        WriteOutcome::AllocateMiss { .. } => {
+                            // Write-allocate fetch-on-write: the claimed
+                            // way is in flight (`fill_done == u64::MAX`)
+                            // until this fill lands, exactly like a load
+                            // miss; without it a later read of the line
+                            // would wait forever on the reservation.
+                            let chunks = cfg.l2_txns_per_l1_miss() as u64;
+                            let slot = lsu_slot(lsu_free, t);
+                            let mut fill = slot;
+                            for c in 0..chunks {
+                                let chunk = line + c * cfg.l2.line_bytes as u64;
+                                let (d, _) = mem.read_line(chunk, slot);
+                                fill = fill.max(d);
+                            }
+                            l1.fill(line, fill);
+                        }
+                        WriteOutcome::Absorbed | WriteOutcome::Forwarded { .. } => {}
+                    }
                 }
             }
             coalesce_lines_into(access, cfg.l2.line_bytes, line_buf);

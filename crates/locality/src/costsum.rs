@@ -1,0 +1,535 @@
+//! Static cost summaries: the abstract interpretation behind the
+//! analyzer's `CL2xx` performance lints and the `dse` pruning harness.
+//!
+//! [`AccessSummary::collect`] walks every warp program of a kernel once
+//! (via [`gpu_sim::walk`], CTA-major order, no timing model) and folds
+//! the demand-read line stream into an abstract state: per-line touch
+//! counts, distinct-CTA counts, written flags, and an exact LRU
+//! stack-distance histogram. From that single walk,
+//! [`AccessSummary::hit_interval`] derives a **sound** L1 read hit-rate
+//! interval `[lo, hi]` for any cache geometry — sound meaning the
+//! interval contains the hit rate the event-driven simulator measures
+//! for *every* scheduler policy and CTA placement the engine can
+//! produce.
+//!
+//! # Why the bounds are sound
+//!
+//! The engine presents a load to L1 only when the L1 is enabled and the
+//! op's cache policy is `CacheAll` or `PrefetchL1` (prefetches are
+//! counted as ordinary L1 reads; only the returned latency differs).
+//! Each presented load is split into line transactions by the same
+//! [`gpu_sim::coalesce_lines_into`] the engine uses, so the transaction
+//! count `T` is a property of the access multiset alone. For suite
+//! kernels, programs are context-independent; for agent-transformed
+//! kernels the walker's idealized-RR dispatch covers every `(sm, slot)`
+//! worklist exactly once, so the multiset — and the grouping of touches
+//! by executing CTA/agent — is placement-invariant.
+//!
+//! **Upper bound.** Caches start empty and only demand/prefetch reads
+//! install lines (under write-evict, stores *invalidate*; under
+//! write-back-allocate, stores install, so written lines are excluded).
+//! The device-wide first read of each of the `U` qualifying lines can
+//! therefore neither hit nor hit-reserve anywhere: `hits ≤ T − U`, i.e.
+//! `hi = (T − U) / T`.
+//!
+//! **Lower bound.** A CTA is pinned to one SM and one sector array for
+//! its whole life. Call a line *stable* under a geometry when (a) the
+//! number of distinct install-capable lines mapping to its set — via the
+//! same hashed [`AddrDec`] the hardware model indexes with, over the
+//! per-sector sub-array — is at most the associativity, and (b) under
+//! write-evict it is never stored to. Victim selection always prefers
+//! invalid ways, so a set whose device-wide footprint fits its ways
+//! never evicts; a stable line, once read by a CTA, stays resident in
+//! that CTA's array. Every non-first read of a stable line by the same
+//! CTA is then a guaranteed hit (or hit-reserved, which the simulator's
+//! `read_hit_rate` also counts): `hits ≥ Σ_stable (touches − ctas)`.
+//!
+//! The stack-distance histogram and working-set sizes are *reports*,
+//! not bounds: they describe the walk's canonical interleaving, which a
+//! real schedule may improve on or degrade.
+
+use gpu_sim::{
+    coalesce_lines_into, walk, AddrDec, CacheOp, FxHashMap, GpuConfig, KernelSpec, Op, WritePolicy,
+};
+
+use crate::distance::ReuseDistance;
+
+/// Absolute slack allowed when testing measured rates against the
+/// interval: covers the single rounding step of the simulator's
+/// `hits / reads` division, nothing more.
+pub const CONTAINMENT_EPS: f64 = 1e-9;
+
+/// Per-line abstract state accumulated by the walk.
+#[derive(Debug, Clone, Copy, Default)]
+struct LineRec {
+    /// Demand/prefetch read line transactions touching this line.
+    touches: u64,
+    /// Distinct CTAs among those touches (exact: the walk is CTA-major).
+    ctas: u64,
+    /// Last CTA that read-touched the line, for the distinct count.
+    last_cta: u64,
+    /// Touched by a cacheable (`CacheAll`/`PrefetchL1`) read.
+    read: bool,
+    /// Touched by a `CacheAll` store (write-evict: invalidates;
+    /// write-back-allocate: installs).
+    written: bool,
+}
+
+/// A sound L1 read hit-rate interval for one cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HitInterval {
+    /// Guaranteed-hit fraction: the measured rate cannot fall below.
+    pub lo: f64,
+    /// Cold-miss bound: the measured rate cannot exceed.
+    pub hi: f64,
+    /// Read transactions presented to the L1 (`T`); equals the
+    /// simulator's `CacheStats::reads` for the same kernel and config.
+    pub reads: u64,
+    /// Lines whose first read provably misses (`U`).
+    pub cold_lines: u64,
+    /// Transactions provably hitting (stable-line reuse).
+    pub guaranteed_hits: u64,
+}
+
+impl HitInterval {
+    /// Interval width `hi − lo` (the model's imprecision).
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether a measured hit rate lies inside the interval, allowing
+    /// [`CONTAINMENT_EPS`] of floating-point slack.
+    pub fn contains(&self, rate: f64) -> bool {
+        rate >= self.lo - CONTAINMENT_EPS && rate <= self.hi + CONTAINMENT_EPS
+    }
+}
+
+/// The walked abstract state of one kernel at one L1 line size.
+///
+/// Collection runs the walk exactly once; geometry queries
+/// ([`AccessSummary::hit_interval`]) are pure functions of the summary
+/// and can be evaluated for any number of candidate configurations.
+#[derive(Debug)]
+pub struct AccessSummary {
+    /// L1 line size the stream was coalesced at.
+    line_bytes: u32,
+    /// Total cacheable read line transactions (`T`).
+    reads: u64,
+    /// Read transactions that bypass the L1 (`BypassL1` ops), counted at
+    /// the same line granularity. Reporting only.
+    bypassed_reads: u64,
+    /// Store ops walked. Reporting only.
+    stores: u64,
+    /// Atomic ops walked (never touch the L1). Reporting only.
+    atomics: u64,
+    /// Memory ops of any kind (loads, stores, atomics).
+    mem_ops: u64,
+    /// Per-line abstract state, keyed by line number (`addr >> log2`).
+    lines: FxHashMap<u64, LineRec>,
+    /// Exact LRU stack distances of the cacheable read stream in walk
+    /// order (reporting only — not part of the sound bounds).
+    distance: ReuseDistance,
+}
+
+impl AccessSummary {
+    /// Walks `kernel` under idealized-RR dispatch on `num_sms` SMs and
+    /// folds its access stream at `line_bytes` granularity.
+    pub fn collect<K: KernelSpec + ?Sized>(
+        kernel: &K,
+        num_sms: usize,
+        warp_size: u32,
+        line_bytes: u32,
+    ) -> Self {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let shift = line_bytes.trailing_zeros();
+        let mut s = AccessSummary {
+            line_bytes,
+            reads: 0,
+            bypassed_reads: 0,
+            stores: 0,
+            atomics: 0,
+            mem_ops: 0,
+            lines: FxHashMap::default(),
+            distance: ReuseDistance::new(),
+        };
+        let mut line_buf: Vec<u64> = Vec::new();
+        walk::each_warp_program(kernel, num_sms, warp_size, |ctx, _warp, prog| {
+            for op in prog {
+                match op {
+                    Op::Load(a) => {
+                        s.mem_ops += 1;
+                        if a.cache_op == CacheOp::BypassL1 {
+                            coalesce_lines_into(a, line_bytes, &mut line_buf);
+                            s.bypassed_reads += line_buf.len() as u64;
+                            continue;
+                        }
+                        // CacheAll and PrefetchL1 both present to the L1
+                        // and count into its read statistics.
+                        coalesce_lines_into(a, line_bytes, &mut line_buf);
+                        for &line in line_buf.iter() {
+                            let tag = line >> shift;
+                            s.reads += 1;
+                            s.distance.access(tag);
+                            let rec = s.lines.entry(tag).or_default();
+                            rec.touches += 1;
+                            if rec.ctas == 0 || rec.last_cta != ctx.cta {
+                                rec.ctas += 1;
+                                rec.last_cta = ctx.cta;
+                            }
+                            rec.read = true;
+                        }
+                    }
+                    Op::Store(a) => {
+                        s.mem_ops += 1;
+                        s.stores += 1;
+                        if a.cache_op == CacheOp::CacheAll {
+                            coalesce_lines_into(a, line_bytes, &mut line_buf);
+                            for &line in line_buf.iter() {
+                                s.lines.entry(line >> shift).or_default().written = true;
+                            }
+                        }
+                    }
+                    Op::Atomic(_) => {
+                        s.mem_ops += 1;
+                        s.atomics += 1;
+                    }
+                    Op::Compute(_) | Op::Barrier => {}
+                }
+            }
+        });
+        s
+    }
+
+    /// [`AccessSummary::collect`] with geometry taken from a GPU preset
+    /// (its SM count, warp size and L1 line size).
+    pub fn collect_on<K: KernelSpec + ?Sized>(kernel: &K, cfg: &GpuConfig) -> Self {
+        AccessSummary::collect(kernel, cfg.num_sms, cfg.warp_size, cfg.l1.line_bytes)
+    }
+
+    /// L1 line size the stream was coalesced at.
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Cacheable read line transactions (`T`).
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Read transactions carrying an explicit `BypassL1` op.
+    pub fn bypassed_reads(&self) -> u64 {
+        self.bypassed_reads
+    }
+
+    /// Store ops walked.
+    pub fn stores(&self) -> u64 {
+        self.stores
+    }
+
+    /// Atomic ops walked.
+    pub fn atomics(&self) -> u64 {
+        self.atomics
+    }
+
+    /// Memory ops of any kind (loads including bypassed, stores,
+    /// atomics).
+    pub fn mem_ops(&self) -> u64 {
+        self.mem_ops
+    }
+
+    /// Distinct lines touched by cacheable reads — the read working set,
+    /// in lines.
+    pub fn read_working_set(&self) -> u64 {
+        self.lines.values().filter(|r| r.read).count() as u64
+    }
+
+    /// Distinct lines touched by any access (read or written).
+    pub fn working_set(&self) -> u64 {
+        self.lines.len() as u64
+    }
+
+    /// The LRU stack-distance histogram of the walked read stream,
+    /// sorted by distance. Descriptive: the walk's canonical
+    /// interleaving, not a bound.
+    pub fn distance_histogram(&self) -> Vec<(u64, u64)> {
+        self.distance.histogram()
+    }
+
+    /// Mean stack distance over all walked reuses (`None` without
+    /// reuse).
+    pub fn mean_distance(&self) -> Option<f64> {
+        self.distance.mean_distance()
+    }
+
+    /// Whether the kernel presents no reads to the L1 at all — cache
+    /// geometry is then provably irrelevant to its hit statistics.
+    pub fn geometry_irrelevant(&self) -> bool {
+        self.reads == 0
+    }
+
+    /// Whether **every** cacheable read provably misses under `policy`,
+    /// in every geometry and under every placement: each read line is
+    /// touched exactly once device-wide, and (under write-back-allocate)
+    /// never installed by a store first. Clustering, scheduling, L1
+    /// capacity and associativity then cannot change the miss count.
+    pub fn all_reads_cold(&self, policy: WritePolicy) -> bool {
+        self.reads > 0
+            && self.lines.values().all(|r| {
+                !r.read || (r.touches == 1 && (policy == WritePolicy::WriteEvict || !r.written))
+            })
+    }
+
+    /// The sound hit-rate interval for `cfg`'s L1 geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.l1.line_bytes` differs from the line size the
+    /// summary was collected at — the transaction stream would not be
+    /// the one the configuration coalesces.
+    pub fn hit_interval(&self, cfg: &GpuConfig) -> HitInterval {
+        assert_eq!(
+            cfg.l1.line_bytes, self.line_bytes,
+            "summary collected at {}B lines, queried at {}B",
+            self.line_bytes, cfg.l1.line_bytes
+        );
+        let t = self.reads;
+        if t == 0 || !cfg.l1_enabled {
+            // No load is ever presented to the L1: the simulator reports
+            // a 0/0 hit rate as 0.0.
+            return HitInterval {
+                lo: 0.0,
+                hi: 0.0,
+                reads: 0,
+                cold_lines: 0,
+                guaranteed_hits: 0,
+            };
+        }
+        let wba = cfg.l1.write_policy == WritePolicy::WriteBackAllocate;
+        // Install-capable under this policy: stores install lines only
+        // when the L1 allocates on write.
+        let installs = |r: &LineRec| r.read || (wba && r.written);
+        // U: first read provably misses when no store can pre-install.
+        let cold_lines = self
+            .lines
+            .values()
+            .filter(|r| r.read && (!wba || !r.written))
+            .count() as u64;
+        let hi = (t - cold_lines) as f64 / t as f64;
+
+        // Per-set footprints over the per-sector sub-array, through the
+        // same hashed decoder the hardware model indexes with.
+        let sub = gpu_sim::CacheConfig {
+            size_bytes: cfg.l1.size_bytes / cfg.l1_sectors,
+            ..cfg.l1.clone()
+        };
+        let dec = AddrDec::for_cache(
+            sub.line_bytes,
+            sub.effective_sector_bytes(),
+            sub.num_sets() as u64,
+        );
+        let assoc = cfg.l1.associativity as u64;
+        let mut footprint: FxHashMap<u64, u64> = FxHashMap::default();
+        for (&tag, rec) in &self.lines {
+            if installs(rec) {
+                *footprint.entry(dec.set_of_tag(tag)).or_insert(0) += 1;
+            }
+        }
+        let mut guaranteed = 0u64;
+        for (&tag, rec) in &self.lines {
+            if !rec.read || (!wba && rec.written) {
+                continue;
+            }
+            if footprint[&dec.set_of_tag(tag)] <= assoc {
+                guaranteed += rec.touches - rec.ctas;
+            }
+        }
+        let lo = guaranteed as f64 / t as f64;
+        debug_assert!(
+            lo <= hi + CONTAINMENT_EPS,
+            "interval inverted: lo {lo} > hi {hi}"
+        );
+        HitInterval {
+            lo: lo.min(hi),
+            hi,
+            reads: t,
+            cold_lines,
+            guaranteed_hits: guaranteed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{arch, CtaContext, Dim3, LaunchConfig, MemAccess, Program};
+
+    /// CTAs re-read a private slice `reps` times; optionally every CTA
+    /// also reads one shared table line.
+    #[derive(Debug, Clone)]
+    struct Slices {
+        ctas: u64,
+        reps: u64,
+        shared: bool,
+    }
+
+    impl KernelSpec for Slices {
+        fn name(&self) -> String {
+            "slices".into()
+        }
+        fn launch(&self) -> LaunchConfig {
+            LaunchConfig::new(Dim3::linear(self.ctas as u32), 32u32)
+        }
+        fn warp_program(&self, ctx: &CtaContext, _warp: u32) -> Program {
+            let mut prog = Vec::new();
+            if self.shared {
+                prog.push(Op::Load(MemAccess::coalesced(0, 0, 32, 4)));
+            }
+            let own = (1 << 20) + ctx.cta * 128;
+            for _ in 0..self.reps {
+                prog.push(Op::Load(MemAccess::coalesced(1, own, 32, 4)));
+            }
+            prog
+        }
+    }
+
+    #[test]
+    fn counts_and_working_set() {
+        let k = Slices {
+            ctas: 4,
+            reps: 3,
+            shared: true,
+        };
+        let s = AccessSummary::collect(&k, 2, 32, 128);
+        // Per CTA: 1 shared line + 3 touches of its own line.
+        assert_eq!(s.reads(), 4 * 4);
+        assert_eq!(s.read_working_set(), 5);
+        assert_eq!(s.working_set(), 5);
+        assert_eq!(s.stores(), 0);
+        assert!(!s.geometry_irrelevant());
+    }
+
+    #[test]
+    fn interval_brackets_private_reuse() {
+        let k = Slices {
+            ctas: 4,
+            reps: 3,
+            shared: false,
+        };
+        let s = AccessSummary::collect(&k, 2, 32, 128);
+        let iv = s.hit_interval(&arch::gtx570());
+        // 4 lines, 3 touches each: 12 reads, 4 cold, 8 guaranteed hits
+        // (tiny footprint, so every line is stable).
+        assert_eq!(iv.reads, 12);
+        assert_eq!(iv.cold_lines, 4);
+        assert_eq!(iv.guaranteed_hits, 8);
+        assert!((iv.lo - 8.0 / 12.0).abs() < 1e-12);
+        assert!((iv.hi - 8.0 / 12.0).abs() < 1e-12);
+        assert!(iv.contains(8.0 / 12.0));
+        assert!(!iv.contains(0.5));
+    }
+
+    #[test]
+    fn shared_line_loosens_lower_bound() {
+        let k = Slices {
+            ctas: 4,
+            reps: 1,
+            shared: true,
+        };
+        let s = AccessSummary::collect(&k, 2, 32, 128);
+        let iv = s.hit_interval(&arch::gtx570());
+        // Shared line: 4 touches by 4 distinct CTAs — no guaranteed
+        // reuse; own lines are cold. hi still credits the 3 potential
+        // shared-line hits.
+        assert_eq!(iv.reads, 8);
+        assert_eq!(iv.cold_lines, 5);
+        assert_eq!(iv.guaranteed_hits, 0);
+        assert!((iv.hi - 3.0 / 8.0).abs() < 1e-12);
+        assert_eq!(iv.lo, 0.0);
+    }
+
+    #[test]
+    fn streaming_kernel_is_provably_cold() {
+        let k = Slices {
+            ctas: 8,
+            reps: 1,
+            shared: false,
+        };
+        let s = AccessSummary::collect(&k, 2, 32, 128);
+        assert!(s.all_reads_cold(WritePolicy::WriteEvict));
+        let iv = s.hit_interval(&arch::gtx570());
+        assert_eq!((iv.lo, iv.hi), (0.0, 0.0));
+    }
+
+    /// Store-then-read of one line: write-evict keeps the read cold,
+    /// write-back-allocate may install it.
+    #[derive(Debug, Clone)]
+    struct WriteThenRead;
+
+    impl KernelSpec for WriteThenRead {
+        fn name(&self) -> String {
+            "write-then-read".into()
+        }
+        fn launch(&self) -> LaunchConfig {
+            LaunchConfig::new(Dim3::linear(1), 32u32)
+        }
+        fn warp_program(&self, _ctx: &CtaContext, _warp: u32) -> Program {
+            vec![
+                Op::Store(MemAccess::coalesced(0, 0, 32, 4)),
+                Op::Load(MemAccess::coalesced(0, 0, 32, 4)),
+                Op::Load(MemAccess::coalesced(0, 0, 32, 4)),
+            ]
+        }
+    }
+
+    #[test]
+    fn write_policy_changes_both_bounds() {
+        let s = AccessSummary::collect(&WriteThenRead, 1, 32, 128);
+        let we = arch::gtx570();
+        let iv = s.hit_interval(&we);
+        // Write-evict: the store invalidates, the line is written — not
+        // stable — so no guaranteed hits; first read still provably
+        // misses.
+        assert_eq!(iv.cold_lines, 1);
+        assert_eq!(iv.guaranteed_hits, 0);
+        assert!((iv.hi - 0.5).abs() < 1e-12);
+
+        let mut wba = arch::gtx570();
+        wba.l1.write_policy = WritePolicy::WriteBackAllocate;
+        let iv = s.hit_interval(&wba);
+        // Write-back-allocate: the store may install the line, so even
+        // the first read may hit (hi = 1); reuse is guaranteed for the
+        // second.
+        assert_eq!(iv.cold_lines, 0);
+        assert!((iv.hi - 1.0).abs() < 1e-12);
+        assert_eq!(iv.guaranteed_hits, 1);
+        assert!(!s.all_reads_cold(WritePolicy::WriteBackAllocate));
+    }
+
+    #[test]
+    fn disabled_l1_collapses_interval() {
+        let k = Slices {
+            ctas: 2,
+            reps: 2,
+            shared: false,
+        };
+        let s = AccessSummary::collect(&k, 2, 32, 128);
+        let cfg = arch::gtx570().with_l1_disabled();
+        let iv = s.hit_interval(&cfg);
+        assert_eq!((iv.lo, iv.hi, iv.reads), (0.0, 0.0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "collected at")]
+    fn line_size_mismatch_panics() {
+        let k = Slices {
+            ctas: 1,
+            reps: 1,
+            shared: false,
+        };
+        let s = AccessSummary::collect(&k, 1, 32, 32);
+        let _ = s.hit_interval(&arch::gtx570()); // 128B lines
+    }
+}

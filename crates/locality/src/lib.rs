@@ -26,6 +26,7 @@
 #![warn(missing_debug_implementations)]
 
 mod category;
+pub mod costsum;
 mod distance;
 mod feed;
 mod obs_sink;
@@ -34,6 +35,7 @@ mod tags;
 mod wordmap;
 
 pub use category::{classify, Category, CategoryProfiler, Signature};
+pub use costsum::{AccessSummary, HitInterval};
 pub use distance::ReuseDistance;
 pub use feed::StaticFeed;
 pub use obs_sink::ObsSink;
