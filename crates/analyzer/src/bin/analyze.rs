@@ -298,7 +298,7 @@ fn main() -> ExitCode {
 /// simulator's measured L1 hit rate against the static `[lo, hi]`
 /// interval. Every escape is a deny-level CL204; exit is nonzero on any.
 fn verify_costmodel() -> ExitCode {
-    use cta_analyzer::costmodel;
+    use cta_analyzer::{costmodel, setmodel};
     use locality::AccessSummary;
 
     let configs = arch::all_presets();
@@ -306,6 +306,8 @@ fn verify_costmodel() -> ExitCode {
     let mut totals = cluster_bench::MatrixTotals::default();
     let mut checked = 0u64;
     let mut width_sum = 0.0f64;
+    let mut mismatches = 0u64;
+    let mut mismatched_runs = 0u64;
     let result = cluster_bench::drive_matrix(
         &configs,
         false,
@@ -326,6 +328,16 @@ fn verify_costmodel() -> ExitCode {
                 &subject,
                 &mut report,
             );
+            // The CL3xx machine check: re-run the same request with the
+            // per-set profile enabled and hold the decoder-computed
+            // per-set model to exact equality against the counters.
+            let model = summary.set_conflicts(&plan.cfg);
+            let (_, _, profile) = plan
+                .run_profiled(req)
+                .expect("request was just simulated without the profile");
+            let m = setmodel::check_profile(&model, &profile, &subject, &mut report);
+            mismatches += m;
+            mismatched_runs += (m > 0) as u64;
             checked += 1;
             width_sum += iv.width();
         },
@@ -335,14 +347,17 @@ fn verify_costmodel() -> ExitCode {
         return ExitCode::from(2);
     }
     print!("{}", report.render_human());
-    let escapes = report.deny_count();
+    // Every CL304 mismatch run contributes one deny; the rest are CL204
+    // interval escapes.
+    let escapes = report.deny_count() as u64 - mismatched_runs;
     println!(
         "costmodel gate: {checked} runs checked, {escapes} interval escapes, \
-         mean interval width {:.4}, {} conservation violations",
+         mean interval width {:.4}, {mismatches} per-set mismatches, \
+         {} conservation violations",
         width_sum / checked.max(1) as f64,
         totals.violations,
     );
-    if escapes > 0 || totals.violations > 0 {
+    if escapes > 0 || mismatches > 0 || totals.violations > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -250,6 +250,30 @@ declare_lints! {
         "CL204", "costmodel-unsound", Deny,
         "measured hit rate escapes the static [lo, hi] interval"
     },
+    /// One set absorbs a super-proportional share of the read footprint
+    /// under the configured indexing function.
+    SET_CAMPING = {
+        "CL301", "set-camping", Warn,
+        "one L1 set absorbs a super-proportional footprint share"
+    },
+    /// Hashed and modulo decoders provably produce identical per-set
+    /// behaviour: the indexing axis is dead for this kernel/geometry.
+    INDEXING_INSENSITIVE = {
+        "CL302", "indexing-insensitive", Warn,
+        "hashed vs modulo indexing provably identical: dead DSE axis"
+    },
+    /// The geometry's conflict structure keeps the sound interval wide:
+    /// most reads land in overflowing sets the bound cannot decide.
+    CONFLICT_BOUND_GEOMETRY = {
+        "CL303", "conflict-bound-geometry", Warn,
+        "set conflicts dominate: the sound interval stays wide at this geometry"
+    },
+    /// A per-set prediction diverged from the simulator's per-set
+    /// counters (emitted only by the `--verify-costmodel` machine check).
+    SETMODEL_UNSOUND = {
+        "CL304", "setmodel-unsound", Deny,
+        "per-set prediction diverges from simulator per-set counters"
+    },
 }
 
 /// Looks a lint up by its stable code.

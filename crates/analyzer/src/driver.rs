@@ -124,9 +124,12 @@ pub fn analyze_workload(workload: Box<dyn Workload>, base_cfg: &GpuConfig, repor
     let profile = StaticProfile::collect(&kernel, &cfg);
     ir::check_kernel(&kernel, &cfg, &format!("{base}/BSL"), report);
 
-    // Pass family 5: the CL2xx cost model over the baseline stream at
-    // the harness's cache geometry.
-    crate::costmodel::check_kernel(&kernel, &cfg, &format!("{base}/costmodel"), report);
+    // Pass families 7 + 8: the CL2xx cost model and the CL3xx set-conflict
+    // model share one walked access summary of the baseline stream at the
+    // harness's cache geometry.
+    let summary = locality::AccessSummary::collect_on(&kernel, &cfg);
+    crate::costmodel::check_summary(&summary, &cfg, &format!("{base}/costmodel"), report);
+    crate::setmodel::check_summary(&summary, &cfg, &format!("{base}/setmodel"), report);
 
     let bypass_tags = profile.streaming_tags();
     match AgentKernel::with_partition(

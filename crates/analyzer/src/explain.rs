@@ -280,6 +280,63 @@ pub fn explanation(code: &str) -> Option<&'static str> {
              or an engine change altered hit accounting. Bisect with the \
              `costsum_soundness` tests."
         }
+        "CL301" => {
+            "The per-set conflict analysis pushed the kernel's install-capable \
+             line footprint through the configured set-index function and found \
+             one set absorbing a super-proportional share: the maximum per-set \
+             footprint is several times the mean over occupied sets, and it \
+             overflows the associativity. Camped sets serialize misses that a \
+             uniform spread would have absorbed, and they widen the sound \
+             hit-rate interval because the conflict-aware lower bound cannot \
+             credit reuse in overflowing sets.\n\n\
+             Check the array strides against the line size and set count - \
+             power-of-two strides under modulo indexing are the classic cause. \
+             The hashed index function (every preset default) usually \
+             dissolves camping; if the lint fires under `Hashed`, the reuse \
+             pattern itself is set-degenerate and a geometry change (more \
+             sets, higher associativity) is the only lever."
+        }
+        "CL302" => {
+            "Hashed and modulo set indexing provably produce identical \
+             behaviour for this kernel and geometry: every set's \
+             install-capable footprint fits its ways under *both* decoders, so \
+             neither array ever evicts and every read beyond the per-array \
+             first touch of a line hits regardless of which function spreads \
+             lines over sets. The L1 indexing axis of a design-space sweep is \
+             therefore dead for this point: simulating both variants must \
+             produce identical cache statistics.\n\n\
+             The DSE harness uses exactly this proof to prune the modulo twin \
+             of every hashed point (and vice versa). No action is needed; the \
+             lint documents why the sweep skipped the axis."
+        }
+        "CL303" => {
+            "Most of this kernel's read transactions land in sets whose \
+             install-capable footprint overflows the associativity, and the \
+             sound hit-rate interval stays wide there: the conflict-aware \
+             lower bound can only credit reuse it can prove survives *any* \
+             CTA placement, and overflowing sets admit adversarial schedules \
+             that evict between consecutive touches. The geometry - not the \
+             model - is what keeps the interval wide.\n\n\
+             Warn-level: the finding marks geometry points whose cost-model \
+             verdict is weak evidence for design-space decisions. Prefer \
+             simulation for these points, or sweep toward geometries (more \
+             sets, higher associativity) where the footprint fits and the \
+             interval collapses."
+        }
+        "CL304" => {
+            "The machine-checked soundness obligation of the CL3xx set-conflict \
+             model: a per-set prediction diverged from the simulator's per-set \
+             counters - the decoder-computed install-capable footprint of some \
+             set differs from the union of tags the simulator actually \
+             installed there, the per-set read transaction count disagrees, or \
+             a set the model proves stable (footprint <= ways) recorded an \
+             eviction. Emitted only by the `analyze --verify-costmodel` \
+             machine check, never by the static pass.\n\n\
+             This is a bug in the set model or the simulator's per-set \
+             accounting, not the workload: the decoder the model indexes with \
+             must be bit-identical to the cache's. Bisect with the \
+             `setmodel_soundness` proptest battery."
+        }
         _ => return None,
     };
     Some(text)

@@ -10,7 +10,7 @@
 //! category from the address streams, and reports violations through a
 //! rustc-style diagnostics framework with stable `CL0xx` codes.
 //!
-//! Six pass families:
+//! Eight pass families:
 //!
 //! 1. **Transform invariants** ([`transform`]) — partition bijection,
 //!    balance and coverage; redirection permutation; agent-kernel
@@ -30,6 +30,14 @@
 //! 6. **Arithmetic proofs** ([`absint`]) — symbolic polynomial proofs
 //!    that the partition/binding closed forms are mutually inverse and
 //!    overflow-free over the entire `u64` domain.
+//! 7. **Cost model** ([`costmodel`]) — a sound static hit-rate interval
+//!    per kernel × geometry, cross-checked against measured simulator
+//!    hit rates (`CL2xx`).
+//! 8. **Set-conflict model** ([`setmodel`]) — per-set occupancy and
+//!    stack-distance abstraction over the same demand-read stream,
+//!    flagging set camping, indexing-insensitive geometries and
+//!    conflict-bound intervals, and machine-checking per-set predictions
+//!    against simulator per-set counters (`CL3xx`).
 //!
 //! The `analyze` binary sweeps the full Figure 3 suite across all four
 //! architecture presets, model-checks the protocol per preset, runs the
@@ -49,6 +57,7 @@ pub mod json;
 pub mod modelcheck;
 pub mod plan;
 pub mod profile;
+pub mod setmodel;
 pub mod transform;
 
 pub use diag::{lint_by_code, lint_by_name, Diagnostic, Level, Lint, Report, LINTS};

@@ -1,8 +1,8 @@
 //! Golden tests for `analyze --explain`: one code per lint family
 //! (CL0xx transforms/IR/plan, CL1xx concurrency/protocol, CL2xx cost
-//! model). The goldens pin the exact bytes the binary prints, so a
-//! wording or formatting change is a deliberate golden update, not an
-//! accident.
+//! model, CL3xx set-conflict model). The goldens pin the exact bytes
+//! the binary prints, so a wording or formatting change is a deliberate
+//! golden update, not an accident.
 
 use cta_analyzer::explain::render;
 
@@ -28,4 +28,9 @@ fn explain_cl110_matches_golden() {
 #[test]
 fn explain_cl202_matches_golden() {
     check("CL202", include_str!("golden/explain_CL202.txt"));
+}
+
+#[test]
+fn explain_cl302_matches_golden() {
+    check("CL302", include_str!("golden/explain_CL302.txt"));
 }

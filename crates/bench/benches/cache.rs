@@ -14,6 +14,7 @@ fn fermi_l1() -> CacheConfig {
         write_policy: WritePolicy::WriteEvict,
         sector_bytes: 0,
         aggregated_tags: false,
+        index_fn: gpu_sim::IndexFn::Hashed,
     }
 }
 

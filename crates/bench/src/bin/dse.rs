@@ -8,7 +8,8 @@
 //!       [--out-front <path>]
 //!
 //! `--reduced` runs the built-in CI smoke grid (Fermi, NW + BS, 3 L1
-//! sizes × 2 way counts, 2 schedulers, baseline + opt clustering).
+//! sizes × 2 way counts × 2 index functions, 2 `MAX_AGENTS` caps,
+//! 2 schedulers, baseline + opt clustering).
 //! `--config` reads a `key = v1, v2` grid file instead (see
 //! [`cluster_bench::sweep::SweepSpec::parse`]).
 //! `--no-prune` simulates every point, bypassing the cost model — CI
@@ -92,11 +93,14 @@ fn main() -> Result<(), ClusterError> {
                 .map_err(|e| ClusterError::harness(format!("writing {path}: {e}")))?;
         }
         eprintln!(
-            "dse: {} points, {} simulated, {} pruned ({:.1}%), {wall_s:.2}s",
+            "dse: {} points, {} simulated, {} pruned ({:.1}%: geometry-dead {}, \
+             indexing-dead {}), {wall_s:.2}s",
             outcome.points.len(),
             outcome.simulated,
-            outcome.pruned,
+            outcome.pruned(),
             outcome.prune_rate() * 100.0,
+            outcome.pruned_geometry,
+            outcome.pruned_indexing,
         );
         Ok(())
     })
@@ -106,9 +110,18 @@ fn main() -> Result<(), ClusterError> {
 /// the front entries of `dse-sweep/v1` and `dse-front/v1` match exactly.
 fn point_core(p: &SweepPoint) -> String {
     format!(
-        "\"l1_size_kb\": {}, \"l1_assoc\": {}, \"sched\": \"{}\", \"agents\": \"{}\", \
+        "\"l1_size_kb\": {}, \"l1_assoc\": {}, \"l1_index\": \"{}\", \"max_agents\": \"{}\", \
+         \"sched\": \"{}\", \"agents\": \"{}\", \
          \"request\": \"{}\", \"cycles\": {}, \"l2_txns\": {}",
-        p.l1_size_kb, p.l1_assoc, p.sched, p.agents, p.request, p.metrics.cycles, p.metrics.l2_txns,
+        p.l1_size_kb,
+        p.l1_assoc,
+        p.l1_index,
+        p.max_agents,
+        p.sched,
+        p.agents,
+        p.request,
+        p.metrics.cycles,
+        p.metrics.l2_txns,
     )
 }
 
@@ -151,12 +164,15 @@ fn render_sweep(spec: &SweepSpec, outcome: &SweepOutcome, prune: bool, wall_s: f
     format!(
         "{{\n  \"format\": \"dse-sweep/v1\",\n  \"arch\": \"{arch}\",\n  \"prune\": {prune},\n  \
          \"points_total\": {total},\n  \"simulated\": {sim},\n  \"pruned\": {pruned},\n  \
+         \"pruned_geometry\": {geom},\n  \"pruned_indexing\": {index},\n  \
          \"prune_rate\": {rate:.4},\n  \"wall_s\": {wall_s:.2},\n  \"points\": [\n{points}\n  ],\n  \
          \"fronts\": [\n{fronts}\n  ]\n}}",
         arch = spec.arch,
         total = outcome.points.len(),
         sim = outcome.simulated,
-        pruned = outcome.pruned,
+        pruned = outcome.pruned(),
+        geom = outcome.pruned_geometry,
+        index = outcome.pruned_indexing,
         rate = outcome.prune_rate(),
         points = points.join(",\n"),
         fronts = render_fronts(outcome, "    "),

@@ -283,7 +283,7 @@ impl AppPlan {
     pub fn new(base_cfg: &GpuConfig, workload: Box<dyn Workload>) -> AppPlan {
         let kernel = SharedKernel::new(workload);
         let cfg = base_cfg.prefer_l1(kernel.launch().smem_per_cta);
-        AppPlan::build(cfg, kernel)
+        AppPlan::build(cfg, kernel, None)
     }
 
     /// Prepares `workload` for evaluation on *exactly* `cfg` — no
@@ -291,14 +291,28 @@ impl AppPlan {
     /// varies L1 geometry must see the geometry it asked for, not the
     /// preset's preference heuristic.
     pub fn with_config(cfg: GpuConfig, workload: Box<dyn Workload>) -> AppPlan {
-        AppPlan::build(cfg, SharedKernel::new(workload))
+        AppPlan::build(cfg, SharedKernel::new(workload), None)
     }
 
-    fn build(cfg: GpuConfig, kernel: SharedKernel) -> AppPlan {
+    /// [`AppPlan::with_config`] with `MAX_AGENTS` capped below the
+    /// occupancy bound — the DSE sweep's `max_agents` axis. `None`
+    /// keeps the occupancy bound.
+    pub fn with_config_capped(
+        cfg: GpuConfig,
+        workload: Box<dyn Workload>,
+        max_agents_cap: Option<u32>,
+    ) -> AppPlan {
+        AppPlan::build(cfg, SharedKernel::new(workload), max_agents_cap)
+    }
+
+    fn build(cfg: GpuConfig, kernel: SharedKernel, max_agents_cap: Option<u32>) -> AppPlan {
         let info = kernel.info();
         let partition = hinted_partition(&kernel, &cfg);
-        let agents = AgentKernel::with_partition(kernel.clone(), &cfg, partition.clone())
+        let mut agents = AgentKernel::with_partition(kernel.clone(), &cfg, partition.clone())
             .expect("agent transform");
+        if let Some(cap) = max_agents_cap {
+            agents = agents.with_max_agents(cap).expect("nonzero MAX_AGENTS cap");
+        }
         let max_agents = agents.max_agents();
         // Sweep candidates: a small set always containing Table 2's
         // published optimum, mirroring how the paper selected "Opt
@@ -375,6 +389,26 @@ impl AppPlan {
         let t0 = std::time::Instant::now();
         let out = self.with_kernel(req, |kernel| {
             Simulation::new(self.cfg.clone(), kernel).run_metered()
+        })?;
+        crate::par::record_busy(t0.elapsed());
+        Ok(out)
+    }
+
+    /// Like [`AppPlan::run_metered`] but with the opt-in per-set L1
+    /// profile enabled: returns the merged [`gpu_sim::SetProfile`] of
+    /// every sector array in the device. The `analyze --verify-costmodel`
+    /// per-set machine check re-runs matrix points through this.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AppPlan::run`].
+    pub fn run_profiled(
+        &self,
+        req: SimRequest,
+    ) -> Result<(RunStats, gpu_sim::EngineMetrics, gpu_sim::SetProfile), ClusterError> {
+        let t0 = std::time::Instant::now();
+        let out = self.with_kernel(req, |kernel| {
+            Simulation::new(self.cfg.clone(), kernel).run_profiled()
         })?;
         crate::par::record_busy(t0.elapsed());
         Ok(out)

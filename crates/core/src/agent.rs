@@ -145,6 +145,26 @@ impl<K: KernelSpec> AgentKernel<K> {
         self
     }
 
+    /// Caps `MAX_AGENTS` below the occupancy bound — the compile-time
+    /// `MAX_AGENTS` knob of §4.1, exposed as a DSE axis. The grid
+    /// shrinks to `SMs x min(cap, occupancy bound)` and `ACTIVE_AGENTS`
+    /// is clamped into the new range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidThrottle`] when `cap` is zero.
+    pub fn with_max_agents(mut self, cap: u32) -> Result<Self, ClusterError> {
+        if cap == 0 {
+            return Err(ClusterError::InvalidThrottle {
+                active: 0,
+                max: self.max_agents,
+            });
+        }
+        self.max_agents = self.max_agents.min(cap);
+        self.active_agents = self.active_agents.min(self.max_agents);
+        Ok(self)
+    }
+
     /// The wrapped kernel.
     pub fn inner(&self) -> &K {
         &self.inner

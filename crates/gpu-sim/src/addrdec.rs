@@ -20,6 +20,8 @@
 //! `encode(decode(a).tag) == a & !(line_bytes-1)` and two distinct lines
 //! can never alias within a `(bank, set)` pair.
 
+use crate::config::IndexFn;
+
 /// Multiplier of the set/bank hash (the 64-bit Fibonacci constant).
 pub const LINE_HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
 /// Multiplier of the DRAM-channel hash, chosen distinct from
@@ -109,6 +111,11 @@ pub struct AddrDec {
     sets: HashedIndex<LINE_HASH_MUL, 32>,
     banks: HashedIndex<LINE_HASH_MUL, 24>,
     channels: HashedIndex<CHAN_HASH_MUL, 24>,
+    /// Set-index function. [`IndexFn::Modulo`] bypasses the set hash and
+    /// indexes with `tag % num_sets` — the DSE axis; [`IndexFn::Hashed`]
+    /// (every preset) keeps the path above bit-identical to the
+    /// pre-axis decoder.
+    set_index_fn: IndexFn,
 }
 
 impl AddrDec {
@@ -118,6 +125,17 @@ impl AddrDec {
     /// The set hash consumes the *high* 32 bits of the product
     /// (`>> 32`), which spreads power-of-two strides over every set.
     pub fn for_cache(line_bytes: u32, sector_bytes: u32, num_sets: u64) -> Self {
+        AddrDec::for_cache_indexed(line_bytes, sector_bytes, num_sets, IndexFn::Hashed)
+    }
+
+    /// [`AddrDec::for_cache`] with an explicit set-index function — the
+    /// DSE sweep's indexing axis. `Hashed` is exactly `for_cache`.
+    pub fn for_cache_indexed(
+        line_bytes: u32,
+        sector_bytes: u32,
+        num_sets: u64,
+        index_fn: IndexFn,
+    ) -> Self {
         assert!(line_bytes.is_power_of_two());
         assert!(sector_bytes.is_power_of_two() && sector_bytes <= line_bytes);
         AddrDec {
@@ -127,6 +145,7 @@ impl AddrDec {
             sets: HashedIndex::new(num_sets),
             banks: HashedIndex::new(1),
             channels: HashedIndex::new(1),
+            set_index_fn: index_fn,
         }
     }
 
@@ -145,6 +164,7 @@ impl AddrDec {
             sets: HashedIndex::new(1),
             banks: HashedIndex::new(banks as u64),
             channels: HashedIndex::new(channels as u64),
+            set_index_fn: IndexFn::Hashed,
         }
     }
 
@@ -167,7 +187,20 @@ impl AddrDec {
     /// Set index for an already-extracted tag.
     #[inline]
     pub fn set_of_tag(&self, tag: u64) -> u64 {
-        self.sets.index(tag)
+        match self.set_index_fn {
+            IndexFn::Hashed => self.sets.index(tag),
+            IndexFn::Modulo => tag % self.sets.len(),
+        }
+    }
+
+    /// Number of sets this decoder indexes into.
+    pub fn num_sets(&self) -> u64 {
+        self.sets.len()
+    }
+
+    /// The set-index function this decoder was built with.
+    pub fn set_index_fn(&self) -> IndexFn {
+        self.set_index_fn
     }
 
     /// Sector index of a byte address within its line.
@@ -193,7 +226,7 @@ impl AddrDec {
         let tag = self.tag(addr);
         DecodedAddr {
             tag,
-            set: self.sets.index(tag),
+            set: self.set_of_tag(tag),
             sector: self.sector(addr),
             bank: self.banks.index(tag),
             channel: self.channels.index(tag),
@@ -252,6 +285,21 @@ mod tests {
             assert!(d.channel(line) < 5);
             assert_eq!(d.decode(line).bank, d.bank(line) as u64);
         }
+    }
+
+    #[test]
+    fn modulo_mode_indexes_without_the_hash() {
+        let modulo = AddrDec::for_cache_indexed(128, 128, 32, IndexFn::Modulo);
+        for tag in (0..10_000u64).chain([u64::MAX / 7, u64::MAX]) {
+            assert_eq!(modulo.set_of_tag(tag), tag % 32);
+        }
+        for tag in 0..10_000u64 {
+            assert_eq!(modulo.decode(tag * 128).set, tag % 32);
+        }
+        // `Hashed` through the explicit constructor is exactly `for_cache`.
+        let a = AddrDec::for_cache_indexed(128, 32, 32, IndexFn::Hashed);
+        let b = AddrDec::for_cache(128, 32, 32);
+        assert_eq!(a, b);
     }
 
     #[test]

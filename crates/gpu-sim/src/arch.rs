@@ -5,7 +5,7 @@
 //! values the paper measured with its Listing 3 microbenchmark and reports
 //! in Figure 2 (e.g. ~125-cycle L1 and ~374-cycle L2 on Fermi).
 
-use crate::config::{ArchGen, CacheConfig, GpuConfig, MemoryTimings, WritePolicy};
+use crate::config::{ArchGen, CacheConfig, GpuConfig, IndexFn, MemoryTimings, WritePolicy};
 
 const KB: u32 = 1024;
 
@@ -18,6 +18,7 @@ fn l1_cache(size_kb: u32, line: u32, mshr: u32) -> CacheConfig {
         write_policy: WritePolicy::WriteEvict,
         sector_bytes: 0,
         aggregated_tags: false,
+        index_fn: IndexFn::Hashed,
     }
 }
 
@@ -30,6 +31,7 @@ fn l2_cache(size_kb: u32) -> CacheConfig {
         write_policy: WritePolicy::WriteBackAllocate,
         sector_bytes: 0,
         aggregated_tags: false,
+        index_fn: IndexFn::Hashed,
     }
 }
 

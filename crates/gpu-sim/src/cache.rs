@@ -33,7 +33,7 @@
 use crate::addrdec::AddrDec;
 use crate::config::{CacheConfig, WritePolicy};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 /// Per-level counters, updated on every access.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -103,6 +103,64 @@ impl CacheStats {
         self.writebacks += other.writebacks;
         self.mshr_stalls += other.mshr_stalls;
         self.mshr_wait_cycles += other.mshr_wait_cycles;
+    }
+}
+
+/// Opt-in per-set profile, the ground truth the CL3xx set-conflict
+/// analysis is machine-checked against. Kept *outside* [`CacheStats`]
+/// (whose layout and `Debug` repr the golden differential tests hash)
+/// and allocated only when a caller asks for it
+/// ([`Cache::enable_set_profile`]), so the packed hot path of an
+/// unprofiled run is untouched apart from a predictable `None` branch.
+#[derive(Debug, Clone, Default)]
+pub struct SetProfile {
+    /// Per-set demand-read hits (arrived + reserved — the
+    /// [`CacheStats::read_hit_rate`] convention).
+    pub read_hits: Vec<u64>,
+    /// Per-set demand-read misses, including sector misses on resident
+    /// lines.
+    pub read_misses: Vec<u64>,
+    /// Per-set evictions of valid lines (the install path's
+    /// [`CacheStats::evictions`], attributed to sets).
+    pub evictions: Vec<u64>,
+    /// Per-set distinct tags ever installed (read misses and
+    /// write-allocate misses — exactly the install-capable lines the
+    /// static model maps to sets).
+    installed: Vec<HashSet<u64>>,
+}
+
+impl SetProfile {
+    fn new(num_sets: usize) -> SetProfile {
+        SetProfile {
+            read_hits: vec![0; num_sets],
+            read_misses: vec![0; num_sets],
+            evictions: vec![0; num_sets],
+            installed: (0..num_sets).map(|_| HashSet::new()).collect(),
+        }
+    }
+
+    /// Number of sets profiled.
+    pub fn num_sets(&self) -> usize {
+        self.read_hits.len()
+    }
+
+    /// Distinct tags ever installed into `set` — the measured per-set
+    /// footprint the decoder-computed one must match exactly.
+    pub fn installed_footprint(&self, set: usize) -> u64 {
+        self.installed[set].len() as u64
+    }
+
+    /// Merges another array's profile: counters add, installed-tag sets
+    /// *union* (a shared line installed by several SMs is one line of
+    /// the footprint, not several). Panics if the geometries differ.
+    pub fn absorb(&mut self, other: &SetProfile) {
+        assert_eq!(self.num_sets(), other.num_sets(), "set-profile geometry");
+        for s in 0..self.num_sets() {
+            self.read_hits[s] += other.read_hits[s];
+            self.read_misses[s] += other.read_misses[s];
+            self.evictions[s] += other.evictions[s];
+            self.installed[s].extend(other.installed[s].iter().copied());
+        }
     }
 }
 
@@ -226,6 +284,9 @@ pub struct Cache {
     ata_probes: u64,
     /// Ghost probes that matched a recently evicted tag.
     ata_hits: u64,
+    /// Opt-in per-set profile (see [`SetProfile`]); `None` — and off the
+    /// hot path — unless [`Cache::enable_set_profile`] was called.
+    profile: Option<Box<SetProfile>>,
     /// Observable counters.
     pub stats: CacheStats,
 }
@@ -252,7 +313,12 @@ impl Cache {
             (Box::default(), Box::default())
         };
         Cache {
-            dec: AddrDec::for_cache(cfg.line_bytes, cfg.effective_sector_bytes(), num_sets),
+            dec: AddrDec::for_cache_indexed(
+                cfg.line_bytes,
+                cfg.effective_sector_bytes(),
+                num_sets,
+                cfg.index_fn,
+            ),
             assoc,
             full_mask: (((1u64 << sectors) - 1) & u32::MAX as u64) as u32,
             tags: vec![INVALID_TAG; lines].into_boxed_slice(),
@@ -266,8 +332,23 @@ impl Cache {
             ghost_cur,
             ata_probes: 0,
             ata_hits: 0,
+            profile: None,
             stats: CacheStats::default(),
         }
+    }
+
+    /// Turns on per-set profiling (idempotent). Existing contents and
+    /// stats are unaffected; profiling only observes accesses made after
+    /// the call, so enable it before the first access.
+    pub fn enable_set_profile(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(Box::new(SetProfile::new(self.cfg.num_sets() as usize)));
+        }
+    }
+
+    /// The per-set profile, if profiling was enabled.
+    pub fn set_profile(&self) -> Option<&SetProfile> {
+        self.profile.as_deref()
     }
 
     /// The configured geometry.
@@ -413,6 +494,9 @@ impl Cache {
                 // The line's fill horizon conservatively extends to the
                 // new fill.
                 self.stats.read_misses += 1;
+                if let Some(p) = self.profile.as_deref_mut() {
+                    p.read_misses[base / self.assoc] += 1;
+                }
                 let mshr_wait = self.mshr_admit(now);
                 self.state[i].valid |= sectors;
                 self.state[i].fill_done = u64::MAX;
@@ -421,6 +505,9 @@ impl Cache {
                     mshr_wait,
                     dirty_victim: false,
                 };
+            }
+            if let Some(p) = self.profile.as_deref_mut() {
+                p.read_hits[base / self.assoc] += 1;
             }
             if self.state[i].fill_done > now {
                 self.stats.read_reserved += 1;
@@ -433,6 +520,9 @@ impl Cache {
         }
         // Miss: check MSHR availability, then pick a victim.
         self.stats.read_misses += 1;
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.read_misses[base / self.assoc] += 1;
+        }
         let mshr_wait = self.mshr_admit(now);
         let (_, dirty_victim) = self.install(base, tag, tick, sectors);
         ReadOutcome::Miss {
@@ -477,9 +567,15 @@ impl Cache {
         let dirty_victim = was_valid && self.state[victim].dirty != 0;
         if was_valid {
             self.stats.evictions += 1;
+            if let Some(p) = self.profile.as_deref_mut() {
+                p.evictions[base / self.assoc] += 1;
+            }
             if self.cfg.aggregated_tags {
                 self.ghost_push(base, self.tags[victim]);
             }
+        }
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.installed[base / self.assoc].insert(tag);
         }
         if dirty_victim {
             self.stats.writebacks += 1;
@@ -628,6 +724,7 @@ mod tests {
             write_policy: policy,
             sector_bytes: 0,
             aggregated_tags: false,
+            index_fn: crate::config::IndexFn::Hashed,
         }
     }
 
@@ -692,6 +789,7 @@ mod tests {
             write_policy: WritePolicy::WriteEvict,
             sector_bytes: 0,
             aggregated_tags: false,
+            index_fn: crate::config::IndexFn::Hashed,
         });
         let mut sets = std::collections::BTreeSet::new();
         for r in 0..256u64 {
@@ -903,6 +1001,7 @@ mod tests {
             write_policy: WritePolicy::WriteEvict,
             sector_bytes: 0,
             aggregated_tags: true,
+            index_fn: crate::config::IndexFn::Hashed,
         })
     }
 
@@ -961,5 +1060,69 @@ mod tests {
         let c = small(WritePolicy::WriteEvict);
         assert_eq!(c.ata_counters(), (0, 0));
         assert!(c.ghost_tags.is_empty());
+    }
+
+    #[test]
+    fn modulo_indexing_changes_only_the_set_function() {
+        let mut cfg = config(WritePolicy::WriteEvict);
+        cfg.index_fn = crate::config::IndexFn::Modulo;
+        let c = Cache::new(cfg);
+        let num_sets = c.cfg.num_sets() as u64;
+        for a in (0..1024u64).map(|i| i * 128) {
+            assert_eq!(c.set_index(a), (a / 128) % num_sets);
+        }
+    }
+
+    #[test]
+    fn set_profile_tracks_hits_misses_and_footprints() {
+        let mut c = small(WritePolicy::WriteEvict);
+        c.enable_set_profile();
+        c.enable_set_profile(); // idempotent
+
+        // Two distinct lines in set(0)'s conflict group, one revisited.
+        let peers = colliding(&c, 1);
+        c.read(0, 0);
+        c.fill(0, 0);
+        c.read(0, 1); // hit
+        c.read(peers[0], 2); // second way, no eviction
+        c.fill(peers[0], 2);
+        let set0 = c.set_index(0) as usize;
+        let p = c.set_profile().expect("profiling enabled");
+        assert_eq!(p.num_sets(), c.cfg.num_sets() as usize);
+        assert_eq!(p.read_hits[set0], 1);
+        assert_eq!(p.read_misses[set0], 2);
+        assert_eq!(p.evictions[set0], 0);
+        assert_eq!(p.installed_footprint(set0), 2);
+        let per_set_total: u64 = p.read_hits.iter().chain(p.read_misses.iter()).sum();
+        assert_eq!(per_set_total, c.stats.reads);
+    }
+
+    #[test]
+    fn set_profile_absorb_unions_footprints() {
+        // Two arrays (think: two SMs) both install line 0 — the merged
+        // footprint counts it once, while counters add.
+        let mut a = small(WritePolicy::WriteEvict);
+        let mut b = small(WritePolicy::WriteEvict);
+        a.enable_set_profile();
+        b.enable_set_profile();
+        a.read(0, 0);
+        a.fill(0, 0);
+        b.read(0, 0);
+        b.fill(0, 0);
+        let peer = colliding(&a, 1)[0];
+        b.read(peer, 1);
+        b.fill(peer, 1);
+        let set0 = a.set_index(0) as usize;
+        let mut merged = a.set_profile().unwrap().clone();
+        merged.absorb(b.set_profile().unwrap());
+        assert_eq!(merged.installed_footprint(set0), 2, "union, not sum");
+        assert_eq!(merged.read_misses[set0], 3);
+    }
+
+    #[test]
+    fn unprofiled_cache_allocates_no_profile() {
+        let mut c = small(WritePolicy::WriteEvict);
+        c.read(0, 0);
+        assert!(c.set_profile().is_none());
     }
 }

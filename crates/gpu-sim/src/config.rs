@@ -15,6 +15,30 @@ pub enum WritePolicy {
     WriteBackAllocate,
 }
 
+/// Set-index function of a cache array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IndexFn {
+    /// Multiplicative (Fibonacci) hash of the line tag — the modeled
+    /// hardware behavior (see [`crate::addrdec`]). Default everywhere.
+    #[default]
+    Hashed,
+    /// Plain `tag % num_sets` indexing, the textbook scheme real GPUs
+    /// avoid: power-of-two strides camp on a few sets. Exposed as a DSE
+    /// axis so the sweep (and the CL3xx set-conflict analysis) can
+    /// quantify what the hash buys per workload.
+    Modulo,
+}
+
+impl IndexFn {
+    /// The sweep-spec / config-file token (`hashed` / `modulo`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            IndexFn::Hashed => "hashed",
+            IndexFn::Modulo => "modulo",
+        }
+    }
+}
+
 /// Geometry and policy of one cache level.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -42,6 +66,10 @@ pub struct CacheConfig {
     /// LIP-style cold insert). Off by default; modeled architectures
     /// opt in via [`crate::arch::ata_variant`].
     pub aggregated_tags: bool,
+    /// Set-index function. [`IndexFn::Hashed`] models the hardware and
+    /// is the default for every preset; [`IndexFn::Modulo`] exists as a
+    /// DSE axis.
+    pub index_fn: IndexFn,
 }
 
 impl CacheConfig {
@@ -374,6 +402,7 @@ mod tests {
             write_policy: WritePolicy::WriteEvict,
             sector_bytes: 0,
             aggregated_tags: false,
+            index_fn: IndexFn::Hashed,
         };
         assert_eq!(c.num_sets(), 32);
         assert_eq!(c.sectors_per_line(), 1);
@@ -391,6 +420,7 @@ mod tests {
             write_policy: WritePolicy::WriteEvict,
             sector_bytes: 32,
             aggregated_tags: false,
+            index_fn: IndexFn::Hashed,
         };
         assert!(base.validate("test").is_ok());
         assert_eq!(base.sectors_per_line(), 4);

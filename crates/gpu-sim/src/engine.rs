@@ -20,7 +20,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::cache::{Cache, CacheStats, ReadOutcome, WriteOutcome};
+use crate::cache::{Cache, CacheStats, ReadOutcome, SetProfile, WriteOutcome};
 use crate::coalesce::coalesce_lines_into;
 use crate::config::GpuConfig;
 use crate::error::SimError;
@@ -129,6 +129,9 @@ pub struct Simulation<'k> {
     cfg: GpuConfig,
     kernel: &'k dyn KernelSpec,
     scheduler: Box<dyn CtaScheduler + 'k>,
+    /// Enable per-set L1 profiling for the next run (set transiently by
+    /// [`Simulation::run_profiled`]).
+    profile_l1: bool,
 }
 
 impl<'k> std::fmt::Debug for Simulation<'k> {
@@ -149,6 +152,7 @@ impl<'k> Simulation<'k> {
             cfg,
             kernel,
             scheduler: Box::new(HardwareLike::new(DEFAULT_SEED)),
+            profile_l1: false,
         }
     }
 
@@ -165,7 +169,7 @@ impl<'k> Simulation<'k> {
     /// Propagates configuration/launch validation failures and runtime
     /// [`SimError`]s (barrier deadlock, scheduler starvation).
     pub fn run(&mut self) -> Result<RunStats, SimError> {
-        self.run_impl(None).map(|(stats, _)| stats)
+        self.run_impl(None).map(|(stats, _, _)| stats)
     }
 
     /// Runs the kernel, forwarding every global-memory access to `sink`.
@@ -174,7 +178,7 @@ impl<'k> Simulation<'k> {
     ///
     /// Same as [`run`](Self::run).
     pub fn run_traced(&mut self, sink: &mut dyn TraceSink) -> Result<RunStats, SimError> {
-        self.run_impl(Some(sink)).map(|(stats, _)| stats)
+        self.run_impl(Some(sink)).map(|(stats, _, _)| stats)
     }
 
     /// Runs the kernel and additionally returns the engine's event
@@ -185,6 +189,7 @@ impl<'k> Simulation<'k> {
     /// Same as [`run`](Self::run).
     pub fn run_metered(&mut self) -> Result<(RunStats, EngineMetrics), SimError> {
         self.run_impl(None)
+            .map(|(stats, metrics, _)| (stats, metrics))
     }
 
     /// [`run_traced`](Self::run_traced) plus engine event accounting.
@@ -197,12 +202,35 @@ impl<'k> Simulation<'k> {
         sink: &mut dyn TraceSink,
     ) -> Result<(RunStats, EngineMetrics), SimError> {
         self.run_impl(Some(sink))
+            .map(|(stats, metrics, _)| (stats, metrics))
+    }
+
+    /// [`run_metered`](Self::run_metered) with per-set L1 profiling
+    /// enabled, additionally returning the device-wide [`SetProfile`]
+    /// (counters summed, installed-tag footprints unioned across every
+    /// SM's sector arrays). The [`RunStats`] are identical to an
+    /// unprofiled run — profiling observes, it never steers.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_profiled(&mut self) -> Result<(RunStats, EngineMetrics, SetProfile), SimError> {
+        self.profile_l1 = true;
+        let out = self.run_impl(None);
+        self.profile_l1 = false;
+        out.map(|(stats, metrics, profile)| {
+            (
+                stats,
+                metrics,
+                profile.expect("profiled run yields a profile"),
+            )
+        })
     }
 
     fn run_impl<'s>(
         &'s mut self,
         sink: Option<&'s mut dyn TraceSink>,
-    ) -> Result<(RunStats, EngineMetrics), SimError> {
+    ) -> Result<(RunStats, EngineMetrics, Option<SetProfile>), SimError> {
         self.cfg.validate()?;
         let launch = self.kernel.launch();
         launch.validate()?;
@@ -222,6 +250,7 @@ impl<'k> Simulation<'k> {
             line_buf: Vec::with_capacity(64),
             program_pool: Vec::new(),
             metrics: EngineMetrics::default(),
+            profile_l1: self.profile_l1,
         };
         runner.run(launch.num_ctas())
     }
@@ -254,14 +283,24 @@ struct Runner<'a> {
     /// dispatch via [`ProgramBuilder::with_buffer`].
     program_pool: Vec<Vec<Op>>,
     metrics: EngineMetrics,
+    /// Enable per-set profiling on every L1 sector array at construction.
+    profile_l1: bool,
 }
 
 impl<'a> Runner<'a> {
-    fn run(&mut self, total_ctas: u64) -> Result<(RunStats, EngineMetrics), SimError> {
+    fn run(
+        &mut self,
+        total_ctas: u64,
+    ) -> Result<(RunStats, EngineMetrics, Option<SetProfile>), SimError> {
         self.scheduler.reset(total_ctas);
         self.sms = (0..self.cfg.num_sms)
             .map(|i| SmState::new(i, self.cfg, self.max_ctas, self.warps_per_cta))
             .collect();
+        if self.profile_l1 {
+            for sm in &mut self.sms {
+                sm.enable_l1_set_profile();
+            }
+        }
 
         // Initial fill: one CTA per SM per round, like the GigaThread
         // engine's first-turnaround round-robin sweep.
@@ -320,7 +359,22 @@ impl<'a> Runner<'a> {
             });
         }
 
-        Ok((self.finish(), self.metrics))
+        let stats = self.finish();
+        let profile = if self.profile_l1 {
+            let mut merged: Option<SetProfile> = None;
+            for sm in &self.sms {
+                if let Some(p) = sm.l1_set_profile() {
+                    match &mut merged {
+                        Some(m) => m.absorb(&p),
+                        None => merged = Some(p),
+                    }
+                }
+            }
+            merged
+        } else {
+            None
+        };
+        Ok((stats, self.metrics, profile))
     }
 
     /// Attempts to dispatch one CTA into the lowest free slot of `sm_id`.

@@ -79,9 +79,9 @@ mod trace;
 pub mod walk;
 
 pub use addrdec::{AddrDec, DecodedAddr, HashedIndex};
-pub use cache::{Cache, CacheStats, ReadOutcome, WriteOutcome};
+pub use cache::{Cache, CacheStats, ReadOutcome, SetProfile, WriteOutcome};
 pub use coalesce::{coalesce_lines, coalesce_lines_into, coalescing_degree};
-pub use config::{ArchGen, CacheConfig, GpuConfig, MemoryTimings, WritePolicy};
+pub use config::{ArchGen, CacheConfig, GpuConfig, IndexFn, MemoryTimings, WritePolicy};
 pub use dim::Dim3;
 pub use engine::{EngineMetrics, Simulation};
 pub use error::SimError;

@@ -16,7 +16,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::cache::{Cache, CacheStats};
+use crate::cache::{Cache, CacheStats, SetProfile};
 use crate::config::{CacheConfig, GpuConfig};
 use crate::program::{Cursor, WarpProgram};
 
@@ -153,6 +153,29 @@ impl SmState {
             agg.absorb(&s.stats);
         }
         agg
+    }
+
+    /// Turns on per-set profiling on every L1 sector array (the CL3xx
+    /// machine-check path; a no-op for ordinary runs).
+    pub(crate) fn enable_l1_set_profile(&mut self) {
+        for s in &mut self.l1_sectors {
+            s.enable_set_profile();
+        }
+    }
+
+    /// Merged per-set profile over this SM's sectors (every sector array
+    /// shares the sub-array geometry, so sets align one-to-one). `None`
+    /// when profiling was never enabled.
+    pub(crate) fn l1_set_profile(&self) -> Option<SetProfile> {
+        let mut merged: Option<SetProfile> = None;
+        for s in &self.l1_sectors {
+            let p = s.set_profile()?;
+            match &mut merged {
+                Some(m) => m.absorb(p),
+                None => merged = Some(p.clone()),
+            }
+        }
+        merged
     }
 
     /// Records that warp slot `idx` (re)becomes issuable at `t`. Every

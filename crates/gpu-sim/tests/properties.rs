@@ -333,6 +333,7 @@ fn differential_run(
         write_policy: policy,
         sector_bytes: if sectored { 32 } else { 0 },
         aggregated_tags: aggregated,
+        index_fn: gpu_sim::IndexFn::Hashed,
     };
     let mut real = Cache::new(cfg.clone());
     let mut model = RefCache::new(&cfg);

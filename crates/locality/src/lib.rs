@@ -35,7 +35,7 @@ mod tags;
 mod wordmap;
 
 pub use category::{classify, Category, CategoryProfiler, Signature};
-pub use costsum::{AccessSummary, HitInterval};
+pub use costsum::{AccessSummary, HitInterval, SetConflictModel};
 pub use distance::ReuseDistance;
 pub use feed::StaticFeed;
 pub use obs_sink::ObsSink;

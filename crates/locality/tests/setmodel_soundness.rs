@@ -1,100 +1,98 @@
-//! Soundness battery for the static cost model: the hit-rate interval
-//! produced by [`locality::AccessSummary`] must contain the L1 read hit
-//! rate the event-driven simulator measures, for every kernel, cache
-//! geometry and CTA scheduler thrown at it — and the model's predicted
-//! read-transaction count must equal the simulator's exactly (the
-//! stream the bounds are stated over *is* the stream the engine
-//! presents to the L1).
+//! Soundness battery for the per-set conflict model: the decoder-
+//! computed per-set footprints, read counts and stability verdicts of
+//! [`locality::SetConflictModel`] must agree *exactly* with the
+//! simulator's per-set counters ([`gpu_sim::SetProfile`]), for every
+//! kernel, cache geometry, set-index function, aggregated-tag mode and
+//! CTA scheduler thrown at it. These are the same three machine-checked
+//! invariants `analyze --verify-costmodel` holds over the committed
+//! 885-run matrix:
+//!
+//! 1. the union of distinct tags ever installed into set `s`, across
+//!    every SM's sector arrays, equals the model's `footprint[s]`;
+//! 2. the simulator's `read_hits[s] + read_misses[s]` equals the
+//!    model's `set_reads[s]`;
+//! 3. a stable set (`footprint[s] <= ways`) never evicts.
 
 use gpu_sim::sched::{CtaScheduler, HardwareLike, Randomized, StrictRoundRobin};
 use gpu_sim::{
     arch, CacheOp, CtaContext, Dim3, GpuConfig, IndexFn, KernelSpec, LaunchConfig, MemAccess, Op,
-    Program, Simulation, WritePolicy,
+    Program, SetProfile, Simulation, WritePolicy,
 };
-use locality::AccessSummary;
+use locality::{AccessSummary, SetConflictModel};
 use proptest::prelude::*;
 
-/// The scheduler spectrum every containment check runs under.
-fn schedulers() -> Vec<Box<dyn CtaScheduler>> {
-    vec![
-        Box::new(StrictRoundRobin::new()),
-        Box::new(HardwareLike::new(0xC1A0_0017)),
-        Box::new(HardwareLike::new(12345)),
-        Box::new(Randomized::new(99)),
-    ]
+/// Asserts the three per-set invariants between one model and one
+/// measured profile.
+fn assert_per_set_agreement(model: &SetConflictModel, profile: &SetProfile, what: &str) {
+    assert_eq!(
+        model.num_sets(),
+        profile.num_sets() as u64,
+        "{what}: set count diverges"
+    );
+    for s in 0..profile.num_sets() {
+        assert_eq!(
+            profile.installed_footprint(s),
+            model.footprint[s],
+            "{what}: set {s} installed footprint diverges"
+        );
+        assert_eq!(
+            profile.read_hits[s] + profile.read_misses[s],
+            model.set_reads[s],
+            "{what}: set {s} read transactions diverge"
+        );
+        if model.footprint[s] <= model.associativity {
+            assert_eq!(
+                profile.evictions[s], 0,
+                "{what}: stable set {s} (footprint {} <= {} ways) evicted",
+                model.footprint[s], model.associativity
+            );
+        }
+    }
 }
 
-/// Simulates `kernel` on `cfg` under every scheduler and asserts the
-/// measured hit rate lies inside the statically derived interval.
-fn assert_contained<K: KernelSpec>(kernel: &K, cfg: &GpuConfig, what: &str) {
+/// Simulates `kernel` on `cfg` with the per-set profile enabled, under
+/// every scheduler, and checks the model against each measured profile.
+fn assert_profiled<K: KernelSpec>(kernel: &K, cfg: &GpuConfig, what: &str) {
     let summary = AccessSummary::collect_on(kernel, cfg);
-    let iv = summary.hit_interval(cfg);
-    assert!(iv.lo <= iv.hi + 1e-12, "{what}: inverted interval {iv:?}");
-    for sched in schedulers() {
+    let model = summary.set_conflicts(cfg);
+    let scheds: Vec<Box<dyn CtaScheduler>> = vec![
+        Box::new(StrictRoundRobin::new()),
+        Box::new(HardwareLike::new(0xC1A0_0017)),
+        Box::new(Randomized::new(99)),
+    ];
+    for sched in scheds {
         let label = sched.label();
-        let stats = Simulation::new(cfg.clone(), kernel)
+        let (_, _, profile) = Simulation::new(cfg.clone(), kernel)
             .with_scheduler(sched)
-            .run()
+            .run_profiled()
             .unwrap_or_else(|e| panic!("{what}/{label}: {e}"));
-        assert_eq!(
-            iv.reads, stats.l1.reads,
-            "{what}/{label}: modeled transaction count diverges"
-        );
-        let measured = stats.l1.read_hit_rate();
-        assert!(
-            iv.contains(measured),
-            "{what}/{label}: measured {measured:.6} outside [{:.6}, {:.6}]",
-            iv.lo,
-            iv.hi
-        );
+        assert_per_set_agreement(&model, &profile, &format!("{what}/{label}"));
     }
 }
 
 #[test]
-fn suite_apps_are_contained_on_both_line_sizes() {
-    for cfg in [arch::gtx570(), arch::gtx980()] {
-        for abbr in ["NW", "BS", "HS"] {
+fn suite_apps_agree_per_set_under_both_index_fns() {
+    for abbr in ["NW", "BS", "HS"] {
+        for index in [IndexFn::Hashed, IndexFn::Modulo] {
+            let mut cfg = arch::gtx570();
+            cfg.l1.index_fn = index;
             let w = gpu_kernels::suite::by_abbr(abbr, cfg.arch).expect("suite app");
             let adjusted = cfg.prefer_l1(w.launch().smem_per_cta);
-            assert_contained(&w, &adjusted, &format!("{}/{abbr}", cfg.name));
+            assert_profiled(&w, &adjusted, &format!("{abbr}/{}", index.label()));
         }
     }
 }
 
 #[test]
-fn ata_variant_is_contained() {
+fn ata_variant_agrees_per_set() {
     let cfg = arch::ata_variant(arch::gtx980());
     let w = gpu_kernels::suite::by_abbr("HS", cfg.arch).expect("suite app");
     let adjusted = cfg.prefer_l1(w.launch().smem_per_cta);
-    assert_contained(&w, &adjusted, "gtx980-ATA/HS");
-}
-
-/// Precision regression: the interval is only useful if it is tight.
-/// Pins the mean width over the 23 Table 2 apps on the Fermi preset so
-/// a model change that silently loosens the bounds fails here.
-#[test]
-fn table2_mean_interval_width_is_pinned() {
-    let base = arch::gtx570();
-    let apps = gpu_kernels::suite::table2_suite(base.arch);
-    assert_eq!(apps.len(), 23, "Table 2 suite size changed");
-    let mut total = 0.0f64;
-    for w in &apps {
-        let cfg = base.prefer_l1(w.launch().smem_per_cta);
-        let iv = AccessSummary::collect_on(w, &cfg).hit_interval(&cfg);
-        assert!(iv.lo <= iv.hi + 1e-12, "{}: inverted interval", w.name());
-        total += iv.width();
-    }
-    let mean = total / apps.len() as f64;
-    eprintln!("table2 mean interval width: {mean:.4}");
-    // Measured 0.7137 at introduction: tighten deliberately, never loosen.
-    assert!(
-        mean <= 0.714,
-        "mean interval width regressed: {mean:.4} > 0.714"
-    );
+    assert_profiled(&w, &adjusted, "gtx980-ATA/HS");
 }
 
 // ---------------------------------------------------------------------
-// Random kernels × random geometries
+// Random kernels × random geometries × index functions × ATA
 // ---------------------------------------------------------------------
 
 /// Deterministic per-case random stream (a 64-bit LCG).
@@ -110,17 +108,17 @@ impl Lcg {
     }
 }
 
-/// A random but deterministic workload: each (CTA, warp) program is a
-/// pure function of the seed and ids, so it is context-independent —
-/// the same property the suite kernels satisfy, and the precondition
-/// for walking it statically.
+/// A random but deterministic workload (the same shape as the cost-model
+/// battery): each (CTA, warp) program is a pure function of the seed and
+/// ids, so walking it statically sees the stream the engine presents.
 #[derive(Debug, Clone)]
 struct RandKernel {
     seed: u64,
     ctas: u32,
     warps: u32,
     ops: u32,
-    /// Footprint in lines of 128B; small ranges force set conflicts.
+    /// Footprint in lines of the configured size; small ranges force
+    /// set conflicts, large ones leave sets stable.
     range_lines: u64,
 }
 
@@ -155,7 +153,6 @@ impl KernelSpec for RandKernel {
                     Op::Load(a)
                 }
                 4 => {
-                    // Divergent gather across the footprint.
                     let addrs: Vec<u64> = (0..8).map(|_| rng.next() % range).collect();
                     Op::Load(MemAccess::gather(0, addrs, 4))
                 }
@@ -169,11 +166,11 @@ impl KernelSpec for RandKernel {
 }
 
 proptest! {
-    /// For random programs, geometries, write policies and schedulers,
-    /// the interval contains the measured hit rate and the transaction
-    /// accounting matches exactly.
+    /// For random programs, geometries, write policies, index functions,
+    /// aggregated-tag modes and schedulers, the decoder-computed per-set
+    /// model matches the simulator's per-set counters exactly.
     #[test]
-    fn random_kernel_hit_rate_is_contained(
+    fn random_kernel_per_set_counters_match(
         (seed, ctas, warps, ops, range_lines) in
             (0u64..1 << 48, 1u32..24, 1u32..3, 1u32..10, 1u64..96),
         (line_exp, sets_exp, assoc_exp, sectors) in
@@ -182,7 +179,7 @@ proptest! {
         (ata, modulo) in (0u32..2, 0u32..2),
     ) {
         let kernel = RandKernel { seed, ctas, warps, ops, range_lines };
-        let line_bytes = 1u32 << line_exp; // 32..128, all >= the 32B L2 line
+        let line_bytes = 1u32 << line_exp;
         let assoc = 1u32 << assoc_exp;
         let sets = 1u32 << sets_exp;
         let mut cfg = arch::gtx570();
@@ -202,8 +199,8 @@ proptest! {
         cfg.validate().expect("constructed geometry must be valid");
 
         let summary = AccessSummary::collect_on(&kernel, &cfg);
-        let iv = summary.hit_interval(&cfg);
-        prop_assert!(iv.lo <= iv.hi + 1e-12);
+        let model = summary.set_conflicts(&cfg);
+        prop_assert_eq!(model.set_reads.iter().sum::<u64>(), summary.reads());
 
         let sched: Box<dyn CtaScheduler> = match sched_pick {
             0 => Box::new(StrictRoundRobin::new()),
@@ -211,16 +208,17 @@ proptest! {
             2 => Box::new(Randomized::new(seed)),
             _ => Box::new(HardwareLike::new(!seed)),
         };
-        let stats = Simulation::new(cfg.clone(), &kernel)
+        let (_, _, profile) = Simulation::new(cfg.clone(), &kernel)
             .with_scheduler(sched)
-            .run()
-            .expect("simulation");
-        prop_assert_eq!(iv.reads, stats.l1.reads);
-        let measured = stats.l1.read_hit_rate();
-        prop_assert!(
-            iv.contains(measured),
-            "measured {} outside [{}, {}] (cfg {}B line, {} sets, {} ways, {} sectors, wba={})",
-            measured, iv.lo, iv.hi, line_bytes, sets, assoc, sectors, wba
+            .run_profiled()
+            .expect("profiled simulation");
+        assert_per_set_agreement(
+            &model,
+            &profile,
+            &format!(
+                "rand({seed:#x}) {line_bytes}B x {sets} sets x {assoc} ways x {sectors} \
+                 sectors wba={wba} ata={ata} modulo={modulo}"
+            ),
         );
     }
 }
