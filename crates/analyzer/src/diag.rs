@@ -274,6 +274,13 @@ declare_lints! {
         "CL304", "setmodel-unsound", Deny,
         "per-set prediction diverges from simulator per-set counters"
     },
+    /// A plan about to be returned by the serving layer failed the
+    /// static plan audit (emitted by [`crate::plan::audit_served`], the
+    /// gate `cta-serve` and its tests run every response through).
+    SERVED_PLAN_FAILS_AUDIT = {
+        "CL401", "served-plan-fails-audit", Deny,
+        "a served plan fails the static plan audit"
+    },
 }
 
 /// Looks a lint up by its stable code.

@@ -337,6 +337,21 @@ pub fn explanation(code: &str) -> Option<&'static str> {
              must be bit-identical to the cache's. Bisect with the \
              `setmodel_soundness` proptest battery."
         }
+        "CL401" => {
+            "The serving gate: a clustering plan the plan server was about to \
+             return failed the static plan audit (CL026/CL031/CL032/CL033 at \
+             deny level). `cta-serve` re-derives the kernel's locality profile \
+             from the request's access summary and runs `plan::audit_served` \
+             on every response before it is written; a failure here means the \
+             planner produced a self-contradictory plan - exploiting \
+             unexploitable locality, bypassing a reused array, prefetching \
+             over an exploit plan, or throttling beyond the occupancy bound.\n\n\
+             The CL401 message embeds the underlying deny findings verbatim. \
+             Warn-level audit findings are forwarded under their own codes \
+             and do not trigger CL401. A served plan that trips this lint is \
+             withheld and the request answered with an error, so clients \
+             never act on an unsound plan."
+        }
         _ => return None,
     };
     Some(text)

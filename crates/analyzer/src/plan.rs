@@ -8,8 +8,8 @@
 
 use crate::diag::{
     Report, DEGENERATE_CACHE_GEOMETRY, PLAN_BYPASS_REUSED_TAG, PLAN_EXPLOITS_UNEXPLOITABLE,
-    PLAN_PREFETCH_ON_EXPLOITABLE, STATIC_CATEGORY_MISMATCH, THROTTLE_CLAMPED,
-    THROTTLE_EXCEEDS_OCCUPANCY,
+    PLAN_PREFETCH_ON_EXPLOITABLE, SERVED_PLAN_FAILS_AUDIT, STATIC_CATEGORY_MISMATCH,
+    THROTTLE_CLAMPED, THROTTLE_EXCEEDS_OCCUPANCY,
 };
 use crate::profile::StaticProfile;
 use cta_clustering::{clamp_active_agents, Plan};
@@ -115,6 +115,46 @@ pub fn audit(
     // lint of its own — streaming kernels have nothing to protect in L1,
     // and the other unexploitable categories are already covered by
     // CL032 through their per-tag reuse rates.
+}
+
+/// Gate form of [`audit`] for the serving layer: runs the full plan
+/// audit into a scratch report and collapses any deny-level finding
+/// into one CL401 against `subject`, returning `true` when the plan is
+/// clean enough to serve. Warn-level findings (category mismatch,
+/// clamped throttle) are forwarded verbatim — they annotate but do not
+/// block a response; deny-level ones mean the plan must not leave the
+/// server. `cta-serve` runs every response through this before it is
+/// written, and the serve test-suite re-audits golden fixtures with it.
+pub fn audit_served(
+    plan: &Plan,
+    profile: &StaticProfile,
+    max_agents: u32,
+    subject: &str,
+    report: &mut Report,
+) -> bool {
+    let mut scratch = Report::new();
+    audit(plan, profile, max_agents, subject, &mut scratch);
+    report.note_subject();
+    let denies: Vec<String> = scratch
+        .diagnostics()
+        .iter()
+        .filter(|d| d.level == crate::diag::Level::Deny)
+        .map(|d| format!("{}: {}", d.code, d.message))
+        .collect();
+    let clean = denies.is_empty();
+    for d in scratch.diagnostics() {
+        if d.level != crate::diag::Level::Deny {
+            report.emit(
+                crate::diag::lint_by_code(d.code).expect("audit emits registered lints"),
+                subject,
+                d.message.clone(),
+            );
+        }
+    }
+    if !clean {
+        report.emit(&SERVED_PLAN_FAILS_AUDIT, subject, denies.join("; "));
+    }
+    clean
 }
 
 /// Audits the cache geometry a plan will run on, emitting CL034 for
@@ -315,6 +355,41 @@ mod tests {
         let mut r = Report::new();
         check_cache_geometry(&cfg, "t", &mut r);
         assert!(r.has(&DEGENERATE_CACHE_GEOMETRY), "{}", r.render_human());
+    }
+
+    #[test]
+    fn audit_served_passes_clean_plan() {
+        let mut r = Report::new();
+        assert!(audit_served(&exploit_plan(), &profile(), 8, "t", &mut r));
+        assert!(!r.has(&SERVED_PLAN_FAILS_AUDIT));
+        assert_eq!(r.deny_count(), 0);
+        assert_eq!(r.subjects_checked(), 1);
+    }
+
+    #[test]
+    fn audit_served_collapses_denies_into_cl401() {
+        let mut plan = exploit_plan();
+        plan.category = Category::Streaming; // CL031 (deny)
+        plan.bypass = vec![0]; // CL032 (deny)
+        let mut r = Report::new();
+        assert!(!audit_served(&plan, &profile(), 8, "t", &mut r));
+        assert!(r.has(&SERVED_PLAN_FAILS_AUDIT), "{}", r.render_human());
+        assert_eq!(r.deny_count(), 1, "denies collapse into one CL401");
+        let diags = r.diagnostics();
+        let cl401 = diags.iter().find(|d| d.code == "CL401").unwrap();
+        assert!(cl401.message.contains("CL031"), "{}", cl401.message);
+        assert!(cl401.message.contains("CL032"), "{}", cl401.message);
+    }
+
+    #[test]
+    fn audit_served_forwards_warns_without_cl401() {
+        let mut plan = exploit_plan();
+        plan.active_agents = Some(100); // CL027 (warn) after clamping
+        let mut r = Report::new();
+        assert!(audit_served(&plan, &profile(), 8, "t", &mut r));
+        assert!(r.has(&THROTTLE_CLAMPED), "{}", r.render_human());
+        assert!(!r.has(&SERVED_PLAN_FAILS_AUDIT));
+        assert_eq!(r.deny_count(), 0);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod canon;
 mod category;
 pub mod costsum;
 mod distance;
@@ -34,6 +35,7 @@ mod profiler;
 mod tags;
 mod wordmap;
 
+pub use canon::{CanonHasher, Digest};
 pub use category::{classify, Category, CategoryProfiler, Signature};
 pub use costsum::{AccessSummary, HitInterval, SetConflictModel};
 pub use distance::ReuseDistance;

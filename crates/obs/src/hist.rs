@@ -91,6 +91,37 @@ impl Hist {
             Some(self.sum as f64 / self.count as f64)
         }
     }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`), `None` when empty.
+    ///
+    /// Walks the buckets to the one containing the quantile rank and
+    /// interpolates linearly inside its `[lo, hi]` value range — the
+    /// standard estimate for pre-bucketed data. With log2 buckets the
+    /// estimate is exact at bucket boundaries and within a factor of two
+    /// elsewhere, which is the resolution service-latency reporting
+    /// (p50/p90/p99 in the serve-bench artifact) needs; it is monotone
+    /// in `q` and deterministic for a given bucket content.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank in [1, count]: the k-th smallest sample the quantile names.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(b, n) in &self.buckets {
+            if seen + n >= rank {
+                let (lo, hi) = bucket_range(b);
+                // Position of the rank inside this bucket, in (0, 1].
+                let within = (rank - seen) as f64 / n as f64;
+                return Some(lo as f64 + (hi - lo) as f64 * within);
+            }
+            seen += n;
+        }
+        // Unreachable while mass() == count holds; be safe anyway.
+        let (_, hi) = bucket_range(self.buckets.last()?.0);
+        Some(hi as f64)
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +170,31 @@ mod tests {
         ba.absorb(&a);
         assert_eq!(ab, ba);
         assert_eq!(ab.mass(), 7);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let mut h = Hist::new();
+        for s in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 1024] {
+            h.record(s);
+        }
+        assert_eq!(Hist::new().quantile(0.5), None);
+        let p50 = h.quantile(0.5).unwrap();
+        let p90 = h.quantile(0.9).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        // Quantiles stay inside the bucket range of the recorded values
+        // (the top sample 1024 lives in the [1024, 2047] bucket).
+        assert!(h.quantile(0.0).unwrap() >= 1.0);
+        assert!(p99 <= 2047.0);
+        // A single-sample histogram pins every quantile to its bucket.
+        let mut one = Hist::new();
+        one.record(100);
+        let (lo, hi) = bucket_range(bucket_of(100));
+        for q in [0.0, 0.5, 1.0] {
+            let v = one.quantile(q).unwrap();
+            assert!(v >= lo as f64 && v <= hi as f64, "q={q} v={v}");
+        }
     }
 
     #[test]

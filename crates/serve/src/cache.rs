@@ -1,0 +1,194 @@
+//! The content-addressed plan cache.
+//!
+//! Keyed by [`Request::digest`](crate::proto::Request::digest) — the
+//! canonical hash of a request's semantic fields — so identical tenant
+//! requests and parameter-sweep twins collapse onto one entry no matter
+//! how their JSON was formatted or which worker thread planned them.
+//! Error results are cached too: a malformed kernel costs its diagnosis
+//! once, not per duplicate.
+//!
+//! Concurrency model, chosen for deterministic accounting:
+//!
+//! * The cache is sharded by the digest's low bits; each shard is a
+//!   small mutex-protected map. Shard locks are held only to look up or
+//!   insert the entry handle, never while planning.
+//! * Each entry is an `Arc<OnceLock>`; the **first** arrival for a
+//!   digest owns the fill and counts one miss, every other arrival —
+//!   including ones that block on an in-flight fill — counts one hit.
+//!   So `misses == distinct digests` and `hits + misses == lookups`
+//!   hold exactly, independent of thread interleaving; the soak test
+//!   pins both conservation laws.
+
+use crate::planner::PlanBody;
+use crate::proto::ProtoError;
+use locality::Digest;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A cached planning outcome.
+pub type CachedPlan = Result<PlanBody, ProtoError>;
+
+type Slot = Arc<OnceLock<CachedPlan>>;
+
+/// Shards: a power of two so the digest's low bits select uniformly.
+const SHARDS: usize = 64;
+
+/// Monotonic counters describing cache traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total lookups.
+    pub lookups: u64,
+    /// Lookups served from an existing entry (or an in-flight fill).
+    pub hits: u64,
+    /// Lookups that owned a fill (== distinct digests seen).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// Sharded content-addressed map from request digest to planning
+/// outcome. See the module docs for the accounting invariants.
+#[derive(Debug)]
+pub struct PlanCache {
+    shards: Vec<Mutex<HashMap<Digest, Slot>>>,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: Digest) -> &Mutex<HashMap<Digest, Slot>> {
+        &self.shards[(key.lo() as usize) & (SHARDS - 1)]
+    }
+
+    /// Looks `key` up, filling via `compute` on first arrival. Returns
+    /// the cached outcome and whether this lookup was a hit.
+    ///
+    /// `compute` runs outside every shard lock; concurrent arrivals for
+    /// the *same* digest block on the owning fill (via `OnceLock`) and
+    /// still count as hits, arrivals for other digests proceed in
+    /// parallel.
+    pub fn get_or_plan(
+        &self,
+        key: Digest,
+        compute: impl FnOnce() -> CachedPlan,
+    ) -> (CachedPlan, bool) {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let (slot, owner) = {
+            let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+            match shard.get(&key) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot: Slot = Arc::new(OnceLock::new());
+                    shard.insert(key, Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        if owner {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let value = slot.get_or_init(compute);
+            (value.clone(), false)
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            // Not the owner: wait for the fill if it is still running.
+            (slot.wait().clone(), true)
+        }
+    }
+
+    /// Entries currently resident (== distinct digests seen).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A consistent snapshot of the traffic counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(tagged: u32) -> CachedPlan {
+        Err(ProtoError::new("parse", format!("fixture {tagged}")))
+    }
+
+    #[test]
+    fn first_arrival_fills_duplicates_hit() {
+        let cache = PlanCache::new();
+        let k = Digest(42);
+        let (v1, hit1) = cache.get_or_plan(k, || body(1));
+        let (v2, hit2) = cache.get_or_plan(k, || body(2));
+        assert!(!hit1 && hit2);
+        assert_eq!(v1, v2, "second compute never ran");
+        let s = cache.stats();
+        assert_eq!((s.lookups, s.hits, s.misses), (2, 1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn conservation_laws_hold_under_contention() {
+        let cache = Arc::new(PlanCache::new());
+        let distinct = 16u64;
+        let threads = 8;
+        let per_thread = 200u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let key = Digest(((i + t) % distinct) as u128);
+                        let (v, _) = cache.get_or_plan(key, || body(key.0 as u32));
+                        assert_eq!(v, body(key.0 as u32), "fills are keyed correctly");
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.lookups, threads * per_thread);
+        assert_eq!(s.misses, distinct, "one fill per distinct digest");
+        assert_eq!(s.hits + s.misses, s.lookups);
+        assert_eq!(cache.len() as u64, distinct);
+        assert!(s.hit_rate() > 0.98);
+    }
+}

@@ -1,0 +1,197 @@
+//! Property battery for the request content digest — the key of the
+//! content-addressed plan cache.
+//!
+//! Three properties carry the cache's correctness:
+//!
+//! 1. **Formatting invariance**: the digest depends only on semantic
+//!    fields. Field order, whitespace, unknown fields, the request id
+//!    and the deadline must not move it — otherwise parameter-sweep
+//!    twins stop sharing traced programs.
+//! 2. **Semantic sensitivity**: flipping any semantic field (GPU, app,
+//!    grid, block, regs, smem, any access parameter, the mode) must
+//!    move the digest — otherwise the cache serves a wrong plan.
+//! 3. **App-space injectivity**: every Figure 3 suite app on every
+//!    preset hashes to a distinct digest, and the cached response is
+//!    byte-identical to a cold plan of the same request.
+
+use cta_serve::proto::parse_request;
+use cta_serve::{Server, ServerConfig};
+use proptest::prelude::*;
+
+fn digest_of(line: &str) -> u128 {
+    let req = parse_request(line)
+        .unwrap_or_else(|(_, e)| panic!("fixture must parse, got {}: {}", e.code, e.message));
+    req.digest().0
+}
+
+/// A raw-kernel request line built from explicit parameters, with the
+/// fields in a caller-chosen order and optional noise fields.
+#[allow(clippy::too_many_arguments)]
+fn raw_line(
+    id: &str,
+    gpu: &str,
+    grid: (u32, u32),
+    block: u32,
+    regs: u32,
+    stride: (u64, u64),
+    swapped: bool,
+    noise: bool,
+) -> String {
+    let access = format!(
+        r#"{{"tag":0,"base":4096,"cta_stride":{},"warp_stride":{}}}"#,
+        stride.0, stride.1
+    );
+    let kernel = if swapped {
+        format!(
+            r#"{{"regs":{regs},"accesses":[{access}],"block":{block},"grid":[{},{}]}}"#,
+            grid.0, grid.1
+        )
+    } else {
+        format!(
+            r#"{{"grid":[{},{}],"block":{block},"regs":{regs},"accesses":[{access}]}}"#,
+            grid.0, grid.1
+        )
+    };
+    let noise = if noise {
+        r#""client":"sweep-7","attempt":3,"#
+    } else {
+        ""
+    };
+    if swapped {
+        format!(r#"  {{ {noise}"kernel": {kernel} , "gpu" : "{gpu}" , "id":"{id}" }}"#)
+    } else {
+        format!(r#"{{"id":"{id}","gpu":"{gpu}",{noise}"kernel":{kernel}}}"#)
+    }
+}
+
+proptest! {
+    #[test]
+    fn digest_ignores_formatting_ids_and_unknown_fields(
+        (gx, gy, block) in (1u32..512, 1u32..16, 1u32..33),
+        (regs, cs, ws) in (1u32..64, 0u64..1 << 20, 0u64..4096),
+    ) {
+        let block = block * 32;
+        let a = raw_line("a", "GTX980", (gx, gy), block, regs, (cs, ws), false, false);
+        let b = raw_line(
+            "totally-different-id", "gtx 980", (gx, gy), block, regs, (cs, ws), true, true,
+        );
+        prop_assert_eq!(digest_of(&a), digest_of(&b));
+        // The deadline is an execution hint, not plan content.
+        let c = a.replacen("\"gpu\"", "\"deadline_ms\":250,\"gpu\"", 1);
+        prop_assert_eq!(digest_of(&a), digest_of(&c));
+    }
+
+    #[test]
+    fn digest_moves_with_every_semantic_field(
+        (gx, gy, block) in (2u32..512, 2u32..16, 1u32..32),
+        (regs, cs, ws) in (2u32..64, 1u64..1 << 20, 1u64..4096),
+    ) {
+        let block = block * 32;
+        let base = raw_line("p", "GTX980", (gx, gy), block, regs, (cs, ws), false, false);
+        let flips = [
+            raw_line("p", "GTX570", (gx, gy), block, regs, (cs, ws), false, false),
+            raw_line("p", "GTX980", (gx + 1, gy), block, regs, (cs, ws), false, false),
+            raw_line("p", "GTX980", (gx, gy - 1), block, regs, (cs, ws), false, false),
+            raw_line("p", "GTX980", (gx, gy), block + 32, regs, (cs, ws), false, false),
+            raw_line("p", "GTX980", (gx, gy), block, regs - 1, (cs, ws), false, false),
+            raw_line("p", "GTX980", (gx, gy), block, regs, (cs - 1, ws), false, false),
+            raw_line("p", "GTX980", (gx, gy), block, regs, (cs, ws + 1), false, false),
+        ];
+        let d0 = digest_of(&base);
+        for flipped in &flips {
+            prop_assert!(d0 != digest_of(flipped), "flip not hashed: {}", flipped);
+        }
+        // Access-list extension and kind/bytes flips move it too.
+        let extended = base.replacen(
+            "]}}",
+            r#",{"tag":1,"base":0,"reps":2}]}}"#,
+            1,
+        );
+        prop_assert!(d0 != digest_of(&extended));
+        let store = base.replacen("\"tag\":0,", "\"tag\":0,\"kind\":\"store\",", 1);
+        prop_assert!(d0 != digest_of(&store));
+        let wide = base.replacen("\"tag\":0,", "\"tag\":0,\"bytes\":8,", 1);
+        prop_assert!(d0 != digest_of(&wide));
+    }
+
+    #[test]
+    fn named_digest_separates_app_gpu_and_mode((a, g) in (0usize..33, 0usize..4)) {
+        let apps = fig3_abbrs();
+        let gpus = ["GTX570", "TeslaK40", "GTX980", "GTX1080"];
+        let base = format!(r#"{{"id":"n","gpu":"{}","app":"{}"}}"#, gpus[g], apps[a]);
+        let d0 = digest_of(&base);
+        let other_gpu = gpus[(g + 1) % gpus.len()];
+        let flipped = format!(r#"{{"id":"n","gpu":"{}","app":"{}"}}"#, other_gpu, apps[a]);
+        prop_assert!(d0 != digest_of(&flipped));
+        let other_app = apps[(a + 1) % apps.len()].clone();
+        let flipped = format!(r#"{{"id":"n","gpu":"{}","app":"{}"}}"#, gpus[g], other_app);
+        prop_assert!(d0 != digest_of(&flipped));
+        let measured = base.replacen("\"app\"", "\"mode\":\"measured\",\"app\"", 1);
+        prop_assert!(d0 != digest_of(&measured), "mode is semantic");
+        // Case and whitespace of the names are not.
+        let sloppy = format!(
+            r#"{{ "id":"m", "gpu":" {} ", "app":"{}" }}"#,
+            gpus[g].to_lowercase(),
+            apps[a]
+        );
+        prop_assert_eq!(d0, digest_of(&sloppy));
+    }
+}
+
+fn fig3_abbrs() -> Vec<String> {
+    gpu_kernels::suite::fig3_suite(gpu_sim::ArchGen::Fermi)
+        .iter()
+        .map(|w| w.info().abbr.to_string())
+        .collect()
+}
+
+#[test]
+fn all_fig3_apps_on_all_presets_hash_pairwise_distinct() {
+    let apps = fig3_abbrs();
+    assert_eq!(apps.len(), 33, "Figure 3 suite");
+    let gpus = ["GTX570", "TeslaK40", "GTX980", "GTX1080"];
+    let mut seen = std::collections::HashMap::new();
+    for gpu in gpus {
+        for app in &apps {
+            let line = format!(r#"{{"id":"x","gpu":"{gpu}","app":"{app}"}}"#);
+            let d = digest_of(&line);
+            if let Some(prev) = seen.insert(d, (gpu, app.clone())) {
+                panic!("digest collision: {gpu}/{app} vs {}/{}", prev.0, prev.1);
+            }
+        }
+    }
+    assert_eq!(seen.len(), 33 * 4);
+}
+
+#[test]
+fn cached_response_is_byte_identical_to_a_cold_plan() {
+    // A cold server per request vs one warmed server answering twice:
+    // the cache must be invisible in the response bytes. A handful of
+    // apps spanning the locality categories keeps this fast in debug.
+    let warmed = Server::new(ServerConfig {
+        threads: 1,
+        queue_cap: 0,
+        ..ServerConfig::default()
+    });
+    for (gpu, app) in [
+        ("GTX570", "MM"),
+        ("GTX980", "BS"),
+        ("GTX1080", "NW"),
+        ("TeslaK40", "HS"),
+    ] {
+        let line = format!(r#"{{"id":"c","gpu":"{gpu}","app":"{app}"}}"#);
+        let cold = Server::new(ServerConfig {
+            threads: 1,
+            queue_cap: 0,
+            ..ServerConfig::default()
+        })
+        .answer(&line, None);
+        let miss = warmed.answer(&line, None);
+        let hit = warmed.answer(&line, None);
+        assert_eq!(cold, miss, "{gpu}/{app}");
+        assert_eq!(miss, hit, "{gpu}/{app}: hits serve the filled body");
+    }
+    let stats = warmed.cache_stats();
+    assert_eq!(stats.misses, 4);
+    assert_eq!(stats.hits, 4);
+}

@@ -1,0 +1,163 @@
+//! Concurrency soak: N client threads hammer one in-process server with
+//! a duplicate-heavy mixed workload (valid named requests, structural
+//! kernels, twins that share a digest, malformed lines, unknown apps)
+//! and every client must read back exactly the serial transcript, while
+//! the observability counters obey their conservation laws.
+//!
+//! Everything lives in **one** test function: obs counters are global,
+//! so splitting the phases across `#[test]` functions would race their
+//! accounting. The test is deadline-free and wall-clock-free — it
+//! asserts only on ordering, byte equality and counter algebra, never on
+//! elapsed time — so it cannot flake on a loaded single-core CI box.
+
+use cta_serve::{Server, ServerConfig};
+use std::sync::Arc;
+
+/// The soak workload: `rounds` passes over a mixed template set. The mix
+/// deliberately repeats digests both within a round (`MM` appears under
+/// two ids) and across rounds (every round reuses all templates), and
+/// includes the error paths (malformed JSON, unknown app) so error
+/// responses are exercised under contention too.
+fn soak_lines(rounds: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    for r in 0..rounds {
+        for (i, body) in [
+            r#""gpu":"GTX570","app":"MM""#.to_string(),
+            r#""gpu":"GTX570","app":"NW""#.to_string(),
+            r#""gpu":"GTX980","app":"BS""#.to_string(),
+            r#""gpu":"gtx 570","app":"mm""#.to_string(), // digest twin of MM
+            r#""gpu":"GTX980","kernel":{"grid":[64,4],"block":64,"accesses":[{"tag":0,"base":0,"cta_stride":128,"warp_stride":256}]}"#
+                .to_string(),
+            r#""gpu":"GTX570","app":"NOPE""#.to_string(), // cached error
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            lines.push(format!(r#"{{"id":"s{r}x{i}",{body}}}"#));
+        }
+        lines.push("{not json".into()); // parse error, never cached
+    }
+    lines
+}
+
+#[test]
+fn concurrent_soak_matches_serial_and_conserves_counters() {
+    cta_obs::force_enable();
+    let obs = cta_obs::maybe_global().expect("forced on");
+    let before = obs.snapshot();
+
+    let rounds = 24;
+    let lines = soak_lines(rounds);
+    let distinct_cached = 5u64; // MM, NW, BS, the structural kernel, NOPE
+    let cached_per_round = 6u64; // every line but the parse failure
+
+    // Serial ground truth from its own server (its own cold cache).
+    let serial = Server::new(ServerConfig {
+        threads: 1,
+        queue_cap: 0,
+        ..ServerConfig::default()
+    })
+    .handle_batch(&lines);
+    assert_eq!(serial.len(), lines.len());
+
+    // One shared server; 8 client threads each run the full mixed
+    // workload concurrently through the batch path and through raw
+    // `answer` calls, all against the same cache.
+    let shared = Arc::new(Server::new(ServerConfig {
+        threads: 2,
+        queue_cap: 0,
+        ..ServerConfig::default()
+    }));
+    let clients = 8usize;
+    let transcripts: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let server = Arc::clone(&shared);
+                let lines = &lines;
+                scope.spawn(move || {
+                    if c % 2 == 0 {
+                        server.handle_batch(lines)
+                    } else {
+                        lines.iter().map(|l| server.answer(l, None)).collect()
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+
+    for (c, transcript) in transcripts.iter().enumerate() {
+        assert_eq!(
+            transcript, &serial,
+            "client {c} must read the exact serial transcript"
+        );
+    }
+
+    // Cache conservation on the shared server: every cacheable request
+    // consulted the cache, each distinct digest filled exactly once no
+    // matter how 8 clients interleaved, and hits + misses == lookups.
+    let stats = shared.cache_stats();
+    let expected_lookups = cached_per_round * rounds as u64 * clients as u64;
+    assert_eq!(stats.lookups, expected_lookups);
+    assert_eq!(stats.misses, distinct_cached, "one fill per digest");
+    assert_eq!(stats.hits + stats.misses, stats.lookups);
+    assert_eq!(shared.cache().len(), distinct_cached as usize);
+
+    // Obs conservation across serial + concurrent phases: one response
+    // per request, split exactly into plans and errors; cache counter
+    // deltas mirror both servers' local accounting (serial run: same
+    // lookups once, 5 misses of its own cold cache).
+    let after = obs.snapshot();
+    let d = |name: &str, key: &str| after.counter(name, key) - before.counter(name, key);
+    let dt = |name: &str| after.counter_total(name) - before.counter_total(name);
+    let total_requests = lines.len() as u64 * (clients as u64 + 1);
+    assert_eq!(dt("serve/requests"), total_requests);
+    assert_eq!(
+        dt("serve/responses"),
+        total_requests,
+        "every request is answered exactly once"
+    );
+    assert_eq!(
+        d("serve/responses", "plan") + d("serve/responses", "error"),
+        total_requests
+    );
+    assert_eq!(
+        d("serve/responses", "error"),
+        2 * rounds as u64 * (clients as u64 + 1),
+        "per pass: one parse failure + one unknown app"
+    );
+    let serial_lookups = cached_per_round * rounds as u64;
+    assert_eq!(dt("serve/cache"), expected_lookups + serial_lookups);
+    assert_eq!(
+        d("serve/cache", "miss"),
+        2 * distinct_cached,
+        "two cold caches, one fill per digest each"
+    );
+    assert_eq!(
+        d("serve/cache", "hit") + d("serve/cache", "miss"),
+        dt("serve/cache")
+    );
+    // Latency is recorded for every request that survives parsing
+    // (parse failures return before the timed section).
+    let parse_failures = rounds as u64 * (clients as u64 + 1);
+    assert_eq!(
+        after.hist_mass("time/serve/latency_us") - before.hist_mass("time/serve/latency_us"),
+        total_requests - parse_failures
+    );
+
+    // The stream path over the same mix agrees with the batch path on
+    // the warmed shared server, and its summary balances.
+    let input: String = lines.iter().map(|l| format!("{l}\n")).collect();
+    let mut out = Vec::new();
+    let summary = shared
+        .serve_lines(input.as_bytes(), &mut out)
+        .expect("stream session");
+    assert_eq!(summary.requests, lines.len() as u64);
+    assert_eq!(summary.responses, summary.requests);
+    assert_eq!(summary.shed, 0);
+    let expect: String = serial.iter().map(|l| format!("{l}\n")).collect();
+    assert_eq!(String::from_utf8(out).expect("utf8"), expect);
+}

@@ -125,6 +125,33 @@ fn transforms_are_deterministic_end_to_end() {
 }
 
 #[test]
+fn simulations_are_byte_stable_across_worker_thread_counts() {
+    // Flake-surface audit: nothing in the engine may depend on
+    // wall-clock time or on which OS thread runs a simulation. Render
+    // the full stats of a mixed batch under 1 and 8 `par_map` workers;
+    // any hidden global or timing dependence shows up as a diff. (The
+    // `Shared` Rc adapter is deliberately absent here — workloads are
+    // built inside each worker, as a parallel harness would.)
+    let presets = arch::all_presets();
+    let jobs: Vec<(String, usize)> = ["MM", "NW", "BS", "KMN", "HS", "SYK", "DCT", "BFS"]
+        .iter()
+        .enumerate()
+        .map(|(i, abbr)| (abbr.to_string(), i % presets.len()))
+        .collect();
+    let run_all = |threads: usize| -> Vec<String> {
+        cluster_bench::par::par_map(&jobs, threads, |(abbr, pi)| {
+            let cfg = presets[*pi].clone();
+            let k = suite::by_abbr(abbr, cfg.arch).expect("known workload");
+            let stats = Simulation::new(cfg, &k).run().unwrap();
+            format!("{abbr}: {stats:?}")
+        })
+    };
+    let serial = run_all(1);
+    assert_eq!(serial, run_all(8), "stats must not depend on thread count");
+    assert_eq!(serial, run_all(2));
+}
+
+#[test]
 fn whole_table2_suite_runs_transformed_on_every_arch() {
     // Smoke coverage: every workload survives the agent transform on
     // every architecture (small instances for test speed).

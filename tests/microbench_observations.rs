@@ -98,6 +98,41 @@ fn observation3_first_wave_depends_on_scheduler_model() {
 }
 
 #[test]
+fn fig2_panels_are_reproducible_under_thread_contention() {
+    // Flake-surface audit: the Figure 2 latency series must come out
+    // identical no matter how many times, or on how many concurrent
+    // threads, the probe runs — the randomized scheduler is seeded, and
+    // "latency" here is simulated cycles, never wall-clock.
+    let cfg = arch::gtx570();
+    let (default, staggered) = fig2::run_gpu(&cfg).unwrap();
+    let replicas: Vec<(Vec<_>, Vec<_>)> = cluster_bench::par::par_map(&[(); 6], 6, |()| {
+        let (d, s) = fig2::run_gpu(&cfg).unwrap();
+        (d.series, s.series)
+    });
+    for (i, (d, s)) in replicas.iter().enumerate() {
+        assert_eq!(d, &default.series, "replica {i} default panel drifted");
+        assert_eq!(s, &staggered.series, "replica {i} staggered panel drifted");
+    }
+}
+
+#[test]
+fn randomized_scheduler_is_a_pure_function_of_its_seed() {
+    // The only randomness in the observation tests is the seeded
+    // placement scheduler; pin that the seed fully determines it.
+    let cfg = arch::gtx750ti();
+    let mb = Microbench::for_gpu(&cfg, 2, false);
+    let run = |seed: u64| {
+        Simulation::new(cfg.clone(), &mb)
+            .with_scheduler(Box::new(Randomized::new(seed)))
+            .run()
+            .unwrap()
+            .placements
+    };
+    assert_eq!(run(50), run(50), "same seed, same placements");
+    assert_ne!(run(50), run(51), "the seed must matter");
+}
+
+#[test]
 fn gtx750ti_preset_runs_the_microbenchmark() {
     // The paper's fifth probe platform.
     let cfg = arch::gtx750ti();
