@@ -9,15 +9,22 @@
 //! CI can gate on it.
 //!
 //! Usage:
-//!   sim_core [--reduced] [--arch ata] [--check <path>] [--before <seconds>] [--out <path>]
+//!   sim_core [--reduced] [--arch ata] [--profile] [--check <path>] [--before <seconds>] [--out <path>]
 //!
 //! `--reduced` runs a small Fermi-only subset (the CI smoke matrix).
 //! `--arch ata` appends the aggregated-tag-array sweep: every Table 2
 //! app simulated under the stock Maxwell preset and its ATA variant,
 //! with both L1 and L2 hit rates in an `ata` JSON section.
+//! `--profile` prints a deterministic per-run work-model table on
+//! stderr: coalescer shape-path hits, tag-scan chunks, victim-scan
+//! ways, set conflicts and heap pushes for every (arch, app, request).
+//! The counters are exact event counts, not wall-clock samples, so two
+//! runs of the same matrix produce byte-identical tables — this is the
+//! profiler the speed work is aimed with.
 //! `--check` compares the fresh run against a committed
 //! `BENCH_sim_core.json` (run count, conservation violations, skip
-//! ratio) and exits nonzero on regression — the CI perf-smoke gate.
+//! ratio, and the exact `work_model` counters) and exits nonzero on
+//! regression — the CI perf-smoke gate.
 //! `--before` overrides the committed pre-rework baseline wall time the
 //! speedup is normalized against (full matrix, 1 thread).
 //! `--out` additionally writes the JSON to a file.
@@ -44,6 +51,7 @@ fn main() -> Result<(), ClusterError> {
     let mut reduced = false;
     let mut verbose = false;
     let mut ata_sweep = false;
+    let mut profile = false;
     let mut before = BASELINE_WALL_S;
     let mut out_path: Option<String> = None;
     let mut check_path: Option<String> = None;
@@ -52,6 +60,7 @@ fn main() -> Result<(), ClusterError> {
         match arg.as_str() {
             "--reduced" => reduced = true,
             "--verbose" => verbose = true,
+            "--profile" => profile = true,
             "--arch" => {
                 let v = args
                     .next()
@@ -88,8 +97,8 @@ fn main() -> Result<(), ClusterError> {
             other => {
                 return Err(ClusterError::harness(format!(
                     "unknown argument {other:?}; usage: \
-                     sim_core [--reduced] [--verbose] [--arch ata] [--check <path>] \
-                     [--before <s>] [--out <path>]"
+                     sim_core [--reduced] [--verbose] [--arch ata] [--profile] \
+                     [--check <path>] [--before <s>] [--out <path>]"
                 )))
             }
         }
@@ -120,6 +129,30 @@ fn main() -> Result<(), ClusterError> {
                     req.label(),
                     elapsed.as_secs_f64() * 1e3,
                     metrics.issues,
+                );
+            }
+            if profile {
+                let w = &metrics.work;
+                eprintln!(
+                    "profile {}/{}/{}: coalesce {} (contig {} sorted {} div {}) \
+                     l1 chunks {} victims {} conflicts {} \
+                     l2 chunks {} victims {} conflicts {} \
+                     heaps ready {} sm {}",
+                    plan.cfg.name,
+                    plan.info.abbr,
+                    req.label(),
+                    w.coalesce_calls,
+                    w.coalesce_contiguous,
+                    w.coalesce_sorted,
+                    w.coalesce_divergent,
+                    w.l1.tag_chunks,
+                    w.l1.victim_ways,
+                    w.l1.set_conflicts,
+                    w.l2.tag_chunks,
+                    w.l2.victim_ways,
+                    w.l2.set_conflicts,
+                    w.ready_heap_pushes,
+                    w.sm_heap_pushes,
                 );
             }
         },
@@ -164,8 +197,9 @@ fn main() -> Result<(), ClusterError> {
             before / wall_s
         )
     };
+    let work = &total.work;
     let json = format!(
-        "{{\n  \"format\": \"sim-core-bench/v1\",\n  \"mode\": \"{mode}\",\n  \"runs\": {runs},\n  \"wall_s\": {wall_s:.2},\n  \"baseline\": {baseline},\n  \"conservation_violations\": {violations},\n  \"engine\": {{\n    \"events\": {events},\n    \"issues\": {issues},\n    \"cycles_skipped\": {skipped},\n    \"skip_ratio\": {skip_ratio:.4},\n    \"warps_dispatched\": {warps},\n    \"warp_retires\": {warp_retires},\n    \"cta_retires\": {cta_retires},\n    \"dispatch_polls\": {polls}\n  }},\n  \"program_cache\": {{\n    \"hits\": {cache_hits},\n    \"fills\": {cache_fills},\n    \"hit_rate\": {hit_rate:.4}\n  }},\n  \"ata\": {ata_json}\n}}",
+        "{{\n  \"format\": \"sim-core-bench/v1\",\n  \"mode\": \"{mode}\",\n  \"runs\": {runs},\n  \"wall_s\": {wall_s:.2},\n  \"baseline\": {baseline},\n  \"conservation_violations\": {violations},\n  \"engine\": {{\n    \"events\": {events},\n    \"issues\": {issues},\n    \"cycles_skipped\": {skipped},\n    \"skip_ratio\": {skip_ratio:.4},\n    \"warps_dispatched\": {warps},\n    \"warp_retires\": {warp_retires},\n    \"cta_retires\": {cta_retires},\n    \"dispatch_polls\": {polls}\n  }},\n  \"work_model\": {{\n    \"coalesce_calls\": {co_calls},\n    \"coalesce_contiguous\": {co_contig},\n    \"coalesce_sorted\": {co_sorted},\n    \"coalesce_divergent\": {co_div},\n    \"l1_tag_chunks\": {l1_chunks},\n    \"l1_victim_ways\": {l1_victims},\n    \"l1_set_conflicts\": {l1_conflicts},\n    \"l2_tag_chunks\": {l2_chunks},\n    \"l2_victim_ways\": {l2_victims},\n    \"l2_set_conflicts\": {l2_conflicts},\n    \"ready_heap_pushes\": {ready_pushes},\n    \"sm_heap_pushes\": {sm_pushes}\n  }},\n  \"program_cache\": {{\n    \"hits\": {cache_hits},\n    \"fills\": {cache_fills},\n    \"hit_rate\": {hit_rate:.4}\n  }},\n  \"ata\": {ata_json}\n}}",
         mode = if reduced { "reduced" } else { "full" },
         events = total.events,
         issues = total.issues,
@@ -174,6 +208,18 @@ fn main() -> Result<(), ClusterError> {
         warp_retires = total.warp_retires,
         cta_retires = total.cta_retires,
         polls = total.dispatch_polls,
+        co_calls = work.coalesce_calls,
+        co_contig = work.coalesce_contiguous,
+        co_sorted = work.coalesce_sorted,
+        co_div = work.coalesce_divergent,
+        l1_chunks = work.l1.tag_chunks,
+        l1_victims = work.l1.victim_ways,
+        l1_conflicts = work.l1.set_conflicts,
+        l2_chunks = work.l2.tag_chunks,
+        l2_victims = work.l2.victim_ways,
+        l2_conflicts = work.l2.set_conflicts,
+        ready_pushes = work.ready_heap_pushes,
+        sm_pushes = work.sm_heap_pushes,
     );
     println!("{json}");
     if let Some(path) = out_path {
@@ -191,6 +237,7 @@ fn main() -> Result<(), ClusterError> {
             runs,
             violations,
             skip_ratio,
+            work,
         )?;
     }
     if violations > 0 {
@@ -214,10 +261,17 @@ fn main() -> Result<(), ClusterError> {
 /// * the fresh run must have zero conservation violations;
 /// * the skip ratio may not drop more than [`SKIP_RATIO_TOLERANCE`]
 ///   below the committed value (the engine regressed toward
-///   cycle-stepping).
+///   cycle-stepping);
+/// * every `work_model` counter must match the committed value
+///   *exactly* — the matrix is deterministic, so the counters are too,
+///   and any drift means the coalescer, cache probe/victim scans or
+///   event heaps are doing different work than the committed baseline.
+///   This is the regression gate wall-clock is too noisy to provide.
 ///
 /// Wall-clock is deliberately *not* gated: CI machines vary too much
-/// for a hard threshold, and the skip ratio is the portable proxy.
+/// for a hard threshold; the skip ratio and the exact work-model
+/// counters are the portable proxies.
+#[allow(clippy::too_many_arguments)]
 fn diff_against_committed(
     committed: &str,
     path: &str,
@@ -225,6 +279,7 @@ fn diff_against_committed(
     runs: u64,
     violations: u64,
     skip_ratio: f64,
+    work: &gpu_sim::WorkModel,
 ) -> Result<bool, ClusterError> {
     let field = |key: &str| {
         json_number(committed, key)
@@ -263,6 +318,35 @@ fn diff_against_committed(
         skip_ratio >= committed_skip - SKIP_RATIO_TOLERANCE,
         format!(
             "skip ratio {skip_ratio:.4} within {SKIP_RATIO_TOLERANCE} of committed {committed_skip:.4}"
+        ),
+    );
+    // Work-model counters: deterministic event counts, pinned exactly.
+    let fresh = [
+        ("coalesce_calls", work.coalesce_calls),
+        ("coalesce_contiguous", work.coalesce_contiguous),
+        ("coalesce_sorted", work.coalesce_sorted),
+        ("coalesce_divergent", work.coalesce_divergent),
+        ("l1_tag_chunks", work.l1.tag_chunks),
+        ("l1_victim_ways", work.l1.victim_ways),
+        ("l1_set_conflicts", work.l1.set_conflicts),
+        ("l2_tag_chunks", work.l2.tag_chunks),
+        ("l2_victim_ways", work.l2.victim_ways),
+        ("l2_set_conflicts", work.l2.set_conflicts),
+        ("ready_heap_pushes", work.ready_heap_pushes),
+        ("sm_heap_pushes", work.sm_heap_pushes),
+    ];
+    for (key, value) in fresh {
+        let pinned = field(key)? as u64;
+        report(
+            value == pinned,
+            format!("work_model {key} {value} == committed {pinned}"),
+        );
+    }
+    report(
+        work.check_conservation().is_ok(),
+        format!(
+            "work_model conservation laws hold ({})",
+            work.check_conservation().err().unwrap_or("ok")
         ),
     );
     Ok(ok)

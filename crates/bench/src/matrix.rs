@@ -203,13 +203,7 @@ fn metered(
         );
         totals.violations += 1;
     }
-    totals.engine.events += metrics.events;
-    totals.engine.issues += metrics.issues;
-    totals.engine.cycles_skipped += metrics.cycles_skipped;
-    totals.engine.warps_dispatched += metrics.warps_dispatched;
-    totals.engine.warp_retires += metrics.warp_retires;
-    totals.engine.cta_retires += metrics.cta_retires;
-    totals.engine.dispatch_polls += metrics.dispatch_polls;
+    totals.engine.absorb(&metrics);
     totals.runs += 1;
     observe(plan, req, &stats, &metrics, elapsed);
     Ok(stats)

@@ -193,6 +193,15 @@ impl AddrDec {
         }
     }
 
+    /// Tag and set of a (line-aligned) byte address in one call — the
+    /// shape every cache access path wants, so the two field extractions
+    /// fuse at the head of the probe instead of being re-derived per use.
+    #[inline]
+    pub fn tag_and_set(&self, line_addr: u64) -> (u64, usize) {
+        let tag = self.tag(line_addr);
+        (tag, self.set_of_tag(tag) as usize)
+    }
+
     /// Number of sets this decoder indexes into.
     pub fn num_sets(&self) -> u64 {
         self.sets.len()

@@ -6,15 +6,25 @@
 //! line whose fill is still in flight and wait for it. This model
 //! reproduces that by timestamping fills.
 //!
-//! The line array is stored structure-of-arrays — parallel `tags`, `lru`,
-//! `fill_done`, `valid` and `dirty` slabs indexed `set * associativity +
-//! way` — so the tag-match scan on the engine's hottest path walks one
-//! dense `u64` row per lookup instead of striding over multi-field
-//! structs. The scan itself runs in fixed-width chunks of four ways with a
-//! branchless compare mask per chunk (every preset associativity is a
-//! multiple of four), which the compiler vectorizes. Validity is folded
-//! into the tag slab ([`INVALID_TAG`]), which is unreachable as a real tag
-//! because tags are addresses divided by the line size.
+//! The tag and recency state lives in one interleaved slab (`WaySlab`):
+//! each set's block holds its tag row followed by its packed 32-bit LRU
+//! stamps, padded to a 64-byte multiple and started on a 64-byte boundary,
+//! so the hit path's probe + stamp update touch *one* host cache line for
+//! assoc ≤ 5 (the 4-way L1) and stay within the tag row's lines for the
+//! 16-way L2 banks — previously the separate `lru` slab cost a second
+//! cold line per simulated hit. The tag-match scan walks the dense `u64`
+//! row in fixed-width chunks of four ways with a branchless compare mask
+//! per chunk (every preset associativity is a multiple of four), which
+//! the compiler vectorizes. Validity is folded into the tag row
+//! ([`INVALID_TAG`]), which is unreachable as a real tag because tags are
+//! addresses divided by the line size. Fill/sector state (`fill_done`,
+//! `valid`, `dirty`) stays in a parallel slab indexed `set * associativity
+//! + way`: the pure hit path never loads it on unsectored geometries.
+//!
+//! Every access path also tallies [`CacheWork`] counters (tag-compare
+//! chunks probed, victim-scan ways examined, valid-line displacements) —
+//! the deterministic work model `sim_core --check` pins exactly in place
+//! of noisy wall-clock gates.
 //!
 //! Sector state is packed into per-line `u32` bitmasks (`valid`, `dirty`):
 //! a line of a sectored geometry ([`CacheConfig::sector_bytes`]) tracks
@@ -32,6 +42,7 @@
 
 use crate::addrdec::AddrDec;
 use crate::config::{CacheConfig, WritePolicy};
+use crate::work::CacheWork;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -221,11 +232,10 @@ const COLD_STAMP: u32 = 1;
 
 /// Per-way fill/sector state, packed into one 16-byte record so a probe
 /// that needs any of it takes one cache-line touch instead of three.
-/// The tag and LRU slabs stay separate: `find` wants tags contiguous for
-/// the chunked compare, and the victim scan walks LRU stamps alone. For
-/// L1-sized arrays the layout is irrelevant (the whole slab stays hot),
-/// but the L2 banks put megabytes behind a hashed index — every slab
-/// split is another cold line per simulated access there.
+/// Kept out of the interleaved [`WaySlab`]: the pure hit path of an
+/// unsectored geometry never loads it, and widening every set block by
+/// 16 bytes per way would push the 4-way L1's probe+stamp block past one
+/// host cache line.
 #[derive(Debug, Clone, Copy, Default)]
 struct WayState {
     /// Fill-completion cycle; `u64::MAX` while the allocating miss has
@@ -239,6 +249,158 @@ struct WayState {
     dirty: u32,
 }
 
+/// Interleaved per-set tag + recency storage — the "one-line hit path".
+///
+/// Each set owns a block of `stride` consecutive `u64` words: `assoc` tag
+/// words, then `ceil(assoc/2)` words of packed 32-bit LRU stamps (way `w`
+/// lives in the low or high half of word `assoc + w/2`), padded to a
+/// multiple of 8 words. The backing slice is over-allocated by 7 words
+/// and the first block starts at the first 64-byte boundary, so every
+/// block is 64-byte aligned without any unsafe aliasing tricks. An
+/// assoc-4 set (the L1 preset) is 8 words = exactly one host cache line
+/// for the probe *and* the stamp write; the 16-way L2 banks take 24
+/// words, with each way's stamp word on the same lines as its tag row
+/// instead of in a separate megabyte-scale `lru` slab.
+#[derive(Debug)]
+struct WaySlab {
+    buf: Box<[u64]>,
+    /// Word index of set 0's block (aligns `buf` to a 64-byte boundary).
+    first: usize,
+    /// Words per set block.
+    stride: usize,
+    assoc: usize,
+    sets: usize,
+}
+
+impl WaySlab {
+    fn new(sets: usize, assoc: usize) -> WaySlab {
+        let stride = (assoc + assoc.div_ceil(2)).next_multiple_of(8);
+        let buf = vec![0u64; sets * stride + 7].into_boxed_slice();
+        let first = buf.as_ptr().align_offset(64);
+        assert!(first <= 7, "u64 allocations are 8-byte aligned");
+        let mut slab = WaySlab {
+            buf,
+            first,
+            stride,
+            assoc,
+            sets,
+        };
+        slab.reset();
+        slab
+    }
+
+    /// Invalidates every tag and zeroes every stamp.
+    fn reset(&mut self) {
+        self.buf.fill(0);
+        for set in 0..self.sets {
+            let b = self.first + set * self.stride;
+            self.buf[b..b + self.assoc].fill(INVALID_TAG);
+        }
+    }
+
+    /// First word of the set's block.
+    #[inline]
+    fn block(&self, set: usize) -> usize {
+        self.first + set * self.stride
+    }
+
+    #[inline]
+    fn tag_row(&self, block: usize) -> &[u64] {
+        &self.buf[block..block + self.assoc]
+    }
+
+    #[inline]
+    fn tag(&self, block: usize, way: usize) -> u64 {
+        self.buf[block + way]
+    }
+
+    #[inline]
+    fn set_tag(&mut self, block: usize, way: usize, tag: u64) {
+        self.buf[block + way] = tag;
+    }
+
+    #[inline]
+    fn lru(&self, block: usize, way: usize) -> u32 {
+        (self.buf[block + self.assoc + (way >> 1)] >> ((way & 1) * 32)) as u32
+    }
+
+    #[inline]
+    fn set_lru(&mut self, block: usize, way: usize, stamp: u32) {
+        let word = &mut self.buf[block + self.assoc + (way >> 1)];
+        let shift = (way & 1) * 32;
+        *word = (*word & !(0xFFFF_FFFFu64 << shift)) | ((stamp as u64) << shift);
+    }
+}
+
+impl Clone for WaySlab {
+    fn clone(&self) -> WaySlab {
+        // A cloned allocation can land at a different 64-byte phase, so
+        // copy block-by-block instead of deriving `Clone` (which would
+        // reuse `first` against the wrong base address).
+        let mut new = WaySlab::new(self.sets, self.assoc);
+        for set in 0..self.sets {
+            let src = self.block(set);
+            let dst = new.block(set);
+            new.buf[dst..dst + self.stride].copy_from_slice(&self.buf[src..src + self.stride]);
+        }
+        new
+    }
+}
+
+/// Way holding `tag` within a set's tag row, if resident. A tag match
+/// implies validity ([`INVALID_TAG`] never equals a real tag).
+///
+/// Two scan strategies by row width. Narrow rows (the 4-way L1, where
+/// hits land a compare or two in) use a plain early-exit scan. Wide rows
+/// (the 16-way L2 banks) use a fixed-width chunked scan: four ways per
+/// step, compare results packed into a branchless match mask — one
+/// predictable branch per chunk instead of an unpredictable one per way,
+/// and a shape the compiler vectorizes. The scan itself carries no
+/// instrumentation: the work model's chunk tally is derived arithmetically
+/// from the outcome by [`scan_chunks`], keeping the hottest loop in the
+/// simulator byte-identical to its uncounted form.
+#[inline]
+fn scan_row(row: &[u64], tag: u64) -> Option<usize> {
+    if row.len() <= 4 {
+        return row.iter().position(|&t| t == tag);
+    }
+    let mut i = 0;
+    while i + 4 <= row.len() {
+        let m = (row[i] == tag) as u32
+            | (((row[i + 1] == tag) as u32) << 1)
+            | (((row[i + 2] == tag) as u32) << 2)
+            | (((row[i + 3] == tag) as u32) << 3);
+        if m != 0 {
+            return Some(i + m.trailing_zeros() as usize);
+        }
+        i += 4;
+    }
+    while i < row.len() {
+        if row[i] == tag {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Number of tag-compare chunks a [`scan_row`] over `len` ways walked to
+/// produce `way` (the [`CacheWork::tag_chunks`] unit), reconstructed from
+/// the outcome instead of counted in the loop. Narrow rows are one chunk.
+/// Wide rows count one chunk per 4-way group examined — a hit in group `g`
+/// examined `g + 1` groups (the remainder tail, if entered, is the last
+/// "group"), a miss examined them all.
+#[inline]
+fn scan_chunks(len: usize, way: Option<usize>) -> u64 {
+    if len <= 4 {
+        return 1;
+    }
+    match way {
+        Some(w) => (w / 4 + 1) as u64,
+        None => (len / 4 + usize::from(!len.is_multiple_of(4))) as u64,
+    }
+}
+
 /// A single set-associative cache array (one L1 sector, or one L2 bank).
 #[derive(Debug, Clone)]
 pub struct Cache {
@@ -249,21 +411,18 @@ pub struct Cache {
     assoc: usize,
     /// Sector mask covering every sector of a line (`0b1` unsectored).
     full_mask: u32,
-    /// Per-way tags; [`INVALID_TAG`] marks an empty way.
-    tags: Box<[u64]>,
-    /// Per-way last-touch ticks, packed to the low 32 bits of [`tick`]
-    /// (halving the slab the victim scan walks — the L2 banks keep
-    /// megabytes of stamps behind a hashed index). Recency comparisons
-    /// use wraparound-safe ages, `tick.wrapping_sub(stamp)`, so ordering
-    /// survives a 32-bit rollover as long as the live stamps span less
-    /// than 2^32 ticks — guaranteed trivially while `tick < u32::MAX`,
-    /// which a debug assertion pins for every simulated run.
-    /// Invalidation (write-evict) keeps the stamp, so a
-    /// recently-invalidated way is a *worse* victim than a never-used
-    /// one — matching LRU over `(valid, lru)` pairs.
+    /// Interleaved per-set tags and packed LRU stamps (see [`WaySlab`]).
+    /// Tags use [`INVALID_TAG`] for empty ways. Stamps are the low 32
+    /// bits of [`tick`]; recency comparisons use wraparound-safe ages,
+    /// `tick.wrapping_sub(stamp)`, so ordering survives a 32-bit rollover
+    /// as long as the live stamps span less than 2^32 ticks — guaranteed
+    /// trivially while `tick < u32::MAX`, which a debug assertion pins
+    /// for every simulated run. Invalidation (write-evict) keeps the
+    /// stamp, so a recently-invalidated way is a *worse* victim than a
+    /// never-used one — matching LRU over `(valid, lru)` pairs.
     ///
     /// [`tick`]: Cache::tick
-    lru: Box<[u32]>,
+    ways: WaySlab,
     /// Per-way fill and sector state (see [`WayState`]).
     state: Box<[WayState]>,
     tick: u64,
@@ -271,9 +430,12 @@ pub struct Cache {
     /// Pruned lazily: retired entries linger until a miss actually finds
     /// the heap at capacity, which is the only moment occupancy matters.
     inflight: BinaryHeap<Reverse<u64>>,
-    /// Slab index of the most recent allocation awaiting its fill. The
-    /// engine always fills the miss it just took, so [`Cache::fill`]
-    /// checks here before falling back to a tag scan.
+    /// Set of the most recent allocation awaiting its fill (meaningful
+    /// only while `last_fill_way != NO_WAY`).
+    last_fill_set: u32,
+    /// Way of the most recent allocation awaiting its fill. The engine
+    /// always fills the miss it just took, so [`Cache::fill`] checks
+    /// here before falling back to a tag scan.
     last_fill_way: u32,
     /// Ghost-tag array (aggregated-tag mode): per set, the last `assoc`
     /// evicted tags in a ring. Empty unless `cfg.aggregated_tags`.
@@ -287,6 +449,8 @@ pub struct Cache {
     /// Opt-in per-set profile (see [`SetProfile`]); `None` — and off the
     /// hot path — unless [`Cache::enable_set_profile`] was called.
     profile: Option<Box<SetProfile>>,
+    /// Deterministic work-model counters (see [`CacheWork`]).
+    work: CacheWork,
     /// Observable counters.
     pub stats: CacheStats,
 }
@@ -321,18 +485,19 @@ impl Cache {
             ),
             assoc,
             full_mask: (((1u64 << sectors) - 1) & u32::MAX as u64) as u32,
-            tags: vec![INVALID_TAG; lines].into_boxed_slice(),
-            lru: vec![0; lines].into_boxed_slice(),
+            ways: WaySlab::new(num_sets as usize, assoc),
             state: vec![WayState::default(); lines].into_boxed_slice(),
             cfg,
             tick: 0,
             inflight: BinaryHeap::new(),
+            last_fill_set: 0,
             last_fill_way: NO_WAY,
             ghost_tags,
             ghost_cur,
             ata_probes: 0,
             ata_hits: 0,
             profile: None,
+            work: CacheWork::default(),
             stats: CacheStats::default(),
         }
     }
@@ -367,6 +532,11 @@ impl Cache {
         (self.ata_probes, self.ata_hits)
     }
 
+    /// Work-model counters this array accumulated (see [`CacheWork`]).
+    pub fn work(&self) -> CacheWork {
+        self.work
+    }
+
     /// Set index of a line, using multiplicative (Fibonacci) hashing as a
     /// model of the address swizzling in real GPU L1/L2 arrays. Plain
     /// modulo indexing collapses the power-of-two row strides that
@@ -379,45 +549,13 @@ impl Cache {
         self.dec.set_of_tag(self.dec.tag(line_addr))
     }
 
-    /// First slab index of the set holding the line with `tag`.
+    /// Counted tag probe: way holding `tag` in `set`'s row (if resident),
+    /// with the chunks walked tallied into the work model.
     #[inline]
-    fn base_of_tag(&self, tag: u64) -> usize {
-        self.dec.set_of_tag(tag) as usize * self.assoc
-    }
-
-    /// Way holding `tag` within the set at `base`, if resident. A tag
-    /// match implies validity ([`INVALID_TAG`] never equals a real tag).
-    ///
-    /// Two scan strategies by row width. Narrow rows (the 4-way L1,
-    /// where hits land a compare or two in) use a plain early-exit scan.
-    /// Wide rows (the 16-way L2 banks) use a fixed-width chunked scan:
-    /// four ways per step, compare results packed into a branchless
-    /// match mask — one predictable branch per chunk instead of an
-    /// unpredictable one per way, and a shape the compiler vectorizes.
-    #[inline]
-    fn find(&self, base: usize, tag: u64) -> Option<usize> {
-        let row = &self.tags[base..base + self.assoc];
-        if row.len() <= 4 {
-            return row.iter().position(|&t| t == tag).map(|w| base + w);
-        }
-        let mut i = 0;
-        while i + 4 <= row.len() {
-            let m = (row[i] == tag) as u32
-                | (((row[i + 1] == tag) as u32) << 1)
-                | (((row[i + 2] == tag) as u32) << 2)
-                | (((row[i + 3] == tag) as u32) << 3);
-            if m != 0 {
-                return Some(base + i + m.trailing_zeros() as usize);
-            }
-            i += 4;
-        }
-        while i < row.len() {
-            if row[i] == tag {
-                return Some(base + i);
-            }
-            i += 1;
-        }
-        None
+    fn find(&mut self, block: usize, tag: u64) -> Option<usize> {
+        let way = scan_row(self.ways.tag_row(block), tag);
+        self.work.tag_chunks += scan_chunks(self.assoc, way);
+        way
     }
 
     fn prune_inflight(&mut self, now: u64) {
@@ -481,10 +619,11 @@ impl Cache {
         self.tick += 1;
         debug_assert!(self.tick < u32::MAX as u64, "LRU stamp space exhausted");
         let tick = self.tick;
-        let tag = self.dec.tag(line_addr);
-        let base = self.base_of_tag(tag);
-        if let Some(i) = self.find(base, tag) {
-            self.lru[i] = tick as u32;
+        let (tag, set) = self.dec.tag_and_set(line_addr);
+        let block = self.ways.block(set);
+        if let Some(w) = self.find(block, tag) {
+            self.ways.set_lru(block, w, tick as u32);
+            let i = set * self.assoc + w;
             // The sector-state load is skipped entirely on unsectored
             // geometries (every resident line is whole, the short-circuit
             // keeps the `valid` slab off the hit path).
@@ -495,19 +634,20 @@ impl Cache {
                 // new fill.
                 self.stats.read_misses += 1;
                 if let Some(p) = self.profile.as_deref_mut() {
-                    p.read_misses[base / self.assoc] += 1;
+                    p.read_misses[set] += 1;
                 }
                 let mshr_wait = self.mshr_admit(now);
                 self.state[i].valid |= sectors;
                 self.state[i].fill_done = u64::MAX;
-                self.last_fill_way = i as u32;
+                self.last_fill_set = set as u32;
+                self.last_fill_way = w as u32;
                 return ReadOutcome::Miss {
                     mshr_wait,
                     dirty_victim: false,
                 };
             }
             if let Some(p) = self.profile.as_deref_mut() {
-                p.read_hits[base / self.assoc] += 1;
+                p.read_hits[set] += 1;
             }
             if self.state[i].fill_done > now {
                 self.stats.read_reserved += 1;
@@ -521,72 +661,84 @@ impl Cache {
         // Miss: check MSHR availability, then pick a victim.
         self.stats.read_misses += 1;
         if let Some(p) = self.profile.as_deref_mut() {
-            p.read_misses[base / self.assoc] += 1;
+            p.read_misses[set] += 1;
         }
         let mshr_wait = self.mshr_admit(now);
-        let (_, dirty_victim) = self.install(base, tag, tick, sectors);
+        let (_, dirty_victim) = self.install(set, tag, tick, sectors);
         ReadOutcome::Miss {
             mshr_wait,
             dirty_victim,
         }
     }
 
-    /// Installs `tag` into the set at `base` with the given sectors
-    /// pending, returning the claimed slab index and whether a dirty line
-    /// was evicted. The victim is the first way maximizing
-    /// `(empty, age)` with `age = tick - stamp` wraparound-safe — empty
-    /// ways first (oldest stamp winning), then true LRU; identical to
-    /// minimizing `(valid, lru)` while stamps fit the tick counter.
-    fn install(&mut self, base: usize, tag: u64, tick: u64, sectors: u32) -> (usize, bool) {
+    /// Installs `tag` into `set` with the given sectors pending,
+    /// returning the claimed way and whether a dirty line was evicted.
+    /// The victim is the first way maximizing `(empty, age)` with
+    /// `age = tick - stamp` wraparound-safe — empty ways first (oldest
+    /// stamp winning), then true LRU; identical to minimizing
+    /// `(valid, lru)` while stamps fit the tick counter.
+    fn install(&mut self, set: usize, tag: u64, tick: u64, sectors: u32) -> (usize, bool) {
+        let block = self.ways.block(set);
         let now = tick as u32;
-        let age = |stamp: u32| now.wrapping_sub(stamp);
-        let mut victim = base;
-        let mut best = (self.tags[base] == INVALID_TAG, age(self.lru[base]));
-        // A never-used way (empty, stamp 0) has the maximal age `now`:
-        // nothing ranks above it, and ties keep the first.
-        if best != (true, now) {
-            for i in base + 1..base + self.assoc {
-                let key = (self.tags[i] == INVALID_TAG, age(self.lru[i]));
-                if key > best {
-                    best = key;
-                    victim = i;
-                    if key == (true, now) {
-                        break;
-                    }
-                }
+        // Victim ranking packed into one integer per way — empty bit above
+        // the 32-bit wraparound-safe age — so "better victim" is a plain
+        // `>` and the scan compiles to conditional moves instead of a
+        // data-dependent branch per way (LRU stamps are close to random,
+        // so that branch mispredicted constantly). First tie wins, and the
+        // scan never exits early, which is outcome-identical: the packed
+        // order equals the old `(empty, age)` lexicographic order, and the
+        // only early exit the old loop took was on a key nothing later
+        // could strictly beat.
+        let key = |w: usize| {
+            let empty = (self.ways.tag(block, w) == INVALID_TAG) as u64;
+            let age = now.wrapping_sub(self.ways.lru(block, w)) as u64;
+            (empty << 32) | age
+        };
+        let mut victim = 0;
+        let mut best = key(0);
+        for w in 1..self.assoc {
+            let k = key(w);
+            if k > best {
+                best = k;
+                victim = w;
             }
         }
+        self.work.victim_ways += self.assoc as u64;
         // Aggregated-tag mode: probe the compact ghost array *before*
         // touching any data state, then record the eviction in it.
         let stamp = if self.cfg.aggregated_tags {
-            self.ata_stamp(base, tag, now)
+            self.ata_stamp(set, tag, now)
         } else {
             now
         };
-        let was_valid = self.tags[victim] != INVALID_TAG;
-        let dirty_victim = was_valid && self.state[victim].dirty != 0;
+        let victim_tag = self.ways.tag(block, victim);
+        let was_valid = victim_tag != INVALID_TAG;
+        let vi = set * self.assoc + victim;
+        let dirty_victim = was_valid && self.state[vi].dirty != 0;
         if was_valid {
             self.stats.evictions += 1;
+            self.work.set_conflicts += 1;
             if let Some(p) = self.profile.as_deref_mut() {
-                p.evictions[base / self.assoc] += 1;
+                p.evictions[set] += 1;
             }
             if self.cfg.aggregated_tags {
-                self.ghost_push(base, self.tags[victim]);
+                self.ghost_push(set, victim_tag);
             }
         }
         if let Some(p) = self.profile.as_deref_mut() {
-            p.installed[base / self.assoc].insert(tag);
+            p.installed[set].insert(tag);
         }
         if dirty_victim {
             self.stats.writebacks += 1;
         }
-        self.tags[victim] = tag;
-        self.state[victim] = WayState {
+        self.ways.set_tag(block, victim, tag);
+        self.state[vi] = WayState {
             fill_done: u64::MAX, // in flight until `fill` is called
             valid: sectors,
             dirty: 0,
         };
-        self.lru[victim] = stamp;
+        self.ways.set_lru(block, victim, stamp);
+        self.last_fill_set = set as u32;
         self.last_fill_way = victim as u32;
         (victim, dirty_victim)
     }
@@ -595,8 +747,9 @@ impl Cache {
     /// evicted recently) and earns an MRU insert; a miss demotes the
     /// insert to the cold end (LIP), so one-touch streams displace each
     /// other instead of the resident working set.
-    fn ata_stamp(&mut self, base: usize, tag: u64, tick: u32) -> u32 {
+    fn ata_stamp(&mut self, set: usize, tag: u64, tick: u32) -> u32 {
         self.ata_probes += 1;
+        let base = set * self.assoc;
         if self.ghost_tags[base..base + self.assoc].contains(&tag) {
             self.ata_hits += 1;
             tick
@@ -606,10 +759,9 @@ impl Cache {
     }
 
     /// Records an evicted tag in the set's ghost ring.
-    fn ghost_push(&mut self, base: usize, tag: u64) {
-        let set = base / self.assoc;
+    fn ghost_push(&mut self, set: usize, tag: u64) {
         let cur = self.ghost_cur[set] as usize;
-        self.ghost_tags[base + cur] = tag;
+        self.ghost_tags[set * self.assoc + cur] = tag;
         self.ghost_cur[set] = ((cur + 1) % self.assoc) as u32;
     }
 
@@ -620,14 +772,20 @@ impl Cache {
     #[inline]
     pub fn fill(&mut self, line_addr: u64, ready_at: u64) {
         let tag = self.dec.tag(line_addr);
-        let memo = self.last_fill_way;
-        if memo != NO_WAY && self.tags[memo as usize] == tag {
+        let memo_way = self.last_fill_way;
+        let memo_set = self.last_fill_set as usize;
+        if memo_way != NO_WAY && self.ways.tag(self.ways.block(memo_set), memo_way as usize) == tag
+        {
             // A way holding `tag` is unique device-wide (the tag is the
             // full line number and determines its set), so the memo hit
             // names the same way a scan would find.
-            self.state[memo as usize].fill_done = ready_at;
-        } else if let Some(i) = self.find(self.base_of_tag(tag), tag) {
-            self.state[i].fill_done = ready_at;
+            self.state[memo_set * self.assoc + memo_way as usize].fill_done = ready_at;
+        } else {
+            let set = self.dec.set_of_tag(tag) as usize;
+            let block = self.ways.block(set);
+            if let Some(w) = self.find(block, tag) {
+                self.state[set * self.assoc + w].fill_done = ready_at;
+            }
         }
         self.inflight.push(Reverse(ready_at));
     }
@@ -647,14 +805,14 @@ impl Cache {
         self.tick += 1;
         debug_assert!(self.tick < u32::MAX as u64, "LRU stamp space exhausted");
         let tick = self.tick;
-        let tag = self.dec.tag(line_addr);
-        let base = self.base_of_tag(tag);
+        let (tag, set) = self.dec.tag_and_set(line_addr);
+        let block = self.ways.block(set);
         match self.cfg.write_policy {
             WritePolicy::WriteEvict => {
-                let evicted = if let Some(i) = self.find(base, tag) {
+                let evicted = if let Some(w) = self.find(block, tag) {
                     // Invalidate but keep the LRU stamp: the way ranks
                     // behind never-used ways for the next victim choice.
-                    self.tags[i] = INVALID_TAG;
+                    self.ways.set_tag(block, w, INVALID_TAG);
                     self.stats.write_evictions += 1;
                     true
                 } else {
@@ -663,26 +821,27 @@ impl Cache {
                 WriteOutcome::Forwarded { evicted }
             }
             WritePolicy::WriteBackAllocate => {
-                if let Some(i) = self.find(base, tag) {
+                if let Some(w) = self.find(block, tag) {
                     // The write itself fills any absent sectors it
                     // covers (no fetch needed for fully overwritten
                     // sectors); in-flight lines absorb the write too,
                     // the merge happens when the fill arrives. Unsectored
                     // lines are always whole, so the `valid` update is
                     // skipped with the slab load.
+                    let i = set * self.assoc + w;
                     if self.full_mask != 0b1 {
                         self.state[i].valid |= sectors;
                     }
                     self.state[i].dirty |= sectors;
-                    self.lru[i] = tick as u32;
+                    self.ways.set_lru(block, w, tick as u32);
                     self.stats.write_hits += 1;
                     return WriteOutcome::Absorbed;
                 }
                 self.stats.write_misses += 1;
-                let (i, dirty_victim) = self.install(base, tag, tick, sectors);
+                let (w, dirty_victim) = self.install(set, tag, tick, sectors);
                 // Mark dirty immediately: the allocate fetch is accounted by
                 // the caller, after which the line holds the merged write.
-                self.state[i].dirty = sectors;
+                self.state[set * self.assoc + w].dirty = sectors;
                 WriteOutcome::AllocateMiss { dirty_victim }
             }
         }
@@ -692,17 +851,17 @@ impl Cache {
     /// sector (test and probe helper; does not touch LRU state or
     /// statistics).
     pub fn probe(&self, line_addr: u64, now: u64) -> bool {
-        let tag = self.dec.tag(line_addr);
-        let base = self.base_of_tag(tag);
-        self.find(base, tag).is_some_and(|i| {
+        let (tag, set) = self.dec.tag_and_set(line_addr);
+        let way = scan_row(self.ways.tag_row(self.ways.block(set)), tag);
+        way.is_some_and(|w| {
+            let i = set * self.assoc + w;
             self.state[i].fill_done <= now && self.state[i].valid & self.full_mask == self.full_mask
         })
     }
 
     /// Invalidates all contents and outstanding fills; statistics are kept.
     pub fn flush(&mut self) {
-        self.tags.fill(INVALID_TAG);
-        self.lru.fill(0);
+        self.ways.reset();
         self.state.fill(WayState::default());
         self.ghost_tags.fill(INVALID_TAG);
         self.ghost_cur.fill(0);

@@ -1,7 +1,126 @@
 //! The load/store unit's coalescer: collapses the per-lane addresses of a
 //! warp-wide access into the minimal set of cache-line transactions.
+//!
+//! Shape classification (contiguous / sorted / divergent) costs at most one
+//! early-exit scan: contiguity is one vectorizable `windows(2)` compare that
+//! aborts on the first break, and everything after that is decided *while
+//! emitting*, so the sorted and divergent shapes never pay a second
+//! classification pass and the divergent tail never pays a quadratic
+//! `contains` dedup. Divergent dedup runs through [`LaneSet`], a fixed-size
+//! insertion-dedup set sized for the ≤64 lines a 32-lane warp can touch.
 
-use crate::kernel::MemAccess;
+use crate::kernel::{MemAccess, ShapeHint};
+
+/// Number of slots in a [`LaneSet`] table. A 32-lane warp touches at most
+/// 64 distinct lines (two per straddling 8-byte lane), so 128 slots keep
+/// the load factor at or below 50% for every real warp shape.
+const LANE_SET_SLOTS: usize = 128;
+const LANE_SET_SLOT_MASK: usize = LANE_SET_SLOTS - 1;
+/// Residency cap before inserts spill to the overflow `Vec`. Capping below
+/// the slot count keeps linear probes short even for adversarial inputs
+/// (e.g. a synthetic gather with hundreds of distinct lanes).
+const LANE_SET_MAX_LIVE: u32 = 96;
+/// Fibonacci multiplier (same constant family as `addrdec`'s hashed index);
+/// the top seven product bits pick the home slot.
+const LANE_SET_HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A fixed-capacity insertion-dedup set for warp-sized key populations.
+///
+/// Open addressing with linear probing over 128 generation-stamped slots:
+/// clearing is one counter bump ([`LaneSet::begin`]), not a table wipe, so a
+/// long-lived instance (the streaming-tags profiler, for example) dedups
+/// each access without re-zeroing 1.5 KiB. Keys beyond the residency cap
+/// spill to a `Vec` — the only path that can allocate, and one that a
+/// ≤32-lane access can never reach.
+#[derive(Debug, Clone)]
+pub struct LaneSet {
+    keys: [u64; LANE_SET_SLOTS],
+    gens: [u32; LANE_SET_SLOTS],
+    gen: u32,
+    live: u32,
+    spill: Vec<u64>,
+}
+
+impl LaneSet {
+    /// An empty set. The slot arrays start zeroed with the generation at 1,
+    /// so every slot reads as vacant without a separate fill pass.
+    pub fn new() -> LaneSet {
+        LaneSet {
+            keys: [0; LANE_SET_SLOTS],
+            gens: [0; LANE_SET_SLOTS],
+            gen: 1,
+            live: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Clears the set by advancing the generation stamp (O(1) except once
+    /// every `u32::MAX` clears, when the stamps are re-zeroed).
+    pub fn begin(&mut self) {
+        self.live = 0;
+        self.spill.clear();
+        if self.gen == u32::MAX {
+            self.gens = [0; LANE_SET_SLOTS];
+            self.gen = 1;
+        } else {
+            self.gen += 1;
+        }
+    }
+
+    /// Inserts `key`, returning `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, key: u64) -> bool {
+        let mut i = (key.wrapping_mul(LANE_SET_HASH_MUL) >> 57) as usize;
+        while self.gens[i] == self.gen {
+            if self.keys[i] == key {
+                return false;
+            }
+            i = (i + 1) & LANE_SET_SLOT_MASK;
+        }
+        if self.live < LANE_SET_MAX_LIVE {
+            self.keys[i] = key;
+            self.gens[i] = self.gen;
+            self.live += 1;
+            true
+        } else if self.spill.contains(&key) {
+            false
+        } else {
+            self.spill.push(key);
+            true
+        }
+    }
+
+    /// Number of distinct keys inserted since the last [`LaneSet::begin`].
+    pub fn len(&self) -> usize {
+        self.live as usize + self.spill.len()
+    }
+
+    /// Whether no key has been inserted since the last [`LaneSet::begin`].
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for LaneSet {
+    fn default() -> LaneSet {
+        LaneSet::new()
+    }
+}
+
+/// The lane-address shape the coalescer classified an access as, reported
+/// so the engine's work model can count how often each emission path runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoalesceShape {
+    /// Consecutive equal-sized lanes (includes scalar and empty accesses):
+    /// lines are emitted as one ascending arithmetic sequence.
+    Contiguous,
+    /// Strictly increasing but non-contiguous lanes: lines still ascend, so
+    /// dedup is a single `last()` compare per candidate line.
+    Sorted,
+    /// Unsorted (or degenerate word-size) lanes: the remaining tail dedups
+    /// through a [`LaneSet`].
+    Divergent,
+}
 
 /// Collapses per-lane addresses into distinct line-aligned transactions of
 /// `line_bytes` granularity, preserving first-touch order.
@@ -25,27 +144,98 @@ pub fn coalesce_lines(access: &MemAccess, line_bytes: u32) -> Vec<u64> {
     lines
 }
 
-/// [`coalesce_lines`], writing into a caller-provided buffer.
+/// [`coalesce_lines`], writing into a caller-provided buffer and returning
+/// the [`CoalesceShape`] the classifier took.
 ///
 /// Clears `out` first and fills it with the same lines in the same
 /// (first-touch) order. The simulation engine calls this once per memory
-/// instruction, so reusing one scratch buffer across the whole run
-/// removes the hot path's per-access allocations.
-pub fn coalesce_lines_into(access: &MemAccess, line_bytes: u32, out: &mut Vec<u64>) {
+/// instruction, so reusing one scratch buffer across the whole run removes
+/// the hot path's per-access allocations.
+///
+/// Fully contiguous accesses (each lane exactly `bytes_per_lane` after the
+/// previous — the overwhelmingly common shape) are recognized by one
+/// early-exit `windows(2)` compare and emitted as an arithmetic line range
+/// with no per-lane state. Everything else is classified in a single
+/// emitting pass: the sorted regime (strictly increasing addresses, where
+/// emitted lines provably ascend so "already emitted" is one compare against
+/// the last emitted line, cached in a register) downgrades one-way to the
+/// divergent regime, which seeds a [`LaneSet`] with the lines already
+/// emitted and dedups the remaining tail through it. The downgrade never
+/// re-scans: the prefix emitted under the sorted regime is already in
+/// first-touch order.
+///
+/// Degenerate word sizes (`bytes_per_lane` of zero, or wider than a line)
+/// take the divergent path directly: a word there can span more than the
+/// two lines the ordered regimes account for, and per-lane first/last-line
+/// emission (the historical general-path semantics) is the only consistent
+/// definition.
+pub fn coalesce_lines_into(
+    access: &MemAccess,
+    line_bytes: u32,
+    out: &mut Vec<u64>,
+) -> CoalesceShape {
     debug_assert!(line_bytes.is_power_of_two());
     let mask = !(line_bytes as u64 - 1);
     out.clear();
     let bpl = access.bytes_per_lane as u64;
-    // Fast path: consecutive equal-sized lanes — the shape
-    // [`MemAccess::coalesced`](crate::MemAccess::coalesced) builds and by
-    // far the most issued — cover one contiguous byte range, so the
-    // distinct lines are an arithmetic sequence and first-touch order is
-    // ascending line order. One compare per lane instead of the dedup
-    // scan; non-contiguous accesses fail the check on their first lane
-    // pair and fall through unchanged.
-    let addrs = &access.addrs;
-    if addrs.len() > 1 && addrs.windows(2).all(|w| w[1] == w[0].wrapping_add(bpl)) {
-        let first = addrs[0] & mask;
+    let addrs = &access.addrs[..];
+    let shape = if bpl >= 1 && bpl <= line_bytes as u64 {
+        coalesce_ordered(addrs, access.shape_hint, bpl, line_bytes, mask, out)
+    } else {
+        let mut set = LaneSet::new();
+        coalesce_divergent(addrs, 0, bpl, mask, out, &mut set);
+        CoalesceShape::Divergent
+    };
+    // Every emission path must agree with the naive reference coalescer
+    // (per-lane first/last line, global first-touch dedup). Checked on
+    // every access in debug builds; see also the exhaustive battery in
+    // tests/properties.rs.
+    #[cfg(debug_assertions)]
+    debug_assert_eq!(
+        *out,
+        reference_lines(addrs, bpl, mask),
+        "coalescer shape path diverged from the reference model ({shape:?}, bpl={bpl}, line_bytes={line_bytes})",
+    );
+    shape
+}
+
+/// Ordered-regime emission: contiguous when every lane sits exactly `bpl`
+/// after the previous one, sorted while addresses strictly increase, with a
+/// one-way downgrade to [`coalesce_divergent`] on the first unsorted lane.
+/// Requires `1 <= bpl <= line_bytes` so a lane spans at most two
+/// consecutive lines.
+fn coalesce_ordered(
+    addrs: &[u64],
+    hint: ShapeHint,
+    bpl: u64,
+    line_bytes: u32,
+    mask: u64,
+    out: &mut Vec<u64>,
+) -> CoalesceShape {
+    let Some(&first_addr) = addrs.first() else {
+        return CoalesceShape::Contiguous;
+    };
+    // Contiguous fast path: one early-exit compare per lane with no
+    // emission state (the loop vectorizes), then the covered byte range
+    // [first_addr, last lane end) emitted as an arithmetic line sequence.
+    // Scalar accesses are vacuously contiguous. A non-contiguous access
+    // pays only the prefix that looked contiguous, which for the typical
+    // strided or gathered shape is the first pair. A constructor-proven
+    // [`ShapeHint`] settles the question without scanning at all — and
+    // cannot change the classification, only skip re-deriving it, which
+    // the asserts below pin in debug builds.
+    let contiguous = match hint {
+        ShapeHint::Contiguous => true,
+        ShapeHint::Sorted => false,
+        ShapeHint::Unknown => addrs.windows(2).all(|w| w[1] == w[0].wrapping_add(bpl)),
+    };
+    debug_assert_eq!(
+        contiguous,
+        addrs.windows(2).all(|w| w[1] == w[0].wrapping_add(bpl)),
+        "shape hint {hint:?} contradicts the lane addresses",
+    );
+    if contiguous {
+        let first = first_addr & mask;
         let last = (addrs[addrs.len() - 1] + bpl - 1) & mask;
         let mut line = first;
         loop {
@@ -55,55 +245,131 @@ pub fn coalesce_lines_into(access: &MemAccess, line_bytes: u32, out: &mut Vec<u6
             }
             line += line_bytes as u64;
         }
-        return;
+        return CoalesceShape::Contiguous;
     }
-    // Second fast path: strictly increasing lanes — every strided access
-    // (the divergent shapes that dominate single runs) is sorted, just not
-    // contiguous. Ascending addresses make line numbers non-decreasing, so
-    // duplicates are adjacent and one `last()` compare replaces the
-    // quadratic dedup scan. A lane whose word straddles a line boundary
-    // would emit its second line out of order, so any straddle bails to
-    // the general path (e.g. 8B words at 28,30 against 32B lines must
-    // yield [0, 32], not [0, 32, 0]).
-    if addrs.len() > 1 && addrs.windows(2).all(|w| w[1] > w[0]) {
-        let mut ok = true;
-        for &addr in addrs {
-            let first = addr & mask;
-            if (addr + bpl - 1) & mask != first {
-                ok = false;
-                break;
-            }
-            if out.last() != Some(&first) {
-                out.push(first);
-            }
-        }
-        if ok {
-            return;
-        }
-        out.clear();
+    // Sorted regime: emitted lines ascend strictly, so a candidate line is
+    // new exactly when it exceeds the last emitted one (`last`, kept in a
+    // register — the hot loop never re-reads the buffer). Since a lane's
+    // end line `l` is never below its start line `f`, one threshold serves
+    // both candidates.
+    let f0 = first_addr & mask;
+    out.push(f0);
+    let mut last = f0;
+    let l0 = (first_addr + bpl - 1) & mask;
+    if l0 != f0 {
+        out.push(l0);
+        last = l0;
     }
-    let mut push = |line: u64| {
+    let mut prev = first_addr;
+    for (i, &addr) in addrs.iter().enumerate().skip(1) {
+        if addr <= prev {
+            // Unsorted lane: seed the dedup set with everything emitted so
+            // far (the prefix is exactly the reference output for lanes
+            // 0..i) and finish in the divergent regime.
+            let mut set = LaneSet::new();
+            for &line in out.iter() {
+                set.insert(line);
+            }
+            coalesce_divergent(addrs, i, bpl, mask, out, &mut set);
+            return CoalesceShape::Divergent;
+        }
+        let f = addr & mask;
+        if f > last {
+            out.push(f);
+            last = f;
+        }
+        let l = (addr + bpl - 1) & mask;
+        if l > last {
+            out.push(l);
+            last = l;
+        }
+        prev = addr;
+    }
+    CoalesceShape::Sorted
+}
+
+/// Divergent-regime emission for `addrs[start..]`: per-lane first/last line
+/// with global first-touch dedup through `set`, which must already contain
+/// every line in `out`.
+fn coalesce_divergent(
+    addrs: &[u64],
+    start: usize,
+    bpl: u64,
+    mask: u64,
+    out: &mut Vec<u64>,
+    set: &mut LaneSet,
+) {
+    for &addr in &addrs[start..] {
+        let f = addr & mask;
+        if set.insert(f) {
+            out.push(f);
+        }
+        let l = (addr + bpl - 1) & mask;
+        if l != f && set.insert(l) {
+            out.push(l);
+        }
+    }
+}
+
+/// Naive reference coalescer: per-lane first/last line, quadratic global
+/// first-touch dedup. The definition every emission path must match;
+/// compiled only into debug builds, where [`coalesce_lines_into`] asserts
+/// against it on every access.
+#[cfg(debug_assertions)]
+fn reference_lines(addrs: &[u64], bpl: u64, mask: u64) -> Vec<u64> {
+    let mut out: Vec<u64> = Vec::new();
+    let push = |out: &mut Vec<u64>, line: u64| {
         if !out.contains(&line) {
             out.push(line);
         }
     };
     for &addr in addrs {
         let first = addr & mask;
-        push(first);
+        push(&mut out, first);
         let last = (addr + bpl - 1) & mask;
         if last != first {
-            push(last);
+            push(&mut out, last);
         }
     }
+    out
+}
+
+/// Number of transactions [`coalesce_lines`] would emit, counted without
+/// materializing them. Dedup runs through a stack-local [`LaneSet`]; the
+/// count is shape-independent (distinct lines touched), so a single pass
+/// suffices for every regime.
+pub fn coalesce_line_count(access: &MemAccess, line_bytes: u32) -> usize {
+    debug_assert!(line_bytes.is_power_of_two());
+    let mask = !(line_bytes as u64 - 1);
+    let bpl = access.bytes_per_lane as u64;
+    let mut set = LaneSet::new();
+    let mut count = 0usize;
+    for &addr in &access.addrs {
+        let f = addr & mask;
+        if set.insert(f) {
+            count += 1;
+        }
+        let l = (addr + bpl - 1) & mask;
+        if l != f && set.insert(l) {
+            count += 1;
+        }
+    }
+    debug_assert_eq!(
+        count,
+        coalesce_lines(access, line_bytes).len(),
+        "allocation-free transaction count diverged from the emitting path",
+    );
+    count
 }
 
 /// The *coalescing degree* of an access: active lanes divided by the
 /// number of transactions it generates. A fully coalesced 32-lane float
 /// access against 128B lines has degree 32; a fully divergent one has
 /// degree 1. The framework's probe (§4.4) uses the average degree to
-/// distinguish streaming kernels from data-related ones.
+/// distinguish streaming kernels from data-related ones. Counts through
+/// the allocation-free [`coalesce_line_count`] path.
 pub fn coalescing_degree(access: &MemAccess, line_bytes: u32) -> f64 {
-    let txns = coalesce_lines(access, line_bytes).len();
+    let txns = coalesce_line_count(access, line_bytes);
     if txns == 0 {
         return 0.0;
     }
@@ -165,9 +431,9 @@ mod tests {
     }
 
     #[test]
-    fn increasing_lanes_with_straddle_fall_back() {
-        // Lanes 28 and 30 both straddle the 32B boundary: the increasing
-        // fast path must bail so line 0 is not re-emitted after line 32.
+    fn increasing_lanes_with_straddle_stay_sorted() {
+        // Lanes 28 and 30 both straddle the 32B boundary: the sorted path
+        // must dedup the straddle line in place (line 0 then 32, once).
         let a = MemAccess::gather(0, vec![28, 30], 8);
         assert_eq!(coalesce_lines(&a, 32), vec![0, 32]);
     }
@@ -177,5 +443,78 @@ mod tests {
         let a = MemAccess::gather(0, vec![300, 10, 200], 4);
         let lines = coalesce_lines(&a, 32);
         assert_eq!(lines, vec![288, 0, 192]);
+    }
+
+    #[test]
+    fn shapes_classify_as_documented() {
+        let mut out = Vec::new();
+        let coalesced = MemAccess::coalesced(0, 0, 32, 4);
+        assert_eq!(
+            coalesce_lines_into(&coalesced, 128, &mut out),
+            CoalesceShape::Contiguous
+        );
+        let scalar = MemAccess::scalar(0, 28, 8);
+        assert_eq!(
+            coalesce_lines_into(&scalar, 32, &mut out),
+            CoalesceShape::Contiguous
+        );
+        let strided = MemAccess::strided(0, 0, 8, 1024, 4);
+        assert_eq!(
+            coalesce_lines_into(&strided, 128, &mut out),
+            CoalesceShape::Sorted
+        );
+        let gather = MemAccess::gather(0, vec![300, 10, 200], 4);
+        assert_eq!(
+            coalesce_lines_into(&gather, 32, &mut out),
+            CoalesceShape::Divergent
+        );
+        // Downgrade mid-access: a contiguous prefix that turns unsorted.
+        let mixed = MemAccess::gather(0, vec![0, 4, 8, 4000, 100], 4);
+        assert_eq!(
+            coalesce_lines_into(&mixed, 32, &mut out),
+            CoalesceShape::Divergent
+        );
+        assert_eq!(out, vec![0, 4000, 96]);
+    }
+
+    #[test]
+    fn count_matches_emission_everywhere() {
+        for access in [
+            MemAccess::coalesced(0, 120, 32, 4),
+            MemAccess::scalar(0, 28, 8),
+            MemAccess::strided(0, 0, 32, 48, 8),
+            MemAccess::gather(0, vec![300, 10, 200, 10, 28], 8),
+            MemAccess::gather(0, vec![], 4),
+        ] {
+            for line_bytes in [32, 128] {
+                assert_eq!(
+                    coalesce_line_count(&access, line_bytes),
+                    coalesce_lines(&access, line_bytes).len(),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_set_dedups_and_spills() {
+        let mut set = LaneSet::new();
+        assert!(set.is_empty());
+        // Far more distinct keys than the residency cap: the spill path
+        // must keep exact membership semantics.
+        for round in 0..2 {
+            set.begin();
+            for key in 0..200u64 {
+                assert!(set.insert(key * 64), "round {round}: key {key} fresh");
+            }
+            for key in 0..200u64 {
+                assert!(!set.insert(key * 64), "round {round}: key {key} dup");
+            }
+            assert_eq!(set.len(), 200);
+        }
+        // A generation bump empties the table without touching the slots.
+        set.begin();
+        assert!(set.is_empty());
+        assert!(set.insert(0));
+        assert!(!set.insert(0));
     }
 }

@@ -32,6 +32,7 @@ use crate::sched::{CtaScheduler, HardwareLike};
 use crate::sm::{ResidentCta, SmState, WarpState};
 use crate::stats::{CtaPlacement, RunStats};
 use crate::trace::{AccessEvent, TraceSink};
+use crate::work::WorkModel;
 
 /// Cycles between a CTA retiring and the GigaThread engine dispatching a
 /// replacement into the freed slot.
@@ -65,6 +66,10 @@ pub struct EngineMetrics {
     pub cta_retires: u64,
     /// GigaThread dispatch polls consumed from freed CTA slots.
     pub dispatch_polls: u64,
+    /// Deterministic work-model counters: the algorithmic work behind the
+    /// wall time (coalescer paths, tag-scan chunks, victim scans, heap
+    /// ops). See [`WorkModel`].
+    pub work: WorkModel,
 }
 
 impl EngineMetrics {
@@ -78,6 +83,20 @@ impl EngineMetrics {
         obs.counter("engine/warp_retires", scope, self.warp_retires);
         obs.counter("engine/cta_retires", scope, self.cta_retires);
         obs.counter("engine/dispatch_polls", scope, self.dispatch_polls);
+        self.work.record_obs(obs, scope);
+    }
+
+    /// Merge another run's accounting into this one, field by field
+    /// (the shape `bench`'s matrix totals accumulate).
+    pub fn absorb(&mut self, other: &EngineMetrics) {
+        self.events += other.events;
+        self.issues += other.issues;
+        self.cycles_skipped += other.cycles_skipped;
+        self.warps_dispatched += other.warps_dispatched;
+        self.warp_retires += other.warp_retires;
+        self.cta_retires += other.cta_retires;
+        self.dispatch_polls += other.dispatch_polls;
+        self.work.absorb(&other.work);
     }
 
     /// Checks the engine's conservation laws against the finished run,
@@ -100,7 +119,7 @@ impl EngineMetrics {
         if self.dispatch_polls != self.cta_retires {
             return Err("dispatch_polls != cta_retires");
         }
-        Ok(())
+        self.work.check_conservation()
     }
 }
 
@@ -321,6 +340,7 @@ impl<'a> Runner<'a> {
             if let Some(t) = sm.next_event() {
                 let id = sm.id;
                 heap.push(Reverse((t, id)));
+                self.metrics.work.sm_heap_pushes += 1;
             }
         }
 
@@ -329,6 +349,7 @@ impl<'a> Runner<'a> {
                 None => continue, // stale entry; SM went idle
                 Some(actual) if actual > t => {
                     heap.push(Reverse((actual, sm_id)));
+                    self.metrics.work.sm_heap_pushes += 1;
                     continue;
                 }
                 Some(actual) => actual,
@@ -346,6 +367,7 @@ impl<'a> Runner<'a> {
                 if let Some(&Reverse(top)) = heap.peek() {
                     if (next, sm_id) >= top {
                         heap.push(Reverse((next, sm_id)));
+                        self.metrics.work.sm_heap_pushes += 1;
                         break;
                     }
                 }
@@ -360,6 +382,13 @@ impl<'a> Runner<'a> {
         }
 
         let stats = self.finish();
+        for sm in &self.sms {
+            self.metrics.work.ready_heap_pushes += sm.heap_pushes;
+            for c in &sm.l1_sectors {
+                self.metrics.work.l1.absorb(&c.work());
+            }
+        }
+        self.metrics.work.l2.absorb(&self.mem.l2_work());
         let profile = if self.profile_l1 {
             let mut merged: Option<SetProfile> = None;
             for sm in &self.sms {
@@ -451,6 +480,7 @@ impl<'a> Runner<'a> {
         });
         self.horizon = self.horizon.max(now);
         self.metrics.cta_retires += 1;
+        sm.heap_pushes += 1;
         sm.pending_dispatch.push(Reverse(now + DISPATCH_LATENCY));
     }
 
@@ -480,6 +510,7 @@ impl<'a> Runner<'a> {
             if ws.pc >= ws.program.len() {
                 finished.push(idx);
             } else {
+                sm.heap_pushes += 1;
                 sm.ready.push(Reverse((now + 1, idx as u32)));
             }
         }
@@ -612,6 +643,7 @@ impl<'a> Runner<'a> {
                     sector,
                     t,
                     &mut self.line_buf,
+                    &mut self.metrics.work,
                 );
                 if let Some(sink) = self.sink.as_deref_mut() {
                     let cta = sm.ctas[slot as usize].as_ref().expect("resident").cta;
@@ -638,6 +670,7 @@ impl<'a> Runner<'a> {
             Outcome::Ready(ready_at) => {
                 ws.ready_at = ready_at;
                 self.horizon = self.horizon.max(ready_at);
+                sm.heap_pushes += 1;
                 sm.ready.push(Reverse((ready_at, warp_idx as u32)));
             }
             Outcome::Barrier => {
@@ -714,6 +747,7 @@ fn resolve_access(
     sector: usize,
     t: u64,
     line_buf: &mut Vec<u64>,
+    work: &mut WorkModel,
 ) -> (u64, Level) {
     match kind {
         AccessKind::Store => {
@@ -721,7 +755,7 @@ fn resolve_access(
             // touched L2 lines down. Stores retire through the write
             // buffer without blocking the warp.
             if cfg.l1_enabled && access.cache_op == CacheOp::CacheAll {
-                coalesce_lines_into(access, cfg.l1.line_bytes, line_buf);
+                work.note_shape(coalesce_lines_into(access, cfg.l1.line_bytes, line_buf));
                 let l1 = &mut l1_sectors[sector];
                 for &line in line_buf.iter() {
                     match l1.write(line, t) {
@@ -745,7 +779,7 @@ fn resolve_access(
                     }
                 }
             }
-            coalesce_lines_into(access, cfg.l2.line_bytes, line_buf);
+            work.note_shape(coalesce_lines_into(access, cfg.l2.line_bytes, line_buf));
             for &line in line_buf.iter() {
                 let slot = lsu_slot(lsu_free, t);
                 mem.write_line(line, slot);
@@ -753,7 +787,7 @@ fn resolve_access(
             (1, Level::L2)
         }
         AccessKind::Atomic => {
-            coalesce_lines_into(access, cfg.l2.line_bytes, line_buf);
+            work.note_shape(coalesce_lines_into(access, cfg.l2.line_bytes, line_buf));
             let mut done = t + 1;
             let mut level = Level::L2;
             for &line in line_buf.iter() {
@@ -767,7 +801,7 @@ fn resolve_access(
         AccessKind::Load => {
             let bypass = access.cache_op == CacheOp::BypassL1 || !cfg.l1_enabled;
             let (latency, level) = if bypass {
-                coalesce_lines_into(access, cfg.l2.line_bytes, line_buf);
+                work.note_shape(coalesce_lines_into(access, cfg.l2.line_bytes, line_buf));
                 *bypassed_reads += line_buf.len() as u64;
                 let mut done = t;
                 let mut level = Level::L2;
@@ -779,7 +813,7 @@ fn resolve_access(
                 }
                 (done - t, level)
             } else {
-                coalesce_lines_into(access, cfg.l1.line_bytes, line_buf);
+                work.note_shape(coalesce_lines_into(access, cfg.l1.line_bytes, line_buf));
                 let l1 = &mut l1_sectors[sector];
                 let mut done = t + cfg.timings.l1_hit as u64;
                 let mut level = Level::L1;

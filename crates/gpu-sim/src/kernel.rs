@@ -113,6 +113,27 @@ pub enum CacheOp {
 /// profiler uses them to attribute reuse per data structure.
 pub type ArrayTag = u16;
 
+/// Lane-address layout knowledge carried from an access's constructor to
+/// the coalescer, so the hot emission path can skip re-deriving what the
+/// kernel already proved by construction (see `coalesce_lines_into`).
+///
+/// A hint is a *sound* claim, not an optimization guess: `Contiguous`
+/// promises every lane sits exactly `bytes_per_lane` after the previous,
+/// `Sorted` promises strictly increasing lanes that are *not* contiguous,
+/// and anything unprovable stays `Unknown` (classified dynamically, which
+/// is always correct). Debug builds assert every hint against the address
+/// vector on every coalesce.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ShapeHint {
+    /// No constructor-level knowledge: the coalescer classifies the lanes.
+    #[default]
+    Unknown,
+    /// Lane `l` is at `addrs[0] + l * bytes_per_lane` exactly.
+    Contiguous,
+    /// Addresses strictly increase but are not contiguous.
+    Sorted,
+}
+
 /// One warp-wide global-memory access: up to 32 per-lane byte addresses.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemAccess {
@@ -124,6 +145,11 @@ pub struct MemAccess {
     pub addrs: Vec<u64>,
     /// Bytes accessed per lane (4 for `float`/`int`, 8 for `double`).
     pub bytes_per_lane: u32,
+    /// Constructor-proven lane layout (see [`ShapeHint`]). Sound only
+    /// while `addrs` is never rewritten after construction — which no
+    /// transform does; anything that did would have to reset this to
+    /// [`ShapeHint::Unknown`].
+    pub shape_hint: ShapeHint,
 }
 
 impl MemAccess {
@@ -137,16 +163,28 @@ impl MemAccess {
                 .map(|l| base + (l as u64) * bytes_per_lane as u64)
                 .collect(),
             bytes_per_lane,
+            shape_hint: ShapeHint::Contiguous,
         }
     }
 
     /// A strided access: lane `l` touches `base + l * stride`.
     pub fn strided(tag: ArrayTag, base: u64, lanes: u32, stride: u64, bytes_per_lane: u32) -> Self {
+        // `base + l*stride` is contiguous exactly when the stride equals
+        // the lane width, strictly increasing whenever the stride is
+        // positive; a zero stride (every lane on one address) is neither.
+        let shape_hint = if stride == bytes_per_lane as u64 || lanes <= 1 {
+            ShapeHint::Contiguous
+        } else if stride >= 1 {
+            ShapeHint::Sorted
+        } else {
+            ShapeHint::Unknown
+        };
         MemAccess {
             tag,
             cache_op: CacheOp::CacheAll,
             addrs: (0..lanes).map(|l| base + l as u64 * stride).collect(),
             bytes_per_lane,
+            shape_hint,
         }
     }
 
@@ -157,6 +195,8 @@ impl MemAccess {
             cache_op: CacheOp::CacheAll,
             addrs: vec![addr],
             bytes_per_lane: bytes,
+            // A single lane is vacuously contiguous.
+            shape_hint: ShapeHint::Contiguous,
         }
     }
 
@@ -167,6 +207,7 @@ impl MemAccess {
             cache_op: CacheOp::CacheAll,
             addrs,
             bytes_per_lane,
+            shape_hint: ShapeHint::Unknown,
         }
     }
 

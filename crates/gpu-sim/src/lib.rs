@@ -77,18 +77,25 @@ mod sm;
 mod stats;
 mod trace;
 pub mod walk;
+mod work;
 
 pub use addrdec::{AddrDec, DecodedAddr, HashedIndex};
 pub use cache::{Cache, CacheStats, ReadOutcome, SetProfile, WriteOutcome};
-pub use coalesce::{coalesce_lines, coalesce_lines_into, coalescing_degree};
+pub use coalesce::{
+    coalesce_line_count, coalesce_lines, coalesce_lines_into, coalescing_degree, CoalesceShape,
+    LaneSet,
+};
 pub use config::{ArchGen, CacheConfig, GpuConfig, IndexFn, MemoryTimings, WritePolicy};
 pub use dim::Dim3;
 pub use engine::{EngineMetrics, Simulation};
 pub use error::SimError;
 pub use fasthash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use kernel::{ArrayTag, CacheOp, CtaContext, KernelSpec, LaunchConfig, MemAccess, Op, Program};
+pub use kernel::{
+    ArrayTag, CacheOp, CtaContext, KernelSpec, LaunchConfig, MemAccess, Op, Program, ShapeHint,
+};
 pub use memory::{Level, MemoryStats, MemorySystem};
 pub use occupancy::{occupancy, Occupancy, OccupancyLimiter};
 pub use program::ProgramBuilder;
 pub use stats::{geometric_mean, CtaPlacement, RunStats};
 pub use trace::{AccessEvent, OwnedAccessEvent, TraceSink, VecSink};
+pub use work::{CacheWork, WorkModel};

@@ -9,6 +9,7 @@
 use crate::addrdec::AddrDec;
 use crate::cache::{Cache, CacheStats, ReadOutcome, WriteOutcome};
 use crate::config::{CacheConfig, GpuConfig, MemoryTimings};
+use crate::work::CacheWork;
 
 /// Which level of the hierarchy ultimately served a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -214,6 +215,15 @@ impl MemorySystem {
         let mut agg = CacheStats::default();
         for b in &self.banks {
             agg.absorb(&b.stats);
+        }
+        agg
+    }
+
+    /// Work-model counters aggregated over every L2 bank.
+    pub fn l2_work(&self) -> CacheWork {
+        let mut agg = CacheWork::default();
+        for b in &self.banks {
+            agg.absorb(&b.work());
         }
         agg
     }

@@ -87,6 +87,9 @@ pub(crate) struct SmState {
     pub occ_integral: u64,
     /// Last time `active_warps` changed.
     pub occ_last_change: u64,
+    /// Pushes into `ready` and `pending_dispatch` — the per-SM share of
+    /// the work model's `ready_heap_pushes` counter.
+    pub heap_pushes: u64,
 }
 
 impl SmState {
@@ -113,6 +116,7 @@ impl SmState {
             active_warps: 0,
             occ_integral: 0,
             occ_last_change: 0,
+            heap_pushes: 0,
         }
     }
 
@@ -183,6 +187,7 @@ impl SmState {
     /// the heap minimum falls behind the true state.
     #[inline]
     pub(crate) fn wake(&mut self, t: u64, idx: u32) {
+        self.heap_pushes += 1;
         self.ready.push(Reverse((t, idx)));
     }
 

@@ -422,3 +422,173 @@ proptest! {
         )?;
     }
 }
+
+// ---------------------------------------------------------------------
+// Coalescer
+// ---------------------------------------------------------------------
+
+/// The reference coalescer: per lane, first and last touched line in
+/// lane order, deduplicated with a linear scan. First-touch order and
+/// the per-lane `first`/`last` expansion are the semantics every fast
+/// path (contiguous, sorted, divergent) must reproduce exactly.
+fn naive_lines(addrs: &[u64], bytes_per_lane: u32, line_bytes: u32) -> Vec<u64> {
+    let mask = !(line_bytes as u64 - 1);
+    let bpl = bytes_per_lane as u64;
+    let mut out: Vec<u64> = Vec::new();
+    for &addr in addrs {
+        let first = addr & mask;
+        if !out.contains(&first) {
+            out.push(first);
+        }
+        let last = (addr + bpl - 1) & mask;
+        if last != first && !out.contains(&last) {
+            out.push(last);
+        }
+    }
+    out
+}
+
+/// Checks one access against the reference on every exported surface:
+/// emission (order included), allocation-free count, and the invariant
+/// that the two ordered shape classes really did emit ascending lines.
+fn check_coalesce(addrs: &[u64], bytes_per_lane: u32, line_bytes: u32) {
+    use gpu_sim::{coalesce_line_count, coalesce_lines_into, CoalesceShape, MemAccess};
+    let access = MemAccess::gather(0, addrs.to_vec(), bytes_per_lane);
+    let expect = naive_lines(addrs, bytes_per_lane, line_bytes);
+    let mut got = Vec::new();
+    let shape = coalesce_lines_into(&access, line_bytes, &mut got);
+    assert_eq!(
+        got, expect,
+        "emission diverged: addrs {addrs:?} bpl {bytes_per_lane} lb {line_bytes} ({shape:?})"
+    );
+    assert_eq!(
+        coalesce_line_count(&access, line_bytes),
+        expect.len(),
+        "count diverged: addrs {addrs:?} bpl {bytes_per_lane} lb {line_bytes}"
+    );
+    if shape != CoalesceShape::Divergent {
+        assert!(
+            got.windows(2).all(|w| w[0] < w[1]),
+            "ordered shape {shape:?} emitted non-ascending lines {got:?} for {addrs:?}"
+        );
+    }
+}
+
+/// Every lane pattern over up to 6 lanes, each lane drawn from a pool of
+/// boundary-case addresses (zero, word offsets, line edges, straddlers,
+/// a distant page), crossed with {4,8}-byte lanes and {32,128}-byte
+/// lines. Exhaustive, not sampled: 8^6 patterns per (bpl, lb) corner —
+/// every duplicate, descending, straddling and aliasing combination a
+/// warp segment of this width can produce.
+#[test]
+fn coalescer_exhaustive_small_shapes_match_reference() {
+    for &line_bytes in &[32u32, 128] {
+        let lb = line_bytes as u64;
+        let pool = [
+            0u64,
+            4,
+            lb - 4,
+            lb,
+            lb + 4,
+            2 * lb - 4,
+            1 << 20,
+            (1 << 20) + lb,
+        ];
+        for &bpl in &[4u32, 8] {
+            let mut addrs = [0u64; 6];
+            for lanes in 1..=6usize {
+                let combos = pool.len().pow(lanes as u32);
+                for mut c in 0..combos {
+                    for slot in addrs.iter_mut().take(lanes) {
+                        *slot = pool[c % pool.len()];
+                        c /= pool.len();
+                    }
+                    check_coalesce(&addrs[..lanes], bpl, line_bytes);
+                }
+            }
+        }
+    }
+}
+
+/// Degenerate lane widths: a lane wider than the whole line (the
+/// contiguous arithmetic cannot hold) and straddle-heavy widths right at
+/// the line size. These route through the divergent path regardless of
+/// address pattern and must still match the reference per-lane
+/// first/last expansion.
+#[test]
+fn coalescer_wide_lanes_match_reference() {
+    for &line_bytes in &[32u32, 128] {
+        for &bpl in &[line_bytes / 2, line_bytes, line_bytes * 2, line_bytes * 3] {
+            let lb = line_bytes as u64;
+            check_coalesce(&[0, lb, 2 * lb], bpl, line_bytes);
+            check_coalesce(&[0, 4, 8, 12], bpl, line_bytes);
+            check_coalesce(&[5 * lb, 3 * lb, lb, 3 * lb], bpl, line_bytes);
+            check_coalesce(&[lb - 4], bpl, line_bytes);
+        }
+    }
+}
+
+proptest! {
+    /// Random gathers: up to 32 lanes over a window wide enough to mix
+    /// same-line hits, neighbours and far misses, lane widths from 1
+    /// byte to twice the line. The fast paths must agree with the
+    /// reference on arbitrary (sorted, reversed, duplicated) inputs.
+    #[test]
+    fn coalescer_random_gathers_match_reference(
+        (seed, lanes, bpl_sel, lb_sel)
+            in (0u64..u64::MAX, 1usize..33, 0usize..5, 0usize..2),
+    ) {
+        let line_bytes = [32u32, 128][lb_sel];
+        let bpl = [1u32, 4, 8, line_bytes, 2 * line_bytes][bpl_sel];
+        let mut rng = Lcg(seed.wrapping_mul(2).wrapping_add(1));
+        let addrs: Vec<u64> = (0..lanes)
+            .map(|_| (rng.next() % (64 * line_bytes as u64)) & !3)
+            .collect();
+        check_coalesce(&addrs, bpl, line_bytes);
+    }
+
+    /// Random strided accesses — the sorted fast path's home turf, with
+    /// stride 0 (all lanes aliasing) and strides that straddle lines.
+    #[test]
+    fn coalescer_random_strides_match_reference(
+        (seed, lanes, stride, bpl_sel)
+            in (0u64..u64::MAX, 1u32..33, 0u64..300, 0usize..3),
+    ) {
+        let bpl = [4u32, 8, 36][bpl_sel];
+        let mut rng = Lcg(seed);
+        let base = rng.next() % (1 << 30);
+        let addrs: Vec<u64> = (0..lanes as u64).map(|l| base + l * stride).collect();
+        check_coalesce(&addrs, bpl, 128);
+    }
+
+    /// Constructor shape hints must be pure memoization: an access built
+    /// through `coalesced`/`scalar`/`strided` (hint set) must classify
+    /// and emit exactly like the same addresses fed through `gather`
+    /// (hint `Unknown`, classified dynamically). Covers every hint
+    /// branch: `stride == bpl` (Contiguous), `stride > 0` (Sorted),
+    /// `stride == 0` and single-lane corners.
+    #[test]
+    fn coalescer_shape_hints_match_dynamic_classification(
+        (seed, lanes, stride, bpl_sel, lb_sel)
+            in (0u64..u64::MAX, 1u32..33, 0u64..40, 0usize..3, 0usize..2),
+    ) {
+        use gpu_sim::{coalesce_lines_into, MemAccess};
+        let line_bytes = [32u32, 128][lb_sel];
+        let bpl = [4u32, 8, 36][bpl_sel];
+        let mut rng = Lcg(seed);
+        let base = rng.next() % (1 << 30);
+        let hinted = [
+            MemAccess::coalesced(0, base, lanes, bpl),
+            MemAccess::scalar(0, base, bpl),
+            MemAccess::strided(0, base, lanes, stride, bpl),
+        ];
+        let (mut want, mut got) = (Vec::new(), Vec::new());
+        for access in hinted {
+            let dynamic = MemAccess::gather(0, access.addrs.clone(), bpl);
+            let want_shape = coalesce_lines_into(&dynamic, line_bytes, &mut want);
+            let got_shape = coalesce_lines_into(&access, line_bytes, &mut got);
+            prop_assert_eq!(got_shape, want_shape);
+            prop_assert_eq!(&got, &want);
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! contending resources with the accesses that have inter-CTA reuse."
 
 use crate::wordmap::WordMap;
-use gpu_sim::{AccessEvent, ArrayTag, FxHashMap, TraceSink};
+use gpu_sim::{AccessEvent, ArrayTag, FxHashMap, LaneSet, TraceSink};
 
 /// Reuse statistics of one array tag.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -56,7 +56,10 @@ pub struct TagReuseProfiler {
     /// beats hashing the composite `(tag, word)` key per lane.
     words: Vec<(ArrayTag, WordMap<u64>)>,
     tags: FxHashMap<ArrayTag, TagSummary>,
-    seen: Vec<u64>, // per-record dedup scratch
+    /// Per-record word dedup scratch: a generation-stamped set cleared in
+    /// O(1) per event, replacing a linear-scanned vec that went quadratic
+    /// on wide gathers.
+    seen: LaneSet,
 }
 
 impl TagReuseProfiler {
@@ -106,14 +109,12 @@ impl TraceSink for TagReuseProfiler {
                 &mut self.words.last_mut().expect("just pushed").1
             }
         };
-        let mut seen = std::mem::take(&mut self.seen);
-        seen.clear();
+        self.seen.begin();
         for &addr in e.addrs {
             let word = addr / 4;
-            if seen.contains(&word) {
+            if !self.seen.insert(word) {
                 continue;
             }
-            seen.push(word);
             entry.accesses += 1;
             let slot = words.slot(word);
             if *slot != 0 {
@@ -124,7 +125,6 @@ impl TraceSink for TagReuseProfiler {
             }
             *slot = e.cta + 1;
         }
-        self.seen = seen;
     }
 }
 
